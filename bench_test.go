@@ -1,0 +1,322 @@
+// Package datacron_test holds the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper (regenerating the
+// measurement inside the timing loop), plus component micro-benchmarks for
+// the ablations called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same experiments can be run with human-readable output through
+// cmd/benchrunner.
+package datacron_test
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"datacron/internal/cer"
+	"datacron/internal/experiments"
+	"datacron/internal/flp"
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/linkdisc"
+	"datacron/internal/mobility"
+	"datacron/internal/msg"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/rdfgen"
+	"datacron/internal/store"
+	"datacron/internal/synopses"
+	"datacron/internal/tp"
+)
+
+// --- Paper tables and figures -------------------------------------------
+
+func BenchmarkTable1Sources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynopsesCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSynopses(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRDFGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRDFGen(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLinkDiscovery(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreStarJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStore(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRMFStarAccuracy(b *testing.B) { // Figure 5(a)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5a(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridHMM(b *testing.B) { // Figure 5(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5b(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventForecastPrecision(b *testing.B) { // Figure 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVAWorkflows(b *testing.B) { // Figures 10-12
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunFig11(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunFig12(io.Discard, experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks and ablations ----------------------------
+
+func benchReports(b *testing.B) []mobility.Report {
+	b.Helper()
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 7, Region: experiments.Region})
+	return sim.Run(time.Hour)
+}
+
+func BenchmarkSynopsesGenerator(b *testing.B) {
+	reports := benchReports(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := synopses.NewGenerator(synopses.DefaultMaritime())
+		for _, r := range reports {
+			g.Process(r)
+		}
+		g.Flush()
+	}
+	b.ReportMetric(float64(len(benchReports(b)))*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+func BenchmarkRDFGeneratorPerRecord(b *testing.B) {
+	cp := synopses.CriticalPoint{
+		Report: mobility.Report{ID: "v", Time: gen.DefaultStart,
+			Pos: geo.Pt(23.6, 37.9), SpeedKn: 11, Heading: 88},
+		Type: synopses.ChangeInHeading,
+	}
+	g := rdfgen.CriticalPointGenerator()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Generate(rdfgen.CriticalPointRecord(i, cp))
+	}
+}
+
+// Link discovery ablation: masks on/off over the same workload.
+func BenchmarkLinkDiscoveryMasks(b *testing.B) {
+	areas := gen.DetailedAreas(5, gen.ProtectedArea, 300, experiments.Region, 2_000, 8_000, 100, 200)
+	var statics []linkdisc.StaticEntity
+	for _, a := range areas {
+		statics = append(statics, linkdisc.StaticEntity{ID: a.ID, Geom: a.Geom})
+	}
+	cps, _ := synopses.Summarize(synopses.DefaultMaritime(), benchReports(b))
+	for _, cfg := range []struct {
+		name    string
+		maskRes int
+	}{{"masks=off", 0}, {"masks=on", 8}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d := linkdisc.NewDiscoverer(linkdisc.Config{
+				Extent: experiments.Region, MaskResolution: cfg.maskRes, NearDistanceM: 2_000,
+			}, statics)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cp := cps[i%len(cps)]
+				d.ProcessPoint(cp.ID, cp.Time, cp.Pos)
+			}
+		})
+	}
+}
+
+// Store ablation: layouts × plans on the same star query.
+func BenchmarkStoreLayoutsAndPlans(b *testing.B) {
+	const nNodes = 20_000
+	cellCfg := store.STCellConfig{
+		Extent: experiments.Region, Cols: 48, Rows: 48,
+		Epoch: gen.DefaultStart, BucketSize: time.Hour, TimeBuckets: 24 * 30,
+	}
+	var triples []rdf.Triple
+	for i := 0; i < nNodes; i++ {
+		node := rdf.NSDatAcron.IRI(string(rune('a'+i%26)) + "/bench/" + time.Duration(i).String())
+		pos := geo.Pt(
+			experiments.Region.MinLon+float64((i*7919)%1000)/1000*experiments.Region.Width(),
+			experiments.Region.MinLat+float64((i*104729)%1000)/1000*experiments.Region.Height(),
+		)
+		ts := gen.DefaultStart.Add(time.Duration(i%(24*14)) * 30 * time.Minute)
+		triples = append(triples,
+			rdf.Triple{S: node, P: rdf.RDFType, O: ontology.ClassSemanticNode},
+			rdf.Triple{S: node, P: ontology.PropAsWKT, O: rdf.WKT(pos.WKT())},
+			rdf.Triple{S: node, P: ontology.PropAtTime, O: rdf.Time(ts)},
+			rdf.Triple{S: node, P: ontology.PropSpeed, O: rdf.Float(float64(i % 25))},
+		)
+	}
+	query := store.StarQuery{
+		Patterns: []store.PO{
+			{Pred: rdf.RDFType, Obj: ontology.ClassSemanticNode},
+			{Pred: ontology.PropSpeed, Obj: nil},
+		},
+		Rect:      geo.Rect{MinLon: 23, MinLat: 37, MaxLon: 25, MaxLat: 39},
+		TimeStart: gen.DefaultStart.Add(24 * time.Hour),
+		TimeEnd:   gen.DefaultStart.Add(72 * time.Hour),
+	}
+	layouts := map[string]func() store.Layout{
+		"triples-table": func() store.Layout { return store.NewTripleTable(8) },
+		"vertical":      func() store.Layout { return store.NewVerticalPartitioning() },
+		"property":      func() store.Layout { return store.NewPropertyTable() },
+	}
+	for name, mk := range layouts {
+		st := store.New(cellCfg, mk())
+		st.Load(triples)
+		for _, plan := range []store.Plan{store.PostFilter, store.EncodedPruning} {
+			b.Run(name+"/"+plan.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := st.StarJoin(query, plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// FLP ablation: RMF window depth f and RMF* on the same flight stream.
+func BenchmarkFLPPredictors(b *testing.B) {
+	sim := gen.NewFlightSim(gen.FlightSimConfig{Seed: 3, NumFlights: 2, RoutePairs: [][2]int{{0, 1}}})
+	_, reports := sim.Run()
+	predictors := map[string]func() flp.Predictor{
+		"rmf-f2": func() flp.Predictor { return flp.NewRMF(2) },
+		"rmf-f3": func() flp.Predictor { return flp.NewRMF(3) },
+		"rmf-f5": func() flp.Predictor { return flp.NewRMF(5) },
+		"rmf*":   func() flp.Predictor { return flp.NewRMFStar(8 * time.Second) },
+	}
+	for name, mk := range predictors {
+		b.Run(name, func(b *testing.B) {
+			p := mk()
+			for i := 0; i < b.N; i++ {
+				p.Observe(reports[i%len(reports)])
+				p.Predict(8)
+			}
+		})
+	}
+}
+
+// CER ablation: PMC order 1/2/3 build + forecast cost.
+func BenchmarkPMCOrders(b *testing.B) {
+	alphabet := []string{"n", "e", "s", "w"}
+	src := gen.NewMarkovSource(1, alphabet, 2, 0.8)
+	train := src.Generate(100_000)
+	stream := src.Generate(10_000)
+	pattern, err := cer.ParsePattern("n (n + e)* s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, order := range []int{1, 2, 3} {
+		model := cer.LearnModel(train, alphabet, order, 1)
+		b.Run("order="+string(rune('0'+order)), func(b *testing.B) {
+			f, err := cer.NewForecaster(pattern, alphabet, model, 100, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Process(stream[i%len(stream)])
+			}
+		})
+	}
+}
+
+// TP ablation: ERP distance cost by sequence length.
+func BenchmarkERPDistance(b *testing.B) {
+	mkSeq := func(n int) []tp.FeatureVec {
+		out := make([]tp.FeatureVec, n)
+		for i := range out {
+			out[i] = tp.FeatureVec{float64(i), float64(i % 7), 1, 2}
+		}
+		return out
+	}
+	for _, n := range []int{8, 32, 128} {
+		a, c := mkSeq(n), mkSeq(n)
+		b.Run(time.Duration(n).String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tp.ERP(a, c, tp.FeatureVec{}, nil)
+			}
+		})
+	}
+}
+
+// Broker throughput: produce + consumer-group poll round trip.
+func BenchmarkBrokerRoundTrip(b *testing.B) {
+	broker := msg.NewBroker()
+	if err := broker.CreateTopic("bench", 4); err != nil {
+		b.Fatal(err)
+	}
+	cons, err := broker.NewConsumer("g", "bench", "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cons.Close()
+	reports := benchReports(b)
+	payload := reports[0].Marshal()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	consumed := 0
+	for i := 0; i < b.N; i++ {
+		r := reports[i%len(reports)]
+		if _, err := broker.Produce("bench", r.ID, payload, r.Time); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			recs, err := cons.Poll(ctx, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			consumed += len(recs)
+		}
+	}
+	_ = consumed
+}

@@ -1,0 +1,71 @@
+// Aviation scenario: the ATM use case of Section 2 — trajectory-based
+// operations. It demonstrates both prediction tasks of Section 5 on a
+// synthetic Spanish-airspace day: online future-location prediction with
+// RMF* during flight, and offline full-trajectory prediction of flight-plan
+// deviations with the Hybrid Clustering/HMM method.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"datacron/internal/flp"
+	"datacron/internal/gen"
+	"datacron/internal/mobility"
+	"datacron/internal/tp"
+)
+
+func main() {
+	weather := gen.NewWeatherField(5, gen.DefaultStart)
+	sim := gen.NewFlightSim(gen.FlightSimConfig{
+		Seed: 5, NumFlights: 40, Weather: weather,
+		RoutePairs:     [][2]int{{0, 1}, {1, 0}}, // Barcelona ↔ Madrid
+		ReportInterval: 8 * time.Second,
+	})
+	plans, reports := sim.Run()
+	byID := mobility.GroupByMover(reports)
+	fmt.Printf("simulated %d LEBL↔LEMD flights (%d ADS-B reports)\n", len(plans), len(reports))
+
+	// --- Task 1: online FLP with RMF* (Figure 5a setting) -----------------
+	var trajs []*mobility.Trajectory
+	for _, p := range plans[:8] {
+		if tr := byID[p.FlightID]; tr != nil {
+			trajs = append(trajs, tr)
+		}
+	}
+	rows := flp.Evaluate(func() flp.Predictor { return flp.NewRMFStar(8 * time.Second) }, trajs, 8, 10)
+	fmt.Println("\nRMF* future location prediction (walk-forward):")
+	for _, r := range rows {
+		fmt.Printf("  %2ds ahead: mean %4.0fm  p95 %5.0fm  (%d predictions)\n",
+			r.Steps*8, r.MeanM, r.P95M, r.Count)
+	}
+
+	// --- Task 2: offline TP with Hybrid Clustering/HMM (Figure 5b) --------
+	var cases []tp.FlightCase
+	for _, p := range plans {
+		fc := tp.ExtractCase(p, byID[p.FlightID], weather)
+		if len(fc.Deviations) > 0 {
+			cases = append(cases, fc)
+		}
+	}
+	cut := len(cases) * 7 / 10
+	train, test := cases[:cut], cases[cut:]
+	model, err := tp.TrainHybrid(train, tp.DefaultHybridConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHybrid Clustering/HMM: %d route clusters from %d training flights\n",
+		model.NumClusters(), len(train))
+	fmt.Printf("test RMSE: %.0fm over %d flights\n", tp.RMSE(test, model.Predict), len(test))
+
+	// Per-waypoint view of one test flight.
+	fc := test[0]
+	pred := model.Predict(fc)
+	fmt.Printf("\nper-waypoint deviations, flight %s (route %s):\n", fc.FlightID, fc.Route)
+	fmt.Printf("  %-4s %12s %12s %10s\n", "wp", "actual(m)", "predicted(m)", "error(m)")
+	for i := range fc.Deviations {
+		fmt.Printf("  %-4d %12.0f %12.0f %10.0f\n",
+			i+1, fc.Deviations[i], pred[i], pred[i]-fc.Deviations[i])
+	}
+}

@@ -1,0 +1,3 @@
+module datacron
+
+go 1.22

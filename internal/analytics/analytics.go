@@ -1,0 +1,217 @@
+// Package analytics implements the batch-layer analysis components of the
+// datAcron architecture (Figure 2): the offline Complex Event Analyzer,
+// which "operates on the historical data and discovers patterns of events
+// to be predicted", and trajectory analytics over the archived synopses.
+//
+// The miner is a PrefixSpan-style sequential pattern miner over per-mover
+// critical-point type sequences; its frequent patterns convert directly
+// into cer patterns, closing the loop the paper describes between offline
+// discovery and online recognition ("learning/refining their patterns by
+// exploiting examples" — §8's challenge list).
+package analytics
+
+import (
+	"sort"
+
+	"datacron/internal/cer"
+	"datacron/internal/synopses"
+)
+
+// Sequence is one mover's ordered event-type history.
+type Sequence []string
+
+// SequencesFromCriticalPoints groups a critical-point archive into
+// per-mover event-type sequences, ordered by time (the archive order).
+func SequencesFromCriticalPoints(cps []synopses.CriticalPoint) []Sequence {
+	byMover := map[string]Sequence{}
+	var ids []string
+	for _, cp := range cps {
+		if _, ok := byMover[cp.ID]; !ok {
+			ids = append(ids, cp.ID)
+		}
+		byMover[cp.ID] = append(byMover[cp.ID], string(cp.Type))
+	}
+	sort.Strings(ids)
+	out := make([]Sequence, 0, len(byMover))
+	for _, id := range ids {
+		out = append(out, byMover[id])
+	}
+	return out
+}
+
+// FrequentPattern is a mined sequential pattern with its support: the
+// number of sequences containing it as a (gap-tolerant) subsequence.
+type FrequentPattern struct {
+	Items   []string
+	Support int
+}
+
+// MineConfig tunes the miner.
+type MineConfig struct {
+	MinSupport int // minimum containing sequences (absolute)
+	MaxLength  int // longest pattern to mine (default 4)
+	MaxGap     int // max positions skipped between consecutive items; 0 = unlimited
+}
+
+// Mine runs PrefixSpan over the sequences and returns all frequent
+// sequential patterns of length ≥ 2, ordered by support (descending), then
+// length (descending), then lexicographically.
+func Mine(seqs []Sequence, cfg MineConfig) []FrequentPattern {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 2
+	}
+	if cfg.MaxLength < 2 {
+		cfg.MaxLength = 4
+	}
+	// A projection is a set of (sequence index, next start position).
+	type proj struct {
+		seq, pos int
+	}
+	var out []FrequentPattern
+
+	var grow func(prefix []string, projections []proj)
+	grow = func(prefix []string, projections []proj) {
+		if len(prefix) >= cfg.MaxLength {
+			return
+		}
+		// Count item supports in the projected database: an item counts
+		// once per sequence if it appears within the gap window.
+		type ext struct {
+			support int
+			// per sequence, earliest continuation position.
+			conts []proj
+		}
+		exts := map[string]*ext{}
+		perSeqSeen := map[string]int{} // item -> last sequence counted
+		for _, p := range projections {
+			s := seqs[p.seq]
+			limit := len(s)
+			if cfg.MaxGap > 0 && p.pos+cfg.MaxGap < limit {
+				limit = p.pos + cfg.MaxGap
+			}
+			seen := map[string]bool{}
+			for i := p.pos; i < limit; i++ {
+				item := s[i]
+				if seen[item] {
+					continue
+				}
+				seen[item] = true
+				e, ok := exts[item]
+				if !ok {
+					e = &ext{}
+					exts[item] = e
+					perSeqSeen[item] = -1
+				}
+				if perSeqSeen[item] != p.seq {
+					e.support++
+					perSeqSeen[item] = p.seq
+				}
+				e.conts = append(e.conts, proj{seq: p.seq, pos: i + 1})
+			}
+		}
+		items := make([]string, 0, len(exts))
+		for item := range exts {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		for _, item := range items {
+			e := exts[item]
+			if e.support < cfg.MinSupport {
+				continue
+			}
+			pattern := append(append([]string(nil), prefix...), item)
+			if len(pattern) >= 2 {
+				out = append(out, FrequentPattern{
+					Items:   append([]string(nil), pattern...),
+					Support: e.support,
+				})
+			}
+			grow(pattern, e.conts)
+		}
+	}
+
+	initial := make([]proj, len(seqs))
+	for i := range seqs {
+		initial[i] = proj{seq: i, pos: 0}
+	}
+	grow(nil, initial)
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) > len(out[j].Items)
+		}
+		return lessItems(out[i].Items, out[j].Items)
+	})
+	return out
+}
+
+func lessItems(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ToCERPattern converts a mined sequence into a cer pattern ready for
+// compilation — the offline analyzer's hand-off to the online forecaster.
+// Mined patterns have subsequence semantics (other events may occur between
+// the items), so the items are interleaved with Σ* over the given alphabet:
+// s1 Σ* s2 Σ* … sn.
+func (fp FrequentPattern) ToCERPattern(alphabet []string) cer.Pattern {
+	anySym := make([]cer.Pattern, len(alphabet))
+	for i, a := range alphabet {
+		anySym[i] = cer.Sym(a)
+	}
+	gap := cer.Star(cer.Or(anySym...))
+	var parts []cer.Pattern
+	for i, it := range fp.Items {
+		if i > 0 {
+			parts = append(parts, gap)
+		}
+		parts = append(parts, cer.Sym(it))
+	}
+	return cer.Seq(parts...)
+}
+
+// ProposePatterns mines the archive and returns the top-k patterns as
+// compiled-ready cer patterns with their support, skipping patterns that
+// are prefixes of a longer, equally supported pattern (closed-pattern
+// pruning keeps the proposals non-redundant).
+func ProposePatterns(cps []synopses.CriticalPoint, cfg MineConfig, k int) []FrequentPattern {
+	mined := Mine(SequencesFromCriticalPoints(cps), cfg)
+	var out []FrequentPattern
+	for _, fp := range mined {
+		redundant := false
+		for _, other := range mined {
+			if len(other.Items) > len(fp.Items) && other.Support == fp.Support &&
+				isPrefix(fp.Items, other.Items) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, fp)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func isPrefix(short, long []string) bool {
+	if len(short) > len(long) {
+		return false
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			return false
+		}
+	}
+	return true
+}

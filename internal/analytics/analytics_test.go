@@ -1,0 +1,186 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/cer"
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/synopses"
+)
+
+func seq(items ...string) Sequence { return Sequence(items) }
+
+func TestMineFindsPlantedPattern(t *testing.T) {
+	// "a b c" appears (with gaps) in 4 of 5 sequences.
+	seqs := []Sequence{
+		seq("a", "b", "c"),
+		seq("x", "a", "y", "b", "c"),
+		seq("a", "b", "z", "c"),
+		seq("a", "x", "b", "x", "c"),
+		seq("c", "b", "a"),
+	}
+	patterns := Mine(seqs, MineConfig{MinSupport: 4, MaxLength: 3})
+	found := false
+	for _, p := range patterns {
+		if len(p.Items) == 3 && p.Items[0] == "a" && p.Items[1] == "b" && p.Items[2] == "c" {
+			found = true
+			if p.Support != 4 {
+				t.Errorf("support = %d, want 4", p.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted pattern not mined: %+v", patterns)
+	}
+	// "c a" has support only 1 (last sequence): below MinSupport.
+	for _, p := range patterns {
+		if len(p.Items) == 2 && p.Items[0] == "c" && p.Items[1] == "a" {
+			t.Error("infrequent pattern should be pruned")
+		}
+	}
+}
+
+func TestMineSupportCountsPerSequence(t *testing.T) {
+	// Repetitions inside one sequence count once.
+	seqs := []Sequence{
+		seq("a", "b", "a", "b", "a", "b"),
+		seq("a", "b"),
+	}
+	patterns := Mine(seqs, MineConfig{MinSupport: 2, MaxLength: 2})
+	for _, p := range patterns {
+		if p.Items[0] == "a" && len(p.Items) == 2 && p.Items[1] == "b" {
+			if p.Support != 2 {
+				t.Errorf("a,b support = %d, want 2 (per-sequence counting)", p.Support)
+			}
+			return
+		}
+	}
+	t.Fatal("a,b not found")
+}
+
+func TestMineMaxGap(t *testing.T) {
+	seqs := []Sequence{
+		seq("a", "x", "x", "x", "b"),
+		seq("a", "b"),
+	}
+	// Unlimited gap: support 2.
+	loose := Mine(seqs, MineConfig{MinSupport: 2, MaxLength: 2})
+	if len(loose) == 0 {
+		t.Fatal("no loose patterns")
+	}
+	// Gap 2: only the adjacent occurrence counts → support 1 → pruned.
+	tight := Mine(seqs, MineConfig{MinSupport: 2, MaxLength: 2, MaxGap: 2})
+	for _, p := range tight {
+		if p.Items[0] == "a" && p.Items[len(p.Items)-1] == "b" {
+			t.Errorf("gap-limited pattern should be pruned: %+v", p)
+		}
+	}
+}
+
+func TestSequencesFromCriticalPoints(t *testing.T) {
+	t0 := gen.DefaultStart
+	mk := func(id string, sec int, ct synopses.CriticalType) synopses.CriticalPoint {
+		return synopses.CriticalPoint{
+			Report: mobility.Report{ID: id, Time: t0.Add(time.Duration(sec) * time.Second),
+				Pos: geo.Pt(23, 37), SpeedKn: 5, Heading: 0},
+			Type: ct,
+		}
+	}
+	cps := []synopses.CriticalPoint{
+		mk("b", 0, synopses.TrajectoryStart),
+		mk("a", 1, synopses.TrajectoryStart),
+		mk("a", 2, synopses.ChangeInHeading),
+		mk("b", 3, synopses.SpeedChange),
+	}
+	seqs := SequencesFromCriticalPoints(cps)
+	if len(seqs) != 2 {
+		t.Fatalf("sequences = %d", len(seqs))
+	}
+	// Sorted by mover ID: a first.
+	if len(seqs[0]) != 2 || seqs[0][1] != string(synopses.ChangeInHeading) {
+		t.Errorf("a sequence = %v", seqs[0])
+	}
+}
+
+func TestProposePatternsCompileAndDetect(t *testing.T) {
+	// End-to-end: archive → mined proposals → compiled DFA → detection on
+	// the same archive (every proposal must fire at least Support times
+	// across the per-mover streams).
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 31,
+		Counts: map[gen.VesselClass]int{gen.Fishing: 6, gen.Cargo: 6}})
+	reports := sim.Run(6 * time.Hour)
+	cps, _ := synopses.Summarize(synopses.DefaultMaritime(), reports)
+	proposals := ProposePatterns(cps, MineConfig{MinSupport: 4, MaxLength: 3}, 5)
+	if len(proposals) == 0 {
+		t.Fatal("no proposals mined")
+	}
+	// Alphabet: every critical type seen.
+	seen := map[string]bool{}
+	var alphabet []string
+	for _, cp := range cps {
+		if !seen[string(cp.Type)] {
+			seen[string(cp.Type)] = true
+			alphabet = append(alphabet, string(cp.Type))
+		}
+	}
+	byMover := map[string][]string{}
+	for _, cp := range cps {
+		byMover[cp.ID] = append(byMover[cp.ID], string(cp.Type))
+	}
+	for _, prop := range proposals {
+		dfa, err := cer.Compile(prop.ToCERPattern(alphabet), alphabet)
+		if err != nil {
+			t.Fatalf("proposal %v does not compile: %v", prop.Items, err)
+		}
+		movers := 0
+		for _, stream := range byMover {
+			if len(dfa.Run(stream)) > 0 {
+				movers++
+			}
+		}
+		if movers < prop.Support {
+			t.Errorf("proposal %v: DFA fires for %d movers, support claims %d",
+				prop.Items, movers, prop.Support)
+		}
+	}
+}
+
+func TestProposePatternsPrunesPrefixes(t *testing.T) {
+	seqs := []Sequence{
+		seq("a", "b", "c"), seq("a", "b", "c"), seq("a", "b", "c"),
+	}
+	_ = seqs
+	cps := []synopses.CriticalPoint{}
+	t0 := gen.DefaultStart
+	for m := 0; m < 3; m++ {
+		for i, ct := range []synopses.CriticalType{synopses.TrajectoryStart, synopses.ChangeInHeading, synopses.SpeedChange} {
+			cps = append(cps, synopses.CriticalPoint{
+				Report: mobility.Report{ID: string(rune('a' + m)), Time: t0.Add(time.Duration(m*10+i) * time.Second),
+					Pos: geo.Pt(23, 37), SpeedKn: 5, Heading: 0},
+				Type: ct,
+			})
+		}
+	}
+	proposals := ProposePatterns(cps, MineConfig{MinSupport: 3, MaxLength: 3}, 10)
+	// The 2-item prefix (start, heading) has the same support as the 3-item
+	// pattern and must be pruned as redundant.
+	for _, p := range proposals {
+		if len(p.Items) == 2 && p.Items[0] == string(synopses.TrajectoryStart) &&
+			p.Items[1] == string(synopses.ChangeInHeading) {
+			t.Errorf("redundant prefix survived: %+v", p)
+		}
+	}
+	// The full 3-item pattern is present.
+	found := false
+	for _, p := range proposals {
+		if len(p.Items) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("maximal pattern missing")
+	}
+}

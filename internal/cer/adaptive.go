@@ -1,0 +1,158 @@
+package cer
+
+import (
+	"math"
+	"strings"
+	"sync"
+)
+
+// AdaptiveModel is an m-th-order symbol model whose conditional counts decay
+// exponentially, so the transition matrix tracks a non-stationary stream —
+// the paper's closing challenge for the forecasting component ("the
+// statistical properties of a stream may indeed change over time in which
+// case we would need an efficient method for updating online the
+// probabilistic model").
+//
+// Observe costs O(1); the decay is applied lazily per context using a
+// global tick counter, so idle contexts need no touch-ups.
+type AdaptiveModel struct {
+	mu       sync.Mutex
+	order    int
+	alphabet []string
+	decay    float64 // multiplicative decay per observation, e.g. 0.9995
+	alpha    float64 // Laplace smoothing mass
+
+	tick   int64
+	counts map[string]*adaptiveRow
+	ctx    []string
+}
+
+type adaptiveRow struct {
+	lastTick int64
+	counts   map[string]float64
+	total    float64
+}
+
+// NewAdaptiveModel returns an adaptive model. halfLife gives the number of
+// observations after which old evidence has half its weight.
+func NewAdaptiveModel(alphabet []string, order int, halfLife int) *AdaptiveModel {
+	if order < 0 {
+		order = 0
+	}
+	if halfLife < 1 {
+		halfLife = 1000
+	}
+	// decay^halfLife = 0.5  =>  decay = 0.5^(1/halfLife)
+	decay := math.Pow(0.5, 1.0/float64(halfLife))
+	return &AdaptiveModel{
+		order:    order,
+		alphabet: append([]string(nil), alphabet...),
+		decay:    decay,
+		alpha:    1,
+		counts:   make(map[string]*adaptiveRow),
+	}
+}
+
+// Observe feeds the next stream symbol, updating the rolling context and
+// the decayed conditional counts.
+func (m *AdaptiveModel) Observe(symbol string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	if len(m.ctx) == m.order {
+		key := strings.Join(m.ctx, "\x00")
+		row, ok := m.counts[key]
+		if !ok {
+			row = &adaptiveRow{lastTick: m.tick, counts: make(map[string]float64)}
+			m.counts[key] = row
+		}
+		row.decayTo(m.tick, m.decay)
+		row.counts[symbol]++
+		row.total++
+	}
+	if m.order > 0 {
+		m.ctx = append(m.ctx, symbol)
+		if len(m.ctx) > m.order {
+			m.ctx = m.ctx[1:]
+		}
+	}
+}
+
+// decayTo applies the pending exponential decay for the elapsed ticks.
+func (r *adaptiveRow) decayTo(tick int64, decay float64) {
+	if elapsed := tick - r.lastTick; elapsed > 0 {
+		f := math.Pow(decay, float64(elapsed))
+		for k := range r.counts {
+			r.counts[k] *= f
+		}
+		r.total *= f
+	}
+	r.lastTick = tick
+}
+
+// Order implements SymbolModel.
+func (m *AdaptiveModel) Order() int { return m.order }
+
+// Prob implements SymbolModel with Laplace smoothing over the decayed
+// counts.
+func (m *AdaptiveModel) Prob(next string, ctx []string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := strings.Join(ctx, "\x00")
+	row, ok := m.counts[key]
+	if !ok {
+		return 1 / float64(len(m.alphabet))
+	}
+	row.decayTo(m.tick, m.decay)
+	return (row.counts[next] + m.alpha) / (row.total + m.alpha*float64(len(m.alphabet)))
+}
+
+// AdaptiveForecaster pairs a Forecaster with an AdaptiveModel and rebuilds
+// the Pattern Markov Chain every rebuildEvery observations, keeping the
+// forecasts aligned with the drifting stream at a bounded amortised cost.
+type AdaptiveForecaster struct {
+	pattern      Pattern
+	alphabet     []string
+	model        *AdaptiveModel
+	theta        float64
+	horizon      int
+	rebuildEvery int
+
+	f    *Forecaster
+	seen int
+}
+
+// NewAdaptiveForecaster builds the adaptive engine.
+func NewAdaptiveForecaster(p Pattern, alphabet []string, model *AdaptiveModel, horizon int, theta float64, rebuildEvery int) (*AdaptiveForecaster, error) {
+	if rebuildEvery < 1 {
+		rebuildEvery = 1000
+	}
+	f, err := NewForecaster(p, alphabet, model, horizon, theta)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveForecaster{
+		pattern: p, alphabet: alphabet, model: model,
+		theta: theta, horizon: horizon, rebuildEvery: rebuildEvery,
+		f: f,
+	}, nil
+}
+
+// Process feeds one symbol: the model learns online, the PMC is refreshed
+// periodically, and the inner forecaster produces detections and forecasts.
+func (a *AdaptiveForecaster) Process(symbol string) (detected bool, fc Forecast, ok bool) {
+	a.model.Observe(symbol)
+	a.seen++
+	if a.seen%a.rebuildEvery == 0 {
+		// Rebuild the PMC against the current transition estimates. The DFA
+		// state and context survive; only the probabilities change.
+		a.f.pmc = BuildPMC(a.f.dfa, a.model, a.horizon)
+	}
+	return a.f.Process(symbol)
+}
+
+// Reset clears the run state but keeps the learned model.
+func (a *AdaptiveForecaster) Reset() {
+	a.f.Reset()
+	a.seen = 0
+}

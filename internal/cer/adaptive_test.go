@@ -1,0 +1,218 @@
+package cer
+
+import (
+	"math"
+	"testing"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/synopses"
+)
+
+func TestAdaptiveModelConvergesToStationarySource(t *testing.T) {
+	alphabet := []string{"a", "b"}
+	src := gen.NewMarkovSource(3, alphabet, 1, 0.8)
+	m := NewAdaptiveModel(alphabet, 1, 5_000)
+	for _, s := range src.Generate(50_000) {
+		m.Observe(s)
+	}
+	for _, ctx := range []string{"a", "b"} {
+		want, err := src.ConditionalProb([]string{ctx}, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Prob("a", []string{ctx})
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("P(a|%s) = %.3f, want ≈%.3f", ctx, got, want)
+		}
+	}
+}
+
+func TestAdaptiveModelTracksDrift(t *testing.T) {
+	// Regime 1 strongly favours a→a; regime 2 strongly favours a→b. After
+	// the switch, the decayed model must forget regime 1.
+	alphabet := []string{"a", "b"}
+	m := NewAdaptiveModel(alphabet, 1, 2_000)
+	// Regime 1: long streak of "a a a ...".
+	for i := 0; i < 20_000; i++ {
+		m.Observe("a")
+	}
+	if p := m.Prob("a", []string{"a"}); p < 0.9 {
+		t.Fatalf("regime 1 not learnt: P(a|a)=%.3f", p)
+	}
+	// Regime 2: alternate "a b a b ..." so P(b|a) → 1.
+	for i := 0; i < 20_000; i++ {
+		if i%2 == 0 {
+			m.Observe("a")
+		} else {
+			m.Observe("b")
+		}
+	}
+	if p := m.Prob("b", []string{"a"}); p < 0.8 {
+		t.Errorf("drift not tracked: P(b|a)=%.3f after regime switch", p)
+	}
+	// A non-adaptive count model over the full stream would still say ~2:1
+	// in favour of a|a; the adaptive one must not.
+	if p := m.Prob("a", []string{"a"}); p > 0.2 {
+		t.Errorf("old regime not forgotten: P(a|a)=%.3f", p)
+	}
+}
+
+func TestAdaptiveModelUnseenContext(t *testing.T) {
+	m := NewAdaptiveModel([]string{"a", "b", "c", "d"}, 2, 100)
+	if p := m.Prob("a", []string{"a", "b"}); p != 0.25 {
+		t.Errorf("unseen context should be uniform: %v", p)
+	}
+}
+
+func TestAdaptiveForecasterOutperformsStaleOnDrift(t *testing.T) {
+	// A stream whose dynamics flip mid-way: the adaptive forecaster should
+	// keep (or regain) precision after the flip compared with a forecaster
+	// frozen on the first regime.
+	alphabet := []string{"a", "b", "c"}
+	src1 := gen.NewMarkovSource(41, alphabet, 1, 0.85)
+	src2 := gen.NewMarkovSource(4242, alphabet, 1, 0.85) // different dynamics
+	stream := append(src1.Generate(30_000), src2.Generate(30_000)...)
+	// A briskly-completing pattern: "a c c" almost never completes under
+	// some regimes, which starves the comparison of scorable forecasts.
+	pattern := mustParse(t, "a c")
+
+	// Stale: model learnt on regime 1 only, never updated.
+	stale := LearnModel(stream[:30_000], alphabet, 1, 1)
+	sf, err := NewForecaster(pattern, alphabet, stale, 400, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRes := EvaluatePrecision(sf, stream[30_000:])
+
+	// Adaptive: learns online over the whole stream.
+	am := NewAdaptiveModel(alphabet, 1, 3_000)
+	af, err := NewAdaptiveForecaster(pattern, alphabet, am, 400, 0.5, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm through regime 1, then score regime 2.
+	for _, s := range stream[:30_000] {
+		af.Process(s)
+	}
+	var forecasts []Forecast
+	detected := make([]bool, 30_000)
+	for i, s := range stream[30_000:] {
+		d, fc, ok := af.Process(s)
+		if d {
+			detected[i] = true
+		}
+		if ok {
+			forecasts = append(forecasts, Forecast{At: i, Start: fc.Start, End: fc.End, Prob: fc.Prob})
+		}
+	}
+	correct, scored := 0, 0
+	for _, fc := range forecasts {
+		lo, hi := fc.At+fc.Start, fc.At+fc.End
+		if hi >= len(detected) {
+			continue
+		}
+		scored++
+		for k := lo; k <= hi; k++ {
+			if detected[k] {
+				correct++
+				break
+			}
+		}
+	}
+	if scored == 0 || staleRes.Forecasts == 0 {
+		t.Fatal("no scorable forecasts in this configuration")
+	}
+	adaptivePrecision := float64(correct) / float64(scored)
+	t.Logf("after drift: adaptive=%.3f stale=%.3f (θ=0.5)", adaptivePrecision, staleRes.Precision())
+	// A Wayeb forecast promises completion with probability ≥ θ using the
+	// *smallest* qualifying interval, so the correct behaviour is precision
+	// ≈ θ. After drift, the adaptive engine must stay calibrated; the
+	// frozen model's probabilities are wrong, pushing its precision away
+	// from θ (over- or under-covering).
+	const theta = 0.5
+	adaptiveErr := math.Abs(adaptivePrecision - theta)
+	staleErr := math.Abs(staleRes.Precision() - theta)
+	if adaptiveErr > 0.12 {
+		t.Errorf("adaptive engine mis-calibrated after drift: |%.3f - θ| = %.3f",
+			adaptivePrecision, adaptiveErr)
+	}
+	if adaptiveErr >= staleErr {
+		t.Errorf("adaptive calibration error %.3f should beat frozen %.3f", adaptiveErr, staleErr)
+	}
+}
+
+func cpWith(heading float64, ct synopses.CriticalType) synopses.CriticalPoint {
+	return synopses.CriticalPoint{
+		Report: mobility.Report{ID: "v", Pos: geo.Pt(23, 37), Heading: heading, SpeedKn: 5},
+		Type:   ct,
+	}
+}
+
+func TestClassifierHeadingQuadrants(t *testing.T) {
+	c := HeadingReversalClassifier(45)
+	cases := []struct {
+		heading float64
+		ct      synopses.CriticalType
+		want    string
+	}{
+		{10, synopses.ChangeInHeading, "heading_north"},
+		{350, synopses.ChangeInHeading, "heading_north"},
+		{90, synopses.ChangeInHeading, "heading_east"},
+		{180, synopses.ChangeInHeading, "heading_south"},
+		{225, synopses.ChangeInHeading, "heading_south"}, // within 45° of south
+		{270, synopses.ChangeInHeading, "heading_west"},
+		{10, synopses.SpeedChange, "other"}, // not a turn event
+	}
+	for _, cse := range cases {
+		if got := c.Classify(cpWith(cse.heading, cse.ct)); got != cse.want {
+			t.Errorf("heading %.0f/%s -> %q, want %q", cse.heading, cse.ct, got, cse.want)
+		}
+	}
+	alpha := c.Alphabet()
+	if len(alpha) != 5 {
+		t.Errorf("alphabet = %v", alpha)
+	}
+}
+
+func TestNorthToSouthReversalEndToEnd(t *testing.T) {
+	// Drive the paper's full relational pipeline: critical points →
+	// classifier → DFA detection of NorthToSouthReversal.
+	c := HeadingReversalClassifier(45)
+	dfa, err := Compile(NorthToSouthReversalPattern(), c.Alphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns := []synopses.CriticalPoint{
+		cpWith(5, synopses.ChangeInHeading),   // north
+		cpWith(80, synopses.ChangeInHeading),  // east
+		cpWith(15, synopses.ChangeInHeading),  // north
+		cpWith(175, synopses.ChangeInHeading), // south: completes
+		cpWith(270, synopses.ChangeInHeading), // west: no-op
+	}
+	state := dfa.Start
+	var detections int
+	for _, cp := range turns {
+		state = dfa.Step(state, c.Classify(cp))
+		if dfa.Final[state] {
+			detections++
+		}
+	}
+	if detections != 1 {
+		t.Errorf("detections = %d, want 1", detections)
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	p := And(IsType(synopses.ChangeInHeading), IsHeading(0, 30))
+	if !p(cpWith(20, synopses.ChangeInHeading)) {
+		t.Error("conjunction should match")
+	}
+	if p(cpWith(20, synopses.SpeedChange)) {
+		t.Error("type mismatch should fail")
+	}
+	if p(cpWith(90, synopses.ChangeInHeading)) {
+		t.Error("heading mismatch should fail")
+	}
+}

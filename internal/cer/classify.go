@@ -1,0 +1,115 @@
+package cer
+
+import (
+	"math"
+
+	"datacron/internal/geo"
+	"datacron/internal/synopses"
+)
+
+// This file addresses the paper's "relationality" challenge: handling
+// events with attributes through predicates like IsHeading(North), without
+// a separate pre-processing step. A Classifier turns attributed events into
+// pattern symbols by evaluating an ordered list of predicates; composing it
+// with a Forecaster yields patterns such as
+//
+//	heading_north (heading_north + heading_east)* heading_south
+//
+// — the NorthToSouthReversal event of Section 6, where each turn event is
+// "annotated with the vessel's heading".
+
+// Predicate tests an attributed critical point.
+type Predicate func(cp synopses.CriticalPoint) bool
+
+// Rule maps a predicate to the symbol it emits.
+type Rule struct {
+	Symbol string
+	Match  Predicate
+}
+
+// Classifier converts critical points into symbols using first-match
+// rules; unclassified events map to the Default symbol (which should be in
+// the pattern alphabet so the automaton can observe them).
+type Classifier struct {
+	Rules   []Rule
+	Default string
+}
+
+// Classify returns the symbol for an event.
+func (c *Classifier) Classify(cp synopses.CriticalPoint) string {
+	for _, r := range c.Rules {
+		if r.Match(cp) {
+			return r.Symbol
+		}
+	}
+	return c.Default
+}
+
+// Alphabet lists the symbols the classifier can emit (rules then default).
+func (c *Classifier) Alphabet() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, r := range c.Rules {
+		add(r.Symbol)
+	}
+	add(c.Default)
+	return out
+}
+
+// IsType matches a critical-point type.
+func IsType(t synopses.CriticalType) Predicate {
+	return func(cp synopses.CriticalPoint) bool { return cp.Type == t }
+}
+
+// IsHeading matches events whose heading lies within tolerance degrees of
+// the given cardinal direction — the paper's IsHeading(North) predicate.
+func IsHeading(directionDeg, toleranceDeg float64) Predicate {
+	return func(cp synopses.CriticalPoint) bool {
+		return math.Abs(geo.AngleDiff(directionDeg, cp.Heading)) <= toleranceDeg
+	}
+}
+
+// And conjoins predicates.
+func And(ps ...Predicate) Predicate {
+	return func(cp synopses.CriticalPoint) bool {
+		for _, p := range ps {
+			if !p(cp) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// HeadingReversalClassifier is the classifier behind the paper's
+// NorthToSouthReversal pattern: ChangeInHeading events are split by the
+// vessel's heading quadrant; everything else is "other".
+func HeadingReversalClassifier(toleranceDeg float64) *Classifier {
+	turn := IsType(synopses.ChangeInHeading)
+	return &Classifier{
+		Rules: []Rule{
+			{Symbol: "heading_north", Match: And(turn, IsHeading(0, toleranceDeg))},
+			{Symbol: "heading_east", Match: And(turn, IsHeading(90, toleranceDeg))},
+			{Symbol: "heading_south", Match: And(turn, IsHeading(180, toleranceDeg))},
+			{Symbol: "heading_west", Match: And(turn, IsHeading(270, toleranceDeg))},
+		},
+		Default: "other",
+	}
+}
+
+// NorthToSouthReversalPattern is the paper's example pattern R =
+// ChangeInHeadingNorth (ChangeInHeadingNorth + ChangeInHeadingEast)*
+// ChangeInHeadingSouth over the HeadingReversalClassifier's alphabet.
+func NorthToSouthReversalPattern() Pattern {
+	return Seq(
+		Sym("heading_north"),
+		Star(Or(Sym("heading_north"), Sym("heading_east"))),
+		Sym("heading_south"),
+	)
+}

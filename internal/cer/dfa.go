@@ -1,0 +1,207 @@
+package cer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a complete deterministic automaton over an explicit alphabet. The
+// compiled automaton recognises Σ*R (detection at any position of the
+// stream), so consuming a stream symbol-by-symbol and checking Final at
+// each step implements streaming detection, exactly as in Figure 6(a).
+type DFA struct {
+	Alphabet []string
+	symIdx   map[string]int
+	// Delta[state][symbol index] = next state.
+	Delta [][]int
+	Final []bool
+	Start int
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.Delta) }
+
+// Step returns the successor of state on symbol; unknown symbols keep the
+// automaton in place (they cannot advance any pattern).
+func (d *DFA) Step(state int, symbol string) int {
+	i, ok := d.symIdx[symbol]
+	if !ok {
+		return state
+	}
+	return d.Delta[state][i]
+}
+
+// nfa is a Thompson-construction automaton with epsilon transitions.
+type nfa struct {
+	next  int
+	eps   map[int][]int
+	trans map[int]map[string][]int
+}
+
+func newNFA() *nfa {
+	return &nfa{eps: map[int][]int{}, trans: map[int]map[string][]int{}}
+}
+
+func (n *nfa) state() int {
+	s := n.next
+	n.next++
+	return s
+}
+
+func (n *nfa) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *nfa) addSym(from int, sym string, to int) {
+	if n.trans[from] == nil {
+		n.trans[from] = map[string][]int{}
+	}
+	n.trans[from][sym] = append(n.trans[from][sym], to)
+}
+
+// build returns (start, accept) fragment states for p.
+func (n *nfa) build(p Pattern) (int, int) {
+	switch v := p.(type) {
+	case SymPattern:
+		s, a := n.state(), n.state()
+		n.addSym(s, string(v), a)
+		return s, a
+	case SeqPattern:
+		if len(v) == 0 {
+			s := n.state()
+			return s, s
+		}
+		start, acc := n.build(v[0])
+		for _, q := range v[1:] {
+			s2, a2 := n.build(q)
+			n.addEps(acc, s2)
+			acc = a2
+		}
+		return start, acc
+	case OrPattern:
+		s, a := n.state(), n.state()
+		for _, q := range v {
+			qs, qa := n.build(q)
+			n.addEps(s, qs)
+			n.addEps(qa, a)
+		}
+		return s, a
+	case StarPattern:
+		s, a := n.state(), n.state()
+		is, ia := n.build(v.Inner)
+		n.addEps(s, is)
+		n.addEps(ia, is)
+		n.addEps(s, a)
+		n.addEps(ia, a)
+		return s, a
+	default:
+		panic(fmt.Sprintf("cer: unknown pattern %T", p))
+	}
+}
+
+// closure expands a state set with epsilon transitions.
+func (n *nfa) closure(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}
+
+// Compile builds the complete DFA of Σ*R over the given alphabet via subset
+// construction. Every pattern symbol must be in the alphabet.
+func Compile(p Pattern, alphabet []string) (*DFA, error) {
+	inAlpha := map[string]bool{}
+	for _, a := range alphabet {
+		if inAlpha[a] {
+			return nil, fmt.Errorf("cer: duplicate alphabet symbol %q", a)
+		}
+		inAlpha[a] = true
+	}
+	for _, s := range Symbols(p) {
+		if !inAlpha[s] {
+			return nil, fmt.Errorf("cer: pattern symbol %q not in alphabet", s)
+		}
+	}
+	n := newNFA()
+	// Σ* prefix: a start state that loops on every symbol and can enter R.
+	loop := n.state()
+	for _, a := range alphabet {
+		n.addSym(loop, a, loop)
+	}
+	rs, ra := n.build(p)
+	n.addEps(loop, rs)
+	accept := ra
+
+	// Subset construction.
+	type key = string
+	setKey := func(set map[int]bool) key {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		return b.String()
+	}
+	start := n.closure(map[int]bool{loop: true})
+	d := &DFA{Alphabet: append([]string(nil), alphabet...), symIdx: map[string]int{}}
+	for i, a := range d.Alphabet {
+		d.symIdx[a] = i
+	}
+	index := map[key]int{}
+	var sets []map[int]bool
+	addState := func(set map[int]bool) int {
+		k := setKey(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		d.Delta = append(d.Delta, make([]int, len(alphabet)))
+		d.Final = append(d.Final, set[accept])
+		return id
+	}
+	d.Start = addState(start)
+	for work := 0; work < len(sets); work++ {
+		set := sets[work]
+		for ai, a := range d.Alphabet {
+			nextSet := map[int]bool{}
+			for s := range set {
+				for _, t := range n.trans[s][a] {
+					nextSet[t] = true
+				}
+			}
+			n.closure(nextSet)
+			d.Delta[work][ai] = addState(nextSet)
+		}
+	}
+	return d, nil
+}
+
+// Run consumes the stream from the start state and returns the indices at
+// which a detection occurred (the DFA entered a final state).
+func (d *DFA) Run(stream []string) []int {
+	var out []int
+	state := d.Start
+	for i, sym := range stream {
+		state = d.Step(state, sym)
+		if d.Final[state] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package cer_test
+
+import (
+	"fmt"
+
+	"datacron/internal/cer"
+)
+
+// ExampleCompile shows the paper's Figure 6 construction: the pattern
+// R = a·c·c compiled to a streaming DFA over Σ = {a, b, c}.
+func ExampleCompile() {
+	pattern, err := cer.ParsePattern("a c c")
+	if err != nil {
+		panic(err)
+	}
+	dfa, err := cer.Compile(pattern, []string{"a", "b", "c"})
+	if err != nil {
+		panic(err)
+	}
+	detections := dfa.Run([]string{"b", "a", "c", "c", "a", "c", "c"})
+	fmt.Println("states:", dfa.NumStates())
+	fmt.Println("detections at:", detections)
+	// Output:
+	// states: 4
+	// detections at: [3 6]
+}
+
+// ExampleForecastInterval extracts the smallest interval whose waiting-time
+// mass reaches the confidence threshold θ — the forecast of Figure 7.
+func ExampleForecastInterval() {
+	waitingTime := []float64{0.1, 0.4, 0.3, 0.1, 0.1}
+	start, end, prob, ok := cer.ForecastInterval(waitingTime, 0.6)
+	fmt.Printf("I=(%d,%d) p=%.1f ok=%v\n", start, end, prob, ok)
+	// Output:
+	// I=(2,3) p=0.7 ok=true
+}
+
+// ExampleClassifier demonstrates the relational-pattern extension: turn
+// events annotated with headings are classified through predicates like
+// IsHeading(North) before pattern matching.
+func ExampleClassifier() {
+	c := cer.HeadingReversalClassifier(45)
+	fmt.Println(c.Alphabet())
+	fmt.Println(cer.NorthToSouthReversalPattern())
+	// Output:
+	// [heading_north heading_east heading_south heading_west other]
+	// heading_north (heading_north + heading_east)* heading_south
+}

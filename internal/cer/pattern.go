@@ -1,0 +1,234 @@
+// Package cer implements the complex event recognition and forecasting
+// component of Section 6 (the Wayeb method of Alevizos, Artikis & Paliouras,
+// DEBS 2017): event patterns given as regular expressions over a finite
+// symbol alphabet are compiled to deterministic finite automata; the DFA is
+// combined with an m-th-order Markov model of the input stream into a
+// Pattern Markov Chain (PMC); waiting-time distributions derived from the
+// PMC yield forecast intervals — the smallest interval in which the pattern
+// will complete with probability at least a user threshold θ.
+package cer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is a regular expression AST over event-type symbols. The paper's
+// syntax writes disjunction as + and iteration as *; sequence is
+// juxtaposition.
+type Pattern interface {
+	// String renders the pattern in the paper's syntax.
+	String() string
+	isPattern()
+}
+
+// SymPattern matches one event of the given type.
+type SymPattern string
+
+func (s SymPattern) isPattern()     {}
+func (s SymPattern) String() string { return string(s) }
+
+// SeqPattern matches its parts in order.
+type SeqPattern []Pattern
+
+func (s SeqPattern) isPattern() {}
+func (s SeqPattern) String() string {
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = maybeParen(p)
+	}
+	return strings.Join(parts, " ")
+}
+
+// OrPattern matches any one of its branches (the paper's +).
+type OrPattern []Pattern
+
+func (o OrPattern) isPattern() {}
+func (o OrPattern) String() string {
+	parts := make([]string, len(o))
+	for i, p := range o {
+		parts[i] = maybeParen(p)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// StarPattern matches zero or more repetitions (the paper's *).
+type StarPattern struct{ Inner Pattern }
+
+func (s StarPattern) isPattern()     {}
+func (s StarPattern) String() string { return maybeParen(s.Inner) + "*" }
+
+func maybeParen(p Pattern) string {
+	switch p.(type) {
+	case SeqPattern, OrPattern:
+		return "(" + p.String() + ")"
+	default:
+		return p.String()
+	}
+}
+
+// Convenience constructors.
+
+// Sym matches a single event type.
+func Sym(s string) Pattern { return SymPattern(s) }
+
+// Seq matches patterns in sequence.
+func Seq(ps ...Pattern) Pattern { return SeqPattern(ps) }
+
+// Or matches any branch.
+func Or(ps ...Pattern) Pattern { return OrPattern(ps) }
+
+// Star matches zero or more repetitions.
+func Star(p Pattern) Pattern { return StarPattern{Inner: p} }
+
+// ParsePattern parses the paper's pattern syntax: symbols are identifiers
+// (letters, digits, underscore), juxtaposition is sequence, '+' is
+// disjunction (lowest precedence), '*' is iteration (highest), parentheses
+// group. Example: "north (north + east)* south".
+func ParsePattern(s string) (Pattern, error) {
+	p := &parser{input: s}
+	pat, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("cer: unexpected %q at offset %d", p.input[p.pos:], p.pos)
+	}
+	return pat, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) parseOr() (Pattern, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	branches := []Pattern{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '+' {
+			break
+		}
+		p.pos++
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, next)
+	}
+	if len(branches) == 1 {
+		return branches[0], nil
+	}
+	return OrPattern(branches), nil
+}
+
+func (p *parser) parseSeq() (Pattern, error) {
+	var parts []Pattern
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == 0 || c == ')' || c == '+' {
+			break
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	switch len(parts) {
+	case 0:
+		return nil, fmt.Errorf("cer: empty pattern at offset %d", p.pos)
+	case 1:
+		return parts[0], nil
+	default:
+		return SeqPattern(parts), nil
+	}
+}
+
+func (p *parser) parseAtom() (Pattern, error) {
+	p.skipSpace()
+	var atom Pattern
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("cer: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		atom = inner
+	case isSymbolChar(c):
+		start := p.pos
+		for p.pos < len(p.input) && isSymbolChar(p.input[p.pos]) {
+			p.pos++
+		}
+		atom = SymPattern(p.input[start:p.pos])
+	default:
+		return nil, fmt.Errorf("cer: unexpected %q at offset %d", string(c), p.pos)
+	}
+	// Postfix stars.
+	for {
+		p.skipSpace()
+		if p.peek() != '*' {
+			break
+		}
+		p.pos++
+		atom = StarPattern{Inner: atom}
+	}
+	return atom, nil
+}
+
+func isSymbolChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// Symbols returns the distinct event types referenced by the pattern.
+func Symbols(p Pattern) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(Pattern)
+	walk = func(p Pattern) {
+		switch v := p.(type) {
+		case SymPattern:
+			if !seen[string(v)] {
+				seen[string(v)] = true
+				out = append(out, string(v))
+			}
+		case SeqPattern:
+			for _, q := range v {
+				walk(q)
+			}
+		case OrPattern:
+			for _, q := range v {
+				walk(q)
+			}
+		case StarPattern:
+			walk(v.Inner)
+		}
+	}
+	walk(p)
+	return out
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"datacron/internal/analytics"
+	"datacron/internal/msg"
+	"datacron/internal/rdf"
+	"datacron/internal/store"
+	"datacron/internal/synopses"
+)
+
+// This file provides the batch layer's persistence path — the stand-in for
+// the paper's HDFS/Parquet archive: the RDF-ized stream can be exported as
+// an N-Triples archive file and a knowledge graph can be rebuilt from one,
+// so offline analytics survive process restarts.
+
+// ExportTriples drains the pipeline's triples topic and writes every triple
+// as N-Triples to w, returning the count written. The broker log is left
+// intact (drain re-reads from offset zero).
+func (p *Pipeline) ExportTriples(w io.Writer) (int64, error) {
+	recs, err := p.Broker.Drain(TopicTriples)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	bw := newCountingWriter(w)
+	for _, rec := range recs {
+		ts, err := rdf.ReadNTriples(bytes.NewReader(rec.Value))
+		if err != nil {
+			continue // skip corrupt lines rather than abort the archive
+		}
+		if err := rdf.WriteNTriples(bw, ts); err != nil {
+			return n, fmt.Errorf("core: exporting triples: %w", err)
+		}
+		n += int64(len(ts))
+	}
+	return n, nil
+}
+
+// LoadArchive builds a knowledge graph from an N-Triples archive produced
+// by ExportTriples (or any N-Triples source). Triples are loaded in batches
+// so spatio-temporal subjects whose position/time stamps arrive together
+// get cell-embedding IDs.
+func LoadArchive(r io.Reader, cfg store.STCellConfig, layout store.Layout) (*store.Store, error) {
+	triples, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading archive: %w", err)
+	}
+	st := store.New(cfg, layout)
+	const batch = 10_000
+	for i := 0; i < len(triples); i += batch {
+		end := i + batch
+		if end > len(triples) {
+			end = len(triples)
+		}
+		st.Load(triples[i:end])
+	}
+	return st, nil
+}
+
+// MinePatterns runs the offline Complex Event Analyzer over the archived
+// synopses topic: it mines frequent critical-point sequences and returns
+// the top-k non-redundant proposals, ready to compile into the online
+// recogniser — Figure 2's batch-to-real-time feedback loop.
+func (p *Pipeline) MinePatterns(cfg analytics.MineConfig, k int) ([]analytics.FrequentPattern, error) {
+	recs, err := p.Broker.Drain(TopicSynopses)
+	if err != nil {
+		return nil, err
+	}
+	cps := make([]synopses.CriticalPoint, 0, len(recs))
+	for _, rec := range recs {
+		cp, err := synopses.UnmarshalCriticalPoint(rec.Value)
+		if err != nil {
+			continue
+		}
+		cps = append(cps, cp)
+	}
+	return analytics.ProposePatterns(cps, cfg, k), nil
+}
+
+// ReplayTopic republishes an archived topic's records into another broker,
+// supporting the paper's "reprocess the archive through the real-time
+// layer" workflows (e.g. re-running synopses with new thresholds).
+func ReplayTopic(from *msg.Broker, topic string, to *msg.Broker) (int64, error) {
+	recs, err := from.Drain(topic)
+	if err != nil {
+		return 0, err
+	}
+	if err := to.EnsureTopic(topic, 4); err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, rec := range recs {
+		if _, err := to.Produce(topic, rec.Key, rec.Value, rec.Time); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// countingWriter counts bytes for diagnostics while delegating writes.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func newCountingWriter(w io.Writer) *countingWriter { return &countingWriter{w: w} }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

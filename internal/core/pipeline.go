@@ -1,0 +1,339 @@
+// Package core wires the datAcron components into the architecture of
+// Figure 2: surveillance streams enter through the message broker; the
+// real-time layer runs in-situ processing (validity filtering, per-
+// trajectory statistics, low-level area events), the synopses generator,
+// RDF-ification, spatio-temporal link discovery, future-location prediction
+// and complex event forecasting, feeding the situation dashboard; the batch
+// layer drains the enriched topics into the spatio-temporal knowledge graph
+// store for offline analytics.
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"datacron/internal/cer"
+	"datacron/internal/flp"
+	"datacron/internal/gen"
+	"datacron/internal/linkdisc"
+	"datacron/internal/lowlevel"
+	"datacron/internal/mobility"
+	"datacron/internal/msg"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/rdfgen"
+	"datacron/internal/store"
+	"datacron/internal/synopses"
+	"datacron/internal/va"
+)
+
+// Topic names of the Kafka-substitute broker.
+const (
+	TopicRaw      = "surveillance.raw"
+	TopicSynopses = "trajectory.synopses"
+	TopicTriples  = "rdf.triples"
+	TopicLinks    = "links.discovered"
+	TopicEvents   = "events.forecasts"
+)
+
+// Config assembles a pipeline.
+type Config struct {
+	Domain     mobility.Domain
+	Synopses   synopses.Config // zero value: domain default
+	Link       linkdisc.Config // extent etc.
+	Statics    []linkdisc.StaticEntity
+	Regions    []lowlevel.Region // monitored zones for low-level events
+	Partitions int               // broker partitions (default 4)
+	// FLP configuration.
+	PredictSteps   int           // look-ahead steps per mover (default 8)
+	SampleInterval time.Duration // FLP sampling interval (default 10s)
+	// CER configuration: when Pattern is non-empty, critical-point type
+	// streams per mover are fed to a Wayeb forecaster.
+	Pattern      string
+	Alphabet     []string
+	ModelOrder   int
+	Theta        float64
+	TrainSymbols []string // training stream for the symbol model
+	// Weather enables enrichment: critical points are annotated with the
+	// field's wind speed and wave height at their position and time, and
+	// the annotations are lifted into the knowledge graph.
+	Weather *gen.WeatherField
+}
+
+func (c Config) withDefaults() Config {
+	if c.Synopses == (synopses.Config{}) {
+		if c.Domain == mobility.Aviation {
+			c.Synopses = synopses.DefaultAviation()
+		} else {
+			c.Synopses = synopses.DefaultMaritime()
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.PredictSteps <= 0 {
+		c.PredictSteps = 8
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 10 * time.Second
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.5
+	}
+	return c
+}
+
+// Summary reports what a real-time run did.
+type Summary struct {
+	RawIn          int64
+	CriticalPoints int64
+	Compression    float64
+	AreaEvents     int64
+	Links          int64
+	Triples        int64
+	Predictions    int64
+	Detections     int64
+	Forecasts      int64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"raw=%d critical=%d (compression %.1f%%) areaEvents=%d links=%d triples=%d predictions=%d detections=%d forecasts=%d",
+		s.RawIn, s.CriticalPoints, s.Compression*100, s.AreaEvents, s.Links,
+		s.Triples, s.Predictions, s.Detections, s.Forecasts)
+}
+
+// Pipeline is a configured datAcron instance.
+type Pipeline struct {
+	cfg       Config
+	Broker    *msg.Broker
+	Dashboard *va.Dashboard
+	Profiler  *lowlevel.Profiler
+
+	forecaster *cer.Forecaster
+}
+
+// NewPipeline creates the broker topics and components.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	b := msg.NewBroker()
+	for _, t := range []string{TopicRaw, TopicSynopses, TopicTriples, TopicLinks, TopicEvents} {
+		if err := b.CreateTopic(t, cfg.Partitions); err != nil {
+			return nil, err
+		}
+	}
+	p := &Pipeline{
+		cfg:       cfg,
+		Broker:    b,
+		Dashboard: va.NewDashboard(1000),
+		Profiler:  lowlevel.NewProfiler(),
+	}
+	if cfg.Pattern != "" {
+		pat, err := cer.ParsePattern(cfg.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("core: pattern: %w", err)
+		}
+		model := cer.LearnModel(cfg.TrainSymbols, cfg.Alphabet, cfg.ModelOrder, 1)
+		p.forecaster, err = cer.NewForecaster(pat, cfg.Alphabet, model, 200, cfg.Theta)
+		if err != nil {
+			return nil, fmt.Errorf("core: forecaster: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Ingest publishes raw surveillance reports to the broker, keyed by mover
+// (preserving per-mover order), then closes the raw topic so the real-time
+// layer terminates when it has drained the log. Use for batch experiments;
+// live deployments would keep the topic open.
+func (p *Pipeline) Ingest(reports []mobility.Report) error {
+	for _, r := range reports {
+		if _, err := p.Broker.Produce(TopicRaw, r.ID, r.Marshal(), r.Time); err != nil {
+			return err
+		}
+	}
+	return p.Broker.CloseTopic(TopicRaw)
+}
+
+// RunRealTime consumes the raw topic through the full real-time layer until
+// the topic closes or the context is cancelled, and returns the run summary.
+func (p *Pipeline) RunRealTime(ctx context.Context) (Summary, error) {
+	var sum Summary
+	cons, err := p.Broker.NewConsumer("realtime", TopicRaw, "rt-1")
+	if err != nil {
+		return sum, err
+	}
+	defer cons.Close()
+
+	sg := synopses.NewGenerator(p.cfg.Synopses)
+	areaMon := lowlevel.NewAreaMonitor(p.cfg.Regions, 64)
+	var disc *linkdisc.Discoverer
+	if len(p.cfg.Statics) > 0 {
+		disc = linkdisc.NewDiscoverer(p.cfg.Link, p.cfg.Statics)
+	}
+	rdfGen := rdfgen.CriticalPointGenerator()
+	predictors := map[string]flp.Predictor{}
+	seq := 0
+
+	processCritical := func(cp synopses.CriticalPoint) error {
+		sum.CriticalPoints++
+		p.Dashboard.AddCritical(cp)
+		// Publish the synopsis record.
+		if _, err := p.Broker.Produce(TopicSynopses, cp.ID, cp.Marshal(), cp.Time); err != nil {
+			return err
+		}
+		// RDF-ify.
+		triples := rdfGen.Generate(rdfgen.CriticalPointRecord(seq, cp))
+		// Weather enrichment: annotate the semantic node with the ambient
+		// conditions at its position and time.
+		if p.cfg.Weather != nil {
+			node := ontology.NodeIRI(cp.ID, seq)
+			triples = append(triples,
+				rdf.Triple{S: node, P: ontology.PropWindSpeed,
+					O: rdf.Float(p.cfg.Weather.WindSpeed(cp.Pos, cp.Time))},
+				rdf.Triple{S: node, P: ontology.PropWaveHeight,
+					O: rdf.Float(p.cfg.Weather.WaveHeight(cp.Pos, cp.Time))},
+			)
+		}
+		sum.Triples += int64(len(triples))
+		if err := p.publishTriples(triples, cp.Time); err != nil {
+			return err
+		}
+		// Link discovery on the critical point.
+		if disc != nil {
+			for _, l := range disc.ProcessPoint(cp.ID, cp.Time, cp.Pos) {
+				sum.Links++
+				p.Dashboard.AddLink(l)
+				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(l.Triple().String()), l.Time); err != nil {
+					return err
+				}
+				sum.Triples++
+				if err := p.publishTriples([]rdf.Triple{l.Triple()}, l.Time); err != nil {
+					return err
+				}
+			}
+		}
+		// Complex event forecasting on the critical-point type stream.
+		if p.forecaster != nil {
+			detected, fc, ok := p.forecaster.Process(string(cp.Type))
+			if detected {
+				sum.Detections++
+				p.Dashboard.AddEventNote(fmt.Sprintf("%s: pattern detected at %s", cp.ID, cp.Time.Format(time.RFC3339)))
+			}
+			if ok {
+				sum.Forecasts++
+				note := fmt.Sprintf("%s: completion expected in %d-%d events (p=%.2f)", cp.ID, fc.Start, fc.End, fc.Prob)
+				p.Dashboard.AddEventNote(note)
+				if _, err := p.Broker.Produce(TopicEvents, cp.ID, []byte(note), cp.Time); err != nil {
+					return err
+				}
+			}
+		}
+		seq++
+		return nil
+	}
+
+	for {
+		recs, err := cons.Poll(ctx, 256)
+		if errors.Is(err, msg.ErrClosed) {
+			break
+		}
+		if err != nil {
+			return sum, err
+		}
+		for _, rec := range recs {
+			r, err := mobility.UnmarshalReport(rec.Value)
+			if err != nil {
+				continue // corrupt record: dropped by the cleaning stage
+			}
+			sum.RawIn++
+			// In-situ processing.
+			if r.Valid() {
+				p.Profiler.Observe(r)
+				sum.AreaEvents += int64(len(areaMon.Update(r)))
+				p.Dashboard.UpdatePosition(r)
+				// Future location prediction.
+				pred, ok := predictors[r.ID]
+				if !ok {
+					pred = flp.NewRMFStar(p.cfg.SampleInterval)
+					predictors[r.ID] = pred
+				}
+				pred.Observe(r)
+				if pts := pred.Predict(p.cfg.PredictSteps); pts != nil {
+					sum.Predictions++
+					p.Dashboard.SetPrediction(r.ID, pts)
+				}
+			}
+			// Synopses generation (applies its own noise filters).
+			for _, cp := range sg.Process(r) {
+				if err := processCritical(cp); err != nil {
+					return sum, err
+				}
+			}
+			cons.Commit(rec)
+		}
+	}
+	// Flush trajectory ends.
+	for _, cp := range sg.Flush() {
+		if err := processCritical(cp); err != nil {
+			return sum, err
+		}
+	}
+	for _, t := range []string{TopicSynopses, TopicTriples, TopicLinks, TopicEvents} {
+		if err := p.Broker.CloseTopic(t); err != nil {
+			return sum, err
+		}
+	}
+	sum.Compression = sg.Stats().CompressionRatio()
+	return sum, nil
+}
+
+// publishTriples sends triples to the triples topic in N-Triples lines.
+func (p *Pipeline) publishTriples(triples []rdf.Triple, ts time.Time) error {
+	for _, t := range triples {
+		if _, err := p.Broker.Produce(TopicTriples, t.S.Key(), []byte(t.String()), ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildKnowledgeGraph drains the triples topic (the batch layer's input)
+// into a spatio-temporal store with the given cell configuration and layout.
+func (p *Pipeline) BuildKnowledgeGraph(cfg store.STCellConfig, layout store.Layout) (*store.Store, error) {
+	recs, err := p.Broker.Drain(TopicTriples)
+	if err != nil {
+		return nil, err
+	}
+	// Group the N-Triples lines into one batch per subject-bearing record
+	// ordering; Load batches per 10k lines to bound memory.
+	st := store.New(cfg, layout)
+	var batch []rdf.Triple
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		st.Load(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for _, rec := range recs {
+		ts, err := rdf.ReadNTriples(bytes.NewReader(rec.Value))
+		if err != nil {
+			continue
+		}
+		batch = append(batch, ts...)
+		if len(batch) >= 10_000 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"datacron/internal/mobility"
+	"datacron/internal/stream"
+)
+
+// WindowStat is one per-mover, per-window statistics row: the in-situ
+// "statistics (min/max/avg) computed over properties such as speed ... in
+// an online fashion" of Section 3, windowed for the dashboard's time-series
+// displays.
+type WindowStat struct {
+	MoverID     string
+	WindowStart time.Time
+	WindowEnd   time.Time
+	Count       int
+	MeanSpeedKn float64
+	MinSpeedKn  float64
+	MaxSpeedKn  float64
+}
+
+// speedAgg folds speed samples inside one window.
+type speedAgg struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// WindowedSpeedStats runs the raw report log through the stream engine:
+// events are keyed by mover and folded into event-time tumbling windows
+// with the given lateness allowance (out-of-order feeds are the norm for
+// satellite AIS). The result is ordered by window end, then mover.
+func WindowedSpeedStats(reports []mobility.Report, window, allowedLateness time.Duration) []WindowStat {
+	events := make([]stream.Event[mobility.Report], 0, len(reports))
+	for _, r := range reports {
+		if !r.Valid() {
+			continue // in-situ cleaning
+		}
+		events = append(events, stream.E(r.ID, r.Time, r))
+	}
+	// The batch entry point accepts reports in any order; live streams are
+	// approximately ordered and rely on the lateness allowance instead.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	agg := stream.TumblingWindow(stream.FromSlice(events), window, allowedLateness,
+		func(stream.Window) speedAgg {
+			return speedAgg{min: 1e18, max: -1e18}
+		},
+		func(a speedAgg, e stream.Event[mobility.Report]) speedAgg {
+			v := e.Value.SpeedKn
+			a.n++
+			a.sum += v
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			return a
+		},
+	)
+	var out []WindowStat
+	for e := range agg {
+		a := e.Value.Value
+		if a.n == 0 {
+			continue
+		}
+		out = append(out, WindowStat{
+			MoverID:     e.Key,
+			WindowStart: e.Value.Window.Start,
+			WindowEnd:   e.Value.Window.End,
+			Count:       a.n,
+			MeanSpeedKn: a.sum / float64(a.n),
+			MinSpeedKn:  a.min,
+			MaxSpeedKn:  a.max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].WindowEnd.Equal(out[j].WindowEnd) {
+			return out[i].WindowEnd.Before(out[j].WindowEnd)
+		}
+		return out[i].MoverID < out[j].MoverID
+	})
+	return out
+}
+
+// FleetRates aggregates a report log into fleet-wide per-window message
+// counts — the Figure 10 time-series display feed — using the stream
+// engine's windows rather than batch binning, so the same code path serves
+// live streams.
+func FleetRates(reports []mobility.Report, window time.Duration) map[time.Time]int {
+	events := make([]stream.Event[int], 0, len(reports))
+	for _, r := range reports {
+		events = append(events, stream.E("fleet", r.Time, 1))
+	}
+	counted := stream.TumblingWindow(stream.FromSlice(events), window, 0,
+		func(stream.Window) int { return 0 },
+		func(acc int, _ stream.Event[int]) int { return acc + 1 },
+	)
+	out := make(map[time.Time]int)
+	for e := range counted {
+		out[e.Value.Window.Start] = e.Value.Value
+	}
+	return out
+}

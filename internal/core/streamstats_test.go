@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+func mkReport(id string, sec int, speed float64) mobility.Report {
+	return mobility.Report{
+		ID: id, Time: gen.DefaultStart.Add(time.Duration(sec) * time.Second),
+		Pos: geo.Pt(23, 37), SpeedKn: speed, Heading: 90,
+	}
+}
+
+func TestWindowedSpeedStats(t *testing.T) {
+	var reports []mobility.Report
+	// Mover a: speeds 10..19 in the first 10-minute window, 20..24 in the second.
+	for i := 0; i < 10; i++ {
+		reports = append(reports, mkReport("a", i*60, 10+float64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		reports = append(reports, mkReport("a", 600+i*60, 20+float64(i)))
+	}
+	// Mover b: constant speed, first window only.
+	for i := 0; i < 6; i++ {
+		reports = append(reports, mkReport("b", i*60, 7))
+	}
+	// An invalid record is cleaned.
+	reports = append(reports, mobility.Report{})
+
+	stats := WindowedSpeedStats(reports, 10*time.Minute, 0)
+	if len(stats) != 3 {
+		t.Fatalf("windows = %d, want 3: %+v", len(stats), stats)
+	}
+	// Ordered by window end then mover: a[0-10), b[0-10), a[10-20).
+	if stats[0].MoverID != "a" || stats[1].MoverID != "b" || stats[2].MoverID != "a" {
+		t.Fatalf("order: %+v", stats)
+	}
+	a1 := stats[0]
+	if a1.Count != 10 || a1.MinSpeedKn != 10 || a1.MaxSpeedKn != 19 || a1.MeanSpeedKn != 14.5 {
+		t.Errorf("a window 1 = %+v", a1)
+	}
+	b := stats[1]
+	if b.Count != 6 || b.MeanSpeedKn != 7 {
+		t.Errorf("b window = %+v", b)
+	}
+	a2 := stats[2]
+	if a2.Count != 5 || a2.MinSpeedKn != 20 || a2.MaxSpeedKn != 24 {
+		t.Errorf("a window 2 = %+v", a2)
+	}
+}
+
+func TestWindowedSpeedStatsOutOfOrder(t *testing.T) {
+	reports := []mobility.Report{
+		mkReport("a", 60, 10),
+		mkReport("a", 30, 12), // 30s out of order, within lateness
+		mkReport("a", 120, 14),
+	}
+	stats := WindowedSpeedStats(reports, 10*time.Minute, time.Minute)
+	if len(stats) != 1 || stats[0].Count != 3 {
+		t.Errorf("out-of-order handling: %+v", stats)
+	}
+}
+
+func TestFleetRates(t *testing.T) {
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 2})
+	reports := sim.Run(30 * time.Minute)
+	rates := FleetRates(reports, 10*time.Minute)
+	if len(rates) < 3 {
+		t.Fatalf("windows = %d", len(rates))
+	}
+	total := 0
+	for _, c := range rates {
+		total += c
+	}
+	if total != len(reports) {
+		t.Errorf("rate total %d != reports %d", total, len(reports))
+	}
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"datacron/internal/store"
+)
+
+// These tests run every experiment at Small scale and assert the *shape* of
+// the paper's findings: who wins, monotonicity, and magnitude bands — not
+// absolute numbers, which depend on the substrate.
+
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunTable1(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The three AIS feeds are ordered sparse < dense < satellite in rate,
+	// mirroring Table 1's ~76 / ~1830 / ~3700 msg/min ordering.
+	var rates []float64
+	for _, r := range res.Rows {
+		if strings.HasPrefix(r.Source, "AIS") {
+			rates = append(rates, r.PerMinute)
+		}
+	}
+	if len(rates) != 3 || !(rates[0] < rates[1] && rates[1] < rates[2]) {
+		t.Errorf("AIS rates not increasing: %v", rates)
+	}
+	// The sparse feed should be within a factor ~2 of the paper's 76/min.
+	if rates[0] < 30 || rates[0] > 160 {
+		t.Errorf("sparse AIS rate %.1f/min far from the paper's ~76", rates[0])
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("missing header")
+	}
+}
+
+func TestSynopsesShape(t *testing.T) {
+	rows, err := RunSynopses(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression grows as the report interval shrinks, ending ≥ 97%.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Compression <= rows[i-1].Compression {
+			t.Errorf("compression not increasing with rate: %v then %v",
+				rows[i-1].Compression, rows[i].Compression)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Compression < 0.97 {
+		t.Errorf("high-rate compression %.3f, want ≥ 0.97 (paper: up to 99%%)", last.Compression)
+	}
+	first := rows[0]
+	if first.Compression < 0.5 || first.Compression > 0.99 {
+		t.Errorf("low-rate compression %.3f outside the paper's band", first.Compression)
+	}
+}
+
+func TestSynopsesThresholdAblation(t *testing.T) {
+	rows, err := RunSynopsesThresholds(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Looser thresholds: compression never falls, error never falls.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Compression < rows[i-1].Compression-1e-9 {
+			t.Errorf("compression fell from %.4f to %.4f at %.0f°",
+				rows[i-1].Compression, rows[i].Compression, rows[i].HeadingDeltaDeg)
+		}
+		if rows[i].RMSEM < rows[i-1].RMSEM-1 {
+			t.Errorf("error fell from %.0f to %.0f at %.0f°",
+				rows[i-1].RMSEM, rows[i].RMSEM, rows[i].HeadingDeltaDeg)
+		}
+	}
+	// The trade-off is real: the extremes differ in both dimensions.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Compression <= first.Compression || last.RMSEM <= first.RMSEM {
+		t.Errorf("no trade-off visible: %+v vs %+v", first, last)
+	}
+}
+
+func TestRDFGenShape(t *testing.T) {
+	res, err := RunRDFGen(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res["critical-points"]
+	if cp.RecordsPerSec < 10_000 {
+		t.Errorf("critical-point throughput %.0f rec/s below the paper's ~10,500", cp.RecordsPerSec)
+	}
+	// Complex geometries are slower per record (the paper's caveat).
+	rg := res["regions"]
+	if rg.RecordsPerSec >= cp.RecordsPerSec {
+		t.Errorf("region throughput (%.0f) should be below point throughput (%.0f)",
+			rg.RecordsPerSec, cp.RecordsPerSec)
+	}
+}
+
+func TestLinkDiscoveryShape(t *testing.T) {
+	res, err := RunLinkDiscovery(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LinkDiscResult{}
+	for _, r := range res {
+		byName[r.Config] = r
+	}
+	noMask := byName["regions/no-masks"]
+	mask := byName["regions/masks"]
+	ports := byName["ports/nearTo"]
+	// Masks speed things up (paper: 23 → 123 entities/s, ~5x). Wall-clock
+	// at this scale is noisy, so the enforced shape is the deterministic
+	// work saved: strictly fewer precise geometry evaluations, with skips.
+	if mask.Comparisons >= noMask.Comparisons {
+		t.Errorf("masks should cut comparisons: %d vs %d", mask.Comparisons, noMask.Comparisons)
+	}
+	if mask.MaskSkips == 0 {
+		t.Error("mask never fired")
+	}
+	// Identical relations with and without masks.
+	if mask.Within != noMask.Within || mask.NearTo != noMask.NearTo {
+		t.Errorf("mask changed results: within %d/%d nearTo %d/%d",
+			mask.Within, noMask.Within, mask.NearTo, noMask.NearTo)
+	}
+	if noMask.Within == 0 {
+		t.Error("no within relations found")
+	}
+	// Point targets need less precise work than region polygons (the paper's
+	// ports variant is its fastest configuration).
+	if ports.Comparisons >= mask.Comparisons {
+		t.Errorf("ports should need fewer comparisons: %d vs %d", ports.Comparisons, mask.Comparisons)
+	}
+	if ports.NearTo == 0 {
+		t.Error("no port proximity relations")
+	}
+}
+
+func TestStoreShape(t *testing.T) {
+	res, err := RunStore(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultCounts := map[int]bool{}
+	for _, r := range res {
+		resultCounts[r.Results] = true
+		if r.Plan != store.EncodedPruning {
+			continue
+		}
+		// The encoding must win decisively where post-filtering scans and
+		// decodes (the naive layout), and must never lose badly on layouts
+		// whose post-filter baseline is already index-assisted. Tight
+		// timing assertions on the fast layouts would flake at ms scale;
+		// the deterministic pruning behaviour is covered in internal/store.
+		if r.Layout == "triples-table" && r.Speedup < 2 {
+			t.Errorf("%s: encoded speedup %.2fx, want ≥ 2x", r.Layout, r.Speedup)
+		}
+		if r.Speedup < 0.8 {
+			t.Errorf("%s: encoded plan regressed: %.2fx", r.Layout, r.Speedup)
+		}
+	}
+	if len(resultCounts) != 1 {
+		t.Errorf("plans/layouts disagree on result count: %v", resultCounts)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	res, err := RunFig5a(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RMFStar) != 8 {
+		t.Fatalf("lookahead rows = %d", len(res.RMFStar))
+	}
+	// Error grows with look-ahead and stays in the paper's magnitude band
+	// (~1-1.2km at 64s).
+	k8 := res.RMFStar[7]
+	if k8.MeanM < 100 || k8.MeanM > 2_500 {
+		t.Errorf("k=8 mean error %.0fm outside band", k8.MeanM)
+	}
+	if res.RMFStar[0].MeanM >= k8.MeanM {
+		t.Error("error should grow with look-ahead")
+	}
+	// RMF* beats base RMF at the longest look-ahead.
+	if res.RMFStar[7].MeanM >= res.RMF[7].MeanM {
+		t.Errorf("RMF* (%.0f) should beat RMF (%.0f)", res.RMFStar[7].MeanM, res.RMF[7].MeanM)
+	}
+	// Distribution skewed toward zero: median below mean.
+	if k8.P50M >= k8.MeanM {
+		t.Errorf("distribution should be right-skewed: p50 %.0f vs mean %.0f", k8.P50M, k8.MeanM)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	res, err := RunFig5b(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 2 {
+		t.Errorf("hybrid should clearly beat blind: ratio %.1fx", res.Ratio)
+	}
+	// The paper's headline: ≥10x better cross-track error than the blind
+	// (plan-less) HMM.
+	if res.PathRatio < 10 {
+		t.Errorf("no-plan baseline ratio %.1fx, want ≥ 10x", res.PathRatio)
+	}
+	// Per-cluster RMSE in the paper's magnitude (183–736 m band, allow 2x).
+	if res.MinClusterRMSE < 20 || res.MaxClusterRMSE > 1_500 {
+		t.Errorf("per-cluster RMSE range %.0f–%.0f outside plausible band",
+			res.MinClusterRMSE, res.MaxClusterRMSE)
+	}
+	if res.Clusters < 2 {
+		t.Errorf("clusters = %d", res.Clusters)
+	}
+	// Resource claim: reference points are a small fraction of raw points.
+	if res.HybridRefPoints*10 > res.BlindRawPoints {
+		t.Errorf("reference points (%d) should be ≪ raw points (%d)",
+			res.HybridRefPoints, res.BlindRawPoints)
+	}
+}
+
+func TestFig6And7Shape(t *testing.T) {
+	var buf bytes.Buffer
+	dfa, err := RunFig6(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfa.NumStates() != 4 {
+		t.Errorf("Figure 6 DFA states = %d, want 4", dfa.NumStates())
+	}
+	dists, err := RunFig7(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != dfa.NumStates() {
+		t.Errorf("waiting-time distributions = %d", len(dists))
+	}
+	// States closer to completion have more mass at short waiting times.
+	s0 := dfa.Start
+	s1 := dfa.Step(s0, "a")
+	s2 := dfa.Step(s1, "c")
+	if dists[s2][0] <= dists[s0][0] {
+		t.Error("state one step from final should have higher w(1)")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := RunFig8(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOrder := map[int][]Fig8Row{}
+	for _, r := range rows {
+		byOrder[r.Order] = append(byOrder[r.Order], r)
+	}
+	// Order-2 wins on average (Figure 8's headline).
+	var sum1, sum2 float64
+	var n int
+	for i := range byOrder[1] {
+		if byOrder[1][i].Forecasts == 0 || byOrder[2][i].Forecasts == 0 {
+			continue
+		}
+		sum1 += byOrder[1][i].Precision
+		sum2 += byOrder[2][i].Precision
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no scored thresholds")
+	}
+	if sum2 <= sum1 {
+		t.Errorf("order-2 mean precision %.3f should beat order-1 %.3f", sum2/float64(n), sum1/float64(n))
+	}
+	// Precision grows with theta for each order.
+	for order, rs := range byOrder {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Forecasts > 0 && rs[i-1].Forecasts > 0 && rs[i].Precision < rs[i-1].Precision-0.08 {
+				t.Errorf("order %d: precision dropped sharply at theta=%.1f", order, rs[i].Theta)
+			}
+		}
+	}
+}
+
+func TestDriftShape(t *testing.T) {
+	res, err := RunDrift(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveCalibrationErr() > 0.12 {
+		t.Errorf("adaptive calibration error %.3f too large", res.AdaptiveCalibrationErr())
+	}
+	if res.AdaptiveCalibrationErr() >= res.StaleCalibrationErr() {
+		t.Errorf("adaptive error %.3f should beat frozen %.3f",
+			res.AdaptiveCalibrationErr(), res.StaleCalibrationErr())
+	}
+	// Calibrated probabilities also buy tighter intervals.
+	if res.AdaptiveSpread >= res.StaleSpread {
+		t.Errorf("adaptive spread %.1f should be below frozen %.1f",
+			res.AdaptiveSpread, res.StaleSpread)
+	}
+}
+
+func TestMiningShape(t *testing.T) {
+	res, err := RunMining(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequences == 0 || len(res.Proposals) == 0 {
+		t.Fatalf("degenerate mining: %+v", res)
+	}
+	// Proposals are support-ordered and non-trivial.
+	for i, p := range res.Proposals {
+		if len(p.Items) < 2 {
+			t.Errorf("proposal %d too short: %v", i, p.Items)
+		}
+		if i > 0 && p.Support > res.Proposals[i-1].Support {
+			t.Error("proposals not support-ordered")
+		}
+	}
+}
+
+func TestVAExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	f10, err := RunFig10(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.MaskIntervals == 0 {
+		t.Error("figure 10: empty mask")
+	}
+	f11, err := RunFig11(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f11.Clusters < 2 {
+		t.Errorf("figure 11: clusters = %d", f11.Clusters)
+	}
+	f12, err := RunFig12(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f12.Runs == 0 || f12.MeanMatched <= 0 {
+		t.Errorf("figure 12: %+v", f12)
+	}
+	sum, err := RunDashboard(&buf, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CriticalPoints == 0 {
+		t.Error("dashboard: no critical points")
+	}
+	if buf.Len() == 0 {
+		t.Error("no report text produced")
+	}
+}

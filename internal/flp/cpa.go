@@ -1,0 +1,61 @@
+package flp
+
+import (
+	"math"
+
+	"datacron/internal/geo"
+)
+
+// This file supports the collision-avoidance use case of Section 2: "to
+// prevent collision of fishing vessels with other ships we need to predict
+// which other vessels will cross the areas where the fishing vessels are
+// fishing, sending a warning to the vessels identified for possible
+// collision". Given two movers' future-location predictions (index-aligned
+// at the same sampling steps), the closest point of approach over the
+// prediction horizon quantifies the risk.
+
+// Approach is the result of a closest-point-of-approach evaluation.
+type Approach struct {
+	// MinDistM is the smallest predicted separation, in metres.
+	MinDistM float64
+	// Step is the 1-based prediction step at which it occurs.
+	Step int
+	// A and B are the predicted positions at that step.
+	A, B geo.Point
+}
+
+// ClosestApproach scans two index-aligned prediction paths and returns the
+// closest approach. ok is false when either path is empty.
+func ClosestApproach(a, b []geo.Point) (Approach, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return Approach{}, false
+	}
+	best := Approach{MinDistM: math.Inf(1)}
+	for i := 0; i < n; i++ {
+		if d := geo.Haversine(a[i], b[i]); d < best.MinDistM {
+			best = Approach{MinDistM: d, Step: i + 1, A: a[i], B: b[i]}
+		}
+	}
+	return best, true
+}
+
+// CollisionRisk reports whether two predictors' look-ahead paths ever come
+// within thresholdM of each other, and the approach details. Both
+// predictors must have been fed the same sampling cadence for the step
+// alignment to be meaningful.
+func CollisionRisk(a, b Predictor, steps int, thresholdM float64) (Approach, bool) {
+	pa := a.Predict(steps)
+	pb := b.Predict(steps)
+	if pa == nil || pb == nil {
+		return Approach{}, false
+	}
+	ap, ok := ClosestApproach(pa, pb)
+	if !ok {
+		return Approach{}, false
+	}
+	return ap, ap.MinDistM <= thresholdM
+}

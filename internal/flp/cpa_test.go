@@ -1,0 +1,85 @@
+package flp
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+func TestClosestApproach(t *testing.T) {
+	// Two paths converging at step 3 then diverging.
+	base := geo.Pt(24, 38)
+	a := []geo.Point{
+		geo.Destination(base, 90, 4_000),
+		geo.Destination(base, 90, 2_000),
+		geo.Destination(base, 90, 200),
+		geo.Destination(base, 90, 2_000),
+	}
+	b := []geo.Point{
+		geo.Destination(base, 270, 4_000),
+		geo.Destination(base, 270, 2_000),
+		geo.Destination(base, 270, 200),
+		geo.Destination(base, 270, 2_000),
+	}
+	ap, ok := ClosestApproach(a, b)
+	if !ok {
+		t.Fatal("no approach")
+	}
+	if ap.Step != 3 {
+		t.Errorf("step = %d, want 3", ap.Step)
+	}
+	if ap.MinDistM < 350 || ap.MinDistM > 450 {
+		t.Errorf("min dist = %.0f, want ≈400", ap.MinDistM)
+	}
+	if _, ok := ClosestApproach(nil, b); ok {
+		t.Error("empty path should report !ok")
+	}
+	// Different-length paths use the common prefix.
+	ap2, ok := ClosestApproach(a[:2], b)
+	if !ok || ap2.Step > 2 {
+		t.Errorf("prefix approach = %+v", ap2)
+	}
+}
+
+func TestCollisionRiskHeadOn(t *testing.T) {
+	// Two vessels steaming head-on along the same latitude: their linear
+	// extrapolations must cross within the horizon.
+	dt := 10 * time.Second
+	west := geo.Pt(24.0, 38.0)
+	east := geo.Pt(24.05, 38.0) // ≈ 4.4 km apart
+	a, b := NewRMFStar(dt), NewRMFStar(dt)
+	for i := 0; i < 12; i++ {
+		ts := time.Date(2016, 4, 1, 0, 0, 10*i, 0, time.UTC)
+		a.Observe(mobility.Report{ID: "a", Time: ts,
+			Pos: geo.Destination(west, 90, float64(i)*60), SpeedKn: 12, Heading: 90})
+		b.Observe(mobility.Report{ID: "b", Time: ts,
+			Pos: geo.Destination(east, 270, float64(i)*60), SpeedKn: 12, Heading: 270})
+	}
+	ap, risky := CollisionRisk(a, b, 40, 500)
+	if !risky {
+		t.Fatalf("head-on course should flag risk: %+v", ap)
+	}
+	if ap.MinDistM > 500 {
+		t.Errorf("min dist = %.0f", ap.MinDistM)
+	}
+	// Parallel same-direction courses at 5km offset: no risk.
+	c := NewRMFStar(dt)
+	for i := 0; i < 12; i++ {
+		ts := time.Date(2016, 4, 1, 0, 0, 10*i, 0, time.UTC)
+		c.Observe(mobility.Report{ID: "c", Time: ts,
+			Pos:     geo.Destination(geo.Destination(west, 0, 5_000), 90, float64(i)*60),
+			SpeedKn: 12, Heading: 90})
+	}
+	if ap, risky := CollisionRisk(a, c, 40, 500); risky {
+		t.Errorf("parallel courses flagged: %+v", ap)
+	}
+}
+
+func TestCollisionRiskInsufficientHistory(t *testing.T) {
+	a, b := NewRMFStar(10*time.Second), NewRMFStar(10*time.Second)
+	if _, risky := CollisionRisk(a, b, 8, 500); risky {
+		t.Error("no history should mean no risk signal")
+	}
+}

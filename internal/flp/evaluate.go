@@ -1,0 +1,76 @@
+package flp
+
+import (
+	"math"
+	"sort"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// LookaheadError aggregates the spatial prediction error at one look-ahead
+// depth (in sampling steps): the Figure 5(a) measurement.
+type LookaheadError struct {
+	Steps int
+	MeanM float64
+	StdM  float64
+	P50M  float64
+	P95M  float64
+	Count int
+}
+
+// Evaluate replays each trajectory through a fresh predictor from mk and
+// measures the 2-D error of the 1..maxK step-ahead predictions at every
+// position (after warmup reports). This is an exhaustive walk-forward
+// evaluation: at time t the predictor has seen reports up to t only.
+func Evaluate(mk func() Predictor, trajs []*mobility.Trajectory, maxK, warmup int) []LookaheadError {
+	errs := make([][]float64, maxK+1)
+	for _, tr := range trajs {
+		p := mk()
+		n := len(tr.Reports)
+		for i := 0; i < n; i++ {
+			p.Observe(tr.Reports[i])
+			if i+1 < warmup || i+1 >= n {
+				continue
+			}
+			kMax := maxK
+			if n-1-i < kMax {
+				kMax = n - 1 - i
+			}
+			preds := p.Predict(kMax)
+			for k := 1; k <= len(preds); k++ {
+				actual := tr.Reports[i+k].Pos
+				errs[k] = append(errs[k], geo.Haversine(preds[k-1], actual))
+			}
+		}
+	}
+	out := make([]LookaheadError, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		if len(errs[k]) == 0 {
+			continue
+		}
+		out = append(out, summarize(k, errs[k]))
+	}
+	return out
+}
+
+func summarize(k int, es []float64) LookaheadError {
+	sort.Float64s(es)
+	var sum float64
+	for _, e := range es {
+		sum += e
+	}
+	mean := sum / float64(len(es))
+	var sq float64
+	for _, e := range es {
+		sq += (e - mean) * (e - mean)
+	}
+	return LookaheadError{
+		Steps: k,
+		MeanM: mean,
+		StdM:  math.Sqrt(sq / float64(len(es))),
+		P50M:  es[len(es)/2],
+		P95M:  es[int(float64(len(es))*0.95)],
+		Count: len(es),
+	}
+}

@@ -1,0 +1,206 @@
+// Package flp implements the Future Location Prediction component of
+// Section 5: the Recursive Motion Function (RMF) of Tao et al. (SIGMOD
+// 2004) as the state-of-the-art baseline, and the paper's enhanced RMF*,
+// which interleaves linear extrapolation on steady flight phases with
+// motion-pattern matching (differential approximators for turns and
+// vertical transitions) triggered by drifts to non-linear motion.
+//
+// Predictors are online and per-mover: feed reports with Observe, ask for
+// the next k positions with Predict. All prediction happens in a local ENU
+// plane anchored at the first observed position.
+package flp
+
+import (
+	"math"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// Predictor is an online future-location predictor for a single mover.
+type Predictor interface {
+	// Name identifies the predictor in evaluation reports.
+	Name() string
+	// Observe feeds the next report (in time order).
+	Observe(r mobility.Report)
+	// Predict returns the predicted positions 1..k sampling steps ahead.
+	// It returns nil when the predictor has too little history.
+	Predict(k int) []geo.Point
+}
+
+// pt is a position in the local plane.
+type pt struct{ x, y float64 }
+
+// window keeps the most recent n plane positions plus headings and speeds.
+type window struct {
+	enu    *geo.ENU
+	pts    []pt
+	heads  []float64
+	speeds []float64
+	vrates []float64
+	maxLen int
+}
+
+func newWindow(maxLen int) *window { return &window{maxLen: maxLen} }
+
+func (w *window) observe(r mobility.Report) {
+	if w.enu == nil {
+		w.enu = geo.NewENU(r.Pos)
+	}
+	x, y := w.enu.Forward(r.Pos)
+	w.pts = append(w.pts, pt{x, y})
+	w.heads = append(w.heads, r.Heading)
+	w.speeds = append(w.speeds, r.SpeedKn)
+	w.vrates = append(w.vrates, r.VRateFS)
+	if len(w.pts) > w.maxLen {
+		w.pts = w.pts[1:]
+		w.heads = w.heads[1:]
+		w.speeds = w.speeds[1:]
+		w.vrates = w.vrates[1:]
+	}
+}
+
+func (w *window) len() int { return len(w.pts) }
+
+// last returns the most recent plane position.
+func (w *window) last() pt { return w.pts[len(w.pts)-1] }
+
+// RMF is the baseline Recursive Motion Function predictor with system
+// parameter f: position p_t is modelled as a linear recurrence
+// p_t = Σ_{i=1..f} c_i · p_{t-i} with scalar coefficients shared by both
+// coordinates, fitted by regularised least squares over the recent window.
+// The recurrence captures linear, polynomial and circular motion depending
+// on the coefficients (Tao et al., §4).
+type RMF struct {
+	f   int
+	win *window
+}
+
+// NewRMF returns an RMF predictor with recurrence depth f (typically 2–5).
+func NewRMF(f int) *RMF {
+	if f < 1 {
+		f = 2
+	}
+	return &RMF{f: f, win: newWindow(4*f + 8)}
+}
+
+func (r *RMF) Name() string { return "rmf" }
+
+// Observe implements Predictor.
+func (r *RMF) Observe(rep mobility.Report) { r.win.observe(rep) }
+
+// Predict implements Predictor.
+func (r *RMF) Predict(k int) []geo.Point {
+	coef := fitRMF(r.win.pts, r.f)
+	if coef == nil {
+		return nil
+	}
+	return rollForward(r.win, coef, k)
+}
+
+// fitRMF solves the least-squares recurrence coefficients over the window,
+// or nil when the window is too short. A small ridge term keeps the normal
+// equations well-conditioned on nearly collinear (straight-line) motion.
+func fitRMF(pts []pt, f int) []float64 {
+	rows := len(pts) - f
+	if rows < f+1 {
+		return nil
+	}
+	// Normal equations A^T A c = A^T b accumulated over x and y rows.
+	ata := make([][]float64, f)
+	atb := make([]float64, f)
+	for i := range ata {
+		ata[i] = make([]float64, f)
+	}
+	for t := f; t < len(pts); t++ {
+		for _, dim := range [2]int{0, 1} {
+			var target float64
+			if dim == 0 {
+				target = pts[t].x
+			} else {
+				target = pts[t].y
+			}
+			row := make([]float64, f)
+			for i := 0; i < f; i++ {
+				if dim == 0 {
+					row[i] = pts[t-1-i].x
+				} else {
+					row[i] = pts[t-1-i].y
+				}
+			}
+			for i := 0; i < f; i++ {
+				for j := 0; j < f; j++ {
+					ata[i][j] += row[i] * row[j]
+				}
+				atb[i] += row[i] * target
+			}
+		}
+	}
+	// Ridge regularisation scaled to the data magnitude.
+	var scale float64
+	for i := 0; i < f; i++ {
+		scale += ata[i][i]
+	}
+	lambda := 1e-8 * (scale/float64(f) + 1)
+	for i := 0; i < f; i++ {
+		ata[i][i] += lambda
+	}
+	coef := solveLinear(ata, atb)
+	return coef
+}
+
+// solveLinear solves a small dense system via Gaussian elimination with
+// partial pivoting; returns nil for singular systems.
+func solveLinear(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x
+}
+
+// rollForward applies the recurrence k steps ahead.
+func rollForward(w *window, coef []float64, k int) []geo.Point {
+	f := len(coef)
+	hist := append([]pt(nil), w.pts...)
+	out := make([]geo.Point, 0, k)
+	for step := 0; step < k; step++ {
+		var nx, ny float64
+		n := len(hist)
+		for i := 0; i < f; i++ {
+			nx += coef[i] * hist[n-1-i].x
+			ny += coef[i] * hist[n-1-i].y
+		}
+		hist = append(hist, pt{nx, ny})
+		out = append(out, w.enu.Inverse(nx, ny))
+	}
+	return out
+}

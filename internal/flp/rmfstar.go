@@ -1,0 +1,184 @@
+package flp
+
+import (
+	"math"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// RMFStar is the paper's enhanced RMF: it runs in a cheap linear-
+// extrapolation mode on steady (straight, level) phases, and when the
+// recent motion drifts into a non-linear phase — a turn or a vertical
+// transition — it activates pattern matching over a set of differential
+// motion primitives (linear, constant-turn circular, and RMF recurrences of
+// increasing depth), selecting the primitive with the lowest back-test error
+// on the most recent points.
+type RMFStar struct {
+	win            *window
+	sample         time.Duration // nominal sampling interval
+	lastTime       time.Time
+	turnThreshold  float64 // deg per sample that flags a turn phase
+	vrateThreshold float64
+}
+
+// NewRMFStar returns an RMF* predictor. sample is the stream's nominal
+// report interval (8 s in the Figure 5(a) setting).
+func NewRMFStar(sample time.Duration) *RMFStar {
+	return &RMFStar{
+		win:            newWindow(28),
+		sample:         sample,
+		turnThreshold:  1.5,
+		vrateThreshold: 8,
+	}
+}
+
+func (r *RMFStar) Name() string { return "rmf*" }
+
+// Observe implements Predictor.
+func (r *RMFStar) Observe(rep mobility.Report) {
+	r.win.observe(rep)
+	r.lastTime = rep.Time
+}
+
+// nonLinearPhase reports whether the recent motion drifts from straight
+// level flight: a sustained heading change or a significant vertical rate —
+// the same signals the synopses generator emits critical points for.
+func (r *RMFStar) nonLinearPhase() bool {
+	n := r.win.len()
+	if n < 4 {
+		return false
+	}
+	turn := 0.0
+	for i := n - 3; i < n; i++ {
+		turn += geo.AngleDiff(r.win.heads[i-1], r.win.heads[i])
+	}
+	if math.Abs(turn)/3 > r.turnThreshold {
+		return true
+	}
+	return math.Abs(r.win.vrates[n-1]) > r.vrateThreshold
+}
+
+// Predict implements Predictor.
+func (r *RMFStar) Predict(k int) []geo.Point {
+	if r.win.len() < 4 {
+		return nil
+	}
+	if !r.nonLinearPhase() {
+		return r.linear(k)
+	}
+	// Pattern matching: back-test each primitive on the last points.
+	primitives := []func(int) []geo.Point{
+		r.linear,
+		r.circular,
+		func(k int) []geo.Point { return r.rmfPredict(2, k) },
+		func(k int) []geo.Point { return r.rmfPredict(3, k) },
+	}
+	best := -1
+	bestErr := math.Inf(1)
+	const holdout = 3
+	if r.win.len() >= 8+holdout {
+		for i, prim := range primitives {
+			e := r.backtest(prim, holdout)
+			if e >= 0 && e < bestErr {
+				bestErr = e
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		best = 1 // default to the circular primitive inside a turn
+	}
+	out := primitives[best](k)
+	if out == nil {
+		out = r.linear(k)
+	}
+	return out
+}
+
+// backtest withholds the last h points, predicts them from the preceding
+// history with prim, and returns the mean error in metres (-1 when the
+// primitive cannot predict).
+func (r *RMFStar) backtest(prim func(int) []geo.Point, h int) float64 {
+	n := r.win.len()
+	// Temporarily shrink the window.
+	full := *r.win
+	r.win.pts = full.pts[:n-h]
+	r.win.heads = full.heads[:n-h]
+	r.win.speeds = full.speeds[:n-h]
+	r.win.vrates = full.vrates[:n-h]
+	preds := prim(h)
+	*r.win = full
+	if preds == nil {
+		return -1
+	}
+	var sum float64
+	for i, p := range preds {
+		px, py := r.win.enu.Forward(p)
+		actual := full.pts[n-h+i]
+		sum += math.Hypot(px-actual.x, py-actual.y)
+	}
+	return sum / float64(h)
+}
+
+// linear extrapolates with the mean velocity of the last few points.
+func (r *RMFStar) linear(k int) []geo.Point {
+	n := r.win.len()
+	if n < 2 {
+		return nil
+	}
+	span := 4
+	if n-1 < span {
+		span = n - 1
+	}
+	vx := (r.win.pts[n-1].x - r.win.pts[n-1-span].x) / float64(span)
+	vy := (r.win.pts[n-1].y - r.win.pts[n-1-span].y) / float64(span)
+	out := make([]geo.Point, 0, k)
+	cur := r.win.last()
+	for step := 1; step <= k; step++ {
+		out = append(out, r.win.enu.Inverse(cur.x+vx*float64(step), cur.y+vy*float64(step)))
+	}
+	return out
+}
+
+// circular is the constant-turn-rate primitive: it estimates the recent
+// turn rate and ground speed and projects the arc forward — the appropriate
+// differential approximator for coordinated turns.
+func (r *RMFStar) circular(k int) []geo.Point {
+	n := r.win.len()
+	if n < 4 {
+		return nil
+	}
+	span := 5
+	if n-1 < span {
+		span = n - 1
+	}
+	// Turn rate per sample from headings; speed from displacement.
+	var turn float64
+	for i := n - span; i < n; i++ {
+		turn += geo.AngleDiff(r.win.heads[i-1], r.win.heads[i])
+	}
+	turnPerStep := turn / float64(span)
+	dx := r.win.pts[n-1].x - r.win.pts[n-2].x
+	dy := r.win.pts[n-1].y - r.win.pts[n-2].y
+	speed := math.Hypot(dx, dy)
+	heading := math.Atan2(dx, dy) // plane bearing (x east, y north)
+	out := make([]geo.Point, 0, k)
+	cur := r.win.last()
+	for step := 1; step <= k; step++ {
+		heading += geo.Radians(turnPerStep)
+		cur = pt{cur.x + speed*math.Sin(heading), cur.y + speed*math.Cos(heading)}
+		out = append(out, r.win.enu.Inverse(cur.x, cur.y))
+	}
+	return out
+}
+
+// rmfPredict runs the base RMF recurrence of depth f on the current window.
+func (r *RMFStar) rmfPredict(f, k int) []geo.Point {
+	coef := fitRMF(r.win.pts, f)
+	if coef == nil {
+		return nil
+	}
+	return rollForward(r.win, coef, k)
+}

@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"math"
+
+	"datacron/internal/geo"
+)
+
+// AreaKind classifies synthetic geographic areas, mirroring the contextual
+// sources of Table 1 (Natura2000 protected areas, fishing zones, airspace
+// sectors) and Figure 4's 8,599 stationary regions.
+type AreaKind int
+
+const (
+	ProtectedArea AreaKind = iota
+	FishingZone
+	AirspaceSector
+	AnchorageArea
+)
+
+func (k AreaKind) String() string {
+	switch k {
+	case ProtectedArea:
+		return "protected"
+	case FishingZone:
+		return "fishing"
+	case AirspaceSector:
+		return "sector"
+	case AnchorageArea:
+		return "anchorage"
+	default:
+		return "area"
+	}
+}
+
+// Area is a named polygonal region of interest.
+type Area struct {
+	ID   string
+	Kind AreaKind
+	Geom *geo.Polygon
+}
+
+// Areas generates count random star-convex polygonal areas of the given
+// kind inside region. Radii are drawn between minR and maxR metres and each
+// polygon has 5–12 vertices with radial irregularity, approximating the
+// shape variety of real Natura2000 regions.
+func Areas(seed int64, kind AreaKind, count int, region geo.Rect, minR, maxR float64) []Area {
+	return DetailedAreas(seed, kind, count, region, minR, maxR, 5, 12)
+}
+
+// DetailedAreas is Areas with an explicit vertex-count range. Real
+// Natura2000 coastline polygons run to thousands of vertices, which is what
+// makes the precise point-in-polygon refinements of link discovery
+// expensive; pass large vertex counts to reproduce that cost profile.
+func DetailedAreas(seed int64, kind AreaKind, count int, region geo.Rect, minR, maxR float64, minVerts, maxVerts int) []Area {
+	if minVerts < 3 {
+		minVerts = 3
+	}
+	if maxVerts < minVerts {
+		maxVerts = minVerts
+	}
+	out := make([]Area, count)
+	for i := 0; i < count; i++ {
+		r := rng(seed, "area/"+kind.String(), i)
+		center := randomPointIn(r, region)
+		radius := minR + r.Float64()*(maxR-minR)
+		n := minVerts + r.Intn(maxVerts-minVerts+1)
+		ring := make([]geo.Point, n)
+		for v := 0; v < n; v++ {
+			ang := float64(v) * 360 / float64(n)
+			rad := radius * (0.6 + 0.4*r.Float64())
+			ring[v] = geo.Destination(center, ang, rad)
+		}
+		out[i] = Area{
+			ID:   idFor(kind.String(), i),
+			Kind: kind,
+			Geom: geo.MustPolygon(ring),
+		}
+	}
+	return out
+}
+
+// Port is an entry of the port register (5,754 ports in Table 1; the link
+// discovery experiment uses 3,865 of them).
+type Port struct {
+	ID      string
+	Name    string
+	Pos     geo.Point
+	Country string
+}
+
+// Ports generates count synthetic ports scattered over region. Ports
+// cluster weakly along the region boundary to mimic coastal placement.
+func Ports(seed int64, count int, region geo.Rect) []Port {
+	out := make([]Port, count)
+	countries := []string{"GR", "IT", "FR", "ES", "TR", "MT", "HR", "CY"}
+	for i := 0; i < count; i++ {
+		r := rng(seed, "port", i)
+		p := randomPointIn(r, region)
+		// Pull roughly half the ports toward the nearest region edge.
+		if r.Float64() < 0.5 {
+			edgeLon := region.MinLon
+			if p.Lon > region.Center().Lon {
+				edgeLon = region.MaxLon
+			}
+			edgeLat := region.MinLat
+			if p.Lat > region.Center().Lat {
+				edgeLat = region.MaxLat
+			}
+			if math.Abs(p.Lon-edgeLon) < math.Abs(p.Lat-edgeLat) {
+				p.Lon = edgeLon + (p.Lon-edgeLon)*0.2
+			} else {
+				p.Lat = edgeLat + (p.Lat-edgeLat)*0.2
+			}
+		}
+		out[i] = Port{
+			ID:      idFor("port", i),
+			Name:    "Port " + idFor("P", i),
+			Pos:     p,
+			Country: countries[r.Intn(len(countries))],
+		}
+	}
+	return out
+}
+
+// Airport is a node of the ATM route network.
+type Airport struct {
+	ID     string // ICAO-like code
+	Name   string
+	Pos    geo.Point
+	ElevFt float64
+}
+
+// StandardAirports returns a fixed set of airports in the Iberia region,
+// including the Barcelona/Madrid pair used by the paper's Figure 5(a)
+// experiments. Positions approximate the real airports.
+func StandardAirports() []Airport {
+	return []Airport{
+		{ID: "LEBL", Name: "Barcelona", Pos: geo.Pt(2.0785, 41.2974), ElevFt: 12},
+		{ID: "LEMD", Name: "Madrid", Pos: geo.Pt(-3.5676, 40.4722), ElevFt: 1998},
+		{ID: "LEZL", Name: "Sevilla", Pos: geo.Pt(-5.8931, 37.4180), ElevFt: 112},
+		{ID: "LEVC", Name: "Valencia", Pos: geo.Pt(-0.4816, 39.4893), ElevFt: 240},
+		{ID: "LEBB", Name: "Bilbao", Pos: geo.Pt(-2.9106, 43.3011), ElevFt: 138},
+		{ID: "LEMG", Name: "Malaga", Pos: geo.Pt(-4.4991, 36.6749), ElevFt: 52},
+		{ID: "LEPA", Name: "Palma", Pos: geo.Pt(2.7388, 39.5517), ElevFt: 27},
+		{ID: "LEST", Name: "Santiago", Pos: geo.Pt(-8.4154, 42.8963), ElevFt: 1213},
+	}
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"datacron/internal/geo"
+)
+
+// WeatherField is a synthetic, smooth, time-evolving weather field standing
+// in for the paper's sea-state and weather-forecast sources. It is built
+// from a fixed number of random Fourier components, so it is deterministic
+// per seed, continuous in space and time, and cheap to evaluate anywhere —
+// which is all the enrichment and prediction components require.
+type WeatherField struct {
+	start time.Time
+	comps []fourierComp
+}
+
+type fourierComp struct {
+	kLon, kLat float64 // spatial frequency (cycles per degree)
+	omega      float64 // temporal frequency (cycles per hour)
+	phase      float64
+	ampWind    float64 // m/s contribution
+	ampTemp    float64 // °C contribution
+	dir        float64 // wind direction contribution (radians)
+}
+
+// NewWeatherField builds a field with the given seed anchored at start.
+func NewWeatherField(seed int64, start time.Time) *WeatherField {
+	r := rand.New(rand.NewSource(seed))
+	const n = 12
+	comps := make([]fourierComp, n)
+	for i := range comps {
+		comps[i] = fourierComp{
+			kLon:    (r.Float64() - 0.5) * 0.8,
+			kLat:    (r.Float64() - 0.5) * 0.8,
+			omega:   r.Float64() * 0.3,
+			phase:   r.Float64() * 2 * math.Pi,
+			ampWind: 1.5 + r.Float64()*2.5,
+			ampTemp: 1 + r.Float64()*2,
+			dir:     r.Float64() * 2 * math.Pi,
+		}
+	}
+	return &WeatherField{start: start, comps: comps}
+}
+
+func (w *WeatherField) phase(c fourierComp, p geo.Point, t time.Time) float64 {
+	hours := t.Sub(w.start).Hours()
+	return 2*math.Pi*(c.kLon*p.Lon+c.kLat*p.Lat+c.omega*hours) + c.phase
+}
+
+// Wind returns the wind vector (u east, v north) in m/s at a point and time.
+func (w *WeatherField) Wind(p geo.Point, t time.Time) (u, v float64) {
+	for _, c := range w.comps {
+		s := math.Sin(w.phase(c, p, t))
+		u += c.ampWind * s * math.Cos(c.dir)
+		v += c.ampWind * s * math.Sin(c.dir)
+	}
+	return u, v
+}
+
+// WindSpeed returns the wind magnitude in m/s at a point and time.
+func (w *WeatherField) WindSpeed(p geo.Point, t time.Time) float64 {
+	u, v := w.Wind(p, t)
+	return math.Hypot(u, v)
+}
+
+// Temperature returns a synthetic air temperature in °C, combining a
+// latitude gradient, a diurnal cycle and the Fourier noise.
+func (w *WeatherField) Temperature(p geo.Point, t time.Time) float64 {
+	base := 25 - 0.5*math.Abs(p.Lat)
+	diurnal := 4 * math.Sin(2*math.Pi*float64(t.Hour())/24)
+	noise := 0.0
+	for _, c := range w.comps {
+		noise += c.ampTemp * math.Sin(w.phase(c, p, t)+1.3)
+	}
+	return base + diurnal + noise/3
+}
+
+// WaveHeight returns a synthetic significant wave height in metres derived
+// from the wind field (maritime sea-state substitute).
+func (w *WeatherField) WaveHeight(p geo.Point, t time.Time) float64 {
+	ws := w.WindSpeed(p, t)
+	return clampF(0.2+ws*ws/60, 0, 12)
+}
+
+// Observation is a gridded weather sample, the unit record of the weather
+// archival sources.
+type Observation struct {
+	Time       time.Time
+	Pos        geo.Point
+	WindU      float64
+	WindV      float64
+	TempC      float64
+	WaveHeight float64
+}
+
+// Sample produces gridded observations over the region every step for the
+// given duration, at gridN×gridN sample points — the batch "forecast files"
+// of Table 1.
+func (w *WeatherField) Sample(region geo.Rect, gridN int, start time.Time, dur, step time.Duration) []Observation {
+	if gridN < 1 {
+		gridN = 1
+	}
+	var out []Observation
+	for ts := start; ts.Before(start.Add(dur)); ts = ts.Add(step) {
+		for i := 0; i < gridN; i++ {
+			for j := 0; j < gridN; j++ {
+				p := geo.Pt(
+					region.MinLon+(float64(i)+0.5)*region.Width()/float64(gridN),
+					region.MinLat+(float64(j)+0.5)*region.Height()/float64(gridN),
+				)
+				u, v := w.Wind(p, ts)
+				out = append(out, Observation{
+					Time: ts, Pos: p, WindU: u, WindV: v,
+					TempC:      w.Temperature(p, ts),
+					WaveHeight: w.WaveHeight(p, ts),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseWKTNeverPanics feeds the parser adversarial inputs: random
+// strings, truncations of valid WKT, and byte-level mutations. The parser
+// must return an error or a valid geometry, never panic.
+func TestParseWKTNeverPanics(t *testing.T) {
+	valid := []string{
+		Pt(23.5, 37.9).WKT(),
+		RegularPolygon(Pt(5, 45), 10_000, 7).WKT(),
+	}
+	// Truncations.
+	for _, v := range valid {
+		for i := 0; i <= len(v); i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on truncation %q: %v", v[:i], r)
+					}
+				}()
+				g, err := ParseWKT(v[:i])
+				if err == nil && g == nil {
+					t.Fatalf("nil geometry without error for %q", v[:i])
+				}
+			}()
+		}
+	}
+	// Random mutations via quick.
+	f := func(seedStr string, mutPos, mutByte uint8) bool {
+		base := valid[int(mutPos)%len(valid)]
+		b := []byte(base)
+		if len(b) > 0 {
+			b[int(mutPos)%len(b)] = mutByte
+		}
+		inputs := []string{string(b), seedStr, "POLYGON " + seedStr, "POINT(" + seedStr + ")"}
+		for _, in := range inputs {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", in, r)
+					}
+				}()
+				_, _ = ParseWKT(in)
+			}()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWKTRoundTripProperty: any polygon we can mint round-trips through WKT
+// with identical vertices.
+func TestWKTRoundTripProperty(t *testing.T) {
+	f := func(lonSeed, latSeed float64, rSeed uint16, nSeed uint8) bool {
+		lon := float64(int(lonSeed*100)%170) / 1.0
+		lat := float64(int(latSeed*100)%60) / 1.0
+		radius := 1_000 + float64(rSeed%50_000)
+		n := 3 + int(nSeed%20)
+		poly := RegularPolygon(Pt(lon, lat), radius, n)
+		parsed, err := ParseWKT(poly.WKT())
+		if err != nil {
+			return false
+		}
+		got, ok := parsed.(*Polygon)
+		if !ok || len(got.Ring()) != len(poly.Ring()) {
+			return false
+		}
+		for i := range got.Ring() {
+			if got.Ring()[i] != poly.Ring()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolygonWKTUppercaseLowercase checks case-insensitive parsing.
+func TestPolygonWKTCaseInsensitive(t *testing.T) {
+	for _, s := range []string{"point (1 2)", "Point (1 2)", "POINT (1 2)", "pOlYgOn ((0 0, 1 0, 1 1, 0 0))"} {
+		if _, err := ParseWKT(s); err != nil {
+			t.Errorf("%q should parse: %v", s, err)
+		}
+	}
+	if !strings.HasPrefix(Pt(1, 2).WKT(), "POINT") {
+		t.Error("canonical output should be uppercase")
+	}
+}

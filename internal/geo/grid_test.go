@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testGrid() *Grid {
+	return NewGrid(Rect{MinLon: -10, MinLat: 30, MaxLon: 30, MaxLat: 60}, 40, 30)
+}
+
+func TestGridLocate(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		p        Point
+		col, row int
+		ok       bool
+	}{
+		{Pt(-10, 30), 0, 0, true},
+		{Pt(-9.5, 30.5), 0, 0, true},
+		{Pt(29.999, 59.999), 39, 29, true},
+		{Pt(30, 60), 39, 29, true}, // boundary clamps into last cell
+		{Pt(10, 45), 20, 15, true},
+		{Pt(-20, 45), 0, 15, false}, // outside, clamped
+		{Pt(10, 80), 20, 29, false},
+	}
+	for _, c := range cases {
+		col, row, ok := g.Locate(c.p)
+		if col != c.col || row != c.row || ok != c.ok {
+			t.Errorf("Locate(%v) = (%d,%d,%v), want (%d,%d,%v)", c.p, col, row, ok, c.col, c.row, c.ok)
+		}
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := testGrid()
+	f := func(ci, ri int) bool {
+		col := ((ci % g.Cols) + g.Cols) % g.Cols
+		row := ((ri % g.Rows) + g.Rows) % g.Rows
+		idx := g.Index(col, row)
+		c2, r2 := g.ColRow(idx)
+		return c2 == col && r2 == row && idx >= 0 && idx < g.NumCells()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCellRectContainsLocatedPoint(t *testing.T) {
+	g := testGrid()
+	f := func(dLon, dLat float64) bool {
+		p := Pt(-10+math.Mod(math.Abs(dLon), 40), 30+math.Mod(math.Abs(dLat), 30))
+		col, row, ok := g.Locate(p)
+		if !ok {
+			return false
+		}
+		return g.CellRect(col, row).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCoveringCells(t *testing.T) {
+	g := testGrid()
+	// One full cell.
+	cells := g.CoveringCells(g.CellRect(5, 5))
+	found := false
+	for _, c := range cells {
+		if c == g.Index(5, 5) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cell's own rect should cover it")
+	}
+	// A rect spanning 2x2 cells: cell size is 1°x1°.
+	r := Rect{MinLon: -9.5, MinLat: 30.5, MaxLon: -8.5, MaxLat: 31.5}
+	cells = g.CoveringCells(r)
+	if len(cells) != 4 {
+		t.Errorf("2x2 span: got %d cells, want 4", len(cells))
+	}
+	// Disjoint rect.
+	if got := g.CoveringCells(Rect{100, 100, 110, 110}); got != nil {
+		t.Errorf("disjoint rect should return nil, got %v", got)
+	}
+	// Whole extent.
+	if got := g.CoveringCells(g.Extent); len(got) != g.NumCells() {
+		t.Errorf("extent covers %d cells, want %d", len(got), g.NumCells())
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := testGrid()
+	if n := g.Neighbors(0, 0); len(n) != 3 {
+		t.Errorf("corner has %d neighbors, want 3", len(n))
+	}
+	if n := g.Neighbors(5, 0); len(n) != 5 {
+		t.Errorf("edge has %d neighbors, want 5", len(n))
+	}
+	if n := g.Neighbors(5, 5); len(n) != 8 {
+		t.Errorf("interior has %d neighbors, want 8", len(n))
+	}
+	for _, idx := range g.Neighbors(5, 5) {
+		if idx == g.Index(5, 5) {
+			t.Error("cell should not be its own neighbor")
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero-cols", func() { NewGrid(Rect{0, 0, 1, 1}, 0, 10) })
+	assertPanics("neg-rows", func() { NewGrid(Rect{0, 0, 1, 1}, 10, -1) })
+	assertPanics("empty-extent", func() { NewGrid(EmptyRect(), 10, 10) })
+}

@@ -1,0 +1,90 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LineString is an ordered polyline — the geometry of a trajectory when
+// viewed "as a mere geometry" (the coarsest level of analysis the datAcron
+// ontology supports for trajectories).
+type LineString struct {
+	pts  []Point
+	bbox Rect
+}
+
+// NewLineString builds a polyline from at least two points.
+func NewLineString(pts []Point) (*LineString, error) {
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("geo: linestring needs at least 2 points, got %d", len(pts))
+	}
+	ls := &LineString{pts: append([]Point(nil), pts...), bbox: EmptyRect()}
+	for _, p := range ls.pts {
+		ls.bbox = ls.bbox.ExtendPoint(p)
+	}
+	return ls, nil
+}
+
+// Points returns the polyline vertices. The caller must not modify them.
+func (ls *LineString) Points() []Point { return ls.pts }
+
+// Bounds returns the bounding box.
+func (ls *LineString) Bounds() Rect { return ls.bbox }
+
+// Length returns the summed great-circle length in metres.
+func (ls *LineString) Length() float64 {
+	var d float64
+	for i := 1; i < len(ls.pts); i++ {
+		d += Haversine(ls.pts[i-1], ls.pts[i])
+	}
+	return d
+}
+
+// DistanceTo returns the distance in metres from q to the nearest segment.
+func (ls *LineString) DistanceTo(q Point) float64 {
+	enu := NewENU(q)
+	best := -1.0
+	for i := 1; i < len(ls.pts); i++ {
+		ax, ay := enu.Forward(ls.pts[i-1])
+		bx, by := enu.Forward(ls.pts[i])
+		d := pointSegmentDist(0, 0, ax, ay, bx, by)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// WKT renders the polyline as "LINESTRING (lon lat, ...)".
+func (ls *LineString) WKT() string {
+	var b strings.Builder
+	b.WriteString("LINESTRING (")
+	for i, p := range ls.pts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(fmtCoord(p.Lon))
+		b.WriteByte(' ')
+		b.WriteString(fmtCoord(p.Lat))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// parseWKTLineString parses the body after the LINESTRING keyword.
+func parseWKTLineString(body string) (Geometry, error) {
+	inner, err := stripParens(body)
+	if err != nil {
+		return nil, fmt.Errorf("geo: LINESTRING: %w", err)
+	}
+	parts := strings.Split(inner, ",")
+	pts := make([]Point, 0, len(parts))
+	for _, part := range parts {
+		p, err := parseCoord(part)
+		if err != nil {
+			return nil, fmt.Errorf("geo: LINESTRING: %w", err)
+		}
+		pts = append(pts, p)
+	}
+	return NewLineString(pts)
+}

@@ -1,0 +1,64 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLineStringBasics(t *testing.T) {
+	if _, err := NewLineString([]Point{Pt(0, 0)}); err == nil {
+		t.Error("single point should fail")
+	}
+	ls, err := NewLineString([]Point{Pt(0, 0), Pt(1, 0), Pt(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Haversine(Pt(0, 0), Pt(1, 0)) + Haversine(Pt(1, 0), Pt(1, 1))
+	if math.Abs(ls.Length()-want) > 1 {
+		t.Errorf("length = %.0f, want %.0f", ls.Length(), want)
+	}
+	b := ls.Bounds()
+	if b.MinLon != 0 || b.MaxLat != 1 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestLineStringDistanceTo(t *testing.T) {
+	ls, _ := NewLineString([]Point{Pt(0, 0), Pt(2, 0)})
+	// Point 1 degree north of the segment midpoint.
+	d := ls.DistanceTo(Pt(1, 1))
+	want := Haversine(Pt(1, 1), Pt(1, 0))
+	if math.Abs(d-want)/want > 0.02 {
+		t.Errorf("distance = %.0f, want ≈%.0f", d, want)
+	}
+	// On the line.
+	if d := ls.DistanceTo(Pt(1, 0)); d > 1 {
+		t.Errorf("on-line distance = %.1f", d)
+	}
+}
+
+func TestLineStringWKTRoundTrip(t *testing.T) {
+	ls, _ := NewLineString([]Point{Pt(23.5, 37.9), Pt(23.6, 38.0), Pt(23.7, 38.05)})
+	g, err := ParseWKT(ls.WKT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.(*LineString)
+	if !ok {
+		t.Fatalf("parsed %T", g)
+	}
+	if len(got.Points()) != 3 {
+		t.Fatalf("points = %d", len(got.Points()))
+	}
+	for i := range got.Points() {
+		if got.Points()[i] != ls.Points()[i] {
+			t.Errorf("point %d differs", i)
+		}
+	}
+	// Malformed inputs.
+	for _, bad := range []string{"LINESTRING (0 0)", "LINESTRING 0 0, 1 1", "LINESTRING (x y, 1 1)"} {
+		if _, err := ParseWKT(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// Polygon is a simple polygon given by its exterior ring. The ring may be
+// stored open (first != last); predicates treat it as implicitly closed.
+// Vertex order may be clockwise or counter-clockwise.
+type Polygon struct {
+	ring []Point
+	bbox Rect
+}
+
+// ErrDegeneratePolygon is returned when fewer than three distinct vertices
+// are supplied.
+var ErrDegeneratePolygon = errors.New("geo: polygon needs at least 3 vertices")
+
+// NewPolygon constructs a polygon from an exterior ring. A closing vertex
+// equal to the first is dropped.
+func NewPolygon(ring []Point) (*Polygon, error) {
+	if len(ring) > 1 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	if len(ring) < 3 {
+		return nil, ErrDegeneratePolygon
+	}
+	p := &Polygon{ring: append([]Point(nil), ring...), bbox: EmptyRect()}
+	for _, v := range p.ring {
+		p.bbox = p.bbox.ExtendPoint(v)
+	}
+	return p, nil
+}
+
+// MustPolygon is NewPolygon that panics on error; intended for literals in
+// tests and generators.
+func MustPolygon(ring []Point) *Polygon {
+	p, err := NewPolygon(ring)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Ring returns the polygon's vertices (without a closing duplicate).
+func (p *Polygon) Ring() []Point { return p.ring }
+
+// Bounds returns the polygon's bounding box.
+func (p *Polygon) Bounds() Rect { return p.bbox }
+
+// Contains reports whether q is inside the polygon (boundary counts as
+// inside). It uses the even-odd ray casting rule in lon/lat space, which is
+// adequate for the regional polygons used by the pipeline.
+func (p *Polygon) Contains(q Point) bool {
+	if !p.bbox.Contains(q) {
+		return false
+	}
+	inside := false
+	n := len(p.ring)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		a, b := p.ring[i], p.ring[j]
+		if onSegment(a, b, q) {
+			return true
+		}
+		if (a.Lat > q.Lat) != (b.Lat > q.Lat) {
+			xCross := a.Lon + (q.Lat-a.Lat)/(b.Lat-a.Lat)*(b.Lon-a.Lon)
+			if q.Lon < xCross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// onSegment reports whether q lies on segment ab (within a tiny tolerance).
+func onSegment(a, b, q Point) bool {
+	const eps = 1e-12
+	cross := (b.Lon-a.Lon)*(q.Lat-a.Lat) - (b.Lat-a.Lat)*(q.Lon-a.Lon)
+	if math.Abs(cross) > eps {
+		return false
+	}
+	dot := (q.Lon-a.Lon)*(b.Lon-a.Lon) + (q.Lat-a.Lat)*(b.Lat-a.Lat)
+	if dot < -eps {
+		return false
+	}
+	sq := (b.Lon-a.Lon)*(b.Lon-a.Lon) + (b.Lat-a.Lat)*(b.Lat-a.Lat)
+	return dot <= sq+eps
+}
+
+// Area returns the polygon's approximate area in square metres, computed on
+// a local ENU projection anchored at the bounding-box centre.
+func (p *Polygon) Area() float64 {
+	enu := NewENU(p.bbox.Center())
+	sum := 0.0
+	n := len(p.ring)
+	for i := 0; i < n; i++ {
+		x1, y1 := enu.Forward(p.ring[i])
+		x2, y2 := enu.Forward(p.ring[(i+1)%n])
+		sum += x1*y2 - x2*y1
+	}
+	return math.Abs(sum) / 2
+}
+
+// Centroid returns the polygon's area centroid.
+func (p *Polygon) Centroid() Point {
+	enu := NewENU(p.bbox.Center())
+	var cx, cy, a float64
+	n := len(p.ring)
+	for i := 0; i < n; i++ {
+		x1, y1 := enu.Forward(p.ring[i])
+		x2, y2 := enu.Forward(p.ring[(i+1)%n])
+		w := x1*y2 - x2*y1
+		a += w
+		cx += (x1 + x2) * w
+		cy += (y1 + y2) * w
+	}
+	if math.Abs(a) < 1e-9 {
+		return p.bbox.Center()
+	}
+	return enu.Inverse(cx/(3*a), cy/(3*a))
+}
+
+// DistanceTo returns the distance in metres from q to the polygon: zero when
+// q is inside, otherwise the distance to the nearest boundary segment.
+func (p *Polygon) DistanceTo(q Point) float64 {
+	if p.Contains(q) {
+		return 0
+	}
+	enu := NewENU(q)
+	qx, qy := 0.0, 0.0
+	best := math.Inf(1)
+	n := len(p.ring)
+	for i := 0; i < n; i++ {
+		ax, ay := enu.Forward(p.ring[i])
+		bx, by := enu.Forward(p.ring[(i+1)%n])
+		d := pointSegmentDist(qx, qy, ax, ay, bx, by)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// pointSegmentDist returns the Euclidean distance from (px,py) to segment
+// (ax,ay)-(bx,by).
+func pointSegmentDist(px, py, ax, ay, bx, by float64) float64 {
+	dx, dy := bx-ax, by-ay
+	l2 := dx*dx + dy*dy
+	t := 0.0
+	if l2 > 0 {
+		t = ((px-ax)*dx + (py-ay)*dy) / l2
+		t = math.Max(0, math.Min(1, t))
+	}
+	cx, cy := ax+t*dx, ay+t*dy
+	return math.Hypot(px-cx, py-cy)
+}
+
+// IntersectsRect reports whether the polygon intersects rectangle r. It is a
+// conservative exact test: true if any vertex of one is inside the other or
+// any edges cross.
+func (p *Polygon) IntersectsRect(r Rect) bool {
+	if !p.bbox.Intersects(r) {
+		return false
+	}
+	// Any polygon vertex inside the rect?
+	for _, v := range p.ring {
+		if r.Contains(v) {
+			return true
+		}
+	}
+	// Any rect corner inside the polygon?
+	corners := []Point{
+		{r.MinLon, r.MinLat}, {r.MaxLon, r.MinLat},
+		{r.MaxLon, r.MaxLat}, {r.MinLon, r.MaxLat},
+	}
+	for _, c := range corners {
+		if p.Contains(c) {
+			return true
+		}
+	}
+	// Any edge crossing?
+	n := len(p.ring)
+	for i := 0; i < n; i++ {
+		a, b := p.ring[i], p.ring[(i+1)%n]
+		for j := 0; j < 4; j++ {
+			c, d := corners[j], corners[(j+1)%4]
+			if segmentsIntersect(a, b, c, d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// segmentsIntersect reports whether segments ab and cd intersect.
+func segmentsIntersect(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	if o1*o2 < 0 && o3*o4 < 0 {
+		return true
+	}
+	return (o1 == 0 && onSegment(a, b, c)) || (o2 == 0 && onSegment(a, b, d)) ||
+		(o3 == 0 && onSegment(c, d, a)) || (o4 == 0 && onSegment(c, d, b))
+}
+
+// orient returns the sign of the cross product (b-a)×(c-a): +1 counter-
+// clockwise, -1 clockwise, 0 collinear.
+func orient(a, b, c Point) int {
+	v := (b.Lon-a.Lon)*(c.Lat-a.Lat) - (b.Lat-a.Lat)*(c.Lon-a.Lon)
+	const eps = 1e-14
+	switch {
+	case v > eps:
+		return 1
+	case v < -eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// RegularPolygon builds an n-gon of the given radius (metres) centred at c;
+// useful for synthetic areas and tests.
+func RegularPolygon(c Point, radius float64, n int) *Polygon {
+	if n < 3 {
+		n = 3
+	}
+	ring := make([]Point, n)
+	for i := 0; i < n; i++ {
+		ring[i] = Destination(c, float64(i)*360/float64(n), radius)
+	}
+	return MustPolygon(ring)
+}

@@ -1,0 +1,214 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square(minLon, minLat, maxLon, maxLat float64) *Polygon {
+	return MustPolygon([]Point{
+		{minLon, minLat}, {maxLon, minLat}, {maxLon, maxLat}, {minLon, maxLat},
+	})
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon([]Point{{0, 0}, {1, 1}}); err == nil {
+		t.Error("2-vertex ring should fail")
+	}
+	// A closed ring of 3 distinct vertices plus closing vertex is fine.
+	p, err := NewPolygon([]Point{{0, 0}, {1, 0}, {0, 1}, {0, 0}})
+	if err != nil {
+		t.Fatalf("closed triangle: %v", err)
+	}
+	if len(p.Ring()) != 3 {
+		t.Errorf("closing vertex should be dropped, ring has %d", len(p.Ring()))
+	}
+	// Closing vertex only (3 total incl. duplicate) degenerates to 2.
+	if _, err := NewPolygon([]Point{{0, 0}, {1, 1}, {0, 0}}); err == nil {
+		t.Error("degenerate closed ring should fail")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := square(0, 0, 10, 10)
+	inside := []Point{{5, 5}, {0.001, 0.001}, {9.999, 9.999}}
+	boundary := []Point{{0, 0}, {10, 10}, {5, 0}, {0, 5}}
+	outside := []Point{{-1, 5}, {11, 5}, {5, -0.001}, {5, 10.001}, {100, 100}}
+	for _, p := range inside {
+		if !sq.Contains(p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range boundary {
+		if !sq.Contains(p) {
+			t.Errorf("%v on boundary should count as inside", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.Contains(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// A "U" shape: points inside the notch are outside the polygon.
+	u := MustPolygon([]Point{
+		{0, 0}, {10, 0}, {10, 10}, {7, 10}, {7, 3}, {3, 3}, {3, 10}, {0, 10},
+	})
+	if !u.Contains(Pt(1, 5)) {
+		t.Error("left arm should be inside")
+	}
+	if !u.Contains(Pt(9, 5)) {
+		t.Error("right arm should be inside")
+	}
+	if !u.Contains(Pt(5, 1)) {
+		t.Error("base should be inside")
+	}
+	if u.Contains(Pt(5, 7)) {
+		t.Error("notch should be outside")
+	}
+}
+
+func TestPolygonAreaAndCentroid(t *testing.T) {
+	// ~111km x ~111km square at the equator: area ≈ 1.236e10 m².
+	sq := square(0, 0, 1, 1)
+	area := sq.Area()
+	want := 111_195.0 * 111_195.0
+	if math.Abs(area-want)/want > 0.02 {
+		t.Errorf("area = %.3e, want ≈%.3e", area, want)
+	}
+	c := sq.Centroid()
+	if !almostEqual(c.Lon, 0.5, 0.01) || !almostEqual(c.Lat, 0.5, 0.01) {
+		t.Errorf("centroid = %v, want ≈(0.5, 0.5)", c)
+	}
+}
+
+func TestPolygonDistanceTo(t *testing.T) {
+	sq := square(0, 0, 1, 1)
+	if d := sq.DistanceTo(Pt(0.5, 0.5)); d != 0 {
+		t.Errorf("inside point distance = %v, want 0", d)
+	}
+	// Point one degree east of the square's east edge, same latitude band.
+	d := sq.DistanceTo(Pt(2, 0.5))
+	want := Haversine(Pt(1, 0.5), Pt(2, 0.5))
+	if math.Abs(d-want)/want > 0.01 {
+		t.Errorf("distance = %.0f, want ≈%.0f", d, want)
+	}
+}
+
+func TestPolygonIntersectsRect(t *testing.T) {
+	sq := square(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		r    Rect
+		want bool
+	}{
+		{"fully-inside", Rect{2, 2, 3, 3}, true},
+		{"fully-containing", Rect{-5, -5, 15, 15}, true},
+		{"overlapping-corner", Rect{9, 9, 12, 12}, true},
+		{"disjoint", Rect{20, 20, 30, 30}, false},
+		{"touching-edge", Rect{10, 0, 12, 10}, true},
+		{"bbox-overlap-only", Rect{10.5, 10.5, 12, 12}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := sq.IntersectsRect(c.r); got != c.want {
+				t.Errorf("IntersectsRect(%+v) = %v, want %v", c.r, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPolygonIntersectsRectCross(t *testing.T) {
+	// A thin diagonal sliver whose bbox overlaps the rect but only edges cross.
+	sliver := MustPolygon([]Point{{0, 0}, {10, 10}, {10.1, 10}, {0.1, 0}})
+	r := Rect{4, 4, 6, 6}
+	if !sliver.IntersectsRect(r) {
+		t.Error("diagonal sliver should intersect central rect")
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	c := Pt(5, 45)
+	hex := RegularPolygon(c, 10_000, 6)
+	if len(hex.Ring()) != 6 {
+		t.Fatalf("ring size = %d, want 6", len(hex.Ring()))
+	}
+	for _, v := range hex.Ring() {
+		d := Haversine(c, v)
+		if math.Abs(d-10_000) > 10 {
+			t.Errorf("vertex %v at distance %.1f, want 10000", v, d)
+		}
+	}
+	if !hex.Contains(c) {
+		t.Error("centre should be inside")
+	}
+	// Area of a regular hexagon with circumradius R is 3√3/2 R².
+	want := 3 * math.Sqrt(3) / 2 * 10_000 * 10_000
+	if got := hex.Area(); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("area %.3e, want ≈%.3e", got, want)
+	}
+}
+
+func TestPolygonContainsMatchesDistance(t *testing.T) {
+	// Property: DistanceTo == 0 ⇔ Contains.
+	poly := RegularPolygon(Pt(10, 50), 50_000, 9)
+	f := func(dLon, dLat float64) bool {
+		p := Pt(10+math.Mod(dLon, 2), 50+math.Mod(dLat, 2))
+		in := poly.Contains(p)
+		d := poly.DistanceTo(p)
+		if in {
+			return d == 0
+		}
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectOperations(t *testing.T) {
+	r := NewRect(Pt(3, 4), Pt(1, 2))
+	if r.MinLon != 1 || r.MinLat != 2 || r.MaxLon != 3 || r.MaxLat != 4 {
+		t.Errorf("NewRect normalisation failed: %+v", r)
+	}
+	if !r.Contains(Pt(2, 3)) || r.Contains(Pt(0, 0)) {
+		t.Error("Contains misbehaves")
+	}
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Error("EmptyRect should be empty")
+	}
+	e2 := e.ExtendPoint(Pt(5, 5))
+	if e2.IsEmpty() || !e2.Contains(Pt(5, 5)) {
+		t.Error("ExtendPoint from empty failed")
+	}
+	u := r.ExtendRect(e2)
+	if !u.Contains(Pt(5, 5)) || !u.Contains(Pt(1, 2)) {
+		t.Error("ExtendRect union failed")
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty rect should intersect nothing")
+	}
+	if !r.ContainsRect(Rect{1.5, 2.5, 2.5, 3.5}) {
+		t.Error("ContainsRect inner failed")
+	}
+	if r.ContainsRect(Rect{0, 0, 10, 10}) {
+		t.Error("ContainsRect outer should be false")
+	}
+}
+
+func TestRectBuffer(t *testing.T) {
+	r := Rect{10, 45, 11, 46}
+	b := r.Buffer(10_000)
+	if !b.ContainsRect(r) {
+		t.Fatal("buffered rect should contain original")
+	}
+	// The latitude margin should be ≈ 10km in degrees ≈ 0.09.
+	gotMargin := r.MinLat - b.MinLat
+	if math.Abs(gotMargin-0.0899) > 0.005 {
+		t.Errorf("lat margin = %.4f, want ≈0.09", gotMargin)
+	}
+}

@@ -1,0 +1,110 @@
+package geo
+
+import "math"
+
+// Rect is an axis-aligned geographic bounding box. MinLon <= MaxLon and
+// MinLat <= MaxLat; boxes never cross the antimeridian (the datasets in both
+// datAcron domains are regional).
+type Rect struct {
+	MinLon, MinLat, MaxLon, MaxLat float64
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinLon: math.Min(a.Lon, b.Lon),
+		MinLat: math.Min(a.Lat, b.Lat),
+		MaxLon: math.Max(a.Lon, b.Lon),
+		MaxLat: math.Max(a.Lat, b.Lat),
+	}
+}
+
+// EmptyRect returns an inverted rectangle suitable as the identity for
+// ExtendPoint/ExtendRect accumulation.
+func EmptyRect() Rect {
+	return Rect{
+		MinLon: math.Inf(1), MinLat: math.Inf(1),
+		MaxLon: math.Inf(-1), MaxLat: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether the rectangle contains no points.
+func (r Rect) IsEmpty() bool { return r.MinLon > r.MaxLon || r.MinLat > r.MaxLat }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.Lon >= r.MinLon && p.Lon <= r.MaxLon &&
+		p.Lat >= r.MinLat && p.Lat <= r.MaxLat
+}
+
+// Intersects reports whether the two rectangles share any point.
+func (r Rect) Intersects(o Rect) bool {
+	if r.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return r.MinLon <= o.MaxLon && o.MinLon <= r.MaxLon &&
+		r.MinLat <= o.MaxLat && o.MinLat <= r.MaxLat
+}
+
+// ContainsRect reports whether o lies entirely within r.
+func (r Rect) ContainsRect(o Rect) bool {
+	if r.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return o.MinLon >= r.MinLon && o.MaxLon <= r.MaxLon &&
+		o.MinLat >= r.MinLat && o.MaxLat <= r.MaxLat
+}
+
+// ExtendPoint returns the smallest rectangle covering r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return Rect{
+		MinLon: math.Min(r.MinLon, p.Lon),
+		MinLat: math.Min(r.MinLat, p.Lat),
+		MaxLon: math.Max(r.MaxLon, p.Lon),
+		MaxLat: math.Max(r.MaxLat, p.Lat),
+	}
+}
+
+// ExtendRect returns the smallest rectangle covering both r and o.
+func (r Rect) ExtendRect(o Rect) Rect {
+	if r.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinLon: math.Min(r.MinLon, o.MinLon),
+		MinLat: math.Min(r.MinLat, o.MinLat),
+		MaxLon: math.Max(r.MaxLon, o.MaxLon),
+		MaxLat: math.Max(r.MaxLat, o.MaxLat),
+	}
+}
+
+// Buffer returns r expanded by approximately dist metres on every side,
+// converting metres to degrees at the rectangle's central latitude.
+func (r Rect) Buffer(dist float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	midLat := (r.MinLat + r.MaxLat) / 2
+	dLat := Degrees(dist / EarthRadius)
+	cos := math.Cos(Radians(midLat))
+	if cos < 1e-6 {
+		cos = 1e-6
+	}
+	dLon := Degrees(dist / (EarthRadius * cos))
+	return Rect{
+		MinLon: r.MinLon - dLon, MinLat: r.MinLat - dLat,
+		MaxLon: r.MaxLon + dLon, MaxLat: r.MaxLat + dLat,
+	}
+}
+
+// Center returns the rectangle's central point.
+func (r Rect) Center() Point {
+	return Point{Lon: (r.MinLon + r.MaxLon) / 2, Lat: (r.MinLat + r.MaxLat) / 2}
+}
+
+// Width and Height return the extent in degrees.
+func (r Rect) Width() float64  { return r.MaxLon - r.MinLon }
+func (r Rect) Height() float64 { return r.MaxLat - r.MinLat }

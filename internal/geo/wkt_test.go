@@ -1,0 +1,87 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWKTPointRoundTrip(t *testing.T) {
+	p := Pt(23.6470125, 37.9420001)
+	g, err := ParseWKT(p.WKT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.(Point)
+	if !ok {
+		t.Fatalf("parsed %T, want Point", g)
+	}
+	if got != p {
+		t.Errorf("round trip: %v != %v", got, p)
+	}
+}
+
+func TestWKTPolygonRoundTrip(t *testing.T) {
+	poly := MustPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	g, err := ParseWKT(poly.WKT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.(*Polygon)
+	if !ok {
+		t.Fatalf("parsed %T, want *Polygon", g)
+	}
+	if len(got.Ring()) != len(poly.Ring()) {
+		t.Fatalf("ring sizes: %d != %d", len(got.Ring()), len(poly.Ring()))
+	}
+	for i := range got.Ring() {
+		if got.Ring()[i] != poly.Ring()[i] {
+			t.Errorf("vertex %d: %v != %v", i, got.Ring()[i], poly.Ring()[i])
+		}
+	}
+}
+
+func TestParseWKTVariants(t *testing.T) {
+	ok := []string{
+		"POINT (1 2)",
+		"point(1.5 -2.5)",
+		"  POINT  ( -180 90 ) ",
+		"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+		"POLYGON((0 0,1 0,1 1,0 1))", // unclosed ring accepted
+	}
+	for _, s := range ok {
+		if _, err := ParseWKT(s); err != nil {
+			t.Errorf("ParseWKT(%q) failed: %v", s, err)
+		}
+	}
+	bad := []string{
+		"",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))",
+		"POINT 1 2",
+		"POINT (x y)",
+		"POINT (1)",
+		"POLYGON ((0 0, 1 1))", // too few vertices
+		"POLYGON ((0 0, 1 0, 1 1), (0.2 0.2, 0.4 0.2, 0.4 0.4))", // holes unsupported
+		"POLYGON ((0 0, 1 0, 1 1",                                // unbalanced
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q) should fail", s)
+		}
+	}
+}
+
+func TestWKTPolygonIsClosed(t *testing.T) {
+	poly := MustPolygon([]Point{{0, 0}, {2, 0}, {1, 2}})
+	w := poly.WKT()
+	if !strings.HasPrefix(w, "POLYGON ((") || !strings.HasSuffix(w, "))") {
+		t.Fatalf("unexpected WKT shape: %s", w)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(w, "POLYGON (("), "))")
+	coords := strings.Split(inner, ", ")
+	if len(coords) != 4 {
+		t.Fatalf("want 4 coordinates (closed ring), got %d: %s", len(coords), w)
+	}
+	if coords[0] != coords[3] {
+		t.Errorf("ring not closed: first=%q last=%q", coords[0], coords[3])
+	}
+}

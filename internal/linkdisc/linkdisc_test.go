@@ -1,0 +1,213 @@
+package linkdisc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/ontology"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func squarePoly(minLon, minLat, maxLon, maxLat float64) *geo.Polygon {
+	return geo.MustPolygon([]geo.Point{
+		geo.Pt(minLon, minLat), geo.Pt(maxLon, minLat),
+		geo.Pt(maxLon, maxLat), geo.Pt(minLon, maxLat),
+	})
+}
+
+func testStatics() []StaticEntity {
+	return []StaticEntity{
+		{ID: "region-a", Geom: squarePoly(23.0, 37.0, 23.5, 37.5)},
+		{ID: "region-b", Geom: squarePoly(24.0, 38.0, 24.4, 38.4)},
+		{ID: "port-1", Geom: geo.Pt(23.63, 37.94)},
+	}
+}
+
+func baseConfig(maskRes int) Config {
+	return Config{
+		Extent:         geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 26, MaxLat: 40},
+		GridCols:       40,
+		GridRows:       40,
+		MaskResolution: maskRes,
+		NearDistanceM:  5_000,
+	}
+}
+
+func findLink(links []Link, rel Relation, target string) bool {
+	for _, l := range links {
+		if l.Relation == rel && l.Target == target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWithinDetection(t *testing.T) {
+	for _, maskRes := range []int{0, 8} {
+		t.Run(fmt.Sprintf("mask=%d", maskRes), func(t *testing.T) {
+			d := NewDiscoverer(baseConfig(maskRes), testStatics())
+			links := d.ProcessPoint("v1", t0, geo.Pt(23.2, 37.2))
+			if !findLink(links, Within, "region-a") {
+				t.Errorf("within region-a not found: %v", links)
+			}
+			// Inside region implies nearTo as well.
+			if !findLink(links, NearTo, "region-a") {
+				t.Errorf("nearTo region-a not implied: %v", links)
+			}
+			if findLink(links, Within, "region-b") {
+				t.Error("false within region-b")
+			}
+		})
+	}
+}
+
+func TestNearToRegionBoundary(t *testing.T) {
+	for _, maskRes := range []int{0, 8} {
+		d := NewDiscoverer(baseConfig(maskRes), testStatics())
+		// ~2 km east of region-a's east edge at mid latitude.
+		p := geo.Destination(geo.Pt(23.5, 37.25), 90, 2_000)
+		links := d.ProcessPoint("v1", t0, p)
+		if !findLink(links, NearTo, "region-a") {
+			t.Errorf("mask=%d: nearTo region-a missed at 2km: %v", maskRes, links)
+		}
+		if findLink(links, Within, "region-a") {
+			t.Errorf("mask=%d: false within", maskRes)
+		}
+		// 20 km away: no relation.
+		far := geo.Destination(geo.Pt(23.5, 37.25), 90, 20_000)
+		if links := d.ProcessPoint("v2", t0, far); len(links) != 0 {
+			t.Errorf("mask=%d: unexpected links at 20km: %v", maskRes, links)
+		}
+	}
+}
+
+func TestNearToPort(t *testing.T) {
+	for _, maskRes := range []int{0, 8} {
+		d := NewDiscoverer(baseConfig(maskRes), testStatics())
+		p := geo.Destination(geo.Pt(23.63, 37.94), 180, 3_000)
+		links := d.ProcessPoint("v1", t0, p)
+		if !findLink(links, NearTo, "port-1") {
+			t.Errorf("mask=%d: nearTo port missed: %v", maskRes, links)
+		}
+	}
+}
+
+func TestMaskAndNoMaskAgree(t *testing.T) {
+	// Property: masks are a pure optimisation — identical links either way.
+	statics := make([]StaticEntity, 0, 40)
+	for i, a := range gen.Areas(5, gen.ProtectedArea, 30, geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 26, MaxLat: 40}, 2_000, 15_000) {
+		statics = append(statics, StaticEntity{ID: fmt.Sprintf("area-%d", i), Geom: a.Geom})
+	}
+	for i, p := range gen.Ports(6, 10, geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 26, MaxLat: 40}) {
+		statics = append(statics, StaticEntity{ID: fmt.Sprintf("port-%d", i), Geom: p.Pos})
+	}
+	noMask := NewDiscoverer(baseConfig(0), statics)
+	withMask := NewDiscoverer(baseConfig(8), statics)
+
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 7,
+		Region: geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 26, MaxLat: 40}})
+	reports := sim.Run(30 * time.Minute)
+	for _, r := range reports {
+		a := noMask.ProcessPoint(r.ID, r.Time, r.Pos)
+		b := withMask.ProcessPoint(r.ID, r.Time, r.Pos)
+		if len(a) != len(b) {
+			t.Fatalf("link sets differ at %s: %v vs %v", r.ID, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("link %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+	// The masked variant must have done strictly less precise work.
+	if withMask.Stats().Comparisons >= noMask.Stats().Comparisons {
+		t.Errorf("masks should reduce comparisons: %d vs %d",
+			withMask.Stats().Comparisons, noMask.Stats().Comparisons)
+	}
+	if withMask.Stats().MaskSkips == 0 {
+		t.Error("mask never fired")
+	}
+}
+
+func TestPointPointProximity(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.TemporalWindow = 10 * time.Minute
+	d := NewDiscoverer(cfg, nil)
+	base := geo.Pt(25.0, 39.0)
+	// v1 reports, then v2 reports 1km away within the window.
+	d.ProcessPoint("v1", t0, base)
+	links := d.ProcessPoint("v2", t0.Add(2*time.Minute), geo.Destination(base, 90, 1_000))
+	if !findLink(links, NearTo, "v1") {
+		t.Fatalf("proximity missed: %v", links)
+	}
+	// v3 reports nearby but outside the temporal window of v1.
+	links = d.ProcessPoint("v3", t0.Add(30*time.Minute), geo.Destination(base, 0, 500))
+	if findLink(links, NearTo, "v1") {
+		t.Error("expired point should have been cleaned up")
+	}
+	// Far point: no relation.
+	links = d.ProcessPoint("v4", t0.Add(31*time.Minute), geo.Destination(base, 90, 50_000))
+	if len(links) != 0 {
+		t.Errorf("unexpected links: %v", links)
+	}
+}
+
+func TestPointPointAcrossCells(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.TemporalWindow = 10 * time.Minute
+	cfg.NearDistanceM = 8_000
+	d := NewDiscoverer(cfg, nil)
+	// Two points straddling a cell boundary: grid cell size is 0.1° ≈ 9km,
+	// so pick points either side of a boundary ~3km apart.
+	d.ProcessPoint("a", t0, geo.Pt(24.099, 38.0))
+	links := d.ProcessPoint("b", t0.Add(time.Minute), geo.Pt(24.101, 38.0))
+	if !findLink(links, NearTo, "a") {
+		t.Errorf("cross-cell proximity missed: %v", links)
+	}
+}
+
+func TestSelfProximityExcluded(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.TemporalWindow = 10 * time.Minute
+	d := NewDiscoverer(cfg, nil)
+	p := geo.Pt(25, 39)
+	d.ProcessPoint("v1", t0, p)
+	links := d.ProcessPoint("v1", t0.Add(time.Minute), geo.Destination(p, 90, 100))
+	if findLink(links, NearTo, "v1") {
+		t.Error("an entity should not be near itself")
+	}
+}
+
+func TestPointOutsideExtent(t *testing.T) {
+	d := NewDiscoverer(baseConfig(8), testStatics())
+	if links := d.ProcessPoint("v1", t0, geo.Pt(0, 0)); links != nil {
+		t.Errorf("points outside the grid should produce no links: %v", links)
+	}
+}
+
+func TestLinkTriple(t *testing.T) {
+	l := Link{Source: "v1", Target: "region-a", Relation: Within, Time: t0}
+	tr := l.Triple()
+	if tr.P != ontology.PropWithin {
+		t.Errorf("predicate = %v", tr.P)
+	}
+	l2 := Link{Source: "v1", Target: "port-1", Relation: NearTo, Time: t0}
+	if l2.Triple().P != ontology.PropNearTo {
+		t.Error("nearTo predicate wrong")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	d := NewDiscoverer(baseConfig(4), testStatics())
+	d.ProcessPoint("v1", t0, geo.Pt(23.2, 37.2))
+	if s := d.Stats().String(); s == "" {
+		t.Error("stats string empty")
+	}
+	if d.Stats().Entities != 1 {
+		t.Errorf("entities = %d", d.Stats().Entities)
+	}
+}

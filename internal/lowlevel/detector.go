@@ -1,0 +1,211 @@
+package lowlevel
+
+import (
+	"sort"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// Region is a monitored geographical zone for entry/exit detection.
+type Region struct {
+	ID   string
+	Geom *geo.Polygon
+}
+
+// AreaEventType distinguishes entries from exits.
+type AreaEventType int
+
+const (
+	Entry AreaEventType = iota
+	Exit
+)
+
+func (t AreaEventType) String() string {
+	if t == Entry {
+		return "entry"
+	}
+	return "exit"
+}
+
+// AreaEvent records a mover crossing a monitored region boundary.
+type AreaEvent struct {
+	MoverID string
+	AreaID  string
+	Type    AreaEventType
+	Time    time.Time
+	Pos     geo.Point
+}
+
+// AreaMonitor annotates a position stream with entry/exit events. A spatial
+// grid over the monitored regions keeps each update sub-linear in the number
+// of regions.
+type AreaMonitor struct {
+	regions []Region
+	grid    *geo.Grid
+	cells   map[int][]int           // cell index -> region indices with bbox overlap
+	inside  map[string]map[int]bool // mover -> region indices currently inside
+}
+
+// NewAreaMonitor indexes the regions for streaming lookups. gridN controls
+// the index resolution (gridN×gridN cells over the regions' joint extent).
+func NewAreaMonitor(regions []Region, gridN int) *AreaMonitor {
+	if gridN < 1 {
+		gridN = 64
+	}
+	extent := geo.EmptyRect()
+	for _, rg := range regions {
+		extent = extent.ExtendRect(rg.Geom.Bounds())
+	}
+	m := &AreaMonitor{
+		regions: regions,
+		cells:   make(map[int][]int),
+		inside:  make(map[string]map[int]bool),
+	}
+	if extent.IsEmpty() {
+		return m
+	}
+	m.grid = geo.NewGrid(extent, gridN, gridN)
+	for ri, rg := range regions {
+		for _, c := range m.grid.CoveringCells(rg.Geom.Bounds()) {
+			m.cells[c] = append(m.cells[c], ri)
+		}
+	}
+	return m
+}
+
+// Update processes one report and returns the entry/exit events it causes.
+// Events are ordered by area ID for determinism.
+func (m *AreaMonitor) Update(r mobility.Report) []AreaEvent {
+	current := m.regionsAt(r.Pos)
+	prev := m.inside[r.ID]
+	var out []AreaEvent
+	for ri := range current {
+		if !prev[ri] {
+			out = append(out, AreaEvent{
+				MoverID: r.ID, AreaID: m.regions[ri].ID, Type: Entry, Time: r.Time, Pos: r.Pos,
+			})
+		}
+	}
+	for ri := range prev {
+		if !current[ri] {
+			out = append(out, AreaEvent{
+				MoverID: r.ID, AreaID: m.regions[ri].ID, Type: Exit, Time: r.Time, Pos: r.Pos,
+			})
+		}
+	}
+	if len(current) == 0 {
+		delete(m.inside, r.ID)
+	} else {
+		m.inside[r.ID] = current
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].AreaID < out[j].AreaID
+	})
+	return out
+}
+
+// Inside reports the region IDs the mover is currently inside.
+func (m *AreaMonitor) Inside(moverID string) []string {
+	var out []string
+	for ri := range m.inside[moverID] {
+		out = append(out, m.regions[ri].ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// regionsAt returns the set of region indices containing p.
+func (m *AreaMonitor) regionsAt(p geo.Point) map[int]bool {
+	if m.grid == nil {
+		return nil
+	}
+	cell, ok := m.grid.CellIndex(p)
+	if !ok {
+		return nil
+	}
+	var set map[int]bool
+	for _, ri := range m.cells[cell] {
+		if m.regions[ri].Geom.Contains(p) {
+			if set == nil {
+				set = make(map[int]bool)
+			}
+			set[ri] = true
+		}
+	}
+	return set
+}
+
+// TrajectoryProfile aggregates the paper's per-trajectory in-situ metadata:
+// running statistics of speed and acceleration, used downstream for data
+// quality assessment.
+type TrajectoryProfile struct {
+	MoverID string
+	Speed   *RunningStats // knots
+	Accel   *RunningStats // m/s²
+	last    mobility.Report
+	hasLast bool
+}
+
+// NewTrajectoryProfile returns an empty profile for a mover.
+func NewTrajectoryProfile(moverID string) *TrajectoryProfile {
+	return &TrajectoryProfile{
+		MoverID: moverID,
+		Speed:   NewRunningStats(),
+		Accel:   NewRunningStats(),
+	}
+}
+
+// Observe folds one report into the profile. Acceleration is derived from
+// consecutive speed-over-ground samples.
+func (p *TrajectoryProfile) Observe(r mobility.Report) {
+	p.Speed.Observe(r.SpeedKn)
+	if p.hasLast {
+		dt := r.Time.Sub(p.last.Time).Seconds()
+		if dt > 0 {
+			accel := (r.SpeedMS() - p.last.SpeedMS()) / dt
+			p.Accel.Observe(accel)
+		}
+	}
+	p.last = r
+	p.hasLast = true
+}
+
+// Profiler maintains TrajectoryProfiles for every mover on a stream.
+type Profiler struct {
+	profiles map[string]*TrajectoryProfile
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{profiles: make(map[string]*TrajectoryProfile)}
+}
+
+// Observe folds a report into its mover's profile.
+func (pf *Profiler) Observe(r mobility.Report) {
+	p, ok := pf.profiles[r.ID]
+	if !ok {
+		p = NewTrajectoryProfile(r.ID)
+		pf.profiles[r.ID] = p
+	}
+	p.Observe(r)
+}
+
+// Profile returns a mover's profile, or nil if unseen.
+func (pf *Profiler) Profile(moverID string) *TrajectoryProfile {
+	return pf.profiles[moverID]
+}
+
+// MoverIDs returns the sorted IDs with profiles.
+func (pf *Profiler) MoverIDs() []string {
+	out := make([]string, 0, len(pf.profiles))
+	for id := range pf.profiles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

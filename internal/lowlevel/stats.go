@@ -1,0 +1,123 @@
+// Package lowlevel implements the in-situ low-level event detection of
+// Section 4.2.1: per-trajectory running statistics (min/max/average/median)
+// of derived motion attributes such as speed and acceleration, and the
+// annotation of position streams with area entry/exit events against a set
+// of monitored geographical zones.
+package lowlevel
+
+import (
+	"container/heap"
+	"math"
+)
+
+// RunningStats maintains exact min, max, mean and median of a value stream
+// in O(log n) per observation, using the classic two-heap median algorithm.
+type RunningStats struct {
+	min, max float64
+	sum      float64
+	n        int64
+	lo       maxHeap // values <= median
+	hi       minHeap // values >= median
+}
+
+// NewRunningStats returns empty statistics.
+func NewRunningStats() *RunningStats {
+	return &RunningStats{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe adds a value.
+func (s *RunningStats) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.n++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	// Median maintenance.
+	if s.lo.Len() == 0 || v <= s.lo.peek() {
+		heap.Push(&s.lo, v)
+	} else {
+		heap.Push(&s.hi, v)
+	}
+	if s.lo.Len() > s.hi.Len()+1 {
+		heap.Push(&s.hi, heap.Pop(&s.lo))
+	} else if s.hi.Len() > s.lo.Len() {
+		heap.Push(&s.lo, heap.Pop(&s.hi))
+	}
+}
+
+// N returns the number of observations.
+func (s *RunningStats) N() int64 { return s.n }
+
+// Min returns the minimum, or NaN when empty.
+func (s *RunningStats) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the maximum, or NaN when empty.
+func (s *RunningStats) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Mean returns the average, or NaN when empty.
+func (s *RunningStats) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// Median returns the running median (average of the two central values for
+// even counts), or NaN when empty.
+func (s *RunningStats) Median() float64 {
+	switch {
+	case s.n == 0:
+		return math.NaN()
+	case s.lo.Len() > s.hi.Len():
+		return s.lo.peek()
+	default:
+		return (s.lo.peek() + s.hi.peek()) / 2
+	}
+}
+
+// maxHeap and minHeap are float64 heaps for the median.
+type maxHeap []float64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+func (h maxHeap) peek() float64 { return h[0] }
+
+type minHeap []float64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+func (h minHeap) peek() float64 { return h[0] }

@@ -1,0 +1,302 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by broker operations.
+var (
+	ErrTopicExists    = errors.New("msg: topic already exists")
+	ErrUnknownTopic   = errors.New("msg: unknown topic")
+	ErrBadPartition   = errors.New("msg: partition out of range")
+	ErrClosed         = errors.New("msg: broker closed")
+	ErrOffsetOutRange = errors.New("msg: offset out of range")
+)
+
+// Broker is an in-process, thread-safe message broker.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+	groups map[string]*group // keyed by groupID + "/" + topic
+	closed bool
+}
+
+// topic is a named set of partition logs.
+type topic struct {
+	name  string
+	parts []*partition
+}
+
+// partition is an append-only log with a broadcast condition for blocking
+// fetches.
+type partition struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	records []Record
+	closed  bool
+}
+
+func newPartition() *partition {
+	p := &partition{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics: make(map[string]*topic),
+		groups: make(map[string]*group),
+	}
+}
+
+// CreateTopic creates a topic with the given number of partitions (minimum 1).
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions < 1 {
+		partitions = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %s", ErrTopicExists, name)
+	}
+	t := &topic{name: name, parts: make([]*partition, partitions)}
+	for i := range t.parts {
+		t.parts[i] = newPartition()
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// EnsureTopic creates the topic if it does not exist and returns nil either way.
+func (b *Broker) EnsureTopic(name string, partitions int) error {
+	err := b.CreateTopic(name, partitions)
+	if errors.Is(err, ErrTopicExists) {
+		return nil
+	}
+	return err
+}
+
+// Topics returns the sorted topic names.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Partitions returns the number of partitions of a topic.
+func (b *Broker) Partitions(topicName string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topicName)
+	}
+	return len(t.parts), nil
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTopic, name)
+	}
+	return t, nil
+}
+
+// Produce appends a record to the topic, choosing the partition by key hash
+// (or partition 0 for an empty key on a single-partition topic). It returns
+// the record as stored, with partition and offset filled in.
+func (b *Broker) Produce(topicName, key string, value []byte, ts time.Time) (Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return Record{}, err
+	}
+	pIdx := hashKey(key, len(t.parts))
+	return b.produceTo(t, pIdx, key, value, ts)
+}
+
+// ProduceTo appends a record to an explicit partition.
+func (b *Broker) ProduceTo(topicName string, partitionIdx int, key string, value []byte, ts time.Time) (Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return Record{}, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return Record{}, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	return b.produceTo(t, partitionIdx, key, value, ts)
+}
+
+func (b *Broker) produceTo(t *topic, pIdx int, key string, value []byte, ts time.Time) (Record, error) {
+	p := t.parts[pIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Record{}, ErrClosed
+	}
+	rec := Record{
+		Topic:     t.name,
+		Partition: pIdx,
+		Offset:    int64(len(p.records)),
+		Key:       key,
+		Value:     value,
+		Time:      ts,
+	}
+	p.records = append(p.records, rec)
+	p.cond.Broadcast()
+	return rec, nil
+}
+
+// Fetch returns up to max records from the partition starting at offset.
+// When no records are available it blocks until some are produced, the
+// partition is closed (returns io-style empty slice with ErrClosed), or the
+// context is cancelled.
+func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	if max <= 0 {
+		max = 1
+	}
+	p := t.parts[partitionIdx]
+
+	// Wake the cond wait when the context is cancelled.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrOffsetOutRange, offset)
+	}
+	for int64(len(p.records)) <= offset {
+		if p.closed {
+			return nil, ErrClosed
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		p.cond.Wait()
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	out := make([]Record, end-offset)
+	copy(out, p.records[offset:end])
+	return out, nil
+}
+
+// EndOffset returns the offset one past the last record of the partition.
+func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.records)), nil
+}
+
+// CloseTopic marks a topic's partitions closed: pending and future fetches
+// past the end return ErrClosed, signalling end-of-stream to consumers.
+// Already-buffered records remain fetchable.
+func (b *Broker) CloseTopic(topicName string) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	for _, p := range t.parts {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Close closes every topic and the broker itself.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	names := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		names = append(names, name)
+	}
+	b.closed = true
+	b.mu.Unlock()
+	for _, name := range names {
+		// topics map is never mutated after close; CloseTopic re-reads it.
+		b.mu.Lock()
+		t := b.topics[name]
+		b.mu.Unlock()
+		for _, p := range t.parts {
+			p.mu.Lock()
+			p.closed = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// TotalRecords reports the number of records currently retained in a topic,
+// summed over partitions. Used by monitoring and benchmarks.
+func (b *Broker) TotalRecords(topicName string) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, p := range t.parts {
+		p.mu.Lock()
+		n += int64(len(p.records))
+		p.mu.Unlock()
+	}
+	return n, nil
+}
+
+// TotalBytes reports the summed value sizes retained in a topic.
+func (b *Broker) TotalBytes(topicName string) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, p := range t.parts {
+		p.mu.Lock()
+		for _, r := range p.records {
+			n += int64(len(r.Value))
+		}
+		p.mu.Unlock()
+	}
+	return n, nil
+}

@@ -1,0 +1,516 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var base = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestCreateTopicAndProduce(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("ais", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("ais", 4); !errors.Is(err, ErrTopicExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if err := b.EnsureTopic("ais", 4); err != nil {
+		t.Errorf("EnsureTopic on existing: %v", err)
+	}
+	if _, err := b.Produce("nope", "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("produce to unknown topic: %v", err)
+	}
+	rec, err := b.Produce("ais", "vessel-1", []byte("hello"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Offset != 0 || rec.Topic != "ais" {
+		t.Errorf("unexpected record: %+v", rec)
+	}
+	n, err := b.Partitions("ais")
+	if err != nil || n != 4 {
+		t.Errorf("partitions = %d, %v", n, err)
+	}
+}
+
+func TestKeyAffinity(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 8); err != nil {
+		t.Fatal(err)
+	}
+	// All records with the same key go to the same partition, in order.
+	for i := 0; i < 20; i++ {
+		if _, err := b.Produce("t", "vessel-42", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	part := hashKey("vessel-42", 8)
+	recs, err := b.Fetch(context.Background(), "t", part, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("got %d records in key partition, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.Offset != int64(i) || r.Value[0] != byte(i) {
+			t.Errorf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestHashKeyProperties(t *testing.T) {
+	f := func(key string, nSeed uint8) bool {
+		n := int(nSeed%16) + 1
+		p := hashKey(key, n)
+		return p >= 0 && p < n && p == hashKey(key, n) // in-range and stable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchBlocksUntilProduce(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []Record, 1)
+	go func() {
+		recs, err := b.Fetch(context.Background(), "t", 0, 0, 10)
+		if err != nil {
+			t.Errorf("fetch: %v", err)
+		}
+		done <- recs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("fetch returned before produce")
+	default:
+	}
+	if _, err := b.Produce("t", "k", []byte("x"), base); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case recs := <-done:
+		if len(recs) != 1 || string(recs[0].Value) != "x" {
+			t.Errorf("got %+v", recs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch did not wake after produce")
+	}
+}
+
+func TestFetchContextCancel(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(ctx, "t", 0, 0, 1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch did not observe cancellation")
+	}
+}
+
+func TestCloseTopicEndsFetch(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "k", []byte("x"), base); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CloseTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered records remain readable.
+	recs, err := b.Fetch(context.Background(), "t", 0, 0, 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("buffered fetch after close: %v, %d", err, len(recs))
+	}
+	// Reading past the end returns ErrClosed instead of blocking.
+	if _, err := b.Fetch(context.Background(), "t", 0, 1, 10); !errors.Is(err, ErrClosed) {
+		t.Errorf("fetch past end of closed topic: %v", err)
+	}
+	// Producing to a closed topic fails.
+	if _, err := b.Produce("t", "k", []byte("y"), base); !errors.Is(err, ErrClosed) {
+		t.Errorf("produce to closed topic: %v", err)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fetch(context.Background(), "t", 5, 0, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("bad partition: %v", err)
+	}
+	if _, err := b.Fetch(context.Background(), "t", 0, -1, 1); !errors.Is(err, ErrOffsetOutRange) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestConcurrentProducersTotalCount(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	const producers, each = 8, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("key-%d", (p*each+i)%17)
+				if _, err := b.Produce("t", key, []byte("v"), base); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	n, err := b.TotalRecords("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != producers*each {
+		t.Errorf("total records = %d, want %d", n, producers*each)
+	}
+}
+
+func TestConsumerGroupSinglePartitionOrder(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := b.Produce("t", "k", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.NewConsumer("g1", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var got []byte
+	for len(got) < 50 {
+		recs, err := c.Poll(context.Background(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			got = append(got, r.Value[0])
+			c.Commit(r)
+		}
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("record %d = %d, out of order", i, v)
+		}
+	}
+}
+
+func TestConsumerGroupRebalance(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Assignment(); len(got) != 4 {
+		t.Errorf("single member should own all 4 partitions, got %v", got)
+	}
+	c2, err := b.NewConsumer("g", "t", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := c1.Assignment(), c2.Assignment()
+	if len(a1)+len(a2) != 4 || len(a1) != 2 || len(a2) != 2 {
+		t.Errorf("rebalanced assignment uneven: %v / %v", a1, a2)
+	}
+	seen := map[int]bool{}
+	for _, p := range append(a1, a2...) {
+		if seen[p] {
+			t.Errorf("partition %d assigned twice", p)
+		}
+		seen[p] = true
+	}
+	c2.Close()
+	if got := c1.Assignment(); len(got) != 4 {
+		t.Errorf("after leave, m1 should re-own all partitions, got %v", got)
+	}
+}
+
+func TestMoreConsumersThanPartitions(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := b.NewConsumer("g", "t", "m1")
+	c2, _ := b.NewConsumer("g", "t", "m2")
+	c3, _ := b.NewConsumer("g", "t", "m3") // no partition for this one
+	defer c1.Close()
+	defer c2.Close()
+	a1, a2, a3 := c1.Assignment(), c2.Assignment(), c3.Assignment()
+	if len(a1)+len(a2)+len(a3) != 2 {
+		t.Errorf("assignments = %v %v %v", a1, a2, a3)
+	}
+	if len(a3) != 0 {
+		t.Errorf("overflow consumer should idle, got %v", a3)
+	}
+	if _, err := c3.Poll(context.Background(), 1); err == nil {
+		t.Error("poll with no assignment should error")
+	}
+	// When a member leaves, the idle consumer picks up its partition.
+	c1.Close()
+	if got := c3.Assignment(); len(got) != 1 {
+		t.Errorf("after rebalance, overflow consumer owns %v", got)
+	}
+}
+
+func TestConsumerGroupsIndependent(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.Produce("t", "k", []byte{byte(i)}, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(group string) int {
+		c, err := b.NewConsumer(group, "t", "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		n := 0
+		for n < 10 {
+			recs, err := c.Poll(context.Background(), 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				c.Commit(r)
+				n++
+			}
+		}
+		return n
+	}
+	if read("g1") != 10 || read("g2") != 10 {
+		t.Error("each group should independently read all records")
+	}
+}
+
+func TestCommittedOffsetsSurviveReconnect(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.Produce("t", "k", []byte{byte(i)}, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, _ := b.NewConsumer("g", "t", "m1")
+	recs, err := c1.Poll(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		c1.Commit(r)
+	}
+	c1.Close()
+	// A new member of the same group resumes after the committed offset.
+	c2, _ := b.NewConsumer("g", "t", "m2")
+	defer c2.Close()
+	recs, err = c2.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Value[0] != 4 {
+		t.Errorf("resumed at value %d, want 4", recs[0].Value[0])
+	}
+}
+
+func TestConsumerLag(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := b.NewConsumer("g", "t", "m")
+	defer c.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := b.Produce("t", fmt.Sprintf("k%d", i), nil, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lag, err := c.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 6 {
+		t.Errorf("lag = %d, want 6", lag)
+	}
+	recs, err := c.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, _ = c.Lag()
+	if lag != 6-int64(len(recs)) {
+		t.Errorf("lag after poll = %d, want %d", lag, 6-len(recs))
+	}
+}
+
+func TestDrainMergesByTime(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Produce with interleaved timestamps across partitions.
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("k%d", i%5)
+		if _, err := b.Produce("t", key, []byte{byte(i)}, base.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := b.Drain("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 30 {
+		t.Fatalf("drained %d, want 30", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatalf("drain not time-ordered at %d", i)
+		}
+	}
+}
+
+func TestParallelConsumersPartitionDisjoint(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	for i := 0; i < total; i++ {
+		if _, err := b.Produce("t", fmt.Sprintf("key-%d", i), []byte{1}, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.CloseTopic("t")
+	c1, _ := b.NewConsumer("g", "t", "m1")
+	c2, _ := b.NewConsumer("g", "t", "m2")
+	defer c1.Close()
+	defer c2.Close()
+	count := func(c *Consumer) int {
+		n := 0
+		for {
+			recs, err := c.Poll(context.Background(), 64)
+			if errors.Is(err, ErrClosed) {
+				return n
+			}
+			if err != nil {
+				t.Errorf("poll: %v", err)
+				return n
+			}
+			n += len(recs)
+		}
+	}
+	var n1, n2 int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); n1 = count(c1) }()
+	go func() { defer wg.Done(); n2 = count(c2) }()
+	wg.Wait()
+	if n1+n2 != total {
+		t.Errorf("consumed %d+%d=%d, want %d", n1, n2, n1+n2, total)
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Errorf("load should be shared: %d / %d", n1, n2)
+	}
+}
+
+func TestTopicsProduceToAndClose(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("beta", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("alpha", 1); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Topics()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("topics = %v", got)
+	}
+	// Explicit-partition produce.
+	rec, err := b.ProduceTo("beta", 1, "k", []byte("x"), base)
+	if err != nil || rec.Partition != 1 {
+		t.Errorf("ProduceTo: %+v, %v", rec, err)
+	}
+	if _, err := b.ProduceTo("beta", 9, "k", nil, base); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("bad partition: %v", err)
+	}
+	if _, err := b.ProduceTo("nope", 0, "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("unknown topic: %v", err)
+	}
+	// Broker-wide close: producing and creating fail afterwards.
+	b.Close()
+	if _, err := b.Produce("alpha", "k", nil, base); !errors.Is(err, ErrClosed) {
+		t.Errorf("produce after close: %v", err)
+	}
+	if err := b.CreateTopic("gamma", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("create after close: %v", err)
+	}
+	// Unlike CloseTopic (end-of-stream), broker Close is full shutdown:
+	// reads fail too.
+	if _, err := b.Fetch(context.Background(), "beta", 1, 0, 10); !errors.Is(err, ErrClosed) {
+		t.Errorf("fetch after broker close: %v", err)
+	}
+}
+
+func TestBrokerVolumeAccounting(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	for i := 0; i < 7; i++ {
+		if _, err := b.Produce("t", fmt.Sprintf("k%d", i), payload, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes, err := b.TotalBytes("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 70 {
+		t.Errorf("bytes = %d, want 70", bytes)
+	}
+}

@@ -1,0 +1,272 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// group holds the coordination state for one (groupID, topic) pair:
+// member list, partition assignment generation, and committed offsets.
+type group struct {
+	mu        sync.Mutex
+	id        string
+	topicName string
+	members   []string      // sorted member IDs
+	gen       int           // bumped on every membership change
+	committed map[int]int64 // partition -> next offset to consume
+}
+
+func groupKey(groupID, topic string) string { return groupID + "/" + topic }
+
+func (b *Broker) group(groupID, topicName string) *group {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := groupKey(groupID, topicName)
+	g, ok := b.groups[k]
+	if !ok {
+		g = &group{id: groupID, topicName: topicName, committed: make(map[int]int64)}
+		b.groups[k] = g
+	}
+	return g
+}
+
+// join adds a member and returns the new generation.
+func (g *group) join(member string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m == member {
+			return g.gen
+		}
+	}
+	g.members = append(g.members, member)
+	sort.Strings(g.members)
+	g.gen++
+	return g.gen
+}
+
+// leave removes a member and returns the new generation.
+func (g *group) leave(member string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == member {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.gen++
+			break
+		}
+	}
+	return g.gen
+}
+
+// assignment returns the partitions owned by member under range assignment,
+// along with the generation the assignment is valid for.
+func (g *group) assignment(member string, numPartitions int) ([]int, int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := -1
+	for i, m := range g.members {
+		if m == member {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(g.members) == 0 {
+		return nil, g.gen
+	}
+	var parts []int
+	for p := 0; p < numPartitions; p++ {
+		if p%len(g.members) == idx {
+			parts = append(parts, p)
+		}
+	}
+	return parts, g.gen
+}
+
+func (g *group) committedOffset(partition int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[partition]
+}
+
+func (g *group) commit(partition int, nextOffset int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if nextOffset > g.committed[partition] {
+		g.committed[partition] = nextOffset
+	}
+}
+
+// Consumer reads a topic as part of a consumer group. Consumers are not
+// safe for concurrent use; create one per goroutine.
+type Consumer struct {
+	broker    *Broker
+	grp       *group
+	topicName string
+	member    string
+
+	gen       int
+	parts     []int
+	positions map[int]int64 // partition -> next fetch offset
+	rr        int           // round-robin cursor over parts
+	closed    bool
+}
+
+// NewConsumer joins the consumer group for a topic. Member IDs must be
+// unique within a group.
+func (b *Broker) NewConsumer(groupID, topicName, member string) (*Consumer, error) {
+	if _, err := b.Partitions(topicName); err != nil {
+		return nil, err
+	}
+	g := b.group(groupID, topicName)
+	g.join(member)
+	c := &Consumer{
+		broker:    b,
+		grp:       g,
+		topicName: topicName,
+		member:    member,
+		gen:       -1,
+		positions: make(map[int]int64),
+	}
+	return c, nil
+}
+
+// refresh re-reads the assignment after a rebalance and resets fetch
+// positions of newly owned partitions to the group's committed offsets.
+func (c *Consumer) refresh() error {
+	n, err := c.broker.Partitions(c.topicName)
+	if err != nil {
+		return err
+	}
+	parts, gen := c.grp.assignment(c.member, n)
+	if gen == c.gen {
+		return nil
+	}
+	c.gen = gen
+	c.parts = parts
+	c.positions = make(map[int]int64, len(parts))
+	for _, p := range parts {
+		c.positions[p] = c.grp.committedOffset(p)
+	}
+	c.rr = 0
+	return nil
+}
+
+// Assignment returns the partitions currently owned by this consumer.
+func (c *Consumer) Assignment() []int {
+	if err := c.refresh(); err != nil {
+		return nil
+	}
+	return append([]int(nil), c.parts...)
+}
+
+// Poll returns up to max records from the consumer's assigned partitions,
+// cycling through them round-robin. It blocks until at least one record is
+// available, the topic is closed (ErrClosed), or the context is cancelled.
+// Polled records are NOT committed automatically; call Commit.
+func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if err := c.refresh(); err != nil {
+		return nil, err
+	}
+	if len(c.parts) == 0 {
+		return nil, fmt.Errorf("msg: consumer %s has no assigned partitions", c.member)
+	}
+	if max <= 0 {
+		max = 1
+	}
+	// First pass: try each partition non-blockingly by checking EndOffset.
+	for range c.parts {
+		p := c.parts[c.rr%len(c.parts)]
+		c.rr++
+		end, err := c.broker.EndOffset(c.topicName, p)
+		if err != nil {
+			return nil, err
+		}
+		if end > c.positions[p] {
+			recs, err := c.broker.Fetch(ctx, c.topicName, p, c.positions[p], max)
+			if err != nil {
+				return nil, err
+			}
+			c.positions[p] = recs[len(recs)-1].Offset + 1
+			return recs, nil
+		}
+	}
+	// Nothing buffered anywhere: block on the next partition in order.
+	p := c.parts[c.rr%len(c.parts)]
+	c.rr++
+	recs, err := c.broker.Fetch(ctx, c.topicName, p, c.positions[p], max)
+	if err != nil {
+		return nil, err
+	}
+	c.positions[p] = recs[len(recs)-1].Offset + 1
+	return recs, nil
+}
+
+// Commit records that every record of rec's partition up to and including
+// rec has been processed.
+func (c *Consumer) Commit(rec Record) {
+	c.grp.commit(rec.Partition, rec.Offset+1)
+}
+
+// Lag returns the total number of records in assigned partitions that have
+// been produced but not yet fetched by this consumer.
+func (c *Consumer) Lag() (int64, error) {
+	if err := c.refresh(); err != nil {
+		return 0, err
+	}
+	var lag int64
+	for _, p := range c.parts {
+		end, err := c.broker.EndOffset(c.topicName, p)
+		if err != nil {
+			return 0, err
+		}
+		if d := end - c.positions[p]; d > 0 {
+			lag += d
+		}
+	}
+	return lag, nil
+}
+
+// Close leaves the consumer group, triggering a rebalance for remaining
+// members.
+func (c *Consumer) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.grp.leave(c.member)
+}
+
+// Drain reads all records currently in the topic from the beginning,
+// independent of any group — a convenience for batch-layer components that
+// re-process a full log. It does not block for future records.
+func (b *Broker) Drain(topicName string) ([]Record, error) {
+	n, err := b.Partitions(topicName)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for p := 0; p < n; p++ {
+		end, err := b.EndOffset(topicName, p)
+		if err != nil {
+			return nil, err
+		}
+		if end == 0 {
+			continue
+		}
+		recs, err := b.Fetch(context.Background(), topicName, p, 0, int(end))
+		if err != nil && !errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	// Merge partitions by time to give the batch layer a coherent order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}

@@ -1,0 +1,36 @@
+// Package msg implements the in-process message broker that substitutes for
+// Apache Kafka in the datAcron architecture: named topics split into
+// partitions, each an append-only offset-addressed log, with producers that
+// partition by key hash and consumer groups with partition assignment and
+// committed offsets.
+//
+// The broker provides the same contract the pipeline relies on from Kafka:
+// records within a partition are totally ordered and replayable from any
+// offset, records with equal keys land in the same partition, and multiple
+// consumer groups read the same topic independently.
+package msg
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Record is a single message in a partition log.
+type Record struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       string
+	Value     []byte
+	Time      time.Time
+}
+
+// hashKey maps a key to a partition index in [0, n).
+func hashKey(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,166 @@
+// Package ontology defines the datAcron ontology vocabulary (Santipantakis
+// et al., SEMANTICS 2017; Section 4.1 and Figure 3 of the overview paper)
+// and helpers for building semantic-trajectory RDF structures: trajectories
+// segmented into trajectory parts, semantic nodes anchored to raw positions,
+// and events associated with trajectories or the moving entity's state.
+package ontology
+
+import (
+	"fmt"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/rdf"
+)
+
+// Classes of the datAcron ontology (subset used by the pipeline).
+var (
+	ClassTrajectory     = rdf.NSDatAcron.IRI("Trajectory")
+	ClassTrajectoryPart = rdf.NSDatAcron.IRI("TrajectoryPart")
+	ClassSemanticNode   = rdf.NSDatAcron.IRI("SemanticNode")
+	ClassRawPosition    = rdf.NSDatAcron.IRI("RawPosition")
+	ClassMovingObject   = rdf.NSDatAcron.IRI("MovingObject")
+	ClassVessel         = rdf.NSDatAcron.IRI("Vessel")
+	ClassAircraft       = rdf.NSDatAcron.IRI("Aircraft")
+	ClassWeatherCond    = rdf.NSDatAcron.IRI("WeatherCondition")
+	ClassRegion         = rdf.NSDatAcron.IRI("Region")
+	ClassPort           = rdf.NSDatAcron.IRI("Port")
+	ClassEvent          = rdf.NSDUL.IRI("Event")
+)
+
+// Properties of the datAcron ontology (subset used by the pipeline).
+var (
+	PropHasPart     = rdf.NSDatAcron.IRI("hasPart")
+	PropHasNode     = rdf.NSDatAcron.IRI("hasSemanticNode")
+	PropOfMover     = rdf.NSDatAcron.IRI("ofMovingObject")
+	PropHasRaw      = rdf.NSDatAcron.IRI("hasRawPosition")
+	PropOccurs      = rdf.NSDatAcron.IRI("occurs")
+	PropHasGeometry = rdf.NSGeo.IRI("hasGeometry")
+	PropAsWKT       = rdf.NSGeo.IRI("asWKT")
+	PropAtTime      = rdf.NSDatAcron.IRI("atTime")
+	PropSpeed       = rdf.NSDatAcron.IRI("speed")
+	PropHeading     = rdf.NSDatAcron.IRI("heading")
+	PropAltitude    = rdf.NSDatAcron.IRI("altitude")
+	PropEventType   = rdf.NSDatAcron.IRI("eventType")
+	PropWithin      = rdf.NSDUL.IRI("within")
+	PropNearTo      = rdf.NSGeo.IRI("nearTo")
+	PropHasName     = rdf.NSDatAcron.IRI("hasName")
+	PropWindSpeed   = rdf.NSDatAcron.IRI("windSpeed")
+	PropWaveHeight  = rdf.NSDatAcron.IRI("waveHeight")
+	PropTemperature = rdf.NSDatAcron.IRI("temperature")
+	PropReportedBy  = rdf.NSSSN.IRI("madeBySensor")
+)
+
+// Entity IRI minting helpers. All pipeline components must mint entity IRIs
+// through these so that link discovery and the store agree on identities.
+
+// MoverIRI returns the IRI of a moving object.
+func MoverIRI(id string) rdf.IRI { return rdf.NSDatAcron.IRI("mover/" + id) }
+
+// TrajectoryIRI returns the IRI of a mover's trajectory.
+func TrajectoryIRI(moverID string) rdf.IRI {
+	return rdf.NSDatAcron.IRI("trajectory/" + moverID)
+}
+
+// NodeIRI returns the IRI of a semantic node (critical point) of a mover at
+// a position sequence number.
+func NodeIRI(moverID string, seq int) rdf.IRI {
+	return rdf.NSDatAcron.IRI(fmt.Sprintf("node/%s/%d", moverID, seq))
+}
+
+// RegionIRI returns the IRI of a geographic region.
+func RegionIRI(id string) rdf.IRI { return rdf.NSDatAcron.IRI("region/" + id) }
+
+// PortIRI returns the IRI of a port.
+func PortIRI(id string) rdf.IRI { return rdf.NSDatAcron.IRI("port/" + id) }
+
+// EventIRI returns the IRI of a detected event instance.
+func EventIRI(kind, moverID string, seq int) rdf.IRI {
+	return rdf.NSDatAcron.IRI(fmt.Sprintf("event/%s/%s/%d", kind, moverID, seq))
+}
+
+// NodeTriples lifts one enriched critical point into the ontology: a
+// SemanticNode linked to its trajectory, stamped with time, geometry and
+// motion attributes, plus an event instance when the point signifies one.
+func NodeTriples(moverID string, seq int, p mobility.EnrichedPoint) []rdf.Triple {
+	node := NodeIRI(moverID, seq)
+	traj := TrajectoryIRI(moverID)
+	out := []rdf.Triple{
+		{S: traj, P: rdf.RDFType, O: ClassTrajectory},
+		{S: traj, P: PropOfMover, O: MoverIRI(moverID)},
+		{S: traj, P: PropHasNode, O: node},
+		{S: node, P: rdf.RDFType, O: ClassSemanticNode},
+		{S: node, P: PropAtTime, O: rdf.Time(p.Time)},
+		{S: node, P: PropAsWKT, O: rdf.WKT(p.Pos.WKT())},
+		{S: node, P: PropSpeed, O: rdf.Float(p.SpeedKn)},
+		{S: node, P: PropHeading, O: rdf.Float(p.Heading)},
+	}
+	if p.AltFt != 0 {
+		out = append(out, rdf.Triple{S: node, P: PropAltitude, O: rdf.Float(p.AltFt)})
+	}
+	if p.CriticalType != "" {
+		ev := EventIRI(p.CriticalType, moverID, seq)
+		out = append(out,
+			rdf.Triple{S: ev, P: rdf.RDFType, O: ClassEvent},
+			rdf.Triple{S: ev, P: PropEventType, O: rdf.Str(p.CriticalType)},
+			rdf.Triple{S: ev, P: PropOccurs, O: node},
+		)
+	}
+	return out
+}
+
+// PartIRI returns the IRI of a trajectory part (segment) of a mover.
+func PartIRI(moverID string, idx int) rdf.IRI {
+	return rdf.NSDatAcron.IRI(fmt.Sprintf("part/%s/%d", moverID, idx))
+}
+
+// PartTriples lifts one trajectory segment into the ontology's
+// TrajectoryPart level (Figure 3): the trajectory hasPart the segment, the
+// segment is typed, time-bounded, and linked to the semantic nodes of the
+// critical points it contains (identified by their sequence numbers).
+func PartTriples(moverID string, idx int, start, end rdf.Literal, nodeSeqs []int) []rdf.Triple {
+	part := PartIRI(moverID, idx)
+	out := []rdf.Triple{
+		{S: TrajectoryIRI(moverID), P: PropHasPart, O: part},
+		{S: part, P: rdf.RDFType, O: ClassTrajectoryPart},
+		{S: part, P: PropAtTime, O: start},
+		{S: part, P: rdf.NSDatAcron.IRI("endTime"), O: end},
+	}
+	for _, seq := range nodeSeqs {
+		out = append(out, rdf.Triple{S: part, P: PropHasNode, O: NodeIRI(moverID, seq)})
+	}
+	return out
+}
+
+// TrajectoryGeometryTriples lifts a trajectory's path at the coarsest level
+// of analysis the ontology supports — "as a mere geometry": the trajectory
+// carries its full polyline as a single WKT literal, so geometry-only
+// consumers (map renderers, spatial joins) need not walk the node graph.
+func TrajectoryGeometryTriples(moverID string, path *geo.LineString) []rdf.Triple {
+	traj := TrajectoryIRI(moverID)
+	return []rdf.Triple{
+		{S: traj, P: rdf.RDFType, O: ClassTrajectory},
+		{S: traj, P: PropAsWKT, O: rdf.WKT(path.WKT())},
+	}
+}
+
+// RegionTriples lifts a named polygon into the ontology.
+func RegionTriples(id, kind string, poly *geo.Polygon) []rdf.Triple {
+	r := RegionIRI(id)
+	return []rdf.Triple{
+		{S: r, P: rdf.RDFType, O: ClassRegion},
+		{S: r, P: PropEventType, O: rdf.Str(kind)},
+		{S: r, P: PropAsWKT, O: rdf.WKT(poly.WKT())},
+		{S: r, P: PropHasName, O: rdf.Str(id)},
+	}
+}
+
+// PortTriples lifts a port register entry into the ontology.
+func PortTriples(id, name string, pos geo.Point) []rdf.Triple {
+	p := PortIRI(id)
+	return []rdf.Triple{
+		{S: p, P: rdf.RDFType, O: ClassPort},
+		{S: p, P: PropHasName, O: rdf.Str(name)},
+		{S: p, P: PropAsWKT, O: rdf.WKT(pos.WKT())},
+	}
+}

@@ -1,0 +1,120 @@
+package ontology
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/rdf"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestIRIMinting(t *testing.T) {
+	if MoverIRI("a b") != rdf.IRI("http://www.datacron-project.eu/datAcron#mover/a b") {
+		t.Errorf("MoverIRI = %s", MoverIRI("a b"))
+	}
+	if NodeIRI("m", 3) != rdf.NSDatAcron.IRI("node/m/3") {
+		t.Errorf("NodeIRI = %s", NodeIRI("m", 3))
+	}
+	if EventIRI("turn", "m", 3) != rdf.NSDatAcron.IRI("event/turn/m/3") {
+		t.Errorf("EventIRI = %s", EventIRI("turn", "m", 3))
+	}
+	// Minting is injective across kinds for the same ID.
+	if RegionIRI("x") == PortIRI("x") {
+		t.Error("region and port IRIs collide")
+	}
+}
+
+func TestNodeTriples(t *testing.T) {
+	p := mobility.NewEnrichedPoint(mobility.Report{
+		ID: "v1", Time: t0, Pos: geo.Pt(23.6, 37.9), SpeedKn: 10, Heading: 45, AltFt: 0,
+	})
+	p.CriticalType = "change_in_heading"
+	g := rdf.NewGraph()
+	g.AddAll(NodeTriples("v1", 0, p))
+	node := NodeIRI("v1", 0)
+	if !g.Has(rdf.Triple{S: node, P: rdf.RDFType, O: ClassSemanticNode}) {
+		t.Error("node typing missing")
+	}
+	if !g.Has(rdf.Triple{S: TrajectoryIRI("v1"), P: PropOfMover, O: MoverIRI("v1")}) {
+		t.Error("mover link missing")
+	}
+	// No altitude triple for surface vessels.
+	if got := g.Objects(node, PropAltitude); len(got) != 0 {
+		t.Error("vessel should have no altitude triple")
+	}
+	// Event structure.
+	ev := EventIRI("change_in_heading", "v1", 0)
+	if !g.Has(rdf.Triple{S: ev, P: PropOccurs, O: node}) {
+		t.Error("event occurs link missing")
+	}
+	// Aviation point gets altitude.
+	p2 := mobility.NewEnrichedPoint(mobility.Report{
+		ID: "f1", Time: t0, Pos: geo.Pt(2, 41), SpeedKn: 400, Heading: 240, AltFt: 35000,
+	})
+	g2 := rdf.NewGraph()
+	g2.AddAll(NodeTriples("f1", 1, p2))
+	if got := g2.Objects(NodeIRI("f1", 1), PropAltitude); len(got) != 1 {
+		t.Error("aircraft altitude triple missing")
+	}
+}
+
+func TestPartTriplesStructure(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddAll(PartTriples("v9", 2, rdf.Time(t0), rdf.Time(t0.Add(time.Hour)), []int{0, 1}))
+	part := PartIRI("v9", 2)
+	if !g.Has(rdf.Triple{S: TrajectoryIRI("v9"), P: PropHasPart, O: part}) {
+		t.Error("hasPart link missing")
+	}
+	if got := g.Objects(part, PropHasNode); len(got) != 2 {
+		t.Errorf("part nodes = %d", len(got))
+	}
+	if PartIRI("a", 1) == PartIRI("a", 2) {
+		t.Error("part IRIs collide")
+	}
+}
+
+func TestTrajectoryGeometryTriples(t *testing.T) {
+	ls, err := geo.NewLineString([]geo.Point{geo.Pt(23, 37), geo.Pt(23.5, 37.2), geo.Pt(24, 37.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraph()
+	g.AddAll(TrajectoryGeometryTriples("v1", ls))
+	wkts := g.Objects(TrajectoryIRI("v1"), PropAsWKT)
+	if len(wkts) != 1 {
+		t.Fatalf("wkts = %d", len(wkts))
+	}
+	parsed, err := geo.ParseWKT(wkts[0].(rdf.Literal).Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, ok := parsed.(*geo.LineString); !ok || len(back.Points()) != 3 {
+		t.Errorf("geometry round trip failed: %T", parsed)
+	}
+}
+
+func TestRegionAndPortTriples(t *testing.T) {
+	poly := geo.RegularPolygon(geo.Pt(24, 38), 2_000, 5)
+	g := rdf.NewGraph()
+	g.AddAll(RegionTriples("r1", "protected", poly))
+	g.AddAll(PortTriples("p1", "Piraeus", geo.Pt(23.63, 37.94)))
+	if len(g.Subjects(rdf.RDFType, ClassRegion)) != 1 {
+		t.Error("region typing")
+	}
+	if len(g.Subjects(rdf.RDFType, ClassPort)) != 1 {
+		t.Error("port typing")
+	}
+	// Geometries parse back.
+	for _, s := range []rdf.Term{RegionIRI("r1"), PortIRI("p1")} {
+		wkts := g.Objects(s, PropAsWKT)
+		if len(wkts) != 1 {
+			t.Fatalf("wkt missing for %v", s)
+		}
+		if _, err := geo.ParseWKT(wkts[0].(rdf.Literal).Value); err != nil {
+			t.Errorf("wkt unparseable: %v", err)
+		}
+	}
+}

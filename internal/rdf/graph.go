@@ -1,0 +1,123 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is an in-memory RDF graph with set semantics and SPO/POS/OSP hash
+// indexes for pattern matching. It is not safe for concurrent mutation.
+type Graph struct {
+	triples map[string]Triple
+	bySubj  map[string][]Triple
+	byPred  map[string][]Triple
+	byObj   map[string][]Triple
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		triples: make(map[string]Triple),
+		bySubj:  make(map[string][]Triple),
+		byPred:  make(map[string][]Triple),
+		byObj:   make(map[string][]Triple),
+	}
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the
+// triple was new.
+func (g *Graph) Add(t Triple) bool {
+	k := t.Key()
+	if _, ok := g.triples[k]; ok {
+		return false
+	}
+	g.triples[k] = t
+	g.bySubj[t.S.Key()] = append(g.bySubj[t.S.Key()], t)
+	g.byPred[t.P.Key()] = append(g.byPred[t.P.Key()], t)
+	g.byObj[t.O.Key()] = append(g.byObj[t.O.Key()], t)
+	return true
+}
+
+// AddAll inserts all triples and returns how many were new.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Has reports whether the graph contains the triple.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.triples[t.Key()]
+	return ok
+}
+
+// Match returns all triples matching the pattern; nil components are
+// wildcards. The result order is deterministic (sorted by triple key).
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var candidates []Triple
+	switch {
+	case s != nil:
+		candidates = g.bySubj[s.Key()]
+	case o != nil:
+		candidates = g.byObj[o.Key()]
+	case p != nil:
+		candidates = g.byPred[p.Key()]
+	default:
+		candidates = make([]Triple, 0, len(g.triples))
+		for _, t := range g.triples {
+			candidates = append(candidates, t)
+		}
+	}
+	var out []Triple
+	for _, t := range candidates {
+		if (s == nil || t.S.Key() == s.Key()) &&
+			(p == nil || t.P.Key() == p.Key()) &&
+			(o == nil || t.O.Key() == o.Key()) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Objects returns the distinct objects of (s, p, ?o), sorted.
+func (g *Graph) Objects(s, p Term) []Term {
+	var out []Term
+	seen := map[string]bool{}
+	for _, t := range g.Match(s, p, nil) {
+		if !seen[t.O.Key()] {
+			seen[t.O.Key()] = true
+			out = append(out, t.O)
+		}
+	}
+	return out
+}
+
+// Subjects returns the distinct subjects of (?s, p, o), sorted.
+func (g *Graph) Subjects(p, o Term) []Term {
+	var out []Term
+	seen := map[string]bool{}
+	for _, t := range g.Match(nil, p, o) {
+		if !seen[t.S.Key()] {
+			seen[t.S.Key()] = true
+			out = append(out, t.S)
+		}
+	}
+	return out
+}
+
+// Triples returns all triples in deterministic order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.triples))
+	for _, t := range g.triples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

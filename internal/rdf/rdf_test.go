@@ -1,0 +1,238 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTermStrings(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{IRI("http://x/a"), "<http://x/a>"},
+		{Str("hello"), `"hello"`},
+		{Str(`say "hi"` + "\n"), `"say \"hi\"\n"`},
+		{Int(42), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{Bool(true), `"true"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+		{BNode("b1"), "_:b1"},
+		{WKT("POINT (1 2)"), `"POINT (1 2)"^^<http://www.opengis.net/ont/geosparql#wktLiteral>`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestLiteralConversions(t *testing.T) {
+	f, err := Float(3.25).AsFloat()
+	if err != nil || f != 3.25 {
+		t.Errorf("AsFloat = %v, %v", f, err)
+	}
+	ts := time.Date(2016, 4, 1, 12, 30, 0, 0, time.UTC)
+	got, err := Time(ts).AsTime()
+	if err != nil || !got.Equal(ts) {
+		t.Errorf("AsTime = %v, %v", got, err)
+	}
+	if _, err := Str("abc").AsFloat(); err == nil {
+		t.Error("non-numeric AsFloat should fail")
+	}
+}
+
+func TestTermKeysDistinguishKinds(t *testing.T) {
+	// An IRI and a literal with the same text must not collide.
+	if IRI("x").Key() == Str("x").Key() {
+		t.Error("IRI and Literal keys collide")
+	}
+	if BNode("x").Key() == IRI("x").Key() {
+		t.Error("BNode and IRI keys collide")
+	}
+	if Str("a").Key() == (Literal{Value: "a", Datatype: XSDInteger}).Key() {
+		t.Error("literals with different datatypes collide")
+	}
+}
+
+func TestExpandPrefixed(t *testing.T) {
+	iri, err := ExpandPrefixed("dtc:Trajectory")
+	if err != nil || iri != NSDatAcron.IRI("Trajectory") {
+		t.Errorf("dtc expand = %v, %v", iri, err)
+	}
+	if _, err := ExpandPrefixed("nope:X"); err == nil {
+		t.Error("unknown prefix should fail")
+	}
+	if _, err := ExpandPrefixed("noColon"); err == nil {
+		t.Error("missing colon should fail")
+	}
+}
+
+func mkTriple(s, p, o string) Triple {
+	return Triple{S: IRI(s), P: IRI(p), O: IRI(o)}
+}
+
+func TestGraphAddMatch(t *testing.T) {
+	g := NewGraph()
+	t1 := mkTriple("s1", "p1", "o1")
+	t2 := mkTriple("s1", "p2", "o2")
+	t3 := mkTriple("s2", "p1", "o1")
+	if !g.Add(t1) || !g.Add(t2) || !g.Add(t3) {
+		t.Fatal("adds should be new")
+	}
+	if g.Add(t1) {
+		t.Error("duplicate add should return false")
+	}
+	if g.Len() != 3 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if !g.Has(t1) || g.Has(mkTriple("x", "y", "z")) {
+		t.Error("Has misbehaves")
+	}
+	if got := g.Match(IRI("s1"), nil, nil); len(got) != 2 {
+		t.Errorf("subject match = %d", len(got))
+	}
+	if got := g.Match(nil, IRI("p1"), nil); len(got) != 2 {
+		t.Errorf("predicate match = %d", len(got))
+	}
+	if got := g.Match(nil, nil, IRI("o1")); len(got) != 2 {
+		t.Errorf("object match = %d", len(got))
+	}
+	if got := g.Match(IRI("s1"), IRI("p1"), nil); len(got) != 1 {
+		t.Errorf("s+p match = %d", len(got))
+	}
+	if got := g.Match(nil, nil, nil); len(got) != 3 {
+		t.Errorf("full scan = %d", len(got))
+	}
+	if got := g.Match(IRI("zz"), nil, nil); len(got) != 0 {
+		t.Errorf("no match expected, got %d", len(got))
+	}
+}
+
+func TestGraphObjectsSubjects(t *testing.T) {
+	g := NewGraph()
+	g.Add(mkTriple("s", "p", "o1"))
+	g.Add(mkTriple("s", "p", "o2"))
+	g.Add(mkTriple("s2", "p", "o1"))
+	if got := g.Objects(IRI("s"), IRI("p")); len(got) != 2 {
+		t.Errorf("objects = %v", got)
+	}
+	if got := g.Subjects(IRI("p"), IRI("o1")); len(got) != 2 {
+		t.Errorf("subjects = %v", got)
+	}
+}
+
+func TestGraphAddAllAndTriples(t *testing.T) {
+	g := NewGraph()
+	batch := []Triple{
+		mkTriple("s1", "p", "o1"),
+		mkTriple("s2", "p", "o2"),
+		mkTriple("s1", "p", "o1"), // duplicate
+	}
+	if n := g.AddAll(batch); n != 2 {
+		t.Errorf("AddAll new = %d, want 2", n)
+	}
+	all := g.Triples()
+	if len(all) != 2 {
+		t.Fatalf("Triples = %d", len(all))
+	}
+	// Deterministic order.
+	again := g.Triples()
+	for i := range all {
+		if all[i] != again[i] {
+			t.Fatal("Triples order not deterministic")
+		}
+	}
+}
+
+func TestExpandPrefixedAllPrefixes(t *testing.T) {
+	cases := map[string]string{
+		"dul:Event":        string(NSDUL) + "Event",
+		"geosparql:nearTo": string(NSGeo) + "nearTo",
+		"geo:asWKT":        string(NSGeo) + "asWKT",
+		"ssn:madeBySensor": string(NSSSN) + "madeBySensor",
+		"rdf:type":         "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+		"xsd:double":       "http://www.w3.org/2001/XMLSchema#double",
+		"dtc:SemanticNode": string(NSDatAcron) + "SemanticNode",
+	}
+	for in, want := range cases {
+		got, err := ExpandPrefixed(in)
+		if err != nil || got != IRI(want) {
+			t.Errorf("ExpandPrefixed(%q) = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	triples := []Triple{
+		{S: IRI("http://x/s"), P: IRI("http://x/p"), O: IRI("http://x/o")},
+		{S: IRI("http://x/s"), P: RDFType, O: NSDatAcron.IRI("Trajectory")},
+		{S: BNode("n1"), P: IRI("http://x/p"), O: Str("plain text")},
+		{S: IRI("http://x/s"), P: IRI("http://x/v"), O: Float(2.5)},
+		{S: IRI("http://x/s"), P: IRI("http://x/t"), O: Time(time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC))},
+		{S: IRI("http://x/s"), P: IRI("http://x/w"), O: WKT("POLYGON ((0 0, 1 0, 1 1, 0 0))")},
+		{S: IRI("http://x/s"), P: IRI("http://x/q"), O: Str("escaped \"quote\" and \\backslash\\")},
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("round trip count %d != %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i].Key() != triples[i].Key() {
+			t.Errorf("triple %d: %s != %s", i, got[i], triples[i])
+		}
+	}
+}
+
+func TestNTriplesPropertyRoundTrip(t *testing.T) {
+	f := func(val string) bool {
+		tr := Triple{S: IRI("http://x/s"), P: IRI("http://x/p"), O: Str(val)}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, []Triple{tr}); err != nil {
+			return false
+		}
+		got, err := ReadNTriples(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		lit, ok := got[0].O.(Literal)
+		return ok && lit.Value == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNTriplesParserErrorsAndComments(t *testing.T) {
+	doc := `
+# a comment
+<http://x/s> <http://x/p> "ok" .
+
+<http://x/s> <http://x/p> <http://x/o> .
+`
+	got, err := ReadNTriples(strings.NewReader(doc))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %d triples, err %v", len(got), err)
+	}
+	bad := []string{
+		`<http://x/s> <http://x/p> "unterminated .`,
+		`<http://x/s> <http://x/p> <http://x/o>`,      // missing dot
+		`"literal" <http://x/p> <http://x/o> .`,       // literal subject
+		`<http://x/s> _:b <http://x/o> .`,             // bnode predicate
+		`<http://x/s <http://x/p> <http://x/o> .`,     // unterminated IRI
+		`<http://x/s> <http://x/p> "x"^^<http://dt .`, // unterminated datatype
+	}
+	for _, b := range bad {
+		if _, err := ReadNTriples(strings.NewReader(b)); err == nil {
+			t.Errorf("should fail: %s", b)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package rdfgen implements the generic RDF generation framework of Section
+// 4.2.3: data connectors that clean, filter and derive values from source
+// records, and triple generators that convert each record into triples by
+// instantiating a graph template over a variable vector. The same machinery
+// is reused for every (streaming or archival) source, needs no underlying
+// SPARQL engine, and is embarrassingly parallel across records.
+package rdfgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datacron/internal/rdf"
+)
+
+// Record is a raw source record: named fields of arbitrary value.
+type Record map[string]any
+
+// Source yields records one at a time; ok=false signals exhaustion.
+type Source interface {
+	Next() (Record, bool)
+}
+
+// SliceSource replays a fixed record slice.
+type SliceSource struct {
+	records []Record
+	pos     int
+}
+
+// NewSliceSource wraps records in a Source.
+func NewSliceSource(records []Record) *SliceSource {
+	return &SliceSource{records: records}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, bool) {
+	if s.pos >= len(s.records) {
+		return nil, false
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Connector is the framework's data connector: it pulls records from a
+// source, applies basic cleaning filters, and computes derived fields (e.g.
+// extracting a WKT string from a raw geometry) before triple generation.
+type Connector struct {
+	src      Source
+	filters  []func(Record) bool
+	computes []compute
+}
+
+type compute struct {
+	field string
+	fn    func(Record) any
+}
+
+// NewConnector wraps a source.
+func NewConnector(src Source) *Connector {
+	return &Connector{src: src}
+}
+
+// Filter adds a predicate; records failing any predicate are dropped.
+func (c *Connector) Filter(pred func(Record) bool) *Connector {
+	c.filters = append(c.filters, pred)
+	return c
+}
+
+// Compute adds a derived field evaluated on each record (after filters, in
+// registration order). A nil result leaves the record without the field.
+func (c *Connector) Compute(field string, fn func(Record) any) *Connector {
+	c.computes = append(c.computes, compute{field: field, fn: fn})
+	return c
+}
+
+// Next returns the next record that passes all filters, with computed
+// fields added. It copies the record so sources are never mutated.
+func (c *Connector) Next() (Record, bool) {
+	for {
+		rec, ok := c.src.Next()
+		if !ok {
+			return nil, false
+		}
+		pass := true
+		for _, f := range c.filters {
+			if !f(rec) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		out := make(Record, len(rec)+len(c.computes))
+		for k, v := range rec {
+			out[k] = v
+		}
+		for _, cp := range c.computes {
+			if v := cp.fn(out); v != nil {
+				out[cp.field] = v
+			}
+		}
+		return out, true
+	}
+}
+
+// Vars is the variable vector of one record: variable name -> RDF term.
+// Unbound variables are absent.
+type Vars map[string]rdf.Term
+
+// Binding populates one variable of the vector from a record. Returning a
+// nil Term leaves the variable unbound.
+type Binding struct {
+	Var  string
+	From func(Record) rdf.Term
+}
+
+// Field bindings: each returns nil for missing or mistyped fields, so that
+// patterns referencing the variable are skipped rather than corrupted.
+
+// BindStr binds a string field as a plain literal.
+func BindStr(v, field string) Binding {
+	return Binding{Var: v, From: func(r Record) rdf.Term {
+		if s, ok := r[field].(string); ok {
+			return rdf.Str(s)
+		}
+		return nil
+	}}
+}
+
+// BindFloat binds a numeric field as an xsd:double literal.
+func BindFloat(v, field string) Binding {
+	return Binding{Var: v, From: func(r Record) rdf.Term {
+		switch x := r[field].(type) {
+		case float64:
+			return rdf.Float(x)
+		case int:
+			return rdf.Float(float64(x))
+		case int64:
+			return rdf.Float(float64(x))
+		default:
+			return nil
+		}
+	}}
+}
+
+// BindTime binds a time.Time field as an xsd:dateTime literal.
+func BindTime(v, field string) Binding {
+	return Binding{Var: v, From: func(r Record) rdf.Term {
+		if t, ok := r[field].(time.Time); ok {
+			return rdf.Time(t)
+		}
+		return nil
+	}}
+}
+
+// BindWKT binds a string field as a geosparql wktLiteral.
+func BindWKT(v, field string) Binding {
+	return Binding{Var: v, From: func(r Record) rdf.Term {
+		if s, ok := r[field].(string); ok {
+			return rdf.WKT(s)
+		}
+		return nil
+	}}
+}
+
+// BindIRI binds an IRI minted by formatting fields into a pattern, e.g.
+// BindIRI("node", "http://…/node/%v/%v", "id", "seq").
+func BindIRI(v, format string, fields ...string) Binding {
+	return Binding{Var: v, From: func(r Record) rdf.Term {
+		args := make([]any, len(fields))
+		for i, f := range fields {
+			x, ok := r[f]
+			if !ok {
+				return nil
+			}
+			args[i] = x
+		}
+		return rdf.IRI(fmt.Sprintf(format, args...))
+	}}
+}
+
+// BindFunc binds an arbitrary computed term.
+func BindFunc(v string, fn func(Record) rdf.Term) Binding {
+	return Binding{Var: v, From: fn}
+}
+
+// TermSpec is one slot of a triple pattern: a constant term, a variable
+// reference, or a function of the variable vector.
+type TermSpec struct {
+	konst rdf.Term
+	v     string
+	fn    func(Vars) rdf.Term
+}
+
+// C makes a constant TermSpec.
+func C(t rdf.Term) TermSpec { return TermSpec{konst: t} }
+
+// V makes a variable-reference TermSpec.
+func V(name string) TermSpec { return TermSpec{v: name} }
+
+// F makes a function TermSpec evaluated over the variable vector.
+func F(fn func(Vars) rdf.Term) TermSpec { return TermSpec{fn: fn} }
+
+// resolve returns the term for this slot, or nil when unresolvable.
+func (ts TermSpec) resolve(vars Vars) rdf.Term {
+	switch {
+	case ts.konst != nil:
+		return ts.konst
+	case ts.v != "":
+		return vars[ts.v]
+	case ts.fn != nil:
+		return ts.fn(vars)
+	default:
+		return nil
+	}
+}
+
+// TriplePattern is one template triple.
+type TriplePattern struct {
+	S, P, O TermSpec
+}
+
+// Template is a graph template: the triple patterns every record instantiates.
+type Template []TriplePattern
+
+// Generator converts records into triples: the framework's triple generator.
+type Generator struct {
+	bindings []Binding
+	template Template
+
+	mu      sync.Mutex
+	records int64
+	triples int64
+	elapsed time.Duration
+}
+
+// NewGenerator builds a triple generator from bindings and a template.
+func NewGenerator(bindings []Binding, template Template) *Generator {
+	return &Generator{bindings: bindings, template: template}
+}
+
+// Generate instantiates the template for one record. Patterns whose subject,
+// predicate or object is unresolvable are skipped silently — this is what
+// lets one template serve heterogeneous records.
+func (g *Generator) Generate(rec Record) []rdf.Triple {
+	vars := make(Vars, len(g.bindings))
+	for _, b := range g.bindings {
+		if t := b.From(rec); t != nil {
+			vars[b.Var] = t
+		}
+	}
+	out := make([]rdf.Triple, 0, len(g.template))
+	for _, tp := range g.template {
+		s := tp.S.resolve(vars)
+		p := tp.P.resolve(vars)
+		o := tp.O.resolve(vars)
+		if s == nil || p == nil || o == nil {
+			continue
+		}
+		out = append(out, rdf.Triple{S: s, P: p, O: o})
+	}
+	return out
+}
+
+// Run drains a connector through the generator, invoking sink for each
+// record's triples, and accumulates throughput counters.
+func (g *Generator) Run(c *Connector, sink func([]rdf.Triple)) {
+	start := time.Now()
+	var recs, trips int64
+	for {
+		rec, ok := c.Next()
+		if !ok {
+			break
+		}
+		ts := g.Generate(rec)
+		recs++
+		trips += int64(len(ts))
+		if sink != nil {
+			sink(ts)
+		}
+	}
+	g.mu.Lock()
+	g.records += recs
+	g.triples += trips
+	g.elapsed += time.Since(start)
+	g.mu.Unlock()
+}
+
+// RunParallel processes a connector with n workers, preserving no particular
+// order (the knowledge graph is a set). The connector is drained by a single
+// goroutine; generation and sinking are parallel. sink must be safe for
+// concurrent use.
+func (g *Generator) RunParallel(c *Connector, n int, sink func([]rdf.Triple)) {
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	ch := make(chan Record, n*4)
+	var wg sync.WaitGroup
+	var recs, trips int64
+	var cnt sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var myRecs, myTrips int64
+			for rec := range ch {
+				ts := g.Generate(rec)
+				myRecs++
+				myTrips += int64(len(ts))
+				if sink != nil {
+					sink(ts)
+				}
+			}
+			cnt.Lock()
+			recs += myRecs
+			trips += myTrips
+			cnt.Unlock()
+		}()
+	}
+	for {
+		rec, ok := c.Next()
+		if !ok {
+			break
+		}
+		ch <- rec
+	}
+	close(ch)
+	wg.Wait()
+	g.mu.Lock()
+	g.records += recs
+	g.triples += trips
+	g.elapsed += time.Since(start)
+	g.mu.Unlock()
+}
+
+// Throughput reports the accumulated counters: records and triples
+// generated, wall time, and records/second.
+func (g *Generator) Throughput() (records, triples int64, elapsed time.Duration, recPerSec float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	records, triples, elapsed = g.records, g.triples, g.elapsed
+	if elapsed > 0 {
+		recPerSec = float64(records) / elapsed.Seconds()
+	}
+	return records, triples, elapsed, recPerSec
+}

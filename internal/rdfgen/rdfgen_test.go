@@ -1,0 +1,238 @@
+package rdfgen
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/synopses"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestConnectorFilterAndCompute(t *testing.T) {
+	src := NewSliceSource([]Record{
+		{"mmsi": "a", "speed": 12.0},
+		{"mmsi": "", "speed": 9.0}, // filtered: empty id
+		{"mmsi": "b", "speed": 15.0},
+	})
+	c := NewConnector(src).
+		Filter(func(r Record) bool { s, _ := r["mmsi"].(string); return s != "" }).
+		Compute("speed_ms", func(r Record) any {
+			if v, ok := r["speed"].(float64); ok {
+				return v * 0.514444
+			}
+			return nil
+		})
+	var got []Record
+	for {
+		rec, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+	if got[0]["speed_ms"].(float64) < 6 || got[0]["speed_ms"].(float64) > 7 {
+		t.Errorf("computed field = %v", got[0]["speed_ms"])
+	}
+}
+
+func TestConnectorDoesNotMutateSource(t *testing.T) {
+	rec := Record{"x": 1}
+	c := NewConnector(NewSliceSource([]Record{rec})).
+		Compute("y", func(Record) any { return 2 })
+	out, _ := c.Next()
+	if out["y"] != 2 {
+		t.Error("computed field missing")
+	}
+	if _, ok := rec["y"]; ok {
+		t.Error("source record mutated")
+	}
+}
+
+func TestGeneratorSkipsUnboundPatterns(t *testing.T) {
+	g := NewGenerator(
+		[]Binding{
+			BindIRI("s", "http://x/%v", "id"),
+			BindStr("name", "name"), // sometimes missing
+		},
+		Template{
+			{S: V("s"), P: C(rdf.RDFType), O: C(rdf.IRI("http://x/Thing"))},
+			{S: V("s"), P: C(rdf.IRI("http://x/name")), O: V("name")},
+		},
+	)
+	full := g.Generate(Record{"id": "a", "name": "Alpha"})
+	if len(full) != 2 {
+		t.Errorf("full record triples = %d, want 2", len(full))
+	}
+	partial := g.Generate(Record{"id": "b"})
+	if len(partial) != 1 {
+		t.Errorf("partial record triples = %d, want 1 (name pattern skipped)", len(partial))
+	}
+	empty := g.Generate(Record{})
+	if len(empty) != 0 {
+		t.Errorf("empty record should yield no triples, got %d", len(empty))
+	}
+}
+
+func TestBindingTypeMismatchesAreNil(t *testing.T) {
+	cases := []struct {
+		b   Binding
+		rec Record
+	}{
+		{BindStr("v", "f"), Record{"f": 42}},
+		{BindFloat("v", "f"), Record{"f": "oops"}},
+		{BindTime("v", "f"), Record{"f": "2016"}},
+		{BindWKT("v", "f"), Record{"f": 3.0}},
+		{BindIRI("v", "http://x/%v", "f"), Record{}},
+	}
+	for i, c := range cases {
+		if got := c.b.From(c.rec); got != nil {
+			t.Errorf("case %d: expected nil, got %v", i, got)
+		}
+	}
+	// Int variants of BindFloat.
+	if got := BindFloat("v", "f").From(Record{"f": 7}); got == nil {
+		t.Error("int should bind as float")
+	}
+	if got := BindFloat("v", "f").From(Record{"f": int64(7)}); got == nil {
+		t.Error("int64 should bind as float")
+	}
+}
+
+func TestFuncTermSpec(t *testing.T) {
+	g := NewGenerator(
+		[]Binding{BindStr("name", "name")},
+		Template{
+			{
+				S: F(func(v Vars) rdf.Term {
+					lit, ok := v["name"].(rdf.Literal)
+					if !ok {
+						return nil
+					}
+					return rdf.IRI("http://x/" + strings.ToLower(lit.Value))
+				}),
+				P: C(rdf.RDFType),
+				O: C(rdf.IRI("http://x/Thing")),
+			},
+		},
+	)
+	out := g.Generate(Record{"name": "Alpha"})
+	if len(out) != 1 || out[0].S != rdf.IRI("http://x/alpha") {
+		t.Errorf("func spec output = %v", out)
+	}
+}
+
+func TestCriticalPointGenerator(t *testing.T) {
+	cp := synopses.CriticalPoint{
+		Report: mobility.Report{
+			ID: "mmsi-1", Time: t0, Pos: geo.Pt(23.6, 37.9), SpeedKn: 11.5, Heading: 88,
+		},
+		Type: synopses.ChangeInHeading,
+	}
+	g := CriticalPointGenerator()
+	triples := g.Generate(CriticalPointRecord(7, cp))
+	graph := rdf.NewGraph()
+	graph.AddAll(triples)
+	node := ontology.NodeIRI("mmsi-1", 7)
+	if !graph.Has(rdf.Triple{S: ontology.TrajectoryIRI("mmsi-1"), P: ontology.PropHasNode, O: node}) {
+		t.Error("trajectory → node link missing")
+	}
+	if got := graph.Objects(node, ontology.PropSpeed); len(got) != 1 {
+		t.Error("speed literal missing")
+	}
+	evs := graph.Subjects(ontology.PropOccurs, node)
+	if len(evs) != 1 {
+		t.Fatalf("event instances = %d", len(evs))
+	}
+	if got := graph.Objects(evs[0], ontology.PropEventType); len(got) != 1 ||
+		got[0].(rdf.Literal).Value != string(synopses.ChangeInHeading) {
+		t.Errorf("event type = %v", got)
+	}
+}
+
+func TestRegionGeneratorWithConnector(t *testing.T) {
+	poly := geo.RegularPolygon(geo.Pt(24, 38), 5_000, 6)
+	conn := RegionConnector([]Record{RegionRecord("natura-1", "protected", poly)})
+	g := RegionGenerator()
+	var all []rdf.Triple
+	g.Run(conn, func(ts []rdf.Triple) { all = append(all, ts...) })
+	graph := rdf.NewGraph()
+	graph.AddAll(all)
+	region := ontology.RegionIRI("natura-1")
+	wkts := graph.Objects(region, ontology.PropAsWKT)
+	if len(wkts) != 1 {
+		t.Fatalf("wkt objects = %d", len(wkts))
+	}
+	parsed, err := geo.ParseWKT(wkts[0].(rdf.Literal).Value)
+	if err != nil {
+		t.Fatalf("WKT should round-trip: %v", err)
+	}
+	if _, ok := parsed.(*geo.Polygon); !ok {
+		t.Error("region geometry should parse as polygon")
+	}
+}
+
+func TestGeneratorThroughputCounters(t *testing.T) {
+	records := make([]Record, 500)
+	for i := range records {
+		records[i] = Record{"id": i}
+	}
+	g := NewGenerator(
+		[]Binding{BindIRI("s", "http://x/%v", "id")},
+		Template{{S: V("s"), P: C(rdf.RDFType), O: C(rdf.IRI("http://x/T"))}},
+	)
+	g.Run(NewConnector(NewSliceSource(records)), nil)
+	recs, trips, elapsed, rate := g.Throughput()
+	if recs != 500 || trips != 500 {
+		t.Errorf("counters = %d recs, %d triples", recs, trips)
+	}
+	if elapsed <= 0 || rate <= 0 {
+		t.Errorf("elapsed %v rate %v", elapsed, rate)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	records := make([]Record, 1000)
+	for i := range records {
+		records[i] = Record{"id": i, "v": float64(i) * 1.5}
+	}
+	mkGen := func() *Generator {
+		return NewGenerator(
+			[]Binding{
+				BindIRI("s", "http://x/%v", "id"),
+				BindFloat("v", "v"),
+			},
+			Template{
+				{S: V("s"), P: C(rdf.RDFType), O: C(rdf.IRI("http://x/T"))},
+				{S: V("s"), P: C(rdf.IRI("http://x/v")), O: V("v")},
+			},
+		)
+	}
+	seq := rdf.NewGraph()
+	mkGen().Run(NewConnector(NewSliceSource(records)), func(ts []rdf.Triple) { seq.AddAll(ts) })
+
+	par := rdf.NewGraph()
+	var mu sync.Mutex
+	mkGen().RunParallel(NewConnector(NewSliceSource(records)), 8, func(ts []rdf.Triple) {
+		mu.Lock()
+		par.AddAll(ts)
+		mu.Unlock()
+	})
+	if seq.Len() != par.Len() {
+		t.Fatalf("parallel %d != sequential %d", par.Len(), seq.Len())
+	}
+	for _, tr := range seq.Triples() {
+		if !par.Has(tr) {
+			t.Fatalf("parallel graph missing %s", tr)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package rdfgen
+
+import (
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/synopses"
+)
+
+// This file instantiates the generic framework for the concrete datAcron
+// sources: critical-point streams, region shapefiles and port registers.
+// Each instantiation is a (record adapter, bindings, template) triple — the
+// pattern every new source follows.
+
+// CriticalPointRecord adapts a synopsis critical point to a Record.
+func CriticalPointRecord(seq int, cp synopses.CriticalPoint) Record {
+	return Record{
+		"id":      cp.ID,
+		"seq":     seq,
+		"time":    cp.Time,
+		"wkt":     cp.Pos.WKT(),
+		"speed":   cp.SpeedKn,
+		"heading": cp.Heading,
+		"alt":     cp.AltFt,
+		"type":    string(cp.Type),
+	}
+}
+
+// CriticalPointGenerator returns the generator lifting critical points into
+// the datAcron ontology (semantic nodes attached to trajectories).
+func CriticalPointGenerator() *Generator {
+	bindings := []Binding{
+		BindIRI("traj", string(rdf.NSDatAcron)+"trajectory/%v", "id"),
+		BindIRI("mover", string(rdf.NSDatAcron)+"mover/%v", "id"),
+		BindIRI("node", string(rdf.NSDatAcron)+"node/%v/%v", "id", "seq"),
+		BindIRI("event", string(rdf.NSDatAcron)+"event/%v/%v", "id", "seq"),
+		BindTime("t", "time"),
+		BindWKT("wkt", "wkt"),
+		BindFloat("speed", "speed"),
+		BindFloat("heading", "heading"),
+		BindStr("etype", "type"),
+	}
+	template := Template{
+		{S: V("traj"), P: C(rdf.RDFType), O: C(ontology.ClassTrajectory)},
+		{S: V("traj"), P: C(ontology.PropOfMover), O: V("mover")},
+		{S: V("traj"), P: C(ontology.PropHasNode), O: V("node")},
+		{S: V("node"), P: C(rdf.RDFType), O: C(ontology.ClassSemanticNode)},
+		{S: V("node"), P: C(ontology.PropAtTime), O: V("t")},
+		{S: V("node"), P: C(ontology.PropAsWKT), O: V("wkt")},
+		{S: V("node"), P: C(ontology.PropSpeed), O: V("speed")},
+		{S: V("node"), P: C(ontology.PropHeading), O: V("heading")},
+		{S: V("event"), P: C(rdf.RDFType), O: C(ontology.ClassEvent)},
+		{S: V("event"), P: C(ontology.PropEventType), O: V("etype")},
+		{S: V("event"), P: C(ontology.PropOccurs), O: V("node")},
+	}
+	return NewGenerator(bindings, template)
+}
+
+// RegionRecord adapts a named polygon to a Record, mimicking a shapefile
+// row whose geometry is extracted as WKT by the connector.
+func RegionRecord(id, kind string, poly *geo.Polygon) Record {
+	return Record{"id": id, "kind": kind, "geom": poly}
+}
+
+// RegionGenerator returns the generator for geographic regions. It expects
+// the connector to have computed the "wkt" field from the raw geometry,
+// demonstrating the connector's value-generation role.
+func RegionGenerator() *Generator {
+	bindings := []Binding{
+		BindIRI("region", string(rdf.NSDatAcron)+"region/%v", "id"),
+		BindStr("kind", "kind"),
+		BindStr("name", "id"),
+		BindWKT("wkt", "wkt"),
+	}
+	template := Template{
+		{S: V("region"), P: C(rdf.RDFType), O: C(ontology.ClassRegion)},
+		{S: V("region"), P: C(ontology.PropEventType), O: V("kind")},
+		{S: V("region"), P: C(ontology.PropHasName), O: V("name")},
+		{S: V("region"), P: C(ontology.PropAsWKT), O: V("wkt")},
+	}
+	return NewGenerator(bindings, template)
+}
+
+// RegionConnector wraps region records with the WKT-extraction compute step.
+func RegionConnector(records []Record) *Connector {
+	return NewConnector(NewSliceSource(records)).
+		Compute("wkt", func(r Record) any {
+			if p, ok := r["geom"].(*geo.Polygon); ok {
+				return p.WKT()
+			}
+			return nil
+		})
+}
+
+// PortRecord adapts a port register row.
+func PortRecord(id, name string, pos geo.Point) Record {
+	return Record{"id": id, "name": name, "wkt": pos.WKT()}
+}
+
+// PortGenerator returns the generator for port registers.
+func PortGenerator() *Generator {
+	bindings := []Binding{
+		BindIRI("port", string(rdf.NSDatAcron)+"port/%v", "id"),
+		BindStr("name", "name"),
+		BindWKT("wkt", "wkt"),
+	}
+	template := Template{
+		{S: V("port"), P: C(rdf.RDFType), O: C(ontology.ClassPort)},
+		{S: V("port"), P: C(ontology.PropHasName), O: V("name")},
+		{S: V("port"), P: C(ontology.PropAsWKT), O: V("wkt")},
+	}
+	return NewGenerator(bindings, template)
+}
+
+// ReportRecord adapts a raw surveillance report (used when lifting the full
+// stream rather than the synopsis).
+func ReportRecord(seq int, r mobility.Report) Record {
+	return Record{
+		"id":      r.ID,
+		"seq":     seq,
+		"time":    r.Time,
+		"wkt":     r.Pos.WKT(),
+		"speed":   r.SpeedKn,
+		"heading": r.Heading,
+		"alt":     r.AltFt,
+	}
+}

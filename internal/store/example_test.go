@@ -1,0 +1,47 @@
+package store_test
+
+import (
+	"fmt"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/store"
+)
+
+// ExampleStore_Query loads two semantic nodes and runs a spatio-temporal
+// star query in the text dialect; only the node inside the query volume
+// matches.
+func ExampleStore_Query() {
+	st := store.New(store.STCellConfig{
+		Extent: geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41},
+		Epoch:  time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC),
+	}, store.NewVerticalPartitioning())
+
+	mk := func(id string, lon, lat float64, hour int) []rdf.Triple {
+		node := rdf.IRI("http://example/node/" + id)
+		ts := time.Date(2016, 4, 1, hour, 0, 0, 0, time.UTC)
+		return []rdf.Triple{
+			{S: node, P: rdf.RDFType, O: ontology.ClassSemanticNode},
+			{S: node, P: ontology.PropAsWKT, O: rdf.WKT(geo.Pt(lon, lat).WKT())},
+			{S: node, P: ontology.PropAtTime, O: rdf.Time(ts)},
+		}
+	}
+	st.Load(mk("inside", 23.5, 37.5, 2))
+	st.Load(mk("elsewhere", 27.0, 40.0, 2))
+
+	results, _, err := st.Query(`
+		SELECT ?n WHERE { ?n rdf:type dtc:SemanticNode }
+		WITHIN(23.0, 37.0, 24.0, 38.0)
+		DURING("2016-04-01T00:00:00Z", "2016-04-01T06:00:00Z")
+	`, store.EncodedPruning)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	// Output:
+	// <http://example/node/inside>
+}

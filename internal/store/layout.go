@@ -1,0 +1,265 @@
+package store
+
+import (
+	"sort"
+)
+
+// EncodedTriple is a dictionary-encoded statement.
+type EncodedTriple struct {
+	S, P, O ID
+}
+
+// Layout is a physical storage layout for encoded triples. Implementations
+// must support the access paths the star-join executor uses. Layouts are
+// safe for concurrent reads after loading completes.
+type Layout interface {
+	// Name identifies the layout in reports.
+	Name() string
+	// Add stores one triple.
+	Add(t EncodedTriple)
+	// SubjectsPO returns the sorted distinct subjects with (p, o).
+	SubjectsPO(p, o ID) []ID
+	// ObjectsSP returns the objects of (s, p).
+	ObjectsSP(s, p ID) []ID
+	// HasSP reports whether subject s has any triple with predicate p.
+	HasSP(s, p ID) bool
+	// Len returns the stored triple count.
+	Len() int
+}
+
+// --- Single triples table -------------------------------------------------
+
+// TripleTable is the "one-triples-table" layout: a flat partitioned list.
+// Lookups scan partitions in parallel — the layout a naive distributed RDF
+// store uses, and the baseline of the layout ablation.
+type TripleTable struct {
+	partitions [][]EncodedTriple
+}
+
+// NewTripleTable creates a table with n hash partitions.
+func NewTripleTable(n int) *TripleTable {
+	if n < 1 {
+		n = 1
+	}
+	return &TripleTable{partitions: make([][]EncodedTriple, n)}
+}
+
+func (t *TripleTable) Name() string { return "triples-table" }
+
+func (t *TripleTable) Add(tr EncodedTriple) {
+	p := int(uint64(tr.S) % uint64(len(t.partitions)))
+	t.partitions[p] = append(t.partitions[p], tr)
+}
+
+func (t *TripleTable) Len() int {
+	n := 0
+	for _, p := range t.partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// scan runs fn over every partition in parallel and merges the results.
+func (t *TripleTable) scan(fn func(part []EncodedTriple) []ID) []ID {
+	results := make([][]ID, len(t.partitions))
+	done := make(chan int, len(t.partitions))
+	for i := range t.partitions {
+		go func(i int) {
+			results[i] = fn(t.partitions[i])
+			done <- i
+		}(i)
+	}
+	for range t.partitions {
+		<-done
+	}
+	var out []ID
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortIDs(out)
+	return dedupIDs(out)
+}
+
+func (t *TripleTable) SubjectsPO(p, o ID) []ID {
+	return t.scan(func(part []EncodedTriple) []ID {
+		var out []ID
+		for _, tr := range part {
+			if tr.P == p && tr.O == o {
+				out = append(out, tr.S)
+			}
+		}
+		return out
+	})
+}
+
+func (t *TripleTable) ObjectsSP(s, p ID) []ID {
+	part := t.partitions[int(uint64(s)%uint64(len(t.partitions)))]
+	var out []ID
+	for _, tr := range part {
+		if tr.S == s && tr.P == p {
+			out = append(out, tr.O)
+		}
+	}
+	return out
+}
+
+func (t *TripleTable) HasSP(s, p ID) bool {
+	part := t.partitions[int(uint64(s)%uint64(len(t.partitions)))]
+	for _, tr := range part {
+		if tr.S == s && tr.P == p {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Vertical partitioning -------------------------------------------------
+
+// VerticalPartitioning stores one (S,O) table per predicate with a POS
+// index, the layout of choice for selective (p, o) lookups.
+type VerticalPartitioning struct {
+	byPred map[ID]*vpTable
+}
+
+type vpTable struct {
+	so  map[ID][]ID // s -> objects
+	pos map[ID][]ID // o -> subjects
+}
+
+// NewVerticalPartitioning creates an empty VP layout.
+func NewVerticalPartitioning() *VerticalPartitioning {
+	return &VerticalPartitioning{byPred: make(map[ID]*vpTable)}
+}
+
+func (v *VerticalPartitioning) Name() string { return "vertical-partitioning" }
+
+func (v *VerticalPartitioning) Add(tr EncodedTriple) {
+	t, ok := v.byPred[tr.P]
+	if !ok {
+		t = &vpTable{so: make(map[ID][]ID), pos: make(map[ID][]ID)}
+		v.byPred[tr.P] = t
+	}
+	t.so[tr.S] = append(t.so[tr.S], tr.O)
+	t.pos[tr.O] = append(t.pos[tr.O], tr.S)
+}
+
+func (v *VerticalPartitioning) Len() int {
+	n := 0
+	for _, t := range v.byPred {
+		for _, objs := range t.so {
+			n += len(objs)
+		}
+	}
+	return n
+}
+
+func (v *VerticalPartitioning) SubjectsPO(p, o ID) []ID {
+	t, ok := v.byPred[p]
+	if !ok {
+		return nil
+	}
+	out := append([]ID(nil), t.pos[o]...)
+	sortIDs(out)
+	return dedupIDs(out)
+}
+
+func (v *VerticalPartitioning) ObjectsSP(s, p ID) []ID {
+	t, ok := v.byPred[p]
+	if !ok {
+		return nil
+	}
+	return t.so[s]
+}
+
+func (v *VerticalPartitioning) HasSP(s, p ID) bool {
+	t, ok := v.byPred[p]
+	if !ok {
+		return false
+	}
+	_, ok = t.so[s]
+	return ok
+}
+
+// --- Property table ----------------------------------------------------------
+
+// PropertyTable clusters all predicates of a subject into one row — the
+// star-join-friendly layout (one row read answers the whole star).
+type PropertyTable struct {
+	rows map[ID]map[ID][]ID // s -> p -> objects
+	pos  map[ID]map[ID][]ID // p -> o -> subjects (secondary index)
+}
+
+// NewPropertyTable creates an empty property-table layout.
+func NewPropertyTable() *PropertyTable {
+	return &PropertyTable{
+		rows: make(map[ID]map[ID][]ID),
+		pos:  make(map[ID]map[ID][]ID),
+	}
+}
+
+func (pt *PropertyTable) Name() string { return "property-table" }
+
+func (pt *PropertyTable) Add(tr EncodedTriple) {
+	row, ok := pt.rows[tr.S]
+	if !ok {
+		row = make(map[ID][]ID)
+		pt.rows[tr.S] = row
+	}
+	row[tr.P] = append(row[tr.P], tr.O)
+	idx, ok := pt.pos[tr.P]
+	if !ok {
+		idx = make(map[ID][]ID)
+		pt.pos[tr.P] = idx
+	}
+	idx[tr.O] = append(idx[tr.O], tr.S)
+}
+
+func (pt *PropertyTable) Len() int {
+	n := 0
+	for _, row := range pt.rows {
+		for _, objs := range row {
+			n += len(objs)
+		}
+	}
+	return n
+}
+
+func (pt *PropertyTable) SubjectsPO(p, o ID) []ID {
+	idx, ok := pt.pos[p]
+	if !ok {
+		return nil
+	}
+	out := append([]ID(nil), idx[o]...)
+	sortIDs(out)
+	return dedupIDs(out)
+}
+
+func (pt *PropertyTable) ObjectsSP(s, p ID) []ID { return pt.rows[s][p] }
+
+func (pt *PropertyTable) HasSP(s, p ID) bool {
+	row, ok := pt.rows[s]
+	if !ok {
+		return false
+	}
+	_, ok = row[p]
+	return ok
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func dedupIDs(sorted []ID) []ID {
+	if len(sorted) < 2 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, id := range sorted[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

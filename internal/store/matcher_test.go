@@ -1,0 +1,103 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/rdf"
+)
+
+// TestMatcherAgreesWithCoveringCells cross-checks the O(1) arithmetic
+// matcher against the reference map-based enumeration on random query
+// volumes and random entity cells.
+func TestMatcherAgreesWithCoveringCells(t *testing.T) {
+	d := NewDict(testCellConfig())
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		lon0 := extent.MinLon + rng.Float64()*extent.Width()*0.8
+		lat0 := extent.MinLat + rng.Float64()*extent.Height()*0.8
+		r := geo.Rect{
+			MinLon: lon0, MinLat: lat0,
+			MaxLon: lon0 + rng.Float64()*extent.Width()*0.2,
+			MaxLat: lat0 + rng.Float64()*extent.Height()*0.2,
+		}
+		start := t0.Add(time.Duration(rng.Intn(200)) * time.Hour)
+		end := start.Add(time.Duration(1+rng.Intn(72)) * time.Hour)
+		ref := d.CoveringCells(r, start, end)
+		m := d.Matcher(r, start, end)
+		// Sample random entities and compare hit decisions.
+		for s := 0; s < 200; s++ {
+			p := geo.Pt(
+				extent.MinLon+rng.Float64()*extent.Width(),
+				extent.MinLat+rng.Float64()*extent.Height(),
+			)
+			ts := t0.Add(time.Duration(rng.Intn(400)) * time.Hour)
+			cell := d.stCell(p, ts)
+			_, inRef := ref[cell]
+			hit, full := m.Match(cell)
+			if hit != inRef {
+				t.Fatalf("trial %d: hit=%v ref=%v for cell %d (rect %+v, %v-%v)",
+					trial, hit, inRef, cell, r, start, end)
+			}
+			// Fullness must never be claimed when the reference says the
+			// cell is not fully inside (conservative direction only).
+			if full && !ref[cell] {
+				t.Fatalf("trial %d: matcher claims full, reference disagrees", trial)
+			}
+		}
+	}
+}
+
+func TestMatcherEdgeCases(t *testing.T) {
+	d := NewDict(testCellConfig())
+	// Empty volume.
+	m := d.Matcher(geo.EmptyRect(), t0, t0.Add(time.Hour))
+	if hit, _ := m.Match(0); hit {
+		t.Error("empty rect should match nothing")
+	}
+	m = d.Matcher(extent, t0.Add(time.Hour), t0)
+	if hit, _ := m.Match(0); hit {
+		t.Error("inverted interval should match nothing")
+	}
+	// Query spanning more than the whole bucket ring: every bucket hits,
+	// nothing is ever "full" (precise checks decide).
+	cfg := testCellConfig()
+	all := d.Matcher(extent, t0, t0.Add(time.Duration(cfg.TimeBuckets+10)*time.Hour))
+	cell := d.stCell(geo.Pt(23, 37), t0.Add(5*time.Hour))
+	hit, full := all.Match(cell)
+	if !hit {
+		t.Error("ring-spanning query should hit in-extent cells")
+	}
+	if full {
+		t.Error("ring-spanning query must stay conservative")
+	}
+}
+
+func TestDictConcurrentEncode(t *testing.T) {
+	// The dictionary must be safe under concurrent interning of the same
+	// and different terms (the parallel RDFizers hit this path).
+	d := NewDict(testCellConfig())
+	const workers = 8
+	done := make(chan ID, workers)
+	term := rdf.IRI("http://x/shared")
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			id := d.EncodeSpatioTemporal(term, geo.Pt(23, 37), t0)
+			for i := 0; i < 200; i++ {
+				d.Encode(rdf.Int(int64(i)))
+			}
+			done <- id
+		}(w)
+	}
+	first := <-done
+	for w := 1; w < workers; w++ {
+		if got := <-done; got != first {
+			t.Fatal("concurrent interning produced different IDs for one term")
+		}
+	}
+	if d.Len() != 201 { // shared term + 200 ints
+		t.Errorf("dict len = %d, want 201", d.Len())
+	}
+}

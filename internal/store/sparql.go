@@ -1,0 +1,330 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/rdf"
+)
+
+// ParseQuery parses the store's SPARQL-flavoured star-query syntax into a
+// StarQuery. The dialect covers exactly what the engine executes: a star
+// basic graph pattern over one subject variable with optional
+// spatio-temporal constraints, mirroring the paper's "spatio-temporal
+// SPARQL queries":
+//
+//	SELECT ?n WHERE {
+//	  ?n rdf:type dtc:SemanticNode .
+//	  ?n dtc:eventType "turn" .
+//	  ?n dtc:speed ?s .
+//	}
+//	WITHIN(22.0, 36.0, 28.0, 41.0)
+//	DURING("2016-04-01T00:00:00Z", "2016-04-02T00:00:00Z")
+//
+// Predicates and IRIs use the built-in prefixes (rdf, dtc, dul, geosparql,
+// ssn, xsd); objects may be prefixed names, "plain literals",
+// "typed"^^xsd:double literals, or variables (any-object patterns).
+func ParseQuery(q string) (StarQuery, error) {
+	var out StarQuery
+	toks, err := tokenizeQuery(q)
+	if err != nil {
+		return out, err
+	}
+	p := &queryParser{toks: toks}
+	if err := p.expectWord("SELECT"); err != nil {
+		return out, err
+	}
+	subjVar, err := p.expectVar()
+	if err != nil {
+		return out, err
+	}
+	if err := p.expectWord("WHERE"); err != nil {
+		return out, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return out, err
+	}
+	for !p.peekPunct("}") {
+		s, err := p.expectVar()
+		if err != nil {
+			return out, err
+		}
+		if s != subjVar {
+			return out, fmt.Errorf("store: star queries allow one subject variable; got ?%s and ?%s", subjVar, s)
+		}
+		predTok, err := p.next()
+		if err != nil {
+			return out, err
+		}
+		pred, err := termFromToken(predTok)
+		if err != nil {
+			return out, fmt.Errorf("store: predicate: %w", err)
+		}
+		objTok, err := p.next()
+		if err != nil {
+			return out, err
+		}
+		var obj rdf.Term
+		if objTok.kind != tokVar {
+			obj, err = termFromToken(objTok)
+			if err != nil {
+				return out, fmt.Errorf("store: object: %w", err)
+			}
+		}
+		out.Patterns = append(out.Patterns, PO{Pred: pred, Obj: obj})
+		if p.peekPunct(".") {
+			p.pos++
+		}
+	}
+	p.pos++ // consume }
+
+	// Optional constraint clauses, in any order.
+	for p.pos < len(p.toks) {
+		tok, _ := p.next()
+		switch strings.ToUpper(tok.text) {
+		case "WITHIN":
+			nums, err := p.parseArgs(4)
+			if err != nil {
+				return out, fmt.Errorf("store: WITHIN: %w", err)
+			}
+			vals := make([]float64, 4)
+			for i, n := range nums {
+				v, err := strconv.ParseFloat(n, 64)
+				if err != nil {
+					return out, fmt.Errorf("store: WITHIN: bad number %q", n)
+				}
+				vals[i] = v
+			}
+			out.Rect = geo.Rect{MinLon: vals[0], MinLat: vals[1], MaxLon: vals[2], MaxLat: vals[3]}
+		case "DURING":
+			args, err := p.parseArgs(2)
+			if err != nil {
+				return out, fmt.Errorf("store: DURING: %w", err)
+			}
+			t0, err := time.Parse(time.RFC3339, args[0])
+			if err != nil {
+				return out, fmt.Errorf("store: DURING: bad start %q", args[0])
+			}
+			t1, err := time.Parse(time.RFC3339, args[1])
+			if err != nil {
+				return out, fmt.Errorf("store: DURING: bad end %q", args[1])
+			}
+			out.TimeStart, out.TimeEnd = t0, t1
+		default:
+			return out, fmt.Errorf("store: unexpected %q after pattern block", tok.text)
+		}
+	}
+	if len(out.Patterns) == 0 {
+		return out, fmt.Errorf("store: query has no patterns")
+	}
+	return out, nil
+}
+
+// Query parses and executes a text query in one step.
+func (s *Store) Query(q string, plan Plan) ([]rdf.Term, QueryStats, error) {
+	parsed, err := ParseQuery(q)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return s.StarJoin(parsed, plan)
+}
+
+// --- tokenizer -------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokWord   tokKind = iota // bare word: SELECT, prefixed name, number
+	tokVar                   // ?name
+	tokString                // "..." with optional ^^datatype suffix attached
+	tokPunct                 // { } ( ) , .
+)
+
+type qtoken struct {
+	kind tokKind
+	text string
+	dt   string // datatype suffix for strings, e.g. xsd:double
+}
+
+func tokenizeQuery(s string) ([]qtoken, error) {
+	var out []qtoken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == ',':
+			out = append(out, qtoken{kind: tokPunct, text: string(c)})
+			i++
+		case c == '.':
+			// A '.' may end a pattern or appear inside a number; numbers are
+			// handled in the word branch, so a standalone '.' is punctuation.
+			out = append(out, qtoken{kind: tokPunct, text: "."})
+			i++
+		case c == '?':
+			j := i + 1
+			for j < len(s) && isWordChar(s[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("store: empty variable at offset %d", i)
+			}
+			out = append(out, qtoken{kind: tokVar, text: s[i+1 : j]})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("store: unterminated string at offset %d", i)
+			}
+			val, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("store: bad string escape at offset %d", i)
+			}
+			tok := qtoken{kind: tokString, text: val}
+			i = j + 1
+			if strings.HasPrefix(s[i:], "^^") {
+				k := i + 2
+				for k < len(s) && (isWordChar(s[k]) || s[k] == ':') {
+					k++
+				}
+				tok.dt = s[i+2 : k]
+				i = k
+			}
+			out = append(out, tok)
+		default:
+			j := i
+			for j < len(s) && (isWordChar(s[j]) || s[j] == ':' || s[j] == '-' ||
+				(s[j] == '.' && j+1 < len(s) && s[j+1] >= '0' && s[j+1] <= '9')) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("store: unexpected %q at offset %d", string(c), i)
+			}
+			out = append(out, qtoken{kind: tokWord, text: s[i:j]})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// --- parser helpers ----------------------------------------------------------
+
+type queryParser struct {
+	toks []qtoken
+	pos  int
+}
+
+func (p *queryParser) next() (qtoken, error) {
+	if p.pos >= len(p.toks) {
+		return qtoken{}, fmt.Errorf("store: unexpected end of query")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *queryParser) expectWord(w string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokWord || !strings.EqualFold(t.text, w) {
+		return fmt.Errorf("store: expected %s, got %q", w, t.text)
+	}
+	return nil
+}
+
+func (p *queryParser) expectVar() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokVar {
+		return "", fmt.Errorf("store: expected a ?variable, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *queryParser) expectPunct(s string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("store: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *queryParser) peekPunct(s string) bool {
+	return p.pos < len(p.toks) && p.toks[p.pos].kind == tokPunct && p.toks[p.pos].text == s
+}
+
+// parseArgs consumes "(a, b, ...)" with exactly n arguments, returning their
+// texts (strings unquoted).
+func (p *queryParser) parseArgs(n int) ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokWord && t.kind != tokString {
+			return nil, fmt.Errorf("store: expected argument, got %q", t.text)
+		}
+		out = append(out, t.text)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// termFromToken converts a token to an RDF term: prefixed names expand to
+// IRIs, strings become (optionally typed) literals, numbers become
+// xsd:double literals.
+func termFromToken(t qtoken) (rdf.Term, error) {
+	switch t.kind {
+	case tokString:
+		if t.dt == "" {
+			return rdf.Str(t.text), nil
+		}
+		dt, err := rdf.ExpandPrefixed(t.dt)
+		if err != nil {
+			return nil, err
+		}
+		return rdf.Literal{Value: t.text, Datatype: dt}, nil
+	case tokWord:
+		if strings.Contains(t.text, ":") {
+			return rdf.ExpandPrefixed(t.text)
+		}
+		if v, err := strconv.ParseFloat(t.text, 64); err == nil {
+			return rdf.Float(v), nil
+		}
+		return nil, fmt.Errorf("bare word %q is neither a prefixed name nor a number", t.text)
+	default:
+		return nil, fmt.Errorf("token %q cannot be a term", t.text)
+	}
+}

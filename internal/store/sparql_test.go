@@ -1,0 +1,130 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+)
+
+const exampleQuery = `
+SELECT ?n WHERE {
+  ?n rdf:type dtc:SemanticNode .
+  ?n dtc:eventType "fast" .
+  ?n dtc:speed ?s .
+}
+WITHIN(22.4, 36.4, 24.6, 38.6)
+DURING("2016-04-01T00:00:00Z", "2016-04-01T06:00:00Z")
+`
+
+func TestParseQueryFull(t *testing.T) {
+	q, err := ParseQuery(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+	if q.Patterns[0].Pred != rdf.RDFType || q.Patterns[0].Obj != ontology.ClassSemanticNode {
+		t.Errorf("pattern 0 = %+v", q.Patterns[0])
+	}
+	if q.Patterns[1].Obj.(rdf.Literal).Value != "fast" {
+		t.Errorf("pattern 1 = %+v", q.Patterns[1])
+	}
+	if q.Patterns[2].Obj != nil {
+		t.Errorf("pattern 2 should have a variable object: %+v", q.Patterns[2])
+	}
+	if !q.HasSTConstraint() {
+		t.Fatal("constraints not parsed")
+	}
+	if q.Rect.MinLon != 22.4 || q.Rect.MaxLat != 38.6 {
+		t.Errorf("rect = %+v", q.Rect)
+	}
+	if !q.TimeStart.Equal(time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("start = %v", q.TimeStart)
+	}
+}
+
+func TestParseQueryMinimal(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?x WHERE { ?x rdf:type dtc:Port }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 || q.HasSTConstraint() {
+		t.Errorf("minimal query misparsed: %+v", q)
+	}
+}
+
+func TestParseQueryTypedLiteralAndNumber(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?x WHERE { ?x dtc:speed "12.5"^^xsd:double . ?x dtc:heading 90 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := q.Patterns[0].Obj.(rdf.Literal)
+	if lit.Value != "12.5" || lit.Datatype != rdf.XSDDouble {
+		t.Errorf("typed literal = %+v", lit)
+	}
+	num := q.Patterns[1].Obj.(rdf.Literal)
+	if num.Datatype != rdf.XSDDouble || num.Value != "90" {
+		t.Errorf("numeric literal = %+v", num)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`WHERE { ?x rdf:type dtc:Port }`, // no SELECT
+		`SELECT x WHERE { ?x rdf:type dtc:Port }`,              // subject not a var
+		`SELECT ?x WHERE { ?y rdf:type dtc:Port }`,             // different subject var
+		`SELECT ?x WHERE { ?x unknown:thing dtc:Port }`,        // unknown prefix
+		`SELECT ?x WHERE { ?x rdf:type dtc:Port } WITHIN(1,2)`, // arity
+		`SELECT ?x WHERE { ?x rdf:type dtc:Port } DURING("x","y")`,
+		`SELECT ?x WHERE { ?x rdf:type dtc:Port } BOGUS(1)`,
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?x rdf:type "unterminated }`,
+	}
+	for _, q := range bad {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("should fail: %s", q)
+		}
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	s := buildTestStore(NewVerticalPartitioning(), 400)
+	for _, plan := range []Plan{PostFilter, EncodedPruning} {
+		got, stats, err := s.Query(exampleQuery, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%v: no results", plan)
+		}
+		if stats.Results != len(got) {
+			t.Error("stats mismatch")
+		}
+	}
+	// Text query and programmatic query agree.
+	parsed, err := ParseQuery(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := s.StarJoin(parsed, PostFilter)
+	b, _, _ := s.Query(exampleQuery, PostFilter)
+	if len(a) != len(b) {
+		t.Errorf("text vs programmatic: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestQueryParseErrorPropagates(t *testing.T) {
+	s := buildTestStore(NewPropertyTable(), 10)
+	if _, _, err := s.Query("not a query", PostFilter); err == nil {
+		t.Error("parse error should propagate")
+	}
+	if _, _, err := s.Query("not a query", PostFilter); err != nil &&
+		!strings.Contains(err.Error(), "store:") {
+		t.Errorf("error should be package-tagged: %v", err)
+	}
+}

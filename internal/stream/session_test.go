@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSessionWindowSplitsOnGaps(t *testing.T) {
+	// Key k: bursts at 0-20s, 100-110s; gap threshold 30s.
+	events := []Event[int]{
+		E("k", at(0), 1), E("k", at(10), 1), E("k", at(20), 1),
+		E("k", at(100), 1), E("k", at(110), 1),
+	}
+	out := SessionWindow(FromSlice(events), 30*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, _ Event[int]) int { return acc + 1 },
+	)
+	got := Collect(out)
+	if len(got) != 2 {
+		t.Fatalf("sessions = %d, want 2: %+v", len(got), got)
+	}
+	if got[0].Value.Value != 3 || got[1].Value.Value != 2 {
+		t.Errorf("session sizes = %d, %d", got[0].Value.Value, got[1].Value.Value)
+	}
+	if !got[0].Value.Window.Start.Equal(at(0)) || !got[0].Value.Window.End.Equal(at(20)) {
+		t.Errorf("session 1 window = %+v", got[0].Value.Window)
+	}
+	if !got[1].Value.Window.Start.Equal(at(100)) {
+		t.Errorf("session 2 window = %+v", got[1].Value.Window)
+	}
+}
+
+func TestSessionWindowPerKey(t *testing.T) {
+	events := []Event[int]{
+		E("a", at(0), 1), E("b", at(5), 1), E("a", at(10), 1), E("b", at(90), 1),
+	}
+	out := SessionWindow(FromSlice(events), 30*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, _ Event[int]) int { return acc + 1 },
+	)
+	got := Collect(out)
+	counts := map[string][]int{}
+	for _, e := range got {
+		counts[e.Key] = append(counts[e.Key], e.Value.Value)
+	}
+	if len(counts["a"]) != 1 || counts["a"][0] != 2 {
+		t.Errorf("a sessions = %v", counts["a"])
+	}
+	if len(counts["b"]) != 2 {
+		t.Errorf("b sessions = %v", counts["b"])
+	}
+}
+
+func TestSessionWindowEarlyFiring(t *testing.T) {
+	// A session fires as soon as the watermark passes its end + gap, before
+	// the stream closes.
+	events := []Event[int]{
+		E("k", at(0), 1),
+		E("k", at(200), 1), // watermark jumps: first session (end 0 + 30) fires
+	}
+	out := SessionWindow(FromSlice(events), 30*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, _ Event[int]) int { return acc + 1 },
+	)
+	first := <-out
+	if first.Value.Value != 1 || !first.Value.Window.End.Equal(at(0)) {
+		t.Errorf("first fired session = %+v", first.Value)
+	}
+	Collect(out)
+}
+
+func TestSessionWindowConservation(t *testing.T) {
+	// Property: with no late drops, every event lands in exactly one
+	// session, so session counts sum to the event count.
+	f := func(gaps []uint8) bool {
+		if len(gaps) == 0 || len(gaps) > 40 {
+			return true
+		}
+		var events []Event[int]
+		cur := 0
+		for _, g := range gaps {
+			cur += int(g%120) + 1 // strictly increasing times
+			events = append(events, E("k", at(cur), 1))
+		}
+		out := SessionWindow(FromSlice(events), 45*time.Second, 0,
+			func(Window) int { return 0 },
+			func(acc int, _ Event[int]) int { return acc + 1 },
+		)
+		total := 0
+		for e := range out {
+			total += e.Value.Value
+		}
+		return total == len(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTumblingWindowConservation(t *testing.T) {
+	// Same conservation property for tumbling windows on ordered streams.
+	f := func(steps []uint8) bool {
+		if len(steps) == 0 || len(steps) > 60 {
+			return true
+		}
+		var events []Event[int]
+		cur := 0
+		for _, s := range steps {
+			cur += int(s % 30)
+			events = append(events, E("k", at(cur), 1))
+		}
+		out := TumblingWindow(FromSlice(events), 40*time.Second, 0,
+			func(Window) int { return 0 },
+			func(acc int, _ Event[int]) int { return acc + 1 },
+		)
+		total := 0
+		for e := range out {
+			total += e.Value.Value
+		}
+		return total == len(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

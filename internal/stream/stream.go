@@ -1,0 +1,188 @@
+// Package stream implements the in-process dataflow engine that substitutes
+// for Apache Flink in the datAcron architecture: typed event streams with
+// event time, keyed stateful operators, watermark-driven tumbling and
+// sliding windows, and fan-in/fan-out plumbing.
+//
+// Streams are ordinary channels of Event values, and operators are functions
+// from input channel to output channel that run their processing loop in a
+// dedicated goroutine — sharing by communicating, per Effective Go. An
+// operator's output channel closes when its input closes and all pending
+// state (e.g. open windows) has been flushed, so termination propagates
+// cleanly down a pipeline.
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is a keyed, timestamped element of a stream. Time is event time
+// (when the position report was generated), not processing time.
+type Event[T any] struct {
+	Key   string
+	Time  time.Time
+	Value T
+}
+
+// E constructs an event.
+func E[T any](key string, t time.Time, v T) Event[T] {
+	return Event[T]{Key: key, Time: t, Value: v}
+}
+
+// FromSlice returns a stream replaying the given events in order.
+func FromSlice[T any](events []Event[T]) <-chan Event[T] {
+	out := make(chan Event[T])
+	go func() {
+		defer close(out)
+		for _, e := range events {
+			out <- e
+		}
+	}()
+	return out
+}
+
+// Collect drains a stream into a slice; it returns when the stream closes.
+func Collect[T any](in <-chan Event[T]) []Event[T] {
+	var out []Event[T]
+	for e := range in {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Map transforms every event's value.
+func Map[I, O any](in <-chan Event[I], f func(Event[I]) O) <-chan Event[O] {
+	out := make(chan Event[O])
+	go func() {
+		defer close(out)
+		for e := range in {
+			out <- Event[O]{Key: e.Key, Time: e.Time, Value: f(e)}
+		}
+	}()
+	return out
+}
+
+// Filter drops events for which pred returns false.
+func Filter[T any](in <-chan Event[T], pred func(Event[T]) bool) <-chan Event[T] {
+	out := make(chan Event[T])
+	go func() {
+		defer close(out)
+		for e := range in {
+			if pred(e) {
+				out <- e
+			}
+		}
+	}()
+	return out
+}
+
+// FlatMap maps each event to zero or more output events via the emit
+// callback, preserving the input's key and time unless the callback
+// overrides them by constructing its own events.
+func FlatMap[I, O any](in <-chan Event[I], f func(e Event[I], emit func(Event[O]))) <-chan Event[O] {
+	out := make(chan Event[O])
+	go func() {
+		defer close(out)
+		emit := func(o Event[O]) { out <- o }
+		for e := range in {
+			f(e, emit)
+		}
+	}()
+	return out
+}
+
+// KeyBy re-keys a stream.
+func KeyBy[T any](in <-chan Event[T], key func(Event[T]) string) <-chan Event[T] {
+	out := make(chan Event[T])
+	go func() {
+		defer close(out)
+		for e := range in {
+			e.Key = key(e)
+			out <- e
+		}
+	}()
+	return out
+}
+
+// Process runs a keyed stateful operator: for each event, f receives the
+// per-key state (created on first use by newState) and an emit callback.
+// When the input closes, onClose (if non-nil) is invoked once per key so
+// operators can flush pending state.
+func Process[I, O, S any](
+	in <-chan Event[I],
+	newState func(key string) *S,
+	f func(state *S, e Event[I], emit func(Event[O])),
+	onClose func(key string, state *S, emit func(Event[O])),
+) <-chan Event[O] {
+	out := make(chan Event[O])
+	go func() {
+		defer close(out)
+		states := make(map[string]*S)
+		emit := func(o Event[O]) { out <- o }
+		for e := range in {
+			st, ok := states[e.Key]
+			if !ok {
+				st = newState(e.Key)
+				states[e.Key] = st
+			}
+			f(st, e, emit)
+		}
+		if onClose != nil {
+			keys := make([]string, 0, len(states))
+			for k := range states {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				onClose(k, states[k], emit)
+			}
+		}
+	}()
+	return out
+}
+
+// Merge fans multiple streams into one. Output order across inputs is
+// arbitrary; per-input order is preserved.
+func Merge[T any](ins ...<-chan Event[T]) <-chan Event[T] {
+	out := make(chan Event[T])
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in <-chan Event[T]) {
+			defer wg.Done()
+			for e := range in {
+				out <- e
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Tee duplicates a stream into n independent output streams. Each output
+// must be consumed or the pipeline stalls (no internal buffering beyond buf).
+func Tee[T any](in <-chan Event[T], n, buf int) []<-chan Event[T] {
+	chans := make([]chan Event[T], n)
+	outs := make([]<-chan Event[T], n)
+	for i := range chans {
+		chans[i] = make(chan Event[T], buf)
+		outs[i] = chans[i]
+	}
+	go func() {
+		defer func() {
+			for _, c := range chans {
+				close(c)
+			}
+		}()
+		for e := range in {
+			for _, c := range chans {
+				c <- e
+			}
+		}
+	}()
+	return outs
+}

@@ -1,0 +1,352 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func ints(key string, vals ...int) []Event[int] {
+	out := make([]Event[int], len(vals))
+	for i, v := range vals {
+		out[i] = E(key, at(i), v)
+	}
+	return out
+}
+
+func TestMapFilterCollect(t *testing.T) {
+	in := FromSlice(ints("a", 1, 2, 3, 4, 5))
+	doubled := Map(in, func(e Event[int]) int { return e.Value * 2 })
+	evens := Filter(doubled, func(e Event[int]) bool { return e.Value%4 == 0 })
+	got := Collect(evens)
+	want := []int{4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Value != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i].Value, want[i])
+		}
+		if got[i].Key != "a" {
+			t.Errorf("key not preserved: %q", got[i].Key)
+		}
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	in := FromSlice(ints("k", 1, 2, 3))
+	out := FlatMap(in, func(e Event[int], emit func(Event[string])) {
+		for i := 0; i < e.Value; i++ {
+			emit(E(e.Key, e.Time, fmt.Sprintf("%d.%d", e.Value, i)))
+		}
+	})
+	got := Collect(out)
+	if len(got) != 6 {
+		t.Fatalf("got %d events, want 6", len(got))
+	}
+	if got[0].Value != "1.0" || got[5].Value != "3.2" {
+		t.Errorf("unexpected values: %v, %v", got[0].Value, got[5].Value)
+	}
+}
+
+func TestKeyBy(t *testing.T) {
+	in := FromSlice(ints("old", 1, 2, 3, 4))
+	rekeyed := KeyBy(in, func(e Event[int]) string {
+		if e.Value%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	})
+	got := Collect(rekeyed)
+	for _, e := range got {
+		want := "odd"
+		if e.Value%2 == 0 {
+			want = "even"
+		}
+		if e.Key != want {
+			t.Errorf("value %d keyed %q, want %q", e.Value, e.Key, want)
+		}
+	}
+}
+
+func TestProcessKeyedState(t *testing.T) {
+	// Running per-key sum with a flush on close.
+	events := []Event[int]{
+		E("a", at(0), 1), E("b", at(1), 10), E("a", at(2), 2),
+		E("b", at(3), 20), E("a", at(4), 3),
+	}
+	type sum struct{ total int }
+	out := Process(FromSlice(events),
+		func(key string) *sum { return &sum{} },
+		func(s *sum, e Event[int], emit func(Event[int])) {
+			s.total += e.Value
+		},
+		func(key string, s *sum, emit func(Event[int])) {
+			emit(E(key, at(100), s.total))
+		},
+	)
+	got := Collect(out)
+	if len(got) != 2 {
+		t.Fatalf("got %d flush events, want 2", len(got))
+	}
+	// onClose iterates keys in sorted order.
+	if got[0].Key != "a" || got[0].Value != 6 {
+		t.Errorf("a sum = %+v", got[0])
+	}
+	if got[1].Key != "b" || got[1].Value != 30 {
+		t.Errorf("b sum = %+v", got[1])
+	}
+}
+
+func TestProcessEmitDuringProcessing(t *testing.T) {
+	// Emit deltas between consecutive per-key values.
+	events := []Event[int]{
+		E("x", at(0), 10), E("x", at(1), 13), E("x", at(2), 11),
+	}
+	type prev struct {
+		v   int
+		set bool
+	}
+	out := Process(FromSlice(events),
+		func(string) *prev { return &prev{} },
+		func(p *prev, e Event[int], emit func(Event[int])) {
+			if p.set {
+				emit(E(e.Key, e.Time, e.Value-p.v))
+			}
+			p.v, p.set = e.Value, true
+		},
+		nil,
+	)
+	got := Collect(out)
+	if len(got) != 2 || got[0].Value != 3 || got[1].Value != -2 {
+		t.Errorf("deltas = %v", got)
+	}
+}
+
+func TestMergePreservesAll(t *testing.T) {
+	a := FromSlice(ints("a", 1, 2, 3))
+	b := FromSlice(ints("b", 4, 5))
+	got := Collect(Merge(a, b))
+	if len(got) != 5 {
+		t.Fatalf("merged %d events, want 5", len(got))
+	}
+	sum := 0
+	for _, e := range got {
+		sum += e.Value
+	}
+	if sum != 15 {
+		t.Errorf("sum = %d, want 15", sum)
+	}
+}
+
+func TestMergePerInputOrder(t *testing.T) {
+	a := FromSlice(ints("a", 1, 2, 3, 4, 5, 6, 7, 8))
+	b := FromSlice(ints("b", 10, 20, 30))
+	got := Collect(Merge(a, b))
+	lastA, lastB := -1, -1
+	for _, e := range got {
+		switch e.Key {
+		case "a":
+			if e.Value <= lastA {
+				t.Fatal("per-input order violated for a")
+			}
+			lastA = e.Value
+		case "b":
+			if e.Value <= lastB {
+				t.Fatal("per-input order violated for b")
+			}
+			lastB = e.Value
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	in := FromSlice(ints("k", 1, 2, 3, 4))
+	outs := Tee(in, 3, 8)
+	var sums [3]int
+	done := make(chan struct{}, 3)
+	for i, o := range outs {
+		go func(i int, o <-chan Event[int]) {
+			for e := range o {
+				sums[i] += e.Value
+			}
+			done <- struct{}{}
+		}(i, o)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	for i, s := range sums {
+		if s != 10 {
+			t.Errorf("branch %d sum = %d, want 10", i, s)
+		}
+	}
+}
+
+func TestWatermarker(t *testing.T) {
+	wm := NewWatermarker(5 * time.Second)
+	if !wm.Watermark().IsZero() {
+		t.Error("watermark before any event should be zero")
+	}
+	if !wm.Observe(at(10)) {
+		t.Error("first event should be on time")
+	}
+	if got := wm.Watermark(); !got.Equal(at(5)) {
+		t.Errorf("watermark = %v, want %v", got, at(5))
+	}
+	if !wm.Observe(at(6)) { // within lateness allowance
+		t.Error("event at watermark+1 should be on time")
+	}
+	if wm.Observe(at(4)) { // before watermark: late
+		t.Error("event before watermark should be late")
+	}
+	if wm.Late != 1 {
+		t.Errorf("late count = %d, want 1", wm.Late)
+	}
+	// Watermark never regresses.
+	wm.Observe(at(8))
+	if got := wm.Watermark(); !got.Equal(at(5)) {
+		t.Errorf("watermark regressed to %v", got)
+	}
+}
+
+func TestTumblingWindowCountsPerKey(t *testing.T) {
+	var events []Event[int]
+	// Key a: events at 0..9s; key b: events at 0..19s, windows of 10s.
+	for i := 0; i < 10; i++ {
+		events = append(events, E("a", at(i), 1))
+	}
+	for i := 0; i < 20; i++ {
+		events = append(events, E("b", at(i), 1))
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	out := TumblingWindow(FromSlice(events), 10*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+	)
+	got := Collect(out)
+	counts := map[string][]int{}
+	for _, e := range got {
+		counts[e.Key] = append(counts[e.Key], e.Value.Value)
+		if !e.Value.Window.End.Equal(e.Time) {
+			t.Errorf("event time should be window end: %v vs %v", e.Time, e.Value.Window.End)
+		}
+		if e.Value.Window.End.Sub(e.Value.Window.Start) != 10*time.Second {
+			t.Errorf("window size wrong: %+v", e.Value.Window)
+		}
+	}
+	if len(counts["a"]) != 1 || counts["a"][0] != 10 {
+		t.Errorf("a windows = %v, want [10]", counts["a"])
+	}
+	if len(counts["b"]) != 2 || counts["b"][0] != 10 || counts["b"][1] != 10 {
+		t.Errorf("b windows = %v, want [10 10]", counts["b"])
+	}
+}
+
+func TestTumblingWindowFiresOnWatermark(t *testing.T) {
+	// With zero lateness, a window fires as soon as an event past its end
+	// arrives, before the stream closes.
+	events := []Event[int]{
+		E("k", at(1), 1), E("k", at(5), 1), E("k", at(12), 1),
+	}
+	out := TumblingWindow(FromSlice(events), 10*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+	)
+	first := <-out
+	if first.Value.Value != 2 {
+		t.Errorf("first fired window count = %d, want 2", first.Value.Value)
+	}
+	rest := Collect(out)
+	if len(rest) != 1 || rest[0].Value.Value != 1 {
+		t.Errorf("remaining windows = %v", rest)
+	}
+}
+
+func TestTumblingWindowDropsLateEvents(t *testing.T) {
+	events := []Event[int]{
+		E("k", at(0), 1), E("k", at(30), 1),
+		E("k", at(2), 1), // 28s late, beyond the 5s allowance: dropped
+	}
+	out := TumblingWindow(FromSlice(events), 10*time.Second, 5*time.Second,
+		func(Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+	)
+	got := Collect(out)
+	total := 0
+	for _, e := range got {
+		total += e.Value.Value
+	}
+	if total != 2 {
+		t.Errorf("window total = %d, want 2 (late event dropped)", total)
+	}
+}
+
+func TestSlidingWindowOverlap(t *testing.T) {
+	// Window 10s sliding 5s: an event at t=7 belongs to windows [0,10) and [5,15).
+	events := []Event[int]{E("k", at(7), 1)}
+	out := SlidingWindow(FromSlice(events), 10*time.Second, 5*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+	)
+	got := Collect(out)
+	if len(got) != 2 {
+		t.Fatalf("event should appear in 2 windows, got %d", len(got))
+	}
+	starts := []time.Time{got[0].Value.Window.Start, got[1].Value.Window.Start}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+	if !starts[0].Equal(at(0)) || !starts[1].Equal(at(5)) {
+		t.Errorf("window starts = %v", starts)
+	}
+}
+
+func TestWindowAggregateAverage(t *testing.T) {
+	// Fold speed values into (sum, count) and verify the average,
+	// mirroring the paper's per-trajectory online statistics.
+	type agg struct {
+		sum float64
+		n   int
+	}
+	var events []Event[float64]
+	for i := 0; i < 10; i++ {
+		events = append(events, E("vessel-1", at(i), float64(i)))
+	}
+	out := TumblingWindow(FromSlice(events), 10*time.Second, 0,
+		func(Window) agg { return agg{} },
+		func(a agg, e Event[float64]) agg { return agg{a.sum + e.Value, a.n + 1} },
+	)
+	got := Collect(out)
+	if len(got) != 1 {
+		t.Fatalf("got %d windows, want 1", len(got))
+	}
+	avg := got[0].Value.Value.sum / float64(got[0].Value.Value.n)
+	if avg != 4.5 {
+		t.Errorf("avg = %v, want 4.5", avg)
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// A realistic mini-pipeline: parse → filter invalid → window-count.
+	raw := []Event[string]{
+		E("v1", at(0), "ok"), E("v1", at(1), "bad"), E("v1", at(2), "ok"),
+		E("v2", at(3), "ok"), E("v1", at(11), "ok"),
+	}
+	valid := Filter(FromSlice(raw), func(e Event[string]) bool { return e.Value == "ok" })
+	counted := TumblingWindow(valid, 10*time.Second, 0,
+		func(Window) int { return 0 },
+		func(acc int, _ Event[string]) int { return acc + 1 },
+	)
+	got := Collect(counted)
+	byKey := map[string]int{}
+	for _, e := range got {
+		byKey[e.Key] += e.Value.Value
+	}
+	if byKey["v1"] != 3 || byKey["v2"] != 1 {
+		t.Errorf("counts = %v", byKey)
+	}
+}

@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"sort"
+	"time"
+)
+
+// Watermarker tracks event-time progress with a bounded-out-of-orderness
+// policy: the watermark is the maximum observed event time minus the
+// configured lateness allowance. Events at or before the current watermark
+// are late.
+type Watermarker struct {
+	maxTime   time.Time
+	lateness  time.Duration
+	seenFirst bool
+	Late      int64 // count of late events observed via Observe
+}
+
+// NewWatermarker returns a watermarker tolerating the given out-of-orderness.
+func NewWatermarker(allowedLateness time.Duration) *Watermarker {
+	return &Watermarker{lateness: allowedLateness}
+}
+
+// Observe advances the watermark with an event time and reports whether the
+// event is on time (true) or late (false).
+func (w *Watermarker) Observe(t time.Time) bool {
+	if !w.seenFirst || t.After(w.maxTime) {
+		w.maxTime = t
+		w.seenFirst = true
+	}
+	if t.Before(w.Watermark()) {
+		w.Late++
+		return false
+	}
+	return true
+}
+
+// Watermark returns the current watermark; the zero time before any event.
+func (w *Watermarker) Watermark() time.Time {
+	if !w.seenFirst {
+		return time.Time{}
+	}
+	return w.maxTime.Add(-w.lateness)
+}
+
+// Window identifies a time window [Start, End) for a key.
+type Window struct {
+	Key   string
+	Start time.Time
+	End   time.Time
+}
+
+// WindowAggregate holds a fired window and its aggregate value.
+type WindowAggregate[A any] struct {
+	Window Window
+	Value  A
+}
+
+// windowState is one open window's accumulator.
+type windowState[A any] struct {
+	win Window
+	acc A
+}
+
+// TumblingWindow assigns events to fixed, non-overlapping windows of the
+// given size per key, folds them with add, and emits each window's aggregate
+// once the watermark passes the window end (or the stream closes). Windows
+// are aligned to the Unix epoch. Late events beyond allowedLateness are
+// dropped.
+func TumblingWindow[I, A any](
+	in <-chan Event[I],
+	size time.Duration,
+	allowedLateness time.Duration,
+	init func(w Window) A,
+	add func(acc A, e Event[I]) A,
+) <-chan Event[WindowAggregate[A]] {
+	return slidingWindow(in, size, size, allowedLateness, init, add)
+}
+
+// SlidingWindow assigns events to overlapping windows of the given size
+// sliding by slide (slide <= size), folding and firing as TumblingWindow.
+func SlidingWindow[I, A any](
+	in <-chan Event[I],
+	size, slide time.Duration,
+	allowedLateness time.Duration,
+	init func(w Window) A,
+	add func(acc A, e Event[I]) A,
+) <-chan Event[WindowAggregate[A]] {
+	return slidingWindow(in, size, slide, allowedLateness, init, add)
+}
+
+func slidingWindow[I, A any](
+	in <-chan Event[I],
+	size, slide time.Duration,
+	allowedLateness time.Duration,
+	init func(w Window) A,
+	add func(acc A, e Event[I]) A,
+) <-chan Event[WindowAggregate[A]] {
+	if slide <= 0 {
+		slide = size
+	}
+	out := make(chan Event[WindowAggregate[A]])
+	go func() {
+		defer close(out)
+		wm := NewWatermarker(allowedLateness)
+		// open windows keyed by (key, window start).
+		type winKey struct {
+			key   string
+			start int64
+		}
+		open := make(map[winKey]*windowState[A])
+
+		fire := func(upTo time.Time, all bool) {
+			// Collect fireable windows, emit in deterministic order.
+			var ready []*windowState[A]
+			for k, ws := range open {
+				if all || !ws.win.End.After(upTo) {
+					ready = append(ready, ws)
+					delete(open, k)
+				}
+			}
+			sort.Slice(ready, func(i, j int) bool {
+				if !ready[i].win.End.Equal(ready[j].win.End) {
+					return ready[i].win.End.Before(ready[j].win.End)
+				}
+				return ready[i].win.Key < ready[j].win.Key
+			})
+			for _, ws := range ready {
+				out <- Event[WindowAggregate[A]]{
+					Key:   ws.win.Key,
+					Time:  ws.win.End,
+					Value: WindowAggregate[A]{Window: ws.win, Value: ws.acc},
+				}
+			}
+		}
+
+		for e := range in {
+			if !wm.Observe(e.Time) {
+				continue // late beyond allowance: drop
+			}
+			// Assign to every window containing e.Time.
+			t := e.Time.UnixNano()
+			sz, sl := size.Nanoseconds(), slide.Nanoseconds()
+			// First window start covering t: the largest multiple of slide
+			// that is > t-size, i.e. start in (t-size, t].
+			first := (t-sz)/sl*sl + sl
+			if t-sz < 0 && (t-sz)%sl != 0 {
+				first -= sl // floor division for negatives
+			}
+			for s := first; s <= t; s += sl {
+				start := time.Unix(0, s).UTC()
+				wk := winKey{key: e.Key, start: s}
+				ws, ok := open[wk]
+				if !ok {
+					win := Window{Key: e.Key, Start: start, End: start.Add(size)}
+					ws = &windowState[A]{win: win, acc: init(win)}
+					open[wk] = ws
+				}
+				ws.acc = add(ws.acc, e)
+			}
+			fire(wm.Watermark(), false)
+		}
+		fire(time.Time{}, true)
+	}()
+	return out
+}

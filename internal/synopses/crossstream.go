@@ -1,0 +1,143 @@
+package synopses
+
+import (
+	"sort"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// This file implements the cross-stream processing the paper lists as the
+// synopses generator's next step: "correlating surveillance data from
+// multiple (and perhaps contradicting) sources in order to provide a
+// coherent trajectory representation". Terrestrial and satellite AIS (or
+// ADS-B and IFS radar) report the same movers at different rates, with
+// clock skew, duplicates and occasional contradictions; the Merger fuses
+// them into one per-mover stream the synopses generator can consume.
+
+// MergerConfig tunes the cross-stream fusion.
+type MergerConfig struct {
+	// DuplicateWindow treats reports for the same mover closer in time
+	// than this as observations of the same position fix.
+	DuplicateWindow time.Duration
+	// MaxSpeedMS rejects reports implying impossible motion relative to
+	// the accepted track (contradicting source).
+	MaxSpeedMS float64
+	// FusePositions averages duplicate observations instead of keeping the
+	// first; this reduces per-source noise at the cost of a small delay in
+	// no way exceeding the duplicate window.
+	FusePositions bool
+}
+
+// DefaultMergerConfig returns maritime-tuned fusion settings.
+func DefaultMergerConfig() MergerConfig {
+	return MergerConfig{
+		DuplicateWindow: 5 * time.Second,
+		MaxSpeedMS:      55,
+		FusePositions:   true,
+	}
+}
+
+// MergerStats counts the merger's decisions.
+type MergerStats struct {
+	In             int64
+	Out            int64
+	Duplicates     int64 // cross-source duplicate fixes absorbed
+	Contradictions int64 // kinematically impossible reports rejected
+	Stale          int64 // out-of-order reports older than the track head
+}
+
+// Merger fuses multiple surveillance streams into one coherent per-mover
+// stream. Offer reports in (approximate) global time order; accepted
+// reports come back in strict per-mover time order.
+type Merger struct {
+	cfg   MergerConfig
+	last  map[string]mobility.Report
+	stats MergerStats
+}
+
+// NewMerger returns a Merger.
+func NewMerger(cfg MergerConfig) *Merger {
+	if cfg.DuplicateWindow <= 0 {
+		cfg.DuplicateWindow = 5 * time.Second
+	}
+	if cfg.MaxSpeedMS <= 0 {
+		cfg.MaxSpeedMS = 55
+	}
+	return &Merger{cfg: cfg, last: make(map[string]mobility.Report)}
+}
+
+// Stats returns the accumulated counters.
+func (m *Merger) Stats() MergerStats { return m.stats }
+
+// Offer evaluates one report. ok is true when the (possibly fused) report
+// should continue downstream.
+func (m *Merger) Offer(r mobility.Report) (mobility.Report, bool) {
+	m.stats.In++
+	if !r.Valid() {
+		m.stats.Contradictions++
+		return mobility.Report{}, false
+	}
+	last, seen := m.last[r.ID]
+	if !seen {
+		m.last[r.ID] = r
+		m.stats.Out++
+		return r, true
+	}
+	dt := r.Time.Sub(last.Time)
+	if dt < 0 {
+		m.stats.Stale++
+		return mobility.Report{}, false
+	}
+	if dt < m.cfg.DuplicateWindow {
+		// Same position fix seen through another source.
+		m.stats.Duplicates++
+		if m.cfg.FusePositions {
+			// Refine the accepted head in place (midpoint fusion). The
+			// refined fix is not re-emitted: downstream already has a fix
+			// for this instant; fusion improves the *next* consistency gate.
+			fused := last
+			fused.Pos = geo.Interpolate(last.Pos, r.Pos, 0.5)
+			fused.SpeedKn = (last.SpeedKn + r.SpeedKn) / 2
+			m.last[r.ID] = fused
+		}
+		return mobility.Report{}, false
+	}
+	// Consistency gate against the accepted track.
+	if geo.Haversine(last.Pos, r.Pos)/dt.Seconds() > m.cfg.MaxSpeedMS {
+		m.stats.Contradictions++
+		return mobility.Report{}, false
+	}
+	m.last[r.ID] = r
+	m.stats.Out++
+	return r, true
+}
+
+// MergeStreams is the batch convenience: it interleaves the given source
+// streams by time, runs them through a Merger, and returns the coherent
+// stream plus the fusion statistics.
+func MergeStreams(cfg MergerConfig, sources ...[]mobility.Report) ([]mobility.Report, MergerStats) {
+	var all []mobility.Report
+	for _, src := range sources {
+		all = append(all, src...)
+	}
+	sortReportsByTime(all)
+	m := NewMerger(cfg)
+	out := make([]mobility.Report, 0, len(all))
+	for _, r := range all {
+		if fused, ok := m.Offer(r); ok {
+			out = append(out, fused)
+		}
+	}
+	return out, m.Stats()
+}
+
+func sortReportsByTime(reports []mobility.Report) {
+	sort.SliceStable(reports, func(i, j int) bool {
+		if !reports[i].Time.Equal(reports[j].Time) {
+			return reports[i].Time.Before(reports[j].Time)
+		}
+		return reports[i].ID < reports[j].ID
+	})
+}

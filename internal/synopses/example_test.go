@@ -1,0 +1,36 @@
+package synopses_test
+
+import (
+	"fmt"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/synopses"
+)
+
+// ExampleSummarize compresses a small straight track: only the trajectory
+// endpoints survive, matching the paper's "drop any predictable positions"
+// behaviour.
+func ExampleSummarize() {
+	start := time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	pos := geo.Pt(23.5, 38.0)
+	var raw []mobility.Report
+	for i := 0; i < 100; i++ {
+		raw = append(raw, mobility.Report{
+			ID: "vessel-1", Time: start.Add(time.Duration(i) * 10 * time.Second),
+			Pos: pos, SpeedKn: 12, Heading: 90,
+		})
+		pos = geo.Destination(pos, 90, 12*mobility.KnotsToMS*10)
+	}
+	cps, stats := synopses.Summarize(synopses.DefaultMaritime(), raw)
+	fmt.Printf("raw=%d critical=%d compression=%.0f%%\n",
+		stats.In, len(cps), stats.CompressionRatio()*100)
+	for _, cp := range cps {
+		fmt.Println(cp.Type)
+	}
+	// Output:
+	// raw=100 critical=2 compression=98%
+	// trajectory_start
+	// trajectory_end
+}

@@ -1,0 +1,89 @@
+package synopses
+
+import (
+	"sort"
+	"time"
+)
+
+// Segment is one meaningful part of a mover's trajectory: the ontology's
+// TrajectoryPart level (Figure 3), where a trajectory is "a temporal
+// sequence of meaningful trajectory segments (each revealing specific
+// behaviour, event, goal, activity)". Segments are delimited by stop and
+// communication-gap boundaries, so each one corresponds to a voyage leg,
+// and carry the critical points that fall inside them.
+type Segment struct {
+	MoverID string
+	Index   int
+	Start   time.Time
+	End     time.Time
+	Points  []CriticalPoint
+	// EndedBy records the critical type that closed the segment
+	// (stop_start, gap_start, or trajectory_end).
+	EndedBy CriticalType
+}
+
+// Duration returns the segment's time span.
+func (s Segment) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// SegmentCriticalPoints splits a critical-point archive into per-mover
+// segments. Boundaries: a StopStart or GapStart closes the current segment;
+// the matching StopEnd or GapEnd opens the next; TrajectoryEnd closes the
+// last. Segments with no content between boundaries are skipped.
+func SegmentCriticalPoints(cps []CriticalPoint) []Segment {
+	byMover := map[string][]CriticalPoint{}
+	var ids []string
+	for _, cp := range cps {
+		if _, ok := byMover[cp.ID]; !ok {
+			ids = append(ids, cp.ID)
+		}
+		byMover[cp.ID] = append(byMover[cp.ID], cp)
+	}
+	sort.Strings(ids)
+
+	var out []Segment
+	for _, id := range ids {
+		seq := byMover[id]
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].Time.Before(seq[j].Time) })
+		idx := 0
+		var cur []CriticalPoint
+		flush := func(endedBy CriticalType, end time.Time) {
+			if len(cur) == 0 {
+				return
+			}
+			out = append(out, Segment{
+				MoverID: id,
+				Index:   idx,
+				Start:   cur[0].Time,
+				End:     end,
+				Points:  cur,
+				EndedBy: endedBy,
+			})
+			idx++
+			cur = nil
+		}
+		for _, cp := range seq {
+			switch cp.Type {
+			case StopStart, GapStart:
+				cur = append(cur, cp)
+				flush(cp.Type, cp.Time)
+			case StopEnd, GapEnd:
+				// Opens the next segment.
+				cur = append(cur, cp)
+			case TrajectoryEnd:
+				cur = append(cur, cp)
+				flush(TrajectoryEnd, cp.Time)
+			default:
+				cur = append(cur, cp)
+			}
+		}
+		flush(TrajectoryEnd, lastTime(cur))
+	}
+	return out
+}
+
+func lastTime(cps []CriticalPoint) time.Time {
+	if len(cps) == 0 {
+		return time.Time{}
+	}
+	return cps[len(cps)-1].Time
+}

@@ -1,0 +1,112 @@
+package synopses
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+)
+
+func segCP(id string, sec int, ct CriticalType) CriticalPoint {
+	return CriticalPoint{
+		Report: mobility.Report{ID: id, Time: t0.Add(time.Duration(sec) * time.Second),
+			Pos: geo.Pt(23, 37), SpeedKn: 8, Heading: 90},
+		Type: ct,
+	}
+}
+
+func TestSegmentCriticalPointsBoundaries(t *testing.T) {
+	cps := []CriticalPoint{
+		segCP("v", 0, TrajectoryStart),
+		segCP("v", 100, ChangeInHeading),
+		segCP("v", 200, StopStart), // closes segment 0
+		segCP("v", 800, StopEnd),   // opens segment 1
+		segCP("v", 900, SpeedChange),
+		segCP("v", 1000, GapStart), // closes segment 1
+		segCP("v", 2000, GapEnd),   // opens segment 2
+		segCP("v", 2100, TrajectoryEnd),
+	}
+	segs := SegmentCriticalPoints(cps)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3: %+v", len(segs), segs)
+	}
+	if segs[0].EndedBy != StopStart || len(segs[0].Points) != 3 {
+		t.Errorf("segment 0 = %+v", segs[0])
+	}
+	if segs[1].EndedBy != GapStart || len(segs[1].Points) != 3 {
+		t.Errorf("segment 1 = %+v", segs[1])
+	}
+	if segs[2].EndedBy != TrajectoryEnd || len(segs[2].Points) != 2 {
+		t.Errorf("segment 2 = %+v", segs[2])
+	}
+	// Indices and ordering.
+	for i, s := range segs {
+		if s.Index != i || s.MoverID != "v" {
+			t.Errorf("segment %d misnumbered: %+v", i, s)
+		}
+		if s.End.Before(s.Start) {
+			t.Errorf("segment %d inverted: %+v", i, s)
+		}
+	}
+	if segs[1].Duration() != 200*time.Second {
+		t.Errorf("segment 1 duration = %v", segs[1].Duration())
+	}
+}
+
+func TestSegmentCriticalPointsMultipleMovers(t *testing.T) {
+	cps := []CriticalPoint{
+		segCP("b", 0, TrajectoryStart), segCP("b", 10, TrajectoryEnd),
+		segCP("a", 0, TrajectoryStart), segCP("a", 10, TrajectoryEnd),
+	}
+	segs := SegmentCriticalPoints(cps)
+	if len(segs) != 2 || segs[0].MoverID != "a" || segs[1].MoverID != "b" {
+		t.Errorf("segments = %+v", segs)
+	}
+}
+
+func TestSegmentOnGeneratedFleet(t *testing.T) {
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 5,
+		Counts: map[gen.VesselClass]int{gen.Ferry: 2, gen.Fishing: 2}})
+	reports := sim.Run(8 * time.Hour)
+	cps, _ := Summarize(DefaultMaritime(), reports)
+	segs := SegmentCriticalPoints(cps)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Every critical point lands in exactly one segment of its mover.
+	total := 0
+	for _, s := range segs {
+		total += len(s.Points)
+		for _, cp := range s.Points {
+			if cp.ID != s.MoverID {
+				t.Fatal("cross-mover contamination")
+			}
+		}
+	}
+	// Boundary points appear in two segments (closing one, opening next),
+	// so total >= len(cps).
+	if total < len(cps) {
+		t.Errorf("segment points %d < critical points %d", total, len(cps))
+	}
+}
+
+func TestPartTriples(t *testing.T) {
+	g := rdf.NewGraph()
+	start := rdf.Time(t0)
+	end := rdf.Time(t0.Add(time.Hour))
+	g.AddAll(ontology.PartTriples("v1", 0, start, end, []int{3, 4, 5}))
+	part := ontology.PartIRI("v1", 0)
+	if !g.Has(rdf.Triple{S: ontology.TrajectoryIRI("v1"), P: ontology.PropHasPart, O: part}) {
+		t.Error("hasPart missing")
+	}
+	if !g.Has(rdf.Triple{S: part, P: rdf.RDFType, O: ontology.ClassTrajectoryPart}) {
+		t.Error("part typing missing")
+	}
+	if got := g.Objects(part, ontology.PropHasNode); len(got) != 3 {
+		t.Errorf("part nodes = %d, want 3", len(got))
+	}
+}

@@ -1,0 +1,291 @@
+package synopses
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// mkTrack builds a straight eastward track with the given per-report speed
+// (knots) and interval, starting at (23.5, 38.0).
+func mkTrack(id string, n int, interval time.Duration, speedKn float64) []mobility.Report {
+	out := make([]mobility.Report, n)
+	pos := geo.Pt(23.5, 38.0)
+	for i := 0; i < n; i++ {
+		out[i] = mobility.Report{
+			ID: id, Time: t0.Add(time.Duration(i) * interval),
+			Pos: pos, SpeedKn: speedKn, Heading: 90,
+		}
+		pos = geo.Destination(pos, 90, speedKn*mobility.KnotsToMS*interval.Seconds())
+	}
+	return out
+}
+
+func countType(cps []CriticalPoint, ct CriticalType) int {
+	n := 0
+	for _, cp := range cps {
+		if cp.Type == ct {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStraightTrackCompressesToEndpoints(t *testing.T) {
+	raw := mkTrack("v1", 200, 10*time.Second, 12)
+	cps, stats := Summarize(DefaultMaritime(), raw)
+	if got := countType(cps, TrajectoryStart); got != 1 {
+		t.Errorf("trajectory_start = %d", got)
+	}
+	if got := countType(cps, TrajectoryEnd); got != 1 {
+		t.Errorf("trajectory_end = %d", got)
+	}
+	// A perfectly straight constant-speed track should keep almost nothing.
+	if stats.CompressionRatio() < 0.95 {
+		t.Errorf("compression = %.3f, want > 0.95 (critical=%d of %d)",
+			stats.CompressionRatio(), stats.Critical, stats.In)
+	}
+}
+
+func TestHeadingChangeDetected(t *testing.T) {
+	raw := mkTrack("v1", 30, 10*time.Second, 12)
+	// Turn: continue from last position heading north.
+	lastPos := raw[len(raw)-1].Pos
+	for i := 0; i < 30; i++ {
+		lastPos = geo.Destination(lastPos, 0, 12*mobility.KnotsToMS*10)
+		raw = append(raw, mobility.Report{
+			ID: "v1", Time: raw[len(raw)-1].Time.Add(10 * time.Second),
+			Pos: lastPos, SpeedKn: 12, Heading: 0,
+		})
+	}
+	cps, _ := Summarize(DefaultMaritime(), raw)
+	if got := countType(cps, ChangeInHeading); got < 1 {
+		t.Fatalf("heading change not detected")
+	}
+	// The first heading-change point should be at the turn.
+	for _, cp := range cps {
+		if cp.Type == ChangeInHeading {
+			if math.Abs(cp.Delta) < DefaultMaritime().HeadingDeltaDeg {
+				t.Errorf("delta %.1f below threshold", cp.Delta)
+			}
+			break
+		}
+	}
+}
+
+func TestSpeedChangeDetected(t *testing.T) {
+	raw := mkTrack("v1", 20, 10*time.Second, 12)
+	// Sudden slowdown to 6 knots (50% change).
+	slow := mkTrack("v1", 20, 10*time.Second, 6)
+	for i := range slow {
+		slow[i].Time = raw[len(raw)-1].Time.Add(time.Duration(i+1) * 10 * time.Second)
+		slow[i].Pos = raw[len(raw)-1].Pos
+	}
+	cps, _ := Summarize(DefaultMaritime(), append(raw, slow...))
+	if countType(cps, SpeedChange) < 1 {
+		t.Error("speed change not detected")
+	}
+}
+
+func TestStopDetection(t *testing.T) {
+	cfg := DefaultMaritime()
+	raw := mkTrack("v1", 10, 30*time.Second, 10)
+	last := raw[len(raw)-1]
+	// Stationary for 20 minutes.
+	for i := 1; i <= 40; i++ {
+		raw = append(raw, mobility.Report{
+			ID: "v1", Time: last.Time.Add(time.Duration(i) * 30 * time.Second),
+			Pos: last.Pos, SpeedKn: 0.1, Heading: last.Heading,
+		})
+	}
+	// Resume.
+	resume := last.Time.Add(21 * time.Minute)
+	pos := last.Pos
+	for i := 0; i < 10; i++ {
+		pos = geo.Destination(pos, 90, 10*mobility.KnotsToMS*30)
+		raw = append(raw, mobility.Report{
+			ID: "v1", Time: resume.Add(time.Duration(i) * 30 * time.Second),
+			Pos: pos, SpeedKn: 10, Heading: 90,
+		})
+	}
+	cps, _ := Summarize(cfg, raw)
+	if countType(cps, StopStart) != 1 {
+		t.Errorf("stop_start = %d, want 1", countType(cps, StopStart))
+	}
+	if countType(cps, StopEnd) != 1 {
+		t.Errorf("stop_end = %d, want 1", countType(cps, StopEnd))
+	}
+	// The stop anchor should be stamped at the beginning of the stop.
+	for _, cp := range cps {
+		if cp.Type == StopStart {
+			if cp.Time.After(last.Time.Add(time.Minute)) {
+				t.Errorf("stop anchored at %v, want ≈%v", cp.Time, last.Time)
+			}
+		}
+	}
+}
+
+func TestSlowMotionDetection(t *testing.T) {
+	raw := mkTrack("v1", 10, 30*time.Second, 12)
+	last := raw[len(raw)-1]
+	pos := last.Pos
+	// 20 minutes of 2-knot drift (below SlowSpeedKn=4, above StopSpeedKn).
+	for i := 1; i <= 40; i++ {
+		pos = geo.Destination(pos, 90, 2*mobility.KnotsToMS*30)
+		raw = append(raw, mobility.Report{
+			ID: "v1", Time: last.Time.Add(time.Duration(i) * 30 * time.Second),
+			Pos: pos, SpeedKn: 2, Heading: 90,
+		})
+	}
+	cps, _ := Summarize(DefaultMaritime(), raw)
+	if countType(cps, SlowMotionStart) != 1 {
+		t.Errorf("slow_motion_start = %d, want 1", countType(cps, SlowMotionStart))
+	}
+}
+
+func TestGapDetection(t *testing.T) {
+	raw := mkTrack("v1", 10, 10*time.Second, 12)
+	last := raw[len(raw)-1]
+	// Resume 30 minutes later, not too far (passes noise filter).
+	resumePos := geo.Destination(last.Pos, 90, 12*mobility.KnotsToMS*1800)
+	raw = append(raw, mobility.Report{
+		ID: "v1", Time: last.Time.Add(30 * time.Minute),
+		Pos: resumePos, SpeedKn: 12, Heading: 90,
+	})
+	cps, _ := Summarize(DefaultMaritime(), raw)
+	if countType(cps, GapStart) != 1 || countType(cps, GapEnd) != 1 {
+		t.Fatalf("gap events = %d/%d, want 1/1",
+			countType(cps, GapStart), countType(cps, GapEnd))
+	}
+	for _, cp := range cps {
+		switch cp.Type {
+		case GapStart:
+			if !cp.Time.Equal(last.Time) {
+				t.Errorf("gap start at %v, want %v", cp.Time, last.Time)
+			}
+		case GapEnd:
+			if !cp.Time.Equal(last.Time.Add(30 * time.Minute)) {
+				t.Errorf("gap end at %v", cp.Time)
+			}
+		}
+	}
+}
+
+func TestNoiseFiltering(t *testing.T) {
+	raw := mkTrack("v1", 10, 10*time.Second, 12)
+	// Inject a teleport (1000 km away) and an out-of-order record.
+	tele := raw[5]
+	tele.Time = raw[len(raw)-1].Time.Add(10 * time.Second)
+	tele.Pos = geo.Destination(tele.Pos, 45, 1_000_000)
+	outOfOrder := raw[3]
+	outOfOrder.Time = raw[2].Time // duplicate timestamp
+	invalid := mobility.Report{}  // structurally invalid
+	all := append(append(raw, tele, outOfOrder), invalid)
+	_, stats := Summarize(DefaultMaritime(), all)
+	if stats.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", stats.Dropped)
+	}
+}
+
+func TestTakeoffAndLanding(t *testing.T) {
+	sim := gen.NewFlightSim(gen.FlightSimConfig{Seed: 33, NumFlights: 3})
+	_, reports := sim.Run()
+	cps, _ := Summarize(DefaultAviation(), reports)
+	if countType(cps, Takeoff) < 3 {
+		t.Errorf("takeoffs = %d, want >= 3", countType(cps, Takeoff))
+	}
+	if countType(cps, Landing) < 3 {
+		t.Errorf("landings = %d, want >= 3", countType(cps, Landing))
+	}
+	if countType(cps, ChangeInAltitude) < 6 {
+		t.Errorf("altitude changes = %d, want >= 6", countType(cps, ChangeInAltitude))
+	}
+}
+
+func TestVesselStreamCompressionBand(t *testing.T) {
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 17})
+	raw := sim.Run(4 * time.Hour)
+	cps, stats := Summarize(DefaultMaritime(), raw)
+	ratio := stats.CompressionRatio()
+	// The paper reports ~80% reduction at moderate rates, up to 99%.
+	if ratio < 0.6 || ratio > 0.999 {
+		t.Errorf("compression ratio %.3f outside plausible band", ratio)
+	}
+	// Reconstruction error should be modest relative to distances travelled.
+	rmse, max := ReconstructionError(raw, cps)
+	if rmse > 2_000 {
+		t.Errorf("reconstruction RMSE %.0fm too large", rmse)
+	}
+	if max > 30_000 {
+		t.Errorf("max reconstruction error %.0fm too large", max)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no critical points")
+	}
+}
+
+func TestCompressionIncreasesWithRate(t *testing.T) {
+	// Higher report rates are more predictable per report: compression
+	// should increase (paper: up to 99% for very frequent reports).
+	lo := gen.NewVesselSim(gen.VesselSimConfig{Seed: 3, ReportInterval: 60 * time.Second,
+		Counts: map[gen.VesselClass]int{gen.Cargo: 5}})
+	hi := gen.NewVesselSim(gen.VesselSimConfig{Seed: 3, ReportInterval: 2 * time.Second,
+		Counts: map[gen.VesselClass]int{gen.Cargo: 5}})
+	_, sLo := Summarize(DefaultMaritime(), lo.Run(2*time.Hour))
+	_, sHi := Summarize(DefaultMaritime(), hi.Run(2*time.Hour))
+	if sHi.CompressionRatio() <= sLo.CompressionRatio() {
+		t.Errorf("compression should grow with rate: hi=%.3f lo=%.3f",
+			sHi.CompressionRatio(), sLo.CompressionRatio())
+	}
+	if sHi.CompressionRatio() < 0.9 {
+		t.Errorf("high-rate compression %.3f, want > 0.9", sHi.CompressionRatio())
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	raw := mkTrack("v1", 50, 10*time.Second, 12)
+	cps, _ := Summarize(DefaultMaritime(), raw)
+	tr := Reconstruct("v1", cps)
+	if len(tr.Reports) < 2 {
+		t.Fatalf("reconstructed trajectory has %d points", len(tr.Reports))
+	}
+	// Timestamps strictly increasing after dedup.
+	for i := 1; i < len(tr.Reports); i++ {
+		if !tr.Reports[i].Time.After(tr.Reports[i-1].Time) {
+			t.Fatal("reconstructed timestamps not strictly increasing")
+		}
+	}
+	// Unknown mover yields empty trajectory.
+	if got := Reconstruct("nope", cps); len(got.Reports) != 0 {
+		t.Error("unknown mover should reconstruct empty")
+	}
+}
+
+func TestByTypeAndTimeSpan(t *testing.T) {
+	raw := mkTrack("v1", 20, 10*time.Second, 12)
+	cps, _ := Summarize(DefaultMaritime(), raw)
+	byType := ByType(cps)
+	if byType[TrajectoryStart] != 1 {
+		t.Error("ByType miscounts")
+	}
+	start, end := TimeSpan(cps)
+	if start.After(end) {
+		t.Error("TimeSpan inverted")
+	}
+	if s, e := TimeSpan(nil); !s.IsZero() || !e.IsZero() {
+		t.Error("empty TimeSpan should be zero")
+	}
+}
+
+func TestStatsCompressionRatioEdge(t *testing.T) {
+	var s Stats
+	if s.CompressionRatio() != 0 {
+		t.Error("empty stats ratio should be 0")
+	}
+}

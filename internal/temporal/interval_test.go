@@ -1,0 +1,258 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func at(min int) time.Time { return t0.Add(time.Duration(min) * time.Minute) }
+func iv(a, b int) Interval { return Interval{Start: at(a), End: at(b)} }
+
+func setEquals(s *Set, want []Interval) bool {
+	got := s.Intervals()
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !got[i].Start.Equal(want[i].Start) || !got[i].End.Equal(want[i].End) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntervalBasics(t *testing.T) {
+	x := iv(10, 20)
+	if x.IsEmpty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if iv(5, 5).Duration() != 0 {
+		t.Error("empty interval duration should be 0")
+	}
+	if x.Duration() != 10*time.Minute {
+		t.Errorf("duration = %v", x.Duration())
+	}
+	if !x.Contains(at(10)) || x.Contains(at(20)) || !x.Contains(at(19)) {
+		t.Error("half-open containment broken")
+	}
+	if NewInterval(at(20), at(10)) != x {
+		t.Error("NewInterval should normalise order")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+		inter   Interval
+	}{
+		{iv(0, 10), iv(5, 15), true, iv(5, 10)},
+		{iv(0, 10), iv(10, 20), false, iv(10, 10)}, // touching half-open: disjoint
+		{iv(0, 10), iv(20, 30), false, Interval{}},
+		{iv(0, 30), iv(10, 20), true, iv(10, 20)},
+	}
+	for i, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("case %d: Overlaps = %v, want %v", i, got, c.overlap)
+		}
+		if got := c.b.Overlaps(c.a); got != c.overlap {
+			t.Errorf("case %d: Overlaps not symmetric", i)
+		}
+		x := c.a.Intersect(c.b)
+		if c.overlap && (x.IsEmpty() || !x.Start.Equal(c.inter.Start) || !x.End.Equal(c.inter.End)) {
+			t.Errorf("case %d: Intersect = %v, want %v", i, x, c.inter)
+		}
+		if !c.overlap && !x.IsEmpty() {
+			t.Errorf("case %d: Intersect should be empty", i)
+		}
+	}
+}
+
+func TestIntervalGap(t *testing.T) {
+	if g := iv(0, 10).Gap(iv(15, 20)); g != 5*time.Minute {
+		t.Errorf("gap = %v, want 5m", g)
+	}
+	if g := iv(15, 20).Gap(iv(0, 10)); g != 5*time.Minute {
+		t.Errorf("reverse gap = %v, want 5m", g)
+	}
+	if g := iv(0, 10).Gap(iv(5, 15)); g != 0 {
+		t.Errorf("overlapping gap = %v, want 0", g)
+	}
+	if g := iv(0, 10).Gap(iv(10, 20)); g != 0 {
+		t.Errorf("touching gap = %v, want 0", g)
+	}
+}
+
+func TestSetAddMerges(t *testing.T) {
+	s := NewSet(iv(0, 10), iv(20, 30))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	s.Add(iv(10, 20)) // touches both: all merge
+	if !setEquals(s, []Interval{iv(0, 30)}) {
+		t.Errorf("merge failed: %v", s.Intervals())
+	}
+	s.Add(iv(40, 50))
+	s.Add(iv(45, 60))
+	if !setEquals(s, []Interval{iv(0, 30), iv(40, 60)}) {
+		t.Errorf("overlap merge failed: %v", s.Intervals())
+	}
+	s.Add(iv(5, 5)) // empty: no-op
+	if s.Len() != 2 {
+		t.Error("empty add should be a no-op")
+	}
+}
+
+func TestSetAddCoveringInterval(t *testing.T) {
+	s := NewSet(iv(10, 20), iv(30, 40), iv(50, 60))
+	s.Add(iv(0, 100))
+	if !setEquals(s, []Interval{iv(0, 100)}) {
+		t.Errorf("covering add failed: %v", s.Intervals())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(iv(0, 10), iv(20, 30))
+	for _, m := range []int{0, 5, 9, 20, 29} {
+		if !s.Contains(at(m)) {
+			t.Errorf("should contain minute %d", m)
+		}
+	}
+	for _, m := range []int{-1, 10, 15, 30, 100} {
+		if s.Contains(at(m)) {
+			t.Errorf("should not contain minute %d", m)
+		}
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a := NewSet(iv(0, 10), iv(20, 30), iv(40, 50))
+	b := NewSet(iv(5, 25), iv(45, 60))
+	u := a.Union(b)
+	if !setEquals(u, []Interval{iv(0, 30), iv(40, 60)}) {
+		t.Errorf("union = %v", u.Intervals())
+	}
+	x := a.Intersect(b)
+	if !setEquals(x, []Interval{iv(5, 10), iv(20, 25), iv(45, 50)}) {
+		t.Errorf("intersect = %v", x.Intervals())
+	}
+	// Intersection is commutative.
+	y := b.Intersect(a)
+	if !setEquals(y, x.Intervals()) {
+		t.Errorf("intersect not commutative: %v vs %v", y.Intervals(), x.Intervals())
+	}
+}
+
+func TestSetComplement(t *testing.T) {
+	s := NewSet(iv(10, 20), iv(30, 40))
+	c := s.Complement(iv(0, 50))
+	if !setEquals(c, []Interval{iv(0, 10), iv(20, 30), iv(40, 50)}) {
+		t.Errorf("complement = %v", c.Intervals())
+	}
+	// Complement of empty set is the whole span.
+	e := NewSet().Complement(iv(0, 50))
+	if !setEquals(e, []Interval{iv(0, 50)}) {
+		t.Errorf("empty complement = %v", e.Intervals())
+	}
+	// Span fully covered → empty complement.
+	f := NewSet(iv(0, 50)).Complement(iv(10, 20))
+	if !f.IsEmpty() {
+		t.Errorf("covered complement should be empty: %v", f.Intervals())
+	}
+	// Intervals sticking out of the span are clipped.
+	g := NewSet(iv(-10, 5), iv(45, 70)).Complement(iv(0, 50))
+	if !setEquals(g, []Interval{iv(5, 45)}) {
+		t.Errorf("clipped complement = %v", g.Intervals())
+	}
+}
+
+func TestSetComplementInvolution(t *testing.T) {
+	// Property: complement(complement(s)) == s ∩ span, on random sets.
+	rng := rand.New(rand.NewSource(7))
+	span := iv(0, 1000)
+	for trial := 0; trial < 50; trial++ {
+		s := NewSet()
+		for k := 0; k < 10; k++ {
+			a := rng.Intn(990)
+			s.Add(iv(a, a+1+rng.Intn(30)))
+		}
+		clipped := s.Intersect(NewSet(span))
+		back := s.Complement(span).Complement(span)
+		if !setEquals(back, clipped.Intervals()) {
+			t.Fatalf("involution failed:\n s=%v\n back=%v", clipped.Intervals(), back.Intervals())
+		}
+	}
+}
+
+func TestSetDurations(t *testing.T) {
+	s := NewSet(iv(0, 10), iv(20, 25))
+	if s.TotalDuration() != 15*time.Minute {
+		t.Errorf("total = %v", s.TotalDuration())
+	}
+	sp := s.Span()
+	if !sp.Start.Equal(at(0)) || !sp.End.Equal(at(25)) {
+		t.Errorf("span = %v", sp)
+	}
+	if !NewSet().Span().IsEmpty() {
+		t.Error("empty set span should be empty")
+	}
+}
+
+func TestSetExpand(t *testing.T) {
+	s := NewSet(iv(10, 20), iv(22, 30))
+	e := s.Expand(2 * time.Minute)
+	// Expansion makes them touch at 22-2=20 vs 20+2=22 → overlap → merge.
+	if !setEquals(e, []Interval{iv(8, 32)}) {
+		t.Errorf("expand = %v", e.Intervals())
+	}
+}
+
+func TestBuildMaskAndFilter(t *testing.T) {
+	span := iv(0, 120)
+	// Condition true for bins whose start minute is in [30,60) or [90, 120).
+	mask := BuildMask("test", span, 10*time.Minute, func(bin Interval) bool {
+		m := int(bin.Start.Sub(t0).Minutes())
+		return (m >= 30 && m < 60) || m >= 90
+	})
+	if !setEquals(mask.Set, []Interval{iv(30, 60), iv(90, 120)}) {
+		t.Fatalf("mask = %v", mask.Set.Intervals())
+	}
+	ts := []time.Time{at(5), at(35), at(59), at(60), at(95), at(119)}
+	got := mask.Filter(ts)
+	want := []int{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("filter = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("filter = %v, want %v", got, want)
+		}
+	}
+	inv := mask.Invert(span)
+	if !setEquals(inv.Set, []Interval{iv(0, 30), iv(60, 90)}) {
+		t.Errorf("invert = %v", inv.Set.Intervals())
+	}
+	both := mask.And(inv)
+	if !both.Set.IsEmpty() {
+		t.Errorf("mask AND complement should be empty: %v", both.Set.Intervals())
+	}
+	all := mask.Or(inv)
+	if !setEquals(all.Set, []Interval{iv(0, 120)}) {
+		t.Errorf("mask OR complement should be the span: %v", all.Set.Intervals())
+	}
+}
+
+func TestBuildMaskPartialLastBin(t *testing.T) {
+	span := iv(0, 25) // not a multiple of the 10-minute step
+	mask := BuildMask("partial", span, 10*time.Minute, func(Interval) bool { return true })
+	if !setEquals(mask.Set, []Interval{iv(0, 25)}) {
+		t.Errorf("mask = %v", mask.Set.Intervals())
+	}
+	empty := BuildMask("none", span, 0, func(Interval) bool { return true })
+	if !empty.Set.IsEmpty() {
+		t.Error("zero step should yield empty mask")
+	}
+}

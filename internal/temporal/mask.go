@@ -1,0 +1,58 @@
+package temporal
+
+import "time"
+
+// Mask is a time mask: a named interval set produced by evaluating a query
+// condition over a time-binned attribute series, which can then filter any
+// other time-referenced data (Figure 10 of the paper).
+type Mask struct {
+	Name string
+	Set  *Set
+}
+
+// BuildMask bins the span into steps of width step and keeps the bins for
+// which cond returns true. cond receives the bin interval; adjacent selected
+// bins merge into single mask intervals.
+func BuildMask(name string, span Interval, step time.Duration, cond func(bin Interval) bool) *Mask {
+	set := &Set{}
+	if step <= 0 || span.IsEmpty() {
+		return &Mask{Name: name, Set: set}
+	}
+	for t := span.Start; t.Before(span.End); t = t.Add(step) {
+		end := t.Add(step)
+		if end.After(span.End) {
+			end = span.End
+		}
+		bin := Interval{Start: t, End: end}
+		if cond(bin) {
+			set.Add(bin)
+		}
+	}
+	return &Mask{Name: name, Set: set}
+}
+
+// Filter returns the indices of timestamps that fall inside the mask.
+func (m *Mask) Filter(ts []time.Time) []int {
+	var out []int
+	for i, t := range ts {
+		if m.Set.Contains(t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Invert returns the mask selecting the remaining times of span.
+func (m *Mask) Invert(span Interval) *Mask {
+	return &Mask{Name: m.Name + "-complement", Set: m.Set.Complement(span)}
+}
+
+// And intersects two masks.
+func (m *Mask) And(o *Mask) *Mask {
+	return &Mask{Name: m.Name + "&" + o.Name, Set: m.Set.Intersect(o.Set)}
+}
+
+// Or unions two masks.
+func (m *Mask) Or(o *Mask) *Mask {
+	return &Mask{Name: m.Name + "|" + o.Name, Set: m.Set.Union(o.Set)}
+}

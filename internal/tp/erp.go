@@ -1,0 +1,67 @@
+// Package tp implements the Trajectory Prediction component of Section 5:
+// the Hybrid Clustering/HMM method — density-based clustering of enriched
+// trajectories under an Edit distance with Real Penalty (ERP) metric
+// (following SemT-OPTICS), per-cluster models combining an enrichment-aware
+// regression with a Gaussian hidden Markov model over waypoint-deviation
+// residuals — and the "blind" HMM baseline it is compared against.
+package tp
+
+import "math"
+
+// FeatureVec is an enriched point: a numeric feature vector combining the
+// spatio-temporal part (scaled coordinates) with the enrichment part
+// (weather, operational factors).
+type FeatureVec []float64
+
+// L2 is the Euclidean distance between equal-length vectors; shorter
+// vectors are implicitly zero-padded so the gap element composes cleanly.
+func L2(a, b FeatureVec) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		sum += (x - y) * (x - y)
+	}
+	return math.Sqrt(sum)
+}
+
+// ERP computes the Edit distance with Real Penalty (Chen & Ng, VLDB 2004)
+// between two feature sequences with the given gap element. ERP is a
+// metric: unlike DTW it satisfies the triangle inequality, which the
+// clustering stage relies on. dist must itself be a metric (L2 by default
+// when nil).
+func ERP(a, b []FeatureVec, gap FeatureVec, dist func(x, y FeatureVec) float64) float64 {
+	if dist == nil {
+		dist = L2
+	}
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	// dp[i][j] = ERP(a[:i], b[:j]); rolling rows.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + dist(b[j-1], gap)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + dist(a[i-1], gap)
+		for j := 1; j <= m; j++ {
+			del := prev[j] + dist(a[i-1], gap)
+			ins := cur[j-1] + dist(b[j-1], gap)
+			sub := prev[j-1] + dist(a[i-1], b[j-1])
+			cur[j] = math.Min(sub, math.Min(del, ins))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

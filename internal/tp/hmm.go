@@ -1,0 +1,345 @@
+package tp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianHMM is a hidden Markov model with scalar Gaussian emissions,
+// trained by Baum-Welch with per-step scaling. It models sequences of
+// waypoint deviations: hidden states are deviation regimes, transitions
+// capture the serial correlation of being pushed off track.
+type GaussianHMM struct {
+	K     int         // number of states
+	Pi    []float64   // initial distribution
+	A     [][]float64 // transition matrix
+	Mu    []float64   // emission means
+	Sigma []float64   // emission std-devs
+}
+
+// NewGaussianHMM initialises a K-state model from the pooled data: means at
+// data quantiles, uniform-ish transitions with a slight self-loop bias (the
+// regimes persist), shared initial sigma.
+func NewGaussianHMM(k int, data []float64, seed int64) *GaussianHMM {
+	if k < 1 {
+		k = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	m := &GaussianHMM{
+		K:     k,
+		Pi:    make([]float64, k),
+		A:     make([][]float64, k),
+		Mu:    make([]float64, k),
+		Sigma: make([]float64, k),
+	}
+	mean, std := meanStd(data)
+	if std <= 0 {
+		std = 1
+	}
+	for i := 0; i < k; i++ {
+		m.Pi[i] = 1 / float64(k)
+		m.A[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if i == j {
+				m.A[i][j] = 0.5
+			} else {
+				m.A[i][j] = 0.5 / float64(k-1)
+			}
+		}
+		if k == 1 {
+			m.A[i][i] = 1
+		}
+		// Spread means over ±1.2 std with a touch of jitter to break ties.
+		frac := 0.0
+		if k > 1 {
+			frac = float64(i)/float64(k-1)*2.4 - 1.2
+		}
+		m.Mu[i] = mean + frac*std + r.NormFloat64()*std*0.05
+		m.Sigma[i] = std
+	}
+	return m
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+func (m *GaussianHMM) emission(state int, x float64) float64 {
+	s := m.Sigma[state]
+	if s < 1e-6 {
+		s = 1e-6
+	}
+	z := (x - m.Mu[state]) / s
+	return math.Exp(-0.5*z*z) / (s * math.Sqrt(2*math.Pi))
+}
+
+// forwardScaled runs the scaled forward pass; it returns the per-step
+// scaled alphas, the scales, and the log-likelihood.
+func (m *GaussianHMM) forwardScaled(seq []float64) (alpha [][]float64, scale []float64, ll float64) {
+	T := len(seq)
+	alpha = make([][]float64, T)
+	scale = make([]float64, T)
+	for t := 0; t < T; t++ {
+		alpha[t] = make([]float64, m.K)
+		var sum float64
+		for j := 0; j < m.K; j++ {
+			var p float64
+			if t == 0 {
+				p = m.Pi[j]
+			} else {
+				for i := 0; i < m.K; i++ {
+					p += alpha[t-1][i] * m.A[i][j]
+				}
+			}
+			alpha[t][j] = p * m.emission(j, seq[t])
+			sum += alpha[t][j]
+		}
+		if sum <= 0 {
+			sum = 1e-300
+		}
+		scale[t] = sum
+		for j := 0; j < m.K; j++ {
+			alpha[t][j] /= sum
+		}
+		ll += math.Log(sum)
+	}
+	return alpha, scale, ll
+}
+
+// backwardScaled runs the scaled backward pass using the forward scales.
+func (m *GaussianHMM) backwardScaled(seq []float64, scale []float64) [][]float64 {
+	T := len(seq)
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, m.K)
+	for j := 0; j < m.K; j++ {
+		beta[T-1][j] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, m.K)
+		for i := 0; i < m.K; i++ {
+			var sum float64
+			for j := 0; j < m.K; j++ {
+				sum += m.A[i][j] * m.emission(j, seq[t+1]) * beta[t+1][j]
+			}
+			beta[t][i] = sum / scale[t]
+		}
+	}
+	return beta
+}
+
+// LogLikelihood of a sequence under the model.
+func (m *GaussianHMM) LogLikelihood(seq []float64) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	_, _, ll := m.forwardScaled(seq)
+	return ll
+}
+
+// Fit runs Baum-Welch over the training sequences for the given number of
+// iterations (or until the total log-likelihood improves by less than tol).
+// It returns the final total log-likelihood.
+func (m *GaussianHMM) Fit(seqs [][]float64, iters int, tol float64) float64 {
+	prevLL := math.Inf(-1)
+	var totalLL float64
+	for iter := 0; iter < iters; iter++ {
+		// Accumulators.
+		piAcc := make([]float64, m.K)
+		aNum := make([][]float64, m.K)
+		aDen := make([]float64, m.K)
+		muNum := make([]float64, m.K)
+		sigNum := make([]float64, m.K)
+		gammaSum := make([]float64, m.K)
+		for i := range aNum {
+			aNum[i] = make([]float64, m.K)
+		}
+		totalLL = 0
+
+		for _, seq := range seqs {
+			T := len(seq)
+			if T == 0 {
+				continue
+			}
+			alpha, scale, ll := m.forwardScaled(seq)
+			totalLL += ll
+			beta := m.backwardScaled(seq, scale)
+			// gamma[t][i] ∝ alpha[t][i] * beta[t][i] * scale[t]
+			for t := 0; t < T; t++ {
+				var norm float64
+				g := make([]float64, m.K)
+				for i := 0; i < m.K; i++ {
+					g[i] = alpha[t][i] * beta[t][i] * scale[t]
+					norm += g[i]
+				}
+				if norm <= 0 {
+					continue
+				}
+				for i := 0; i < m.K; i++ {
+					g[i] /= norm
+					gammaSum[i] += g[i]
+					muNum[i] += g[i] * seq[t]
+					sigNum[i] += g[i] * (seq[t] - m.Mu[i]) * (seq[t] - m.Mu[i])
+					if t == 0 {
+						piAcc[i] += g[i]
+					}
+					if t < T-1 {
+						aDen[i] += g[i]
+					}
+				}
+				if t < T-1 {
+					// xi[t][i][j] ∝ alpha[t][i] A[i][j] b_j(o_{t+1}) beta[t+1][j]
+					var xiNorm float64
+					xi := make([][]float64, m.K)
+					for i := 0; i < m.K; i++ {
+						xi[i] = make([]float64, m.K)
+						for j := 0; j < m.K; j++ {
+							xi[i][j] = alpha[t][i] * m.A[i][j] * m.emission(j, seq[t+1]) * beta[t+1][j]
+							xiNorm += xi[i][j]
+						}
+					}
+					if xiNorm > 0 {
+						for i := 0; i < m.K; i++ {
+							for j := 0; j < m.K; j++ {
+								aNum[i][j] += xi[i][j] / xiNorm
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// M-step.
+		var piNorm float64
+		for i := 0; i < m.K; i++ {
+			piNorm += piAcc[i]
+		}
+		for i := 0; i < m.K; i++ {
+			if piNorm > 0 {
+				m.Pi[i] = piAcc[i] / piNorm
+			}
+			if aDen[i] > 0 {
+				for j := 0; j < m.K; j++ {
+					m.A[i][j] = aNum[i][j] / aDen[i]
+				}
+				normalizeRow(m.A[i])
+			}
+			if gammaSum[i] > 1e-9 {
+				m.Mu[i] = muNum[i] / gammaSum[i]
+				m.Sigma[i] = math.Sqrt(sigNum[i]/gammaSum[i]) + 1e-6
+			}
+		}
+		if totalLL-prevLL < tol && iter > 0 {
+			break
+		}
+		prevLL = totalLL
+	}
+	return totalLL
+}
+
+func normalizeRow(row []float64) {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range row {
+			row[i] = 1 / float64(len(row))
+		}
+		return
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+// ExpectedPath returns the a-priori expected emission at each of T steps:
+// E[mu_{s_t}] with the state distribution evolved as Pi·A^t. This is the
+// prediction used before any observation of the new trajectory exists.
+func (m *GaussianHMM) ExpectedPath(T int) []float64 {
+	out := make([]float64, T)
+	dist := append([]float64(nil), m.Pi...)
+	for t := 0; t < T; t++ {
+		var e float64
+		for i := 0; i < m.K; i++ {
+			e += dist[i] * m.Mu[i]
+		}
+		out[t] = e
+		// Evolve.
+		next := make([]float64, m.K)
+		for i := 0; i < m.K; i++ {
+			for j := 0; j < m.K; j++ {
+				next[j] += dist[i] * m.A[i][j]
+			}
+		}
+		dist = next
+	}
+	return out
+}
+
+// Viterbi returns the most likely state sequence for seq.
+func (m *GaussianHMM) Viterbi(seq []float64) []int {
+	T := len(seq)
+	if T == 0 {
+		return nil
+	}
+	logA := make([][]float64, m.K)
+	for i := range logA {
+		logA[i] = make([]float64, m.K)
+		for j := range logA[i] {
+			logA[i][j] = safeLog(m.A[i][j])
+		}
+	}
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, m.K)
+	psi[0] = make([]int, m.K)
+	for i := 0; i < m.K; i++ {
+		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.emission(i, seq[0]))
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, m.K)
+		psi[t] = make([]int, m.K)
+		for j := 0; j < m.K; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < m.K; i++ {
+				v := delta[t-1][i] + logA[i][j]
+				if v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + safeLog(m.emission(j, seq[t]))
+			psi[t][j] = arg
+		}
+	}
+	// Backtrack.
+	out := make([]int, T)
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < m.K; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	out[T-1] = arg
+	for t := T - 2; t >= 0; t-- {
+		out[t] = psi[t+1][out[t+1]]
+	}
+	return out
+}
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return -1e30
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,475 @@
+package tp
+
+import (
+	"fmt"
+	"math"
+
+	"datacron/internal/gen"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+)
+
+// FlightCase is one training/test example for the TP task: a filed plan, the
+// per-waypoint enrichment features, and the observed per-waypoint signed
+// cross-track deviations extracted from the actual trajectory.
+type FlightCase struct {
+	FlightID   string
+	Route      string       // ground-truth variant (evaluation only)
+	PlanPos    []geo.Point  // interior plan waypoints
+	Features   []FeatureVec // enrichment per interior waypoint
+	Deviations []float64    // observed signed cross-track deviation (m)
+	AltDevM    []float64    // observed vertical deviation (m) at the waypoint
+}
+
+// ExtractCase builds a FlightCase from a plan, its actual trajectory and the
+// weather field. For each interior waypoint it finds the trajectory point of
+// closest approach and records the signed cross-track offset relative to the
+// inbound leg direction (positive = right of track). Features per waypoint:
+// cross-track wind component, along-track wind, aircraft size, weekday.
+func ExtractCase(plan gen.FlightPlan, actual *mobility.Trajectory, weather *gen.WeatherField) FlightCase {
+	fc := FlightCase{FlightID: plan.FlightID, Route: plan.Route}
+	if actual == nil || len(actual.Reports) == 0 {
+		return fc
+	}
+	weekday := float64(plan.DepTime.Weekday())
+	for i := 1; i < len(plan.Waypoints)-1; i++ {
+		wp := plan.Waypoints[i]
+		brg := geo.InitialBearing(plan.Waypoints[i-1].Pos, wp.Pos)
+		// Closest approach.
+		best := math.Inf(1)
+		var bestPos geo.Point
+		var bestAltFt float64
+		for _, r := range actual.Reports {
+			if d := geo.Haversine(r.Pos, wp.Pos); d < best {
+				best = d
+				bestPos = r.Pos
+				bestAltFt = r.AltFt
+			}
+		}
+		// Signed cross-track offset: project displacement onto the leg
+		// normal (right of track positive).
+		enu := geo.NewENU(wp.Pos)
+		dx, dy := enu.Forward(bestPos)
+		brgRad := geo.Radians(brg)
+		// Track direction (sin, cos); right normal (cos, -sin).
+		cross := dx*math.Cos(brgRad) - dy*math.Sin(brgRad)
+
+		var crossWind, alongWind float64
+		if weather != nil {
+			u, v := weather.Wind(wp.Pos, plan.DepTime)
+			alongWind = u*math.Sin(brgRad) + v*math.Cos(brgRad)
+			crossWind = u*math.Cos(brgRad) - v*math.Sin(brgRad)
+		}
+		fc.PlanPos = append(fc.PlanPos, wp.Pos)
+		fc.Features = append(fc.Features, FeatureVec{crossWind, alongWind, float64(plan.Size), weekday})
+		fc.Deviations = append(fc.Deviations, cross)
+		fc.AltDevM = append(fc.AltDevM, (bestAltFt-wp.AltFt)*mobility.FeetToMeters)
+	}
+	return fc
+}
+
+// planSignature is the clustering feature sequence of a flight: scaled
+// waypoint coordinates plus the enrichment features, matching SemT-OPTICS'
+// decomposition into a spatio-temporal and an enrichment part.
+func planSignature(fc FlightCase, enrichWeight float64) []FeatureVec {
+	out := make([]FeatureVec, len(fc.PlanPos))
+	for i, p := range fc.PlanPos {
+		// ~1 unit per km so spatial separation dominates route identity.
+		v := FeatureVec{p.Lon * 111.2, p.Lat * 111.2}
+		for _, f := range fc.Features[i] {
+			v = append(v, f*enrichWeight)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// HybridConfig tunes the Hybrid Clustering/HMM model.
+type HybridConfig struct {
+	Eps          float64 // OPTICS epsilon over ERP distances (km-ish units)
+	MinPts       int
+	HMMStates    int
+	HMMIters     int
+	EnrichWeight float64 // weight of enrichment features in the metric
+	Ridge        float64 // regression regularisation
+	Seed         int64
+}
+
+// DefaultHybridConfig returns the settings used by the Figure 5(b)
+// experiment.
+func DefaultHybridConfig() HybridConfig {
+	return HybridConfig{
+		Eps: 6, MinPts: 2, HMMStates: 3, HMMIters: 30,
+		EnrichWeight: 0.1, Ridge: 1.0, Seed: 1,
+	}
+}
+
+// clusterModel is the per-cluster predictor: an enrichment regression plus
+// an HMM over the regression residuals, and the cluster's mean vertical
+// deviation per waypoint index (flights level off near plan altitudes, so
+// the vertical channel is modelled by its cluster statistics).
+type clusterModel struct {
+	beta    []float64 // regression coefficients (intercept first)
+	hmm     *GaussianHMM
+	altMean []float64 // mean vertical deviation per waypoint index (m)
+}
+
+// HybridModel is the trained Hybrid Clustering/HMM predictor.
+type HybridModel struct {
+	cfg      HybridConfig
+	medoids  []FlightCase // cluster reference trajectories
+	models   []clusterModel
+	labels   []int // training labels (diagnostics)
+	trainIDs []string
+}
+
+// TrainHybrid clusters the training flights and fits one model per cluster.
+func TrainHybrid(cases []FlightCase, cfg HybridConfig) (*HybridModel, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("tp: no training cases")
+	}
+	sigs := make([][]FeatureVec, len(cases))
+	for i, fc := range cases {
+		sigs[i] = planSignature(fc, cfg.EnrichWeight)
+	}
+	gap := FeatureVec{}
+	dist := func(i, j int) float64 { return ERP(sigs[i], sigs[j], gap, nil) }
+	// Normalise by sequence length so ERP thresholds are scale-free.
+	normDist := func(i, j int) float64 {
+		n := len(sigs[i]) + len(sigs[j])
+		if n == 0 {
+			return 0
+		}
+		return dist(i, j) * 2 / float64(n)
+	}
+	opt := RunOPTICS(len(cases), cfg.Eps, cfg.MinPts, normDist)
+	labels := opt.ExtractClusters(cfg.Eps)
+	medoids := Medoids(labels, normDist)
+
+	numClusters := 0
+	for _, m := range medoids {
+		_ = m
+		numClusters++
+	}
+	if numClusters == 0 {
+		// Degenerate: all noise. Fall back to one cluster with everything.
+		for i := range labels {
+			labels[i] = 0
+		}
+		medoids = Medoids(labels, normDist)
+		numClusters = 1
+	}
+
+	model := &HybridModel{cfg: cfg, labels: labels}
+	model.medoids = make([]FlightCase, numClusters)
+	model.models = make([]clusterModel, numClusters)
+	for l := 0; l < numClusters; l++ {
+		model.medoids[l] = cases[medoids[l]]
+		// Gather the cluster's members (noise points join their nearest
+		// medoid so no training data is wasted).
+		var members []FlightCase
+		for i, fc := range cases {
+			li := labels[i]
+			if li == -1 {
+				li = nearestMedoidIdx(sigs[i], model.medoids, cfg.EnrichWeight)
+			}
+			if li == l {
+				members = append(members, fc)
+			}
+		}
+		model.models[l] = fitClusterModel(members, cfg)
+	}
+	for _, fc := range cases {
+		model.trainIDs = append(model.trainIDs, fc.FlightID)
+	}
+	return model, nil
+}
+
+// fitClusterModel fits the regression + residual HMM on a cluster.
+func fitClusterModel(members []FlightCase, cfg HybridConfig) clusterModel {
+	var xs []FeatureVec
+	var ys []float64
+	for _, fc := range members {
+		for i := range fc.Deviations {
+			xs = append(xs, fc.Features[i])
+			ys = append(ys, fc.Deviations[i])
+		}
+	}
+	beta := ridgeRegression(xs, ys, cfg.Ridge)
+	// Residual sequences per flight.
+	var resSeqs [][]float64
+	var pooled []float64
+	for _, fc := range members {
+		seq := make([]float64, len(fc.Deviations))
+		for i := range fc.Deviations {
+			seq[i] = fc.Deviations[i] - dot(beta, fc.Features[i])
+			pooled = append(pooled, seq[i])
+		}
+		resSeqs = append(resSeqs, seq)
+	}
+	hmm := NewGaussianHMM(cfg.HMMStates, pooled, cfg.Seed)
+	hmm.Fit(resSeqs, cfg.HMMIters, 1e-3)
+	// Vertical channel: per-waypoint-index mean across the cluster.
+	var altSum []float64
+	var altN []int
+	for _, fc := range members {
+		for i, d := range fc.AltDevM {
+			if i >= len(altSum) {
+				altSum = append(altSum, 0)
+				altN = append(altN, 0)
+			}
+			altSum[i] += d
+			altN[i]++
+		}
+	}
+	altMean := make([]float64, len(altSum))
+	for i := range altSum {
+		if altN[i] > 0 {
+			altMean[i] = altSum[i] / float64(altN[i])
+		}
+	}
+	return clusterModel{beta: beta, hmm: hmm, altMean: altMean}
+}
+
+// ridgeRegression fits y ≈ beta0 + beta·x with L2 regularisation.
+func ridgeRegression(xs []FeatureVec, ys []float64, lambda float64) []float64 {
+	if len(xs) == 0 {
+		return []float64{0}
+	}
+	d := len(xs[0]) + 1 // intercept
+	ata := make([][]float64, d)
+	atb := make([]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	row := make([]float64, d)
+	for n, x := range xs {
+		row[0] = 1
+		for i, v := range x {
+			row[i+1] = v
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * ys[n]
+		}
+	}
+	for i := 1; i < d; i++ { // don't regularise the intercept
+		ata[i][i] += lambda
+	}
+	beta := solveDense(ata, atb)
+	if beta == nil {
+		return make([]float64, d)
+	}
+	return beta
+}
+
+// dot applies (intercept, coefficients) to a feature vector.
+func dot(beta []float64, x FeatureVec) float64 {
+	if len(beta) == 0 {
+		return 0
+	}
+	out := beta[0]
+	for i, v := range x {
+		if i+1 < len(beta) {
+			out += beta[i+1] * v
+		}
+	}
+	return out
+}
+
+// nearestMedoidIdx assigns a signature to the closest medoid by normalised
+// ERP distance.
+func nearestMedoidIdx(sig []FeatureVec, medoids []FlightCase, enrichWeight float64) int {
+	best, arg := math.Inf(1), 0
+	for l, m := range medoids {
+		ms := planSignature(m, enrichWeight)
+		d := ERP(sig, ms, FeatureVec{}, nil)
+		n := len(sig) + len(ms)
+		if n > 0 {
+			d = d * 2 / float64(n)
+		}
+		if d < best {
+			best, arg = d, l
+		}
+	}
+	return arg
+}
+
+// Predict returns the predicted per-waypoint deviations for a new flight
+// (its observed deviations are ignored). The cluster is selected by nearest
+// medoid; the prediction combines the cluster regression on the flight's
+// enrichment features with the HMM's a-priori expected residual path.
+func (m *HybridModel) Predict(fc FlightCase) []float64 {
+	if len(fc.PlanPos) == 0 {
+		return nil
+	}
+	l := nearestMedoidIdx(planSignature(fc, m.cfg.EnrichWeight), m.medoids, m.cfg.EnrichWeight)
+	cm := m.models[l]
+	res := cm.hmm.ExpectedPath(len(fc.PlanPos))
+	out := make([]float64, len(fc.PlanPos))
+	for i := range out {
+		out[i] = dot(cm.beta, fc.Features[i]) + res[i]
+	}
+	return out
+}
+
+// PredictAlt returns the predicted vertical deviations (m) for a flight:
+// the assigned cluster's per-waypoint means (zero beyond the learnt depth).
+func (m *HybridModel) PredictAlt(fc FlightCase) []float64 {
+	if len(fc.PlanPos) == 0 {
+		return nil
+	}
+	l := nearestMedoidIdx(planSignature(fc, m.cfg.EnrichWeight), m.medoids, m.cfg.EnrichWeight)
+	cm := m.models[l]
+	out := make([]float64, len(fc.PlanPos))
+	for i := range out {
+		if i < len(cm.altMean) {
+			out[i] = cm.altMean[i]
+		}
+	}
+	return out
+}
+
+// RMSE3D measures the paper's "combined 3-D spatial accuracy": the root
+// mean square of the Euclidean combination of cross-track and vertical
+// errors per waypoint.
+func (m *HybridModel) RMSE3D(cases []FlightCase) float64 {
+	var sq float64
+	var n int
+	for _, fc := range cases {
+		cross := m.Predict(fc)
+		alt := m.PredictAlt(fc)
+		for i := range fc.Deviations {
+			if i >= len(cross) {
+				continue
+			}
+			ce := cross[i] - fc.Deviations[i]
+			ae := 0.0
+			if i < len(alt) && i < len(fc.AltDevM) {
+				ae = alt[i] - fc.AltDevM[i]
+			}
+			sq += ce*ce + ae*ae
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sq / float64(n))
+}
+
+// NumClusters returns the trained cluster count.
+func (m *HybridModel) NumClusters() int { return len(m.models) }
+
+// Labels returns the training cluster labels (aligned with the training
+// case order), -1 for noise.
+func (m *HybridModel) Labels() []int { return m.labels }
+
+// BlindHMM is the baseline of Figure 5(b): a single HMM trained on raw
+// deviation sequences with no clustering, no flight plans' enrichment and
+// no covariates.
+type BlindHMM struct {
+	hmm *GaussianHMM
+}
+
+// TrainBlind fits the baseline on all training flights pooled together.
+func TrainBlind(cases []FlightCase, states, iters int, seed int64) *BlindHMM {
+	var seqs [][]float64
+	var pooled []float64
+	for _, fc := range cases {
+		seqs = append(seqs, fc.Deviations)
+		pooled = append(pooled, fc.Deviations...)
+	}
+	hmm := NewGaussianHMM(states, pooled, seed)
+	hmm.Fit(seqs, iters, 1e-3)
+	return &BlindHMM{hmm: hmm}
+}
+
+// Predict returns the baseline's expected deviation path.
+func (b *BlindHMM) Predict(fc FlightCase) []float64 {
+	return b.hmm.ExpectedPath(len(fc.PlanPos))
+}
+
+// RMSE computes the root-mean-square error between predicted and observed
+// deviations of a set of cases under a prediction function.
+func RMSE(cases []FlightCase, predict func(FlightCase) []float64) float64 {
+	var sq float64
+	var n int
+	for _, fc := range cases {
+		pred := predict(fc)
+		for i, d := range fc.Deviations {
+			if i < len(pred) {
+				sq += (pred[i] - d) * (pred[i] - d)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sq / float64(n))
+}
+
+// PerClusterRMSE computes the per-cluster RMSE of the hybrid model over a
+// test set (clusters assigned by nearest medoid), mirroring the paper's
+// "183–736 m RMSE averaged over the reference points for all clusters".
+func (m *HybridModel) PerClusterRMSE(cases []FlightCase) map[int]float64 {
+	sq := map[int]float64{}
+	cnt := map[int]int{}
+	for _, fc := range cases {
+		l := nearestMedoidIdx(planSignature(fc, m.cfg.EnrichWeight), m.medoids, m.cfg.EnrichWeight)
+		pred := m.Predict(fc)
+		for i, d := range fc.Deviations {
+			if i < len(pred) {
+				sq[l] += (pred[i] - d) * (pred[i] - d)
+				cnt[l]++
+			}
+		}
+	}
+	out := map[int]float64{}
+	for l, s := range sq {
+		if cnt[l] > 0 {
+			out[l] = math.Sqrt(s / float64(cnt[l]))
+		}
+	}
+	return out
+}
+
+// solveDense solves a small dense linear system (Gaussian elimination with
+// partial pivoting); nil on singularity.
+func solveDense(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x
+}

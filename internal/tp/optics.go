@@ -1,0 +1,200 @@
+package tp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// OPTICS implements the density-based cluster-ordering algorithm of
+// Ankerst et al., operating on a precomputed distance function over item
+// indices. It produces the reachability ordering; ExtractClusters cuts it
+// at a reachability threshold, yielding "dense" clusters and noise — the
+// robust clustering stage of the Hybrid method.
+type OPTICS struct {
+	N      int
+	Eps    float64
+	MinPts int
+	Dist   func(i, j int) float64
+
+	Order        []int     // cluster ordering
+	Reachability []float64 // per item (aligned with item index), +Inf if never set
+}
+
+// RunOPTICS computes the cluster ordering.
+func RunOPTICS(n int, eps float64, minPts int, dist func(i, j int) float64) *OPTICS {
+	o := &OPTICS{N: n, Eps: eps, MinPts: minPts, Dist: dist}
+	o.Reachability = make([]float64, n)
+	for i := range o.Reachability {
+		o.Reachability[i] = math.Inf(1)
+	}
+	processed := make([]bool, n)
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		o.Order = append(o.Order, start)
+		seeds := &reachHeap{}
+		o.update(start, processed, seeds)
+		for seeds.Len() > 0 {
+			item := heap.Pop(seeds).(reachItem)
+			if processed[item.idx] {
+				continue
+			}
+			processed[item.idx] = true
+			o.Order = append(o.Order, item.idx)
+			o.update(item.idx, processed, seeds)
+		}
+	}
+	return o
+}
+
+// neighbors returns indices within Eps of i (excluding i) and their distances.
+func (o *OPTICS) neighbors(i int) ([]int, []float64) {
+	var idx []int
+	var ds []float64
+	for j := 0; j < o.N; j++ {
+		if j == i {
+			continue
+		}
+		d := o.Dist(i, j)
+		if d <= o.Eps {
+			idx = append(idx, j)
+			ds = append(ds, d)
+		}
+	}
+	return idx, ds
+}
+
+// coreDistance returns the MinPts-th smallest neighbour distance, or +Inf
+// when i is not a core point.
+func coreDist(ds []float64, minPts int) float64 {
+	if len(ds) < minPts {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), ds...)
+	sort.Float64s(sorted)
+	return sorted[minPts-1]
+}
+
+// update relaxes the reachability of i's neighbours.
+func (o *OPTICS) update(i int, processed []bool, seeds *reachHeap) {
+	nIdx, nDs := o.neighbors(i)
+	cd := coreDist(nDs, o.MinPts)
+	if math.IsInf(cd, 1) {
+		return
+	}
+	for k, j := range nIdx {
+		if processed[j] {
+			continue
+		}
+		newReach := math.Max(cd, nDs[k])
+		if newReach < o.Reachability[j] {
+			o.Reachability[j] = newReach
+			heap.Push(seeds, reachItem{idx: j, reach: newReach})
+		}
+	}
+}
+
+// ExtractClusters cuts the reachability plot at threshold: a new cluster
+// starts whenever reachability exceeds the threshold. Items in clusters
+// smaller than MinPts are noise. The result maps item index -> cluster id;
+// noise items get -1.
+func (o *OPTICS) ExtractClusters(threshold float64) []int {
+	labels := make([]int, o.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	cluster := -1
+	var members []int
+	flush := func() {
+		if len(members) < o.MinPts {
+			for _, m := range members {
+				labels[m] = -1
+			}
+			if len(members) > 0 {
+				cluster--
+			}
+		}
+		members = members[:0]
+	}
+	for _, idx := range o.Order {
+		if o.Reachability[idx] > threshold {
+			// Possible new cluster start.
+			flush()
+			cluster++
+			members = append(members, idx)
+			labels[idx] = cluster
+		} else {
+			members = append(members, idx)
+			labels[idx] = cluster
+		}
+	}
+	flush()
+	// Renumber cluster IDs densely (dropping emptied ones).
+	remap := map[int]int{}
+	next := 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		if _, ok := remap[l]; !ok {
+			remap[l] = next
+			next++
+		}
+		labels[i] = remap[l]
+	}
+	return labels
+}
+
+// Medoids returns, for each cluster label, the member minimising the summed
+// distance to its cluster — the reference trajectory the HMM stage trains
+// on.
+func Medoids(labels []int, dist func(i, j int) float64) map[int]int {
+	byCluster := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			byCluster[l] = append(byCluster[l], i)
+		}
+	}
+	out := make(map[int]int, len(byCluster))
+	for l, members := range byCluster {
+		best, bestSum := members[0], math.Inf(1)
+		for _, i := range members {
+			sum := 0.0
+			for _, j := range members {
+				if i != j {
+					sum += dist(i, j)
+				}
+			}
+			if sum < bestSum {
+				bestSum = sum
+				best = i
+			}
+		}
+		out[l] = best
+	}
+	return out
+}
+
+// reachHeap is a min-heap of (idx, reachability).
+type reachItem struct {
+	idx   int
+	reach float64
+}
+
+type reachHeap []reachItem
+
+func (h reachHeap) Len() int            { return len(h) }
+func (h reachHeap) Less(i, j int) bool  { return h[i].reach < h[j].reach }
+func (h reachHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reachHeap) Push(x interface{}) { *h = append(*h, x.(reachItem)) }
+func (h *reachHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,422 @@
+package tp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datacron/internal/gen"
+	"datacron/internal/mobility"
+)
+
+func TestL2(t *testing.T) {
+	if d := L2(FeatureVec{0, 0}, FeatureVec{3, 4}); d != 5 {
+		t.Errorf("L2 = %v", d)
+	}
+	// Length mismatch pads with zeros.
+	if d := L2(FeatureVec{3}, FeatureVec{3, 4}); d != 4 {
+		t.Errorf("padded L2 = %v", d)
+	}
+	if d := L2(nil, nil); d != 0 {
+		t.Errorf("empty L2 = %v", d)
+	}
+}
+
+func TestERPBasics(t *testing.T) {
+	gap := FeatureVec{0}
+	a := []FeatureVec{{1}, {2}, {3}}
+	if d := ERP(a, a, gap, nil); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Deleting one element costs its distance to the gap.
+	b := []FeatureVec{{1}, {2}}
+	if d := ERP(a, b, gap, nil); d != 3 {
+		t.Errorf("deletion cost = %v, want 3", d)
+	}
+	// Empty vs sequence: sum of gap distances.
+	if d := ERP(a, nil, gap, nil); d != 6 {
+		t.Errorf("empty distance = %v, want 6", d)
+	}
+	if d := ERP(nil, nil, gap, nil); d != 0 {
+		t.Errorf("both empty = %v", d)
+	}
+}
+
+func TestERPMetricProperties(t *testing.T) {
+	// Symmetry and triangle inequality on random sequences (ERP's selling
+	// point over DTW).
+	r := rand.New(rand.NewSource(3))
+	mkSeq := func() []FeatureVec {
+		n := 1 + r.Intn(6)
+		out := make([]FeatureVec, n)
+		for i := range out {
+			out[i] = FeatureVec{r.NormFloat64() * 5, r.NormFloat64() * 5}
+		}
+		return out
+	}
+	gap := FeatureVec{0, 0}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := mkSeq(), mkSeq(), mkSeq()
+		dab := ERP(a, b, gap, nil)
+		dba := ERP(b, a, gap, nil)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("not symmetric: %v vs %v", dab, dba)
+		}
+		dac := ERP(a, c, gap, nil)
+		dcb := ERP(c, b, gap, nil)
+		if dab > dac+dcb+1e-9 {
+			t.Fatalf("triangle violated: d(a,b)=%v > %v", dab, dac+dcb)
+		}
+	}
+}
+
+func TestOPTICSSeparatesGaussianBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var pts [][2]float64
+	centers := [][2]float64{{0, 0}, {10, 10}, {-10, 8}}
+	truth := make([]int, 0, 90)
+	for ci, c := range centers {
+		for i := 0; i < 30; i++ {
+			pts = append(pts, [2]float64{c[0] + r.NormFloat64()*0.7, c[1] + r.NormFloat64()*0.7})
+			truth = append(truth, ci)
+		}
+	}
+	dist := func(i, j int) float64 {
+		dx := pts[i][0] - pts[j][0]
+		dy := pts[i][1] - pts[j][1]
+		return math.Hypot(dx, dy)
+	}
+	opt := RunOPTICS(len(pts), 5, 5, dist)
+	labels := opt.ExtractClusters(3)
+	// Count distinct non-noise labels.
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			distinct[l] = true
+		}
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(distinct))
+	}
+	// Same-truth points share labels (pick pairs within each blob).
+	for ci := 0; ci < 3; ci++ {
+		var first = -1
+		for i, tl := range truth {
+			if tl != ci || labels[i] < 0 {
+				continue
+			}
+			if first == -1 {
+				first = labels[i]
+			} else if labels[i] != first {
+				t.Fatalf("blob %d split across clusters", ci)
+			}
+		}
+	}
+	// Medoids are members of their cluster and near its centre.
+	medoids := Medoids(labels, dist)
+	if len(medoids) != 3 {
+		t.Fatalf("medoids = %d", len(medoids))
+	}
+	for l, idx := range medoids {
+		if labels[idx] != l {
+			t.Error("medoid not in own cluster")
+		}
+	}
+}
+
+func TestOPTICSAllNoise(t *testing.T) {
+	// Points too sparse for MinPts: everything is noise.
+	pts := []float64{0, 100, 200, 300}
+	dist := func(i, j int) float64 { return math.Abs(pts[i] - pts[j]) }
+	opt := RunOPTICS(len(pts), 5, 3, dist)
+	labels := opt.ExtractClusters(5)
+	for i, l := range labels {
+		if l != -1 {
+			t.Errorf("point %d labelled %d, want noise", i, l)
+		}
+	}
+}
+
+func TestGaussianHMMRecoverRegimes(t *testing.T) {
+	// Two well-separated regimes with sticky transitions.
+	r := rand.New(rand.NewSource(5))
+	var seqs [][]float64
+	for s := 0; s < 20; s++ {
+		state := r.Intn(2)
+		seq := make([]float64, 60)
+		for i := range seq {
+			if r.Float64() < 0.1 {
+				state = 1 - state
+			}
+			mu := -5.0
+			if state == 1 {
+				mu = 5.0
+			}
+			seq[i] = mu + r.NormFloat64()
+		}
+		seqs = append(seqs, seq)
+	}
+	var pooled []float64
+	for _, s := range seqs {
+		pooled = append(pooled, s...)
+	}
+	hmm := NewGaussianHMM(2, pooled, 1)
+	ll1 := hmm.Fit(seqs, 5, 1e-6)
+	ll2 := hmm.Fit(seqs, 30, 1e-6)
+	if ll2 < ll1-1e-6 {
+		t.Errorf("likelihood decreased: %v -> %v", ll1, ll2)
+	}
+	// Means near ±5 (order unknown).
+	mus := []float64{hmm.Mu[0], hmm.Mu[1]}
+	if mus[0] > mus[1] {
+		mus[0], mus[1] = mus[1], mus[0]
+	}
+	if math.Abs(mus[0]+5) > 1 || math.Abs(mus[1]-5) > 1 {
+		t.Errorf("means = %v, want ≈±5", mus)
+	}
+	// Transitions sticky: self-loops ≈ 0.9.
+	if hmm.A[0][0] < 0.75 || hmm.A[1][1] < 0.75 {
+		t.Errorf("transitions not sticky: %v", hmm.A)
+	}
+	// Viterbi segments a clean sequence correctly.
+	test := []float64{-5, -5.2, -4.8, 5.1, 4.9, 5.3}
+	states := hmm.Viterbi(test)
+	if states[0] == states[len(states)-1] {
+		t.Error("viterbi failed to separate regimes")
+	}
+	for i := 1; i < 3; i++ {
+		if states[i] != states[0] {
+			t.Error("first regime not contiguous")
+		}
+	}
+}
+
+func TestGaussianHMMExpectedPath(t *testing.T) {
+	// Deterministic chain: state 0 -> state 1 -> state 1...
+	hmm := &GaussianHMM{
+		K:     2,
+		Pi:    []float64{1, 0},
+		A:     [][]float64{{0, 1}, {0, 1}},
+		Mu:    []float64{-3, 7},
+		Sigma: []float64{1, 1},
+	}
+	path := hmm.ExpectedPath(3)
+	want := []float64{-3, 7, 7}
+	for i := range want {
+		if math.Abs(path[i]-want[i]) > 1e-9 {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+	if got := hmm.ExpectedPath(0); len(got) != 0 {
+		t.Error("zero-length path should be empty")
+	}
+}
+
+func TestGaussianHMMEdgeCases(t *testing.T) {
+	hmm := NewGaussianHMM(1, []float64{1, 2, 3}, 1)
+	if ll := hmm.LogLikelihood(nil); ll != 0 {
+		t.Error("empty sequence LL should be 0")
+	}
+	if got := hmm.Viterbi(nil); got != nil {
+		t.Error("empty viterbi should be nil")
+	}
+	// Single-state model stays a valid distribution after fitting.
+	hmm.Fit([][]float64{{1, 2, 3}, {2, 3, 4}}, 10, 1e-6)
+	if math.Abs(hmm.A[0][0]-1) > 1e-9 {
+		t.Errorf("single state transition = %v", hmm.A[0][0])
+	}
+}
+
+func TestHMMRowsStochastic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var seqs [][]float64
+		for i := 0; i < 5; i++ {
+			seq := make([]float64, 20)
+			for j := range seq {
+				seq[j] = r.NormFloat64() * 3
+			}
+			seqs = append(seqs, seq)
+		}
+		var pooled []float64
+		for _, s := range seqs {
+			pooled = append(pooled, s...)
+		}
+		hmm := NewGaussianHMM(3, pooled, seed)
+		hmm.Fit(seqs, 10, 1e-6)
+		for _, row := range hmm.A {
+			var sum float64
+			for _, v := range row {
+				if v < -1e-9 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		var piSum float64
+		for _, v := range hmm.Pi {
+			piSum += v
+		}
+		return math.Abs(piSum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildCorpus generates flights with weather and splits them into train/test.
+func buildCorpus(t *testing.T, seed int64, n int) (train, test []FlightCase) {
+	t.Helper()
+	weather := gen.NewWeatherField(seed, gen.DefaultStart)
+	sim := gen.NewFlightSim(gen.FlightSimConfig{
+		Seed: seed, NumFlights: n, Weather: weather,
+		RoutePairs: [][2]int{{0, 1}, {1, 0}}, VariantsPerPair: 2,
+	})
+	plans, reports := sim.Run()
+	byID := mobility.GroupByMover(reports)
+	var all []FlightCase
+	for _, p := range plans {
+		fc := ExtractCase(p, byID[p.FlightID], weather)
+		if len(fc.Deviations) > 0 {
+			all = append(all, fc)
+		}
+	}
+	cut := len(all) * 7 / 10
+	return all[:cut], all[cut:]
+}
+
+func TestExtractCaseDeviationsReasonable(t *testing.T) {
+	train, _ := buildCorpus(t, 23, 10)
+	for _, fc := range train {
+		if len(fc.Deviations) != len(fc.PlanPos) || len(fc.Features) != len(fc.PlanPos) {
+			t.Fatalf("misaligned case %s", fc.FlightID)
+		}
+		for _, d := range fc.Deviations {
+			if math.Abs(d) > 20_000 {
+				t.Errorf("%s: deviation %.0fm implausible", fc.FlightID, d)
+			}
+		}
+	}
+}
+
+func TestHybridBeatsBlind(t *testing.T) {
+	train, test := buildCorpus(t, 31, 40)
+	if len(test) < 5 {
+		t.Fatalf("test set too small: %d", len(test))
+	}
+	hybrid, err := TrainHybrid(train, DefaultHybridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := TrainBlind(train, 3, 30, 1)
+	hybridRMSE := RMSE(test, hybrid.Predict)
+	blindRMSE := RMSE(test, blind.Predict)
+	if hybridRMSE >= blindRMSE {
+		t.Errorf("hybrid (%.0fm) should beat blind (%.0fm)", hybridRMSE, blindRMSE)
+	}
+	// The paper's magnitude: a few hundred metres RMSE for the hybrid.
+	if hybridRMSE > 1_000 {
+		t.Errorf("hybrid RMSE %.0fm too large", hybridRMSE)
+	}
+	t.Logf("hybrid=%.0fm blind=%.0fm ratio=%.1fx clusters=%d",
+		hybridRMSE, blindRMSE, blindRMSE/hybridRMSE, hybrid.NumClusters())
+}
+
+func TestHybridRecoversRouteVariants(t *testing.T) {
+	train, _ := buildCorpus(t, 47, 40)
+	hybrid, err := TrainHybrid(train, DefaultHybridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flights of the same route variant should land in the same cluster.
+	labels := hybrid.Labels()
+	routeToLabel := map[string]int{}
+	for i, fc := range train {
+		if labels[i] < 0 {
+			continue
+		}
+		if prev, ok := routeToLabel[fc.Route]; ok {
+			if prev != labels[i] {
+				t.Errorf("route %s split across clusters %d and %d", fc.Route, prev, labels[i])
+			}
+		} else {
+			routeToLabel[fc.Route] = labels[i]
+		}
+	}
+	if hybrid.NumClusters() < 2 {
+		t.Errorf("clusters = %d, want >= 2", hybrid.NumClusters())
+	}
+}
+
+func TestPerClusterRMSEInPaperBand(t *testing.T) {
+	train, test := buildCorpus(t, 61, 50)
+	hybrid, err := TrainHybrid(train, DefaultHybridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := hybrid.PerClusterRMSE(test)
+	if len(per) == 0 {
+		t.Fatal("no per-cluster results")
+	}
+	for l, rmse := range per {
+		if rmse <= 0 || rmse > 2_000 {
+			t.Errorf("cluster %d RMSE %.0fm outside plausible band", l, rmse)
+		}
+	}
+}
+
+func TestRMSE3DCombinesChannels(t *testing.T) {
+	train, test := buildCorpus(t, 73, 40)
+	hybrid, err := TrainHybrid(train, DefaultHybridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := RMSE(test, hybrid.Predict)
+	threeD := hybrid.RMSE3D(test)
+	// The 3-D figure must dominate the cross-track-only figure (it adds a
+	// non-negative vertical error channel) and stay in a plausible band.
+	if threeD < cross {
+		t.Errorf("3-D RMSE %.0f < cross-track %.0f", threeD, cross)
+	}
+	if threeD > 2_000 {
+		t.Errorf("3-D RMSE %.0f implausible", threeD)
+	}
+	// Vertical predictions exist for every test flight.
+	for _, fc := range test {
+		alt := hybrid.PredictAlt(fc)
+		if len(alt) != len(fc.PlanPos) {
+			t.Fatalf("alt predictions = %d, waypoints = %d", len(alt), len(fc.PlanPos))
+		}
+	}
+	if got := hybrid.PredictAlt(FlightCase{}); got != nil {
+		t.Error("empty case should predict nil")
+	}
+}
+
+func TestTrainHybridErrors(t *testing.T) {
+	if _, err := TrainHybrid(nil, DefaultHybridConfig()); err == nil {
+		t.Error("empty training set should fail")
+	}
+}
+
+func TestRidgeRegressionRecoversCoefficients(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var xs []FeatureVec
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x := FeatureVec{r.NormFloat64(), r.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, 3+2*x[0]-1.5*x[1]+r.NormFloat64()*0.01)
+	}
+	beta := ridgeRegression(xs, ys, 0.001)
+	want := []float64{3, 2, -1.5}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 0.05 {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package va
+
+import (
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/tp"
+)
+
+// FlaggedTrajectory is a trajectory whose points carry relevance flags, the
+// input of the relevance-aware clustering workflow of Figure 11: interactive
+// filters mark the analysis-relevant parts (e.g. only the final approach of
+// a flight), and clustering ignores the rest.
+type FlaggedTrajectory struct {
+	ID       string
+	Points   []geo.Point
+	Times    []time.Time
+	Relevant []bool
+}
+
+// Flag builds a FlaggedTrajectory by applying a relevance predicate to each
+// report of a trajectory.
+func Flag(tr *mobility.Trajectory, relevant func(mobility.Report) bool) FlaggedTrajectory {
+	out := FlaggedTrajectory{ID: tr.ID}
+	for _, r := range tr.Reports {
+		out.Points = append(out.Points, r.Pos)
+		out.Times = append(out.Times, r.Time)
+		out.Relevant = append(out.Relevant, relevant(r))
+	}
+	return out
+}
+
+// relevantSignature extracts the relevant points as ERP feature vectors
+// (scaled to km units).
+func relevantSignature(ft FlaggedTrajectory) []tp.FeatureVec {
+	var out []tp.FeatureVec
+	for i, p := range ft.Points {
+		if ft.Relevant[i] {
+			out = append(out, tp.FeatureVec{p.Lon * 111.2, p.Lat * 111.2})
+		}
+	}
+	return out
+}
+
+// ClusterByRelevantParts clusters flagged trajectories with an ERP distance
+// that only sees the relevant elements. It returns per-trajectory labels
+// (-1 = noise), using OPTICS with the given parameters.
+func ClusterByRelevantParts(fts []FlaggedTrajectory, eps float64, minPts int) []int {
+	sigs := make([][]tp.FeatureVec, len(fts))
+	for i, ft := range fts {
+		sigs[i] = relevantSignature(ft)
+	}
+	dist := func(i, j int) float64 {
+		d := tp.ERP(sigs[i], sigs[j], tp.FeatureVec{}, nil)
+		n := len(sigs[i]) + len(sigs[j])
+		if n == 0 {
+			return 0
+		}
+		return d * 2 / float64(n)
+	}
+	opt := tp.RunOPTICS(len(fts), eps, minPts, dist)
+	return opt.ExtractClusters(eps)
+}
+
+// ClusterHistogram counts, per cluster label and time bin, the trajectories
+// whose first relevant point falls in the bin — the coloured arrival
+// histogram of Figure 11. Bin -1 collects noise trajectories.
+type ClusterHistogram struct {
+	Start time.Time
+	Step  time.Duration
+	// Counts[label][bin]; labels include -1 for noise.
+	Counts map[int][]int
+	Bins   int
+}
+
+// NewClusterHistogram builds the histogram over [start, end).
+func NewClusterHistogram(fts []FlaggedTrajectory, labels []int, start, end time.Time, step time.Duration) *ClusterHistogram {
+	bins := int(end.Sub(start)/step) + 1
+	if bins < 1 {
+		bins = 1
+	}
+	h := &ClusterHistogram{Start: start, Step: step, Counts: map[int][]int{}, Bins: bins}
+	for i, ft := range fts {
+		var anchor time.Time
+		for j, rel := range ft.Relevant {
+			if rel {
+				anchor = ft.Times[j]
+				break
+			}
+		}
+		if anchor.IsZero() || anchor.Before(start) || !anchor.Before(end) {
+			continue
+		}
+		l := labels[i]
+		if h.Counts[l] == nil {
+			h.Counts[l] = make([]int, bins)
+		}
+		h.Counts[l][int(anchor.Sub(start)/step)]++
+	}
+	return h
+}

@@ -1,0 +1,125 @@
+package va
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/linkdisc"
+	"datacron/internal/mobility"
+	"datacron/internal/synopses"
+)
+
+// Dashboard assembles the current situational picture for the real-time
+// visualization endpoint of Figure 13: the latest position per mover, the
+// most recent critical points and discovered relations, active predictions,
+// and a weather summary. It is safe for concurrent writers (the pipeline's
+// consumers) and readers (the UI poll).
+type Dashboard struct {
+	mu          sync.RWMutex
+	positions   map[string]mobility.Report
+	criticals   []synopses.CriticalPoint
+	links       []linkdisc.Link
+	predictions map[string][]geo.Point
+	events      []string
+	maxKeep     int
+}
+
+// NewDashboard returns an empty dashboard keeping at most maxKeep recent
+// critical points, links and event notes.
+func NewDashboard(maxKeep int) *Dashboard {
+	if maxKeep <= 0 {
+		maxKeep = 500
+	}
+	return &Dashboard{
+		positions:   make(map[string]mobility.Report),
+		predictions: make(map[string][]geo.Point),
+		maxKeep:     maxKeep,
+	}
+}
+
+// UpdatePosition records a mover's latest position.
+func (d *Dashboard) UpdatePosition(r mobility.Report) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.positions[r.ID]; !ok || r.Time.After(cur.Time) {
+		d.positions[r.ID] = r
+	}
+}
+
+// AddCritical appends a synopsis critical point.
+func (d *Dashboard) AddCritical(cp synopses.CriticalPoint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.criticals = append(d.criticals, cp)
+	if len(d.criticals) > d.maxKeep {
+		d.criticals = d.criticals[len(d.criticals)-d.maxKeep:]
+	}
+}
+
+// AddLink appends a discovered relation.
+func (d *Dashboard) AddLink(l linkdisc.Link) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.links = append(d.links, l)
+	if len(d.links) > d.maxKeep {
+		d.links = d.links[len(d.links)-d.maxKeep:]
+	}
+}
+
+// SetPrediction stores the current future-location prediction of a mover.
+func (d *Dashboard) SetPrediction(moverID string, points []geo.Point) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.predictions[moverID] = points
+}
+
+// AddEventNote appends a forecast/detection notice (e.g. "danger of
+// collision", "heading reversal expected in 2–4 steps").
+func (d *Dashboard) AddEventNote(note string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = append(d.events, note)
+	if len(d.events) > d.maxKeep {
+		d.events = d.events[len(d.events)-d.maxKeep:]
+	}
+}
+
+// Snapshot is the JSON-serialisable situational picture.
+type Snapshot struct {
+	Time        time.Time                `json:"time"`
+	Positions   []mobility.Report        `json:"positions"`
+	Criticals   []synopses.CriticalPoint `json:"criticals"`
+	Links       []linkdisc.Link          `json:"links"`
+	Predictions map[string][]geo.Point   `json:"predictions"`
+	Events      []string                 `json:"events"`
+}
+
+// Snapshot captures the current picture at the given instant.
+func (d *Dashboard) Snapshot(now time.Time) Snapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := Snapshot{
+		Time:        now,
+		Criticals:   append([]synopses.CriticalPoint(nil), d.criticals...),
+		Links:       append([]linkdisc.Link(nil), d.links...),
+		Events:      append([]string(nil), d.events...),
+		Predictions: make(map[string][]geo.Point, len(d.predictions)),
+	}
+	for id, pts := range d.predictions {
+		s.Predictions[id] = append([]geo.Point(nil), pts...)
+	}
+	for _, r := range d.positions {
+		s.Positions = append(s.Positions, r)
+	}
+	sort.Slice(s.Positions, func(i, j int) bool { return s.Positions[i].ID < s.Positions[j].ID })
+	return s
+}
+
+// MarshalJSON renders the snapshot for the Kafka-backed endpoint.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal(alias(s))
+}

@@ -1,0 +1,120 @@
+package va
+
+import (
+	"time"
+
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/temporal"
+)
+
+// Density is a gridded count surface of positions — the map layer behind
+// the density views of Figure 10 (bottom).
+type Density struct {
+	Grid   *geo.Grid
+	Counts []int
+	Total  int
+}
+
+// NewDensity allocates a surface over extent at cols×rows resolution.
+func NewDensity(extent geo.Rect, cols, rows int) *Density {
+	g := geo.NewGrid(extent, cols, rows)
+	return &Density{Grid: g, Counts: make([]int, g.NumCells())}
+}
+
+// Add folds a position into the surface (ignored outside the extent).
+func (d *Density) Add(p geo.Point) {
+	if idx, ok := d.Grid.CellIndex(p); ok {
+		d.Counts[idx]++
+		d.Total++
+	}
+}
+
+// Max returns the largest cell count.
+func (d *Density) Max() int {
+	m := 0
+	for _, c := range d.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// At returns the count of the cell containing p.
+func (d *Density) At(p geo.Point) int {
+	idx, ok := d.Grid.CellIndex(p)
+	if !ok {
+		return 0
+	}
+	return d.Counts[idx]
+}
+
+// TimeSeries bins event counts into fixed steps — the time-series displays
+// at the top of Figure 10.
+type TimeSeries struct {
+	Start time.Time
+	Step  time.Duration
+	Bins  []int
+}
+
+// NewTimeSeries bins the timestamps over [start, end).
+func NewTimeSeries(ts []time.Time, start, end time.Time, step time.Duration) *TimeSeries {
+	if step <= 0 {
+		step = time.Hour
+	}
+	n := int(end.Sub(start)/step) + 1
+	if n < 1 {
+		n = 1
+	}
+	s := &TimeSeries{Start: start, Step: step, Bins: make([]int, n)}
+	for _, t := range ts {
+		if t.Before(start) || !t.Before(end) {
+			continue
+		}
+		s.Bins[int(t.Sub(start)/step)]++
+	}
+	return s
+}
+
+// MaskWhere builds a time mask selecting the bins satisfying cond — the
+// "query selects the intervals containing at least one event" interaction.
+func (s *TimeSeries) MaskWhere(name string, cond func(count int) bool) *temporal.Mask {
+	span := temporal.Interval{Start: s.Start, End: s.Start.Add(time.Duration(len(s.Bins)) * s.Step)}
+	i := 0
+	return temporal.BuildMask(name, span, s.Step, func(bin temporal.Interval) bool {
+		ok := i < len(s.Bins) && cond(s.Bins[i])
+		i++
+		return ok
+	})
+}
+
+// CoOccurrence is the Figure 10 workflow output: densities of the movement
+// inside and outside a time mask, plus the share of positions captured.
+type CoOccurrence struct {
+	Inside      *Density
+	Outside     *Density
+	InsideShare float64
+}
+
+// CoOccurrenceDensity splits a position stream by a time mask and
+// accumulates one density per side.
+func CoOccurrenceDensity(reports []mobility.Report, mask *temporal.Mask, extent geo.Rect, cols, rows int) *CoOccurrence {
+	out := &CoOccurrence{
+		Inside:  NewDensity(extent, cols, rows),
+		Outside: NewDensity(extent, cols, rows),
+	}
+	inside := 0
+	for _, r := range reports {
+		if mask.Set.Contains(r.Time) {
+			out.Inside.Add(r.Pos)
+			inside++
+		} else {
+			out.Outside.Add(r.Pos)
+		}
+	}
+	if len(reports) > 0 {
+		out.InsideShare = float64(inside) / float64(len(reports))
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package va
+
+import "strings"
+
+// Render draws the density surface as ASCII art, north up, using a
+// five-level shade ramp scaled to the maximum cell count — a terminal
+// stand-in for the density map views of Figure 10, used by the CLI
+// examples and handy when eyeballing test failures.
+func (d *Density) Render() string {
+	ramp := []byte(" .:*#@")
+	maxCount := d.Max()
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	var b strings.Builder
+	for row := d.Grid.Rows - 1; row >= 0; row-- { // north at the top
+		for col := 0; col < d.Grid.Cols; col++ {
+			c := d.Counts[d.Grid.Index(col, row)]
+			level := c * (len(ramp) - 1) / maxCount
+			if c > 0 && level == 0 {
+				level = 1 // any traffic is visible
+			}
+			b.WriteByte(ramp[level])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
