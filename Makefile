@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# ci is the full gate: compile everything, run static analysis, then the
+# test suite twice — plain and under the race detector.
+ci: build vet test race

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"datacron/internal/cer"
+	"datacron/internal/checkpoint"
+	"datacron/internal/core"
 	"datacron/internal/experiments"
 	"datacron/internal/flp"
 	"datacron/internal/gen"
@@ -284,6 +286,48 @@ func BenchmarkERPDistance(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tp.ERP(a, c, tp.FeatureVec{}, nil)
 			}
+		})
+	}
+}
+
+// Checkpoint ablation: the real-time layer with checkpointing off, on a
+// wall-clock interval (1s, 100ms) and on a record count.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	reports := benchReports(b)
+	configs := []struct {
+		name     string
+		interval time.Duration
+		every    int
+	}{
+		{"off", 0, 0},
+		{"interval=1s", time.Second, 0},
+		{"interval=100ms", 100 * time.Millisecond, 0},
+		{"every=256", 0, 256},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := core.NewPipeline(core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Ingest(reports); err != nil {
+					b.Fatal(err)
+				}
+				var rc *core.RecoveryConfig
+				if cfg.interval > 0 || cfg.every > 0 {
+					cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rc = &core.RecoveryConfig{Checkpointer: cpr, Interval: cfg.interval, EveryRecords: cfg.every}
+				}
+				if _, err := p.RunWithRecovery(context.Background(), rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(reports))*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
 }

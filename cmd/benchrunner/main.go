@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full]
+//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full]
 package main
 
 import (
@@ -30,7 +30,7 @@ func wrap[T any](fn func(io.Writer, experiments.Scale) (T, error)) func(io.Write
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
 	flag.Parse()
 
@@ -46,6 +46,7 @@ func main() {
 		{"rdfgen", wrap(experiments.RunRDFGen)},
 		{"linkdisc", wrap(experiments.RunLinkDiscovery)},
 		{"store", wrap(experiments.RunStore)},
+		{"checkpoint", wrap(experiments.RunCheckpoint)},
 		{"fig5a", wrap(experiments.RunFig5a)},
 		{"fig5b", wrap(experiments.RunFig5b)},
 		{"fig6", wrap(experiments.RunFig6)},

@@ -5,18 +5,30 @@
 // the batch layer, and prints the run summary, a dashboard snapshot and an
 // example spatio-temporal star query.
 //
+// With -checkpoint-dir the real-time layer runs under coordinated
+// checkpointing: offsets, output positions and operator state are captured
+// periodically, and a crashed run restarted with the same directory resumes
+// from the latest valid checkpoint with effectively-once output. The
+// -fault-seed/-fault-kill flags inject deterministic crashes to drill the
+// recovery path.
+//
 // Usage:
 //
 //	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-v]
+//	         [-checkpoint-dir DIR] [-checkpoint-interval 1s] [-checkpoint-every N]
+//	         [-fault-seed S -fault-kill N]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
 	"datacron/internal/core"
 	"datacron/internal/gen"
 	"datacron/internal/geo"
@@ -36,15 +48,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	verbose := flag.Bool("v", false, "print dashboard event notes")
 	export := flag.String("export", "", "write the RDF-ized stream to this N-Triples file")
+	ckptDir := flag.String("checkpoint-dir", "", "enable checkpointing, storing checkpoints in this directory")
+	ckptInterval := flag.Duration("checkpoint-interval", time.Second, "wall-clock checkpoint trigger (0 disables)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many records (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed for crash drills (0 disables)")
+	faultKill := flag.Int64("fault-kill", 0, "inject a crash roughly every this many records")
 	flag.Parse()
 
-	if err := run(*domain, *duration, *vessels, *flights, *seed, *verbose, *export); err != nil {
+	if err := run(*domain, *duration, *vessels, *flights, *seed, *verbose, *export,
+		*ckptDir, *ckptInterval, *ckptEvery, *faultSeed, *faultKill); err != nil {
 		fmt.Fprintln(os.Stderr, "datacron:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain string, duration time.Duration, vessels, flights int, seed int64, verbose bool, export string) error {
+func run(domain string, duration time.Duration, vessels, flights int, seed int64, verbose bool, export string,
+	ckptDir string, ckptInterval time.Duration, ckptEvery int, faultSeed, faultKill int64) error {
 	region := geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 	var cfg core.Config
 	var reports []mobility.Report
@@ -97,10 +116,48 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 	if err := pipeline.Ingest(reports); err != nil {
 		return err
 	}
+	var rc *core.RecoveryConfig
+	if ckptDir != "" {
+		dirStore, err := checkpoint.NewDirStore(ckptDir)
+		if err != nil {
+			return err
+		}
+		cpr, err := checkpoint.NewCheckpointer(dirStore, 3)
+		if err != nil {
+			return err
+		}
+		rc = &core.RecoveryConfig{Checkpointer: cpr, Interval: ckptInterval, EveryRecords: ckptEvery}
+		if cp, err := cpr.Latest(); err == nil {
+			// A pre-existing checkpoint resumes that run's offsets and state.
+			// The broker is in-process, so this only replays correctly when
+			// the directory belongs to this process's crashed attempt — a
+			// leftover from a finished run skips the already-processed span.
+			fmt.Printf("warning: resuming from existing %s in %s\n", cp, ckptDir)
+		} else if !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+			return err
+		}
+		if faultKill > 0 {
+			rc.Injector = faultinject.New(faultinject.Config{
+				Seed: faultSeed, KillMin: faultKill, KillMax: 2 * faultKill,
+			})
+		}
+		fmt.Printf("checkpointing to %s (interval %s, every %d records)\n", ckptDir, ckptInterval, ckptEvery)
+	}
 	start := time.Now()
-	sum, err := pipeline.RunRealTime(context.Background())
+	sum, err := pipeline.RunWithRecovery(context.Background(), rc)
+	for restarts := 0; errors.Is(err, faultinject.ErrInjectedCrash); restarts++ {
+		if restarts >= 1000 {
+			return fmt.Errorf("giving up after %d injected crashes", restarts)
+		}
+		fmt.Printf("injected crash after %d records — recovering from latest checkpoint\n", sum.RawIn)
+		sum, err = pipeline.RunWithRecovery(context.Background(), rc)
+	}
 	if err != nil {
 		return err
+	}
+	if rc != nil && rc.Injector != nil && rc.Injector.Kills() > 0 {
+		fmt.Printf("survived %d injected crashes (%d checkpoints captured)\n",
+			rc.Injector.Kills(), rc.Checkpointer.Captures())
 	}
 	fmt.Printf("real-time layer (%s): %s\n", time.Since(start).Round(time.Millisecond), sum)
 

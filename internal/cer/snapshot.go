@@ -1,0 +1,37 @@
+package cer
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// forecasterSnapshot is the wire form of the Forecaster's mutable state. The
+// compiled DFA and PMC are functions of the pattern and model configuration,
+// which the restoring pipeline rebuilds identically, so only the runtime
+// cursor needs to be captured.
+type forecasterSnapshot struct {
+	State int      `json:"state"`
+	Ctx   []string `json:"ctx,omitempty"`
+	Pos   int      `json:"pos"`
+}
+
+// Snapshot serializes the engine's runtime state (checkpoint.Snapshotter).
+func (f *Forecaster) Snapshot() ([]byte, error) {
+	return json.Marshal(forecasterSnapshot{State: f.state, Ctx: f.ctx, Pos: f.pos})
+}
+
+// Restore replaces the engine's runtime state with a snapshot taken by
+// Snapshot against an identically configured Forecaster.
+func (f *Forecaster) Restore(data []byte) error {
+	var snap forecasterSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("cer: restore: %w", err)
+	}
+	if snap.State < 0 || snap.State >= len(f.dfa.Delta) {
+		return fmt.Errorf("cer: restore: state %d out of range for %d-state DFA", snap.State, len(f.dfa.Delta))
+	}
+	f.state = snap.State
+	f.ctx = snap.Ctx
+	f.pos = snap.Pos
+	return nil
+}

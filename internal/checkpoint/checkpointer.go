@@ -1,0 +1,228 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"datacron/internal/msg"
+)
+
+// Checkpointer captures and restores consistent pipeline checkpoints. A
+// pipeline registers its source consumer groups, output topics, and stateful
+// operators, then calls Capture at record boundaries; recovery calls Restore
+// before re-creating consumers.
+//
+// Checkpointer methods are not safe for concurrent use; the pipeline calls
+// them from its processing goroutine only.
+type Checkpointer struct {
+	store   Store
+	keep    int
+	nextGen uint64
+
+	sources []sourceRef
+	outputs []string
+	names   []string // registration order, for deterministic iteration
+	ops     map[string]Snapshotter
+
+	captures int
+}
+
+type sourceRef struct {
+	group string
+	topic string
+}
+
+// NewCheckpointer wraps a store, retaining the newest keep generations
+// (minimum 2, so a corrupted newest generation always has a fallback).
+func NewCheckpointer(store Store, keep int) (*Checkpointer, error) {
+	if keep < 2 {
+		keep = 2
+	}
+	gens, err := store.Generations()
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		next = gens[len(gens)-1] + 1
+	}
+	return &Checkpointer{
+		store:   store,
+		keep:    keep,
+		nextGen: next,
+		ops:     make(map[string]Snapshotter),
+	}, nil
+}
+
+// RegisterSource adds a consumer group whose committed offsets are captured
+// and restored.
+func (c *Checkpointer) RegisterSource(group, topic string) {
+	for _, s := range c.sources {
+		if s.group == group && s.topic == topic {
+			return
+		}
+	}
+	c.sources = append(c.sources, sourceRef{group: group, topic: topic})
+}
+
+// RegisterOutput adds an output topic whose end offsets are captured; on
+// restore the topic is truncated back to them.
+func (c *Checkpointer) RegisterOutput(topic string) {
+	for _, t := range c.outputs {
+		if t == topic {
+			return
+		}
+	}
+	c.outputs = append(c.outputs, topic)
+}
+
+// Register binds a named operator. Registering the same name again replaces
+// the binding — a pipeline that restarts rebuilds fresh operator instances
+// and re-registers them under the stable names.
+func (c *Checkpointer) Register(name string, op Snapshotter) {
+	if _, ok := c.ops[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.ops[name] = op
+}
+
+// Captures reports how many checkpoints have been captured by this
+// Checkpointer instance.
+func (c *Checkpointer) Captures() int { return c.captures }
+
+// Capture takes a checkpoint of the registered sources, outputs, and
+// operators against the broker, persists it as the next generation, and
+// prunes old generations beyond the retention limit. It returns the new
+// generation number.
+func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
+	cp := &Checkpoint{
+		Generation: c.nextGen,
+		Operators:  make(map[string][]byte, len(c.ops)),
+	}
+	for _, s := range c.sources {
+		cp.Sources = append(cp.Sources, SourceOffsets{
+			Group:   s.group,
+			Topic:   s.topic,
+			Offsets: b.CommittedOffsets(s.group, s.topic),
+		})
+	}
+	for _, topic := range c.outputs {
+		n, err := b.Partitions(topic)
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: output %s: %w", topic, err)
+		}
+		ends := make(map[int]int64, n)
+		for p := 0; p < n; p++ {
+			end, err := b.EndOffset(topic, p)
+			if err != nil {
+				return 0, fmt.Errorf("checkpoint: output %s/%d: %w", topic, p, err)
+			}
+			ends[p] = end
+		}
+		cp.Outputs = append(cp.Outputs, OutputEnds{Topic: topic, Ends: ends})
+	}
+	for _, name := range c.names {
+		blob, err := c.ops[name].Snapshot()
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: snapshot %s: %w", name, err)
+		}
+		cp.Operators[name] = blob
+	}
+
+	data, err := Encode(cp)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.store.Save(cp.Generation, data); err != nil {
+		return 0, fmt.Errorf("checkpoint: save generation %d: %w", cp.Generation, err)
+	}
+	c.nextGen = cp.Generation + 1
+	c.captures++
+	c.prune()
+	return cp.Generation, nil
+}
+
+// prune removes generations beyond the retention limit, oldest first.
+// Pruning failures are ignored: stale generations are harmless.
+func (c *Checkpointer) prune() {
+	gens, err := c.store.Generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > c.keep {
+		_ = c.store.Remove(gens[0])
+		gens = gens[1:]
+	}
+}
+
+// Latest loads the newest generation that decodes cleanly, skipping (and
+// reporting via the error only when nothing is left) corrupted or unreadable
+// generations. Returns ErrNoCheckpoint when the store holds no valid
+// generation.
+func (c *Checkpointer) Latest() (*Checkpoint, error) {
+	gens, err := c.store.Generations()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for i := len(gens) - 1; i >= 0; i-- {
+		data, err := c.store.Load(gens[i])
+		if err != nil {
+			continue
+		}
+		cp, err := Decode(data)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				continue // fall back to the previous generation
+			}
+			return nil, err
+		}
+		return cp, nil
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// Restore rewinds the broker to the latest valid checkpoint and restores
+// registered operator state from it: source groups' committed offsets are
+// overwritten, output topics truncated back to the checkpointed ends (0 for
+// partitions the checkpoint does not mention), and each registered operator
+// restored from its snapshot. Returns (nil, nil) when the store holds no
+// checkpoint — the pipeline then starts cold. Operators registered but
+// missing from the checkpoint are an error; checkpointed operators that are
+// no longer registered are ignored.
+func (c *Checkpointer) Restore(b *msg.Broker) (*Checkpoint, error) {
+	cp, err := c.Latest()
+	if err != nil {
+		if errors.Is(err, ErrNoCheckpoint) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	for _, s := range c.sources {
+		b.RestoreOffsets(s.group, s.topic, cp.Source(s.group, s.topic))
+	}
+	for _, topic := range c.outputs {
+		n, err := b.Partitions(topic)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: restore output %s: %w", topic, err)
+		}
+		ends := cp.Output(topic)
+		for p := 0; p < n; p++ {
+			if err := b.Truncate(topic, p, ends[p]); err != nil {
+				return nil, fmt.Errorf("checkpoint: truncate %s/%d: %w", topic, p, err)
+			}
+		}
+	}
+	for _, name := range c.names {
+		blob, ok := cp.Operators[name]
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: generation %d has no state for operator %q", cp.Generation, name)
+		}
+		if err := c.ops[name].Restore(blob); err != nil {
+			return nil, fmt.Errorf("checkpoint: restore %s: %w", name, err)
+		}
+	}
+	c.nextGen = cp.Generation + 1
+	return cp, nil
+}

@@ -1,0 +1,254 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+)
+
+// Wire format (all integers varint/uvarint, strings and blobs length-
+// prefixed):
+//
+//	magic "DCKP" | version u8 | generation | #sources { group topic
+//	#offsets { partition offset } } | #outputs { topic #ends { partition
+//	end } } | #operators { name blob } | crc32-IEEE (4 bytes LE) over
+//	everything before it
+//
+// Maps are emitted in sorted key order, so encoding a checkpoint is
+// deterministic and re-encoding a decoded checkpoint is byte-identical.
+
+var magic = [4]byte{'D', 'C', 'K', 'P'}
+
+const codecVersion = 1
+
+// Encode serializes a checkpoint with a trailing CRC. The checkpoint's
+// sections are sorted into canonical order as a side effect.
+func Encode(cp *Checkpoint) ([]byte, error) {
+	cp.normalize()
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(codecVersion)
+	writeUvarint(&buf, cp.Generation)
+
+	writeUvarint(&buf, uint64(len(cp.Sources)))
+	for _, s := range cp.Sources {
+		writeString(&buf, s.Group)
+		writeString(&buf, s.Topic)
+		writeOffsetMap(&buf, s.Offsets)
+	}
+	writeUvarint(&buf, uint64(len(cp.Outputs)))
+	for _, o := range cp.Outputs {
+		writeString(&buf, o.Topic)
+		writeOffsetMap(&buf, o.Ends)
+	}
+	names := make([]string, 0, len(cp.Operators))
+	for name := range cp.Operators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeUvarint(&buf, uint64(len(names)))
+	for _, name := range names {
+		writeString(&buf, name)
+		writeBytes(&buf, cp.Operators[name])
+	}
+
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	buf.Write(tail[:])
+	return buf.Bytes(), nil
+}
+
+// Decode parses an encoded checkpoint, verifying the CRC first. Any
+// structural damage — flipped bytes, truncation, trailing garbage —
+// yields an error wrapping ErrCorrupt.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r := &reader{data: body}
+	var m [4]byte
+	r.read(m[:])
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m[:])
+	}
+	if v := r.byte(); v != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	cp := &Checkpoint{Generation: r.uvarint()}
+	if n := r.uvarint(); n > 0 {
+		cp.Sources = make([]SourceOffsets, 0, capHint(n))
+		for i := uint64(0); i < n && !r.failed; i++ {
+			cp.Sources = append(cp.Sources, SourceOffsets{
+				Group: r.string(), Topic: r.string(), Offsets: r.offsetMap(),
+			})
+		}
+	}
+	if n := r.uvarint(); n > 0 {
+		cp.Outputs = make([]OutputEnds, 0, capHint(n))
+		for i := uint64(0); i < n && !r.failed; i++ {
+			cp.Outputs = append(cp.Outputs, OutputEnds{Topic: r.string(), Ends: r.offsetMap()})
+		}
+	}
+	if n := r.uvarint(); n > 0 {
+		cp.Operators = make(map[string][]byte, capHint(n))
+		for i := uint64(0); i < n && !r.failed; i++ {
+			name := r.string()
+			cp.Operators[name] = r.bytes()
+		}
+	}
+	if r.failed || r.pos != len(r.data) {
+		return nil, fmt.Errorf("%w: malformed body", ErrCorrupt)
+	}
+	return cp, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func writeOffsetMap(buf *bytes.Buffer, m map[int]int64) {
+	parts := make([]int, 0, len(m))
+	for p := range m {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	writeUvarint(buf, uint64(len(parts)))
+	for _, p := range parts {
+		writeVarint(buf, int64(p))
+		writeVarint(buf, m[p])
+	}
+}
+
+// reader is a failure-latching cursor over the encoded body: after the
+// first malformed field every subsequent read returns zero values, and
+// Decode reports the latched failure once at the end.
+type reader struct {
+	data   []byte
+	pos    int
+	failed bool
+}
+
+func (r *reader) fail() {
+	r.failed = true
+}
+
+func (r *reader) read(dst []byte) {
+	if r.failed || r.pos+len(dst) > len(r.data) {
+		r.fail()
+		return
+	}
+	copy(dst, r.data[r.pos:])
+	r.pos += len(dst)
+}
+
+func (r *reader) byte() byte {
+	if r.failed || r.pos >= len(r.data) {
+		r.fail()
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.failed {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.failed {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.failed || uint64(r.pos)+n > uint64(len(r.data)) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.failed || uint64(r.pos)+n > uint64(len(r.data)) {
+		r.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.pos:])
+	r.pos += int(n)
+	return b
+}
+
+func (r *reader) offsetMap() map[int]int64 {
+	n := r.uvarint()
+	if r.failed {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	m := make(map[int]int64, capHint(n))
+	for i := uint64(0); i < n && !r.failed; i++ {
+		p := r.varint()
+		off := r.varint()
+		if p < math.MinInt32 || p > math.MaxInt32 {
+			r.fail()
+			return nil
+		}
+		m[int(p)] = off
+	}
+	return m
+}
+
+func capHint(a uint64) int {
+	const b = 1024
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genCheckpoint builds a pseudo-random checkpoint from a quick-check source.
+func genCheckpoint(rng *rand.Rand) *Checkpoint {
+	randString := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	randOffsets := func() map[int]int64 {
+		n := rng.Intn(5)
+		if n == 0 {
+			return nil
+		}
+		m := make(map[int]int64, n)
+		for i := 0; i < n; i++ {
+			m[rng.Intn(64)] = rng.Int63n(1 << 40)
+		}
+		return m
+	}
+	cp := &Checkpoint{Generation: rng.Uint64() >> 1}
+	for i := rng.Intn(4); i > 0; i-- {
+		cp.Sources = append(cp.Sources, SourceOffsets{
+			Group: randString(), Topic: randString(), Offsets: randOffsets(),
+		})
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		cp.Outputs = append(cp.Outputs, OutputEnds{Topic: randString(), Ends: randOffsets()})
+	}
+	if n := rng.Intn(5); n > 0 {
+		cp.Operators = make(map[string][]byte, n)
+		for i := 0; i < n; i++ {
+			blob := make([]byte, rng.Intn(64))
+			rng.Read(blob)
+			cp.Operators[randString()] = blob
+		}
+	}
+	return cp
+}
+
+// equivalent compares checkpoints up to nil-vs-empty map/slice differences
+// (the codec does not distinguish them).
+func equivalent(a, b *Checkpoint) bool {
+	if a.Generation != b.Generation {
+		return false
+	}
+	normOffsets := func(m map[int]int64) map[int]int64 {
+		if len(m) == 0 {
+			return nil
+		}
+		return m
+	}
+	if len(a.Sources) != len(b.Sources) || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Sources {
+		if a.Sources[i].Group != b.Sources[i].Group || a.Sources[i].Topic != b.Sources[i].Topic ||
+			!reflect.DeepEqual(normOffsets(a.Sources[i].Offsets), normOffsets(b.Sources[i].Offsets)) {
+			return false
+		}
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i].Topic != b.Outputs[i].Topic ||
+			!reflect.DeepEqual(normOffsets(a.Outputs[i].Ends), normOffsets(b.Outputs[i].Ends)) {
+			return false
+		}
+	}
+	if len(a.Operators) != len(b.Operators) {
+		return false
+	}
+	for name, blob := range a.Operators {
+		other, ok := b.Operators[name]
+		if !ok || !bytes.Equal(blob, other) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cp := genCheckpoint(rng)
+		data, err := Encode(cp)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return equivalent(cp, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecDeterministicEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cp := genCheckpoint(rng)
+	a, err := Encode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the decoded checkpoint: must be byte-identical.
+	decoded, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("re-encoding a decoded checkpoint changed the bytes:\n%x\n%x", a, b)
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	cp := &Checkpoint{
+		Generation: 7,
+		Sources:    []SourceOffsets{{Group: "g", Topic: "raw", Offsets: map[int]int64{0: 10, 1: 20}}},
+		Outputs:    []OutputEnds{{Topic: "out", Ends: map[int]int64{0: 5}}},
+		Operators:  map[string][]byte{"op": []byte(`{"n":1}`)},
+	}
+	data, err := Encode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("byte flips", func(t *testing.T) {
+		f := func(pos uint16, mask byte) bool {
+			if mask == 0 {
+				return true // no-op flip
+			}
+			damaged := append([]byte(nil), data...)
+			damaged[int(pos)%len(damaged)] ^= mask
+			_, err := Decode(damaged)
+			return errors.Is(err, ErrCorrupt)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt", cut, err)
+			}
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), data...), 0xAB)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing garbage: got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("nil input: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestCheckpointAccessors(t *testing.T) {
+	cp := &Checkpoint{
+		Generation: 3,
+		Sources:    []SourceOffsets{{Group: "g", Topic: "raw", Offsets: map[int]int64{1: 4}}},
+		Outputs:    []OutputEnds{{Topic: "out", Ends: map[int]int64{0: 9}}},
+	}
+	if got := cp.Source("g", "raw"); got[1] != 4 {
+		t.Errorf("Source: got %v", got)
+	}
+	if got := cp.Source("g", "other"); got != nil {
+		t.Errorf("Source miss: got %v", got)
+	}
+	if got := cp.Output("out"); got[0] != 9 {
+		t.Errorf("Output: got %v", got)
+	}
+	if got := cp.Output("nope"); got != nil {
+		t.Errorf("Output miss: got %v", got)
+	}
+	if s := cp.String(); s == "" {
+		t.Error("String: empty")
+	}
+}

@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"datacron/internal/checkpoint"
+)
+
+func TestKillScheduleDeterministic(t *testing.T) {
+	run := func() []int64 {
+		inj := New(Config{Seed: 7, KillMin: 10, KillMax: 30})
+		var killsAt []int64
+		for i := int64(1); i <= 200; i++ {
+			if err := inj.BeforeRecord(); err != nil {
+				if !errors.Is(err, ErrInjectedCrash) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				killsAt = append(killsAt, i)
+			}
+		}
+		return killsAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no kills fired in 200 records")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("kill counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kill schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Kills spaced within [KillMin, KillMax] of each other.
+	prev := int64(0)
+	for _, at := range a {
+		gap := at - prev
+		if gap < 10 || gap > 30 {
+			t.Errorf("kill gap %d outside [10,30]: schedule %v", gap, a)
+		}
+		prev = at
+	}
+}
+
+func TestKillDisabled(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if err := inj.BeforeRecord(); err != nil {
+			t.Fatalf("kill fired with KillMax=0: %v", err)
+		}
+	}
+	if inj.Kills() != 0 {
+		t.Fatalf("Kills() = %d", inj.Kills())
+	}
+}
+
+func TestDropAndDelayProbabilities(t *testing.T) {
+	inj := New(Config{Seed: 3, DropProb: 0.5, DelayProb: 0.5, MaxDelay: time.Millisecond})
+	drops, delays := 0, 0
+	for i := 0; i < 1000; i++ {
+		if inj.DropBatch() {
+			drops++
+		}
+		if d := inj.Delay(); d > 0 {
+			delays++
+			if d > time.Millisecond {
+				t.Fatalf("delay %v exceeds MaxDelay", d)
+			}
+		}
+	}
+	if drops < 350 || drops > 650 {
+		t.Errorf("drops = %d, want ~500", drops)
+	}
+	if delays < 350 || delays > 650 {
+		t.Errorf("delays = %d, want ~500", delays)
+	}
+	if inj.Drops() != drops {
+		t.Errorf("Drops() = %d, want %d", inj.Drops(), drops)
+	}
+
+	off := New(Config{Seed: 3})
+	if off.DropBatch() || off.Delay() != 0 {
+		t.Error("zero-config injector dropped or delayed")
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	inj := New(Config{Seed: 11})
+	data := []byte("checkpoint payload")
+	orig := append([]byte(nil), data...)
+	inj.CorruptBytes(data)
+	if bytes.Equal(data, orig) {
+		t.Fatal("CorruptBytes changed nothing")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("CorruptBytes flipped %d bytes, want 1", diff)
+	}
+	inj.CorruptBytes(nil) // must not panic
+}
+
+func TestCorruptStore(t *testing.T) {
+	store := checkpoint.NewMemStore()
+	inj := New(Config{Seed: 5})
+	if err := inj.Corrupt(store); err == nil {
+		t.Fatal("corrupting an empty store succeeded")
+	}
+
+	cp := &checkpoint.Checkpoint{Generation: 1, Operators: map[string][]byte{"op": []byte("state")}}
+	data, err := checkpoint.Encode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Corrupt(store); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := store.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Decode(damaged); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("decode of corrupted checkpoint: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSwappedKillBounds(t *testing.T) {
+	inj := New(Config{Seed: 2, KillMin: 30, KillMax: 10}) // swapped: normalized
+	fired := false
+	for i := 0; i < 100; i++ {
+		if err := inj.BeforeRecord(); err != nil {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("no kill fired with swapped bounds")
+	}
+}

@@ -1,0 +1,212 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store persists encoded checkpoint generations. Implementations must make
+// Save atomic: a generation is either fully present or absent, never half
+// written. Generations returns ascending generation numbers.
+type Store interface {
+	Save(gen uint64, data []byte) error
+	Load(gen uint64) ([]byte, error)
+	Generations() ([]uint64, error)
+	Remove(gen uint64) error
+}
+
+// DirStore keeps each generation in its own file (ckpt-<gen>.ckpt) inside a
+// directory, with a MANIFEST file listing the generations that completed.
+// Both checkpoint files and the manifest are written with a temp-file +
+// rename dance, so a crash mid-save leaves at most an orphan temp file that
+// later recovery ignores.
+type DirStore struct {
+	mu   sync.Mutex
+	dir  string
+	gens map[uint64]bool
+}
+
+const manifestName = "MANIFEST"
+
+// NewDirStore opens (creating if needed) a checkpoint directory and reads
+// its manifest. Checkpoint files not listed in the manifest are orphans from
+// interrupted saves and are ignored.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	s := &DirStore{dir: dir, gens: make(map[uint64]bool)}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		gen, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			continue // damaged manifest line; the generation is unreachable
+		}
+		if _, err := os.Stat(s.path(gen)); err == nil {
+			s.gens[gen] = true
+		}
+	}
+	return s, nil
+}
+
+func (s *DirStore) path(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%d.ckpt", gen))
+}
+
+// Dir returns the directory the store writes into.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) Save(gen uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := atomicWrite(s.path(gen), data); err != nil {
+		return err
+	}
+	s.gens[gen] = true
+	return s.writeManifest()
+}
+
+func (s *DirStore) Load(gen uint64) ([]byte, error) {
+	s.mu.Lock()
+	known := s.gens[gen]
+	s.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("%w: generation %d", ErrNoCheckpoint, gen)
+	}
+	return os.ReadFile(s.path(gen))
+}
+
+func (s *DirStore) Generations() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.gens))
+	for g := range s.gens {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (s *DirStore) Remove(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.gens[gen] {
+		return nil
+	}
+	delete(s.gens, gen)
+	if err := s.writeManifest(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(gen)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeManifest rewrites the manifest listing the current generations.
+// Caller holds s.mu.
+func (s *DirStore) writeManifest() error {
+	gens := make([]uint64, 0, len(s.gens))
+	for g := range s.gens {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	var b strings.Builder
+	for _, g := range gens {
+		fmt.Fprintf(&b, "%d\n", g)
+	}
+	return atomicWrite(filepath.Join(s.dir, manifestName), []byte(b.String()))
+}
+
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store for tests and benchmarks.
+type MemStore struct {
+	mu   sync.Mutex
+	gens map[uint64][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{gens: make(map[uint64][]byte)}
+}
+
+func (s *MemStore) Save(gen uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.gens[gen] = cp
+	return nil
+}
+
+func (s *MemStore) Load(gen uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.gens[gen]
+	if !ok {
+		return nil, fmt.Errorf("%w: generation %d", ErrNoCheckpoint, gen)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+func (s *MemStore) Generations() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.gens))
+	for g := range s.gens {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (s *MemStore) Remove(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.gens, gen)
+	return nil
+}

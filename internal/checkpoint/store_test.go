@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStoreBasics(t *testing.T, s Store) {
+	t.Helper()
+	gens, err := s.Generations()
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("fresh store: gens=%v err=%v", gens, err)
+	}
+	if _, err := s.Load(1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("load missing: got %v, want ErrNoCheckpoint", err)
+	}
+	for gen, data := range map[uint64][]byte{3: []byte("ccc"), 1: []byte("a"), 2: []byte("bb")} {
+		if err := s.Save(gen, data); err != nil {
+			t.Fatalf("save %d: %v", gen, err)
+		}
+	}
+	gens, err = s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 1 || gens[1] != 2 || gens[2] != 3 {
+		t.Fatalf("generations not ascending: %v", gens)
+	}
+	data, err := s.Load(2)
+	if err != nil || string(data) != "bb" {
+		t.Fatalf("load 2: %q err=%v", data, err)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatalf("double remove: %v", err)
+	}
+	gens, _ = s.Generations()
+	if len(gens) != 2 || gens[0] != 2 {
+		t.Fatalf("after remove: %v", gens)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	testStoreBasics(t, NewMemStore())
+}
+
+func TestDirStore(t *testing.T) {
+	s, err := NewDirStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreBasics(t, s)
+}
+
+func TestDirStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(5, []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(6, []byte("six")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory sees the same generations.
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := s2.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 5 || gens[1] != 6 {
+		t.Fatalf("reopened: gens=%v err=%v", gens, err)
+	}
+	data, err := s2.Load(6)
+	if err != nil || string(data) != "six" {
+		t.Fatalf("reopened load: %q err=%v", data, err)
+	}
+}
+
+func TestDirStoreIgnoresOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint file not listed in the manifest simulates a crash between
+	// writing the file and committing the manifest.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-9.ckpt"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover temp files simulate a crash mid-atomic-write.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := s2.Generations()
+	if err != nil || len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("orphans not ignored: gens=%v err=%v", gens, err)
+	}
+	if _, err := s2.Load(9); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("orphan loadable: %v", err)
+	}
+}
+
+func TestDirStoreManifestListsMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a checkpoint file out from under the manifest.
+	if err := os.Remove(filepath.Join(dir, "ckpt-2.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := s2.Generations()
+	if err != nil || len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("missing file still listed: gens=%v err=%v", gens, err)
+	}
+}

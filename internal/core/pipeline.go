@@ -11,20 +11,16 @@ package core
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
 	"datacron/internal/cer"
-	"datacron/internal/flp"
 	"datacron/internal/gen"
 	"datacron/internal/linkdisc"
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
 	"datacron/internal/msg"
-	"datacron/internal/ontology"
 	"datacron/internal/rdf"
-	"datacron/internal/rdfgen"
 	"datacron/internal/store"
 	"datacron/internal/synopses"
 	"datacron/internal/va"
@@ -160,135 +156,9 @@ func (p *Pipeline) Ingest(reports []mobility.Report) error {
 
 // RunRealTime consumes the raw topic through the full real-time layer until
 // the topic closes or the context is cancelled, and returns the run summary.
+// It is RunWithRecovery without checkpointing; see recovery.go.
 func (p *Pipeline) RunRealTime(ctx context.Context) (Summary, error) {
-	var sum Summary
-	cons, err := p.Broker.NewConsumer("realtime", TopicRaw, "rt-1")
-	if err != nil {
-		return sum, err
-	}
-	defer cons.Close()
-
-	sg := synopses.NewGenerator(p.cfg.Synopses)
-	areaMon := lowlevel.NewAreaMonitor(p.cfg.Regions, 64)
-	var disc *linkdisc.Discoverer
-	if len(p.cfg.Statics) > 0 {
-		disc = linkdisc.NewDiscoverer(p.cfg.Link, p.cfg.Statics)
-	}
-	rdfGen := rdfgen.CriticalPointGenerator()
-	predictors := map[string]flp.Predictor{}
-	seq := 0
-
-	processCritical := func(cp synopses.CriticalPoint) error {
-		sum.CriticalPoints++
-		p.Dashboard.AddCritical(cp)
-		// Publish the synopsis record.
-		if _, err := p.Broker.Produce(TopicSynopses, cp.ID, cp.Marshal(), cp.Time); err != nil {
-			return err
-		}
-		// RDF-ify.
-		triples := rdfGen.Generate(rdfgen.CriticalPointRecord(seq, cp))
-		// Weather enrichment: annotate the semantic node with the ambient
-		// conditions at its position and time.
-		if p.cfg.Weather != nil {
-			node := ontology.NodeIRI(cp.ID, seq)
-			triples = append(triples,
-				rdf.Triple{S: node, P: ontology.PropWindSpeed,
-					O: rdf.Float(p.cfg.Weather.WindSpeed(cp.Pos, cp.Time))},
-				rdf.Triple{S: node, P: ontology.PropWaveHeight,
-					O: rdf.Float(p.cfg.Weather.WaveHeight(cp.Pos, cp.Time))},
-			)
-		}
-		sum.Triples += int64(len(triples))
-		if err := p.publishTriples(triples, cp.Time); err != nil {
-			return err
-		}
-		// Link discovery on the critical point.
-		if disc != nil {
-			for _, l := range disc.ProcessPoint(cp.ID, cp.Time, cp.Pos) {
-				sum.Links++
-				p.Dashboard.AddLink(l)
-				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(l.Triple().String()), l.Time); err != nil {
-					return err
-				}
-				sum.Triples++
-				if err := p.publishTriples([]rdf.Triple{l.Triple()}, l.Time); err != nil {
-					return err
-				}
-			}
-		}
-		// Complex event forecasting on the critical-point type stream.
-		if p.forecaster != nil {
-			detected, fc, ok := p.forecaster.Process(string(cp.Type))
-			if detected {
-				sum.Detections++
-				p.Dashboard.AddEventNote(fmt.Sprintf("%s: pattern detected at %s", cp.ID, cp.Time.Format(time.RFC3339)))
-			}
-			if ok {
-				sum.Forecasts++
-				note := fmt.Sprintf("%s: completion expected in %d-%d events (p=%.2f)", cp.ID, fc.Start, fc.End, fc.Prob)
-				p.Dashboard.AddEventNote(note)
-				if _, err := p.Broker.Produce(TopicEvents, cp.ID, []byte(note), cp.Time); err != nil {
-					return err
-				}
-			}
-		}
-		seq++
-		return nil
-	}
-
-	for {
-		recs, err := cons.Poll(ctx, 256)
-		if errors.Is(err, msg.ErrClosed) {
-			break
-		}
-		if err != nil {
-			return sum, err
-		}
-		for _, rec := range recs {
-			r, err := mobility.UnmarshalReport(rec.Value)
-			if err != nil {
-				continue // corrupt record: dropped by the cleaning stage
-			}
-			sum.RawIn++
-			// In-situ processing.
-			if r.Valid() {
-				p.Profiler.Observe(r)
-				sum.AreaEvents += int64(len(areaMon.Update(r)))
-				p.Dashboard.UpdatePosition(r)
-				// Future location prediction.
-				pred, ok := predictors[r.ID]
-				if !ok {
-					pred = flp.NewRMFStar(p.cfg.SampleInterval)
-					predictors[r.ID] = pred
-				}
-				pred.Observe(r)
-				if pts := pred.Predict(p.cfg.PredictSteps); pts != nil {
-					sum.Predictions++
-					p.Dashboard.SetPrediction(r.ID, pts)
-				}
-			}
-			// Synopses generation (applies its own noise filters).
-			for _, cp := range sg.Process(r) {
-				if err := processCritical(cp); err != nil {
-					return sum, err
-				}
-			}
-			cons.Commit(rec)
-		}
-	}
-	// Flush trajectory ends.
-	for _, cp := range sg.Flush() {
-		if err := processCritical(cp); err != nil {
-			return sum, err
-		}
-	}
-	for _, t := range []string{TopicSynopses, TopicTriples, TopicLinks, TopicEvents} {
-		if err := p.Broker.CloseTopic(t); err != nil {
-			return sum, err
-		}
-	}
-	sum.Compression = sg.Stats().CompressionRatio()
-	return sum, nil
+	return p.RunWithRecovery(ctx, nil)
 }
 
 // publishTriples sends triples to the triples topic in N-Triples lines.

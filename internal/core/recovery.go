@@ -1,0 +1,371 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
+	"datacron/internal/flp"
+	"datacron/internal/linkdisc"
+	"datacron/internal/lowlevel"
+	"datacron/internal/mobility"
+	"datacron/internal/msg"
+	"datacron/internal/ontology"
+	"datacron/internal/rdf"
+	"datacron/internal/rdfgen"
+	"datacron/internal/synopses"
+)
+
+// RecoveryConfig enables coordinated checkpointing (and, for tests and
+// drills, fault injection) on a real-time run.
+type RecoveryConfig struct {
+	// Checkpointer holds the store and retention policy. The pipeline
+	// registers its sources, outputs and operators on it, restores from the
+	// latest valid checkpoint before consuming, and captures new checkpoints
+	// at batch boundaries.
+	Checkpointer *checkpoint.Checkpointer
+	// EveryRecords triggers a checkpoint after at least this many records
+	// since the previous one (0 disables the record-count trigger).
+	EveryRecords int
+	// Interval triggers a checkpoint when this much wall-clock time has
+	// passed since the previous one (0 disables the timer trigger).
+	Interval time.Duration
+	// Injector, when non-nil, drives deterministic fault injection: crashes
+	// (ErrInjectedCrash), dropped poll batches, and fetch delays.
+	Injector *faultinject.Injector
+}
+
+// sourceGroup and sourceMember identify the real-time layer's consumer.
+const (
+	sourceGroup  = "realtime"
+	sourceMember = "rt-1"
+)
+
+// outputTopics are the topics the real-time layer produces to; recovery
+// truncates them back to the checkpointed end offsets.
+var outputTopics = []string{TopicSynopses, TopicTriples, TopicLinks, TopicEvents}
+
+// runState is the checkpointed pipeline-global state that lives outside any
+// single operator: the RDF node sequence counter and the run summary.
+type runState struct {
+	Seq int     `json:"seq"`
+	Sum Summary `json:"sum"`
+}
+
+// runStateSnapshotter adapts pointers into the running loop's locals to the
+// Snapshotter interface.
+type runStateSnapshotter struct {
+	seq *int
+	sum *Summary
+}
+
+func (r runStateSnapshotter) Snapshot() ([]byte, error) {
+	return json.Marshal(runState{Seq: *r.seq, Sum: *r.sum})
+}
+
+func (r runStateSnapshotter) Restore(data []byte) error {
+	var st runState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: restore run state: %w", err)
+	}
+	*r.seq = st.Seq
+	*r.sum = st.Sum
+	return nil
+}
+
+// predictorsSnapshotter checkpoints the per-mover FLP predictor map. Every
+// predictor the pipeline creates is an *flp.RMFStar, rebuilt on restore with
+// the run's sampling interval.
+type predictorsSnapshotter struct {
+	preds  map[string]flp.Predictor
+	sample time.Duration
+}
+
+func (ps predictorsSnapshotter) Snapshot() ([]byte, error) {
+	ids := make([]string, 0, len(ps.preds))
+	for id := range ps.preds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make(map[string]json.RawMessage, len(ids))
+	for _, id := range ids {
+		snapper, ok := ps.preds[id].(checkpoint.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("core: predictor %s (%s) is not snapshottable", id, ps.preds[id].Name())
+		}
+		blob, err := snapper.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot predictor %s: %w", id, err)
+		}
+		out[id] = blob
+	}
+	return json.Marshal(out)
+}
+
+func (ps predictorsSnapshotter) Restore(data []byte) error {
+	var blobs map[string]json.RawMessage
+	if err := json.Unmarshal(data, &blobs); err != nil {
+		return fmt.Errorf("core: restore predictors: %w", err)
+	}
+	for id := range ps.preds {
+		delete(ps.preds, id)
+	}
+	for id, blob := range blobs {
+		pred := flp.NewRMFStar(ps.sample)
+		if err := pred.Restore(blob); err != nil {
+			return fmt.Errorf("core: restore predictor %s: %w", id, err)
+		}
+		ps.preds[id] = pred
+	}
+	return nil
+}
+
+// RunWithRecovery is RunRealTime with coordinated checkpointing. With a nil
+// rc (or nil rc.Checkpointer and rc.Injector) it behaves exactly like
+// RunRealTime. Otherwise it restores broker offsets, output topics and
+// operator state from the latest valid checkpoint before consuming — so
+// calling it again on the same pipeline after a crash resumes from the last
+// checkpoint and regenerates byte-identical output — and captures new
+// checkpoints at poll-batch boundaries per the configured triggers.
+//
+// The Dashboard is a best-effort monitoring sink and is NOT checkpointed:
+// after recovery it may hold duplicates from the replayed span. Everything
+// published to broker topics is effectively-once.
+func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Summary, error) {
+	var sum Summary
+	var cpr *checkpoint.Checkpointer
+	var inj *faultinject.Injector
+	if rc != nil {
+		cpr = rc.Checkpointer
+		inj = rc.Injector
+	}
+
+	// Build the operator set fresh; configuration-derived structure
+	// (thresholds, grids, masks, automata) is rebuilt, dynamic state is
+	// restored from the checkpoint below.
+	sg := synopses.NewGenerator(p.cfg.Synopses)
+	areaMon := lowlevel.NewAreaMonitor(p.cfg.Regions, 64)
+	var disc *linkdisc.Discoverer
+	if len(p.cfg.Statics) > 0 {
+		disc = linkdisc.NewDiscoverer(p.cfg.Link, p.cfg.Statics)
+	}
+	rdfGen := rdfgen.CriticalPointGenerator()
+	predictors := map[string]flp.Predictor{}
+	seq := 0
+
+	if cpr != nil {
+		cpr.RegisterSource(sourceGroup, TopicRaw)
+		for _, t := range outputTopics {
+			cpr.RegisterOutput(t)
+		}
+		cpr.Register("synopses", sg)
+		cpr.Register("area", areaMon)
+		if disc != nil {
+			cpr.Register("linkdisc", disc)
+		}
+		if p.forecaster != nil {
+			cpr.Register("cer", p.forecaster)
+		}
+		cpr.Register("profiler", p.Profiler)
+		cpr.Register("flp", predictorsSnapshotter{preds: predictors, sample: p.cfg.SampleInterval})
+		cpr.Register("summary", runStateSnapshotter{seq: &seq, sum: &sum})
+
+		cp, err := cpr.Restore(p.Broker)
+		if err != nil {
+			return sum, err
+		}
+		if cp == nil {
+			// No checkpoint: cold start. A previous crashed attempt may
+			// still have committed offsets and produced output, so rewind
+			// the world to generation zero for effectively-once replay.
+			p.Broker.RestoreOffsets(sourceGroup, TopicRaw, nil)
+			for _, t := range outputTopics {
+				n, err := p.Broker.Partitions(t)
+				if err != nil {
+					return sum, err
+				}
+				for i := 0; i < n; i++ {
+					if err := p.Broker.Truncate(t, i, 0); err != nil {
+						return sum, err
+					}
+				}
+			}
+			p.Profiler.Reset()
+			if p.forecaster != nil {
+				p.forecaster.Reset()
+			}
+		}
+	}
+
+	// The consumer is created after the restore so its first rebalance
+	// picks up the restored committed offsets.
+	cons, err := p.Broker.NewConsumer(sourceGroup, TopicRaw, sourceMember)
+	if err != nil {
+		return sum, err
+	}
+	defer cons.Close()
+
+	processCritical := func(cp synopses.CriticalPoint) error {
+		sum.CriticalPoints++
+		p.Dashboard.AddCritical(cp)
+		// Publish the synopsis record.
+		if _, err := p.Broker.Produce(TopicSynopses, cp.ID, cp.Marshal(), cp.Time); err != nil {
+			return err
+		}
+		// RDF-ify.
+		triples := rdfGen.Generate(rdfgen.CriticalPointRecord(seq, cp))
+		// Weather enrichment: annotate the semantic node with the ambient
+		// conditions at its position and time.
+		if p.cfg.Weather != nil {
+			node := ontology.NodeIRI(cp.ID, seq)
+			triples = append(triples,
+				rdf.Triple{S: node, P: ontology.PropWindSpeed,
+					O: rdf.Float(p.cfg.Weather.WindSpeed(cp.Pos, cp.Time))},
+				rdf.Triple{S: node, P: ontology.PropWaveHeight,
+					O: rdf.Float(p.cfg.Weather.WaveHeight(cp.Pos, cp.Time))},
+			)
+		}
+		sum.Triples += int64(len(triples))
+		if err := p.publishTriples(triples, cp.Time); err != nil {
+			return err
+		}
+		// Link discovery on the critical point.
+		if disc != nil {
+			for _, l := range disc.ProcessPoint(cp.ID, cp.Time, cp.Pos) {
+				sum.Links++
+				p.Dashboard.AddLink(l)
+				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(l.Triple().String()), l.Time); err != nil {
+					return err
+				}
+				sum.Triples++
+				if err := p.publishTriples([]rdf.Triple{l.Triple()}, l.Time); err != nil {
+					return err
+				}
+			}
+		}
+		// Complex event forecasting on the critical-point type stream.
+		if p.forecaster != nil {
+			detected, fc, ok := p.forecaster.Process(string(cp.Type))
+			if detected {
+				sum.Detections++
+				p.Dashboard.AddEventNote(fmt.Sprintf("%s: pattern detected at %s", cp.ID, cp.Time.Format(time.RFC3339)))
+			}
+			if ok {
+				sum.Forecasts++
+				note := fmt.Sprintf("%s: completion expected in %d-%d events (p=%.2f)", cp.ID, fc.Start, fc.End, fc.Prob)
+				p.Dashboard.AddEventNote(note)
+				if _, err := p.Broker.Produce(TopicEvents, cp.ID, []byte(note), cp.Time); err != nil {
+					return err
+				}
+			}
+		}
+		seq++
+		return nil
+	}
+
+	var (
+		recsSinceCp int
+		lastCp      = time.Now()
+	)
+	maybeCheckpoint := func() error {
+		if cpr == nil || rc == nil {
+			return nil
+		}
+		due := (rc.EveryRecords > 0 && recsSinceCp >= rc.EveryRecords) ||
+			(rc.Interval > 0 && time.Since(lastCp) >= rc.Interval)
+		if !due {
+			return nil
+		}
+		if _, err := cpr.Capture(p.Broker); err != nil {
+			return err
+		}
+		recsSinceCp = 0
+		lastCp = time.Now()
+		return nil
+	}
+
+	for {
+		if inj != nil {
+			if d := inj.Delay(); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		recs, err := cons.Poll(ctx, 256)
+		if errors.Is(err, msg.ErrClosed) {
+			break
+		}
+		if err != nil {
+			return sum, err
+		}
+		if inj != nil && len(recs) > 0 && inj.DropBatch() {
+			// Simulated lost fetch response: rewind the consumer's position
+			// and re-poll, as a real client would after a fetch timeout.
+			if err := cons.SeekTo(recs[0].Partition, recs[0].Offset); err != nil {
+				return sum, err
+			}
+			continue
+		}
+		for _, rec := range recs {
+			if inj != nil {
+				if err := inj.BeforeRecord(); err != nil {
+					return sum, err
+				}
+			}
+			r, err := mobility.UnmarshalReport(rec.Value)
+			if err != nil {
+				continue // corrupt record: dropped by the cleaning stage
+			}
+			sum.RawIn++
+			// In-situ processing.
+			if r.Valid() {
+				p.Profiler.Observe(r)
+				sum.AreaEvents += int64(len(areaMon.Update(r)))
+				p.Dashboard.UpdatePosition(r)
+				// Future location prediction.
+				pred, ok := predictors[r.ID]
+				if !ok {
+					pred = flp.NewRMFStar(p.cfg.SampleInterval)
+					predictors[r.ID] = pred
+				}
+				pred.Observe(r)
+				if pts := pred.Predict(p.cfg.PredictSteps); pts != nil {
+					sum.Predictions++
+					p.Dashboard.SetPrediction(r.ID, pts)
+				}
+			}
+			// Synopses generation (applies its own noise filters).
+			for _, cp := range sg.Process(r) {
+				if err := processCritical(cp); err != nil {
+					return sum, err
+				}
+			}
+			cons.Commit(rec)
+		}
+		// Checkpoints are captured only between poll batches: every record
+		// of the batch is committed, so the consumer's fetch positions equal
+		// the group's committed offsets — the consistent cut a restored run
+		// resumes from, replaying the identical poll sequence.
+		recsSinceCp += len(recs)
+		if err := maybeCheckpoint(); err != nil {
+			return sum, err
+		}
+	}
+	// Flush trajectory ends.
+	for _, cp := range sg.Flush() {
+		if err := processCritical(cp); err != nil {
+			return sum, err
+		}
+	}
+	for _, t := range outputTopics {
+		if err := p.Broker.CloseTopic(t); err != nil {
+			return sum, err
+		}
+	}
+	sum.Compression = sg.Stats().CompressionRatio()
+	return sum, nil
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
+	"datacron/internal/core"
+	"datacron/internal/gen"
+	"datacron/internal/linkdisc"
+	"datacron/internal/lowlevel"
+	"datacron/internal/mobility"
+	"datacron/internal/msg"
+)
+
+// CheckpointRow is one throughput measurement of the checkpoint-overhead
+// sweep.
+type CheckpointRow struct {
+	Mode        string
+	Records     int64
+	Checkpoints int
+	Wall        time.Duration
+	PerSecond   float64
+	OverheadPct float64 // relative to the no-checkpoint run
+}
+
+// CheckpointResult is the regenerated fault-tolerance experiment: the
+// overhead sweep plus a kill-and-recover drill.
+type CheckpointResult struct {
+	Rows      []CheckpointRow
+	Kills     int
+	Restarts  int
+	Identical bool // recovered output byte-identical to the clean run
+}
+
+func checkpointWorkload(scale Scale) (core.Config, []mobility.Report) {
+	areas := gen.Areas(5, gen.ProtectedArea, 40, Region, 3_000, 25_000)
+	var statics []linkdisc.StaticEntity
+	var regions []lowlevel.Region
+	for _, a := range areas {
+		statics = append(statics, linkdisc.StaticEntity{ID: a.ID, Geom: a.Geom})
+		regions = append(regions, lowlevel.Region{ID: a.ID, Geom: a.Geom})
+	}
+	cfg := core.Config{
+		Domain: mobility.Maritime,
+		Link: linkdisc.Config{
+			Extent: Region, GridCols: 64, GridRows: 64,
+			MaskResolution: 8, NearDistanceM: 5_000,
+		},
+		Statics: statics,
+		Regions: regions,
+	}
+	dur := 2 * time.Hour
+	if scale == Full {
+		dur = 8 * time.Hour
+	}
+	sim := gen.NewVesselSim(gen.VesselSimConfig{Seed: 77, Region: Region, GapProb: 0.005})
+	return cfg, sim.Run(dur)
+}
+
+func runCheckpointed(cfg core.Config, reports []mobility.Report, rc *core.RecoveryConfig) (*core.Pipeline, core.Summary, int, error) {
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, core.Summary{}, 0, err
+	}
+	if err := p.Ingest(reports); err != nil {
+		return nil, core.Summary{}, 0, err
+	}
+	restarts := 0
+	sum, err := p.RunWithRecovery(context.Background(), rc)
+	for errors.Is(err, faultinject.ErrInjectedCrash) {
+		restarts++
+		if restarts > 1000 {
+			return nil, sum, restarts, fmt.Errorf("experiments: no progress after %d restarts", restarts)
+		}
+		sum, err = p.RunWithRecovery(context.Background(), rc)
+	}
+	return p, sum, restarts, err
+}
+
+// identicalOutputs reports whether two brokers hold byte-identical records
+// on every pipeline output topic.
+func identicalOutputs(a, b *msg.Broker) (bool, error) {
+	ctx := context.Background()
+	for _, topic := range []string{core.TopicSynopses, core.TopicTriples, core.TopicLinks, core.TopicEvents} {
+		parts, err := a.Partitions(topic)
+		if err != nil {
+			return false, err
+		}
+		for p := 0; p < parts; p++ {
+			endA, err := a.EndOffset(topic, p)
+			if err != nil {
+				return false, err
+			}
+			endB, err := b.EndOffset(topic, p)
+			if err != nil {
+				return false, err
+			}
+			if endA != endB {
+				return false, nil
+			}
+			if endA == 0 {
+				continue
+			}
+			recsA, err := a.Fetch(ctx, topic, p, 0, int(endA))
+			if err != nil {
+				return false, err
+			}
+			recsB, err := b.Fetch(ctx, topic, p, 0, int(endB))
+			if err != nil {
+				return false, err
+			}
+			for i := range recsA {
+				if recsA[i].Key != recsB[i].Key || string(recsA[i].Value) != string(recsB[i].Value) ||
+					!recsA[i].Time.Equal(recsB[i].Time) {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// RunCheckpoint measures the cost of coordinated checkpointing on the
+// real-time layer — no checkpoints vs. 1s / 100ms wall-clock intervals vs. a
+// fixed record count — and then drills crash recovery: a run killed by the
+// fault injector and resumed from checkpoints must publish byte-identical
+// output to the clean run.
+func RunCheckpoint(w io.Writer, scale Scale) (*CheckpointResult, error) {
+	cfg, reports := checkpointWorkload(scale)
+	res := &CheckpointResult{}
+
+	modes := []struct {
+		name string
+		rc   func() *core.RecoveryConfig
+	}{
+		{"off", func() *core.RecoveryConfig { return nil }},
+		{"interval=1s", func() *core.RecoveryConfig {
+			cpr, _ := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+			return &core.RecoveryConfig{Checkpointer: cpr, Interval: time.Second}
+		}},
+		{"interval=100ms", func() *core.RecoveryConfig {
+			cpr, _ := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+			return &core.RecoveryConfig{Checkpointer: cpr, Interval: 100 * time.Millisecond}
+		}},
+		{"every=256", func() *core.RecoveryConfig {
+			cpr, _ := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+			return &core.RecoveryConfig{Checkpointer: cpr, EveryRecords: 256}
+		}},
+	}
+
+	var clean *core.Pipeline
+	var baseWall time.Duration
+	for _, m := range modes {
+		rc := m.rc()
+		start := time.Now()
+		p, sum, _, err := runCheckpointed(cfg, reports, rc)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		row := CheckpointRow{
+			Mode:      m.name,
+			Records:   sum.RawIn,
+			Wall:      wall,
+			PerSecond: float64(sum.RawIn) / wall.Seconds(),
+		}
+		if rc != nil {
+			row.Checkpoints = rc.Checkpointer.Captures()
+		}
+		if m.name == "off" {
+			clean = p
+			baseWall = wall
+		} else if baseWall > 0 {
+			row.OverheadPct = (wall.Seconds()/baseWall.Seconds() - 1) * 100
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Kill-and-recover drill: deterministic crashes, then compare against the
+	// clean run's output topics.
+	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+	if err != nil {
+		return nil, err
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 42, KillMin: 900, KillMax: 1500})
+	rc := &core.RecoveryConfig{Checkpointer: cpr, EveryRecords: 300, Injector: inj}
+	recovered, _, restarts, err := runCheckpointed(cfg, reports, rc)
+	if err != nil {
+		return nil, err
+	}
+	res.Kills = int(inj.Kills())
+	res.Restarts = restarts
+	res.Identical, err = identicalOutputs(clean.Broker, recovered.Broker)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Checkpoint overhead — %d raw reports, scale=%s\n", len(reports), scale)
+	fmt.Fprintf(w, "%-16s %10s %12s %12s %12s %10s\n", "mode", "records", "checkpoints", "wall", "records/s", "overhead")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-16s %10d %12d %12s %12.0f %9.1f%%\n",
+			r.Mode, r.Records, r.Checkpoints, r.Wall.Round(time.Millisecond), r.PerSecond, r.OverheadPct)
+	}
+	verdict := "byte-identical to the clean run"
+	if !res.Identical {
+		verdict = "DIVERGED from the clean run"
+	}
+	fmt.Fprintf(w, "crash drill: %d injected kills, %d restarts — recovered output %s\n",
+		res.Kills, res.Restarts, verdict)
+	if !res.Identical {
+		return res, fmt.Errorf("experiments: recovered output diverged from the clean run")
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package flp
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"datacron/internal/geo"
+)
+
+// rmfStarSnapshot is the wire form of an RMFStar predictor's mutable state.
+// Thresholds and the sampling interval are configuration, rebuilt by the
+// restoring pipeline; the ENU plane is a function of its origin.
+type rmfStarSnapshot struct {
+	Origin   *geo.Point   `json:"origin,omitempty"` // nil until first observation
+	Pts      [][2]float64 `json:"pts,omitempty"`
+	Heads    []float64    `json:"heads,omitempty"`
+	Speeds   []float64    `json:"speeds,omitempty"`
+	VRates   []float64    `json:"vrates,omitempty"`
+	LastTime time.Time    `json:"lastTime,omitempty"`
+}
+
+// Snapshot serializes the predictor's window (checkpoint.Snapshotter).
+func (r *RMFStar) Snapshot() ([]byte, error) {
+	snap := rmfStarSnapshot{
+		Heads:    r.win.heads,
+		Speeds:   r.win.speeds,
+		VRates:   r.win.vrates,
+		LastTime: r.lastTime,
+	}
+	if r.win.enu != nil {
+		origin := r.win.enu.Origin
+		snap.Origin = &origin
+	}
+	if len(r.win.pts) > 0 {
+		snap.Pts = make([][2]float64, len(r.win.pts))
+		for i, p := range r.win.pts {
+			snap.Pts[i] = [2]float64{p.x, p.y}
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// Restore replaces the predictor's window with a snapshot taken by Snapshot
+// against an identically configured RMFStar.
+func (r *RMFStar) Restore(data []byte) error {
+	var snap rmfStarSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("flp: restore rmf*: %w", err)
+	}
+	if len(snap.Pts) != len(snap.Heads) || len(snap.Pts) != len(snap.Speeds) || len(snap.Pts) != len(snap.VRates) {
+		return fmt.Errorf("flp: restore rmf*: inconsistent window lengths")
+	}
+	w := newWindow(r.win.maxLen)
+	if snap.Origin != nil {
+		w.enu = geo.NewENU(*snap.Origin)
+	}
+	if len(snap.Pts) > 0 {
+		w.pts = make([]pt, len(snap.Pts))
+		for i, p := range snap.Pts {
+			w.pts[i] = pt{x: p[0], y: p[1]}
+		}
+	}
+	w.heads = snap.Heads
+	w.speeds = snap.Speeds
+	w.vrates = snap.VRates
+	r.win = w
+	r.lastTime = snap.LastTime
+	return nil
+}

@@ -185,6 +185,12 @@ func NewProfiler() *Profiler {
 	return &Profiler{profiles: make(map[string]*TrajectoryProfile)}
 }
 
+// Reset discards every profile, returning the profiler to its initial
+// state. Crash recovery uses it when no checkpoint exists to restore from.
+func (pf *Profiler) Reset() {
+	pf.profiles = make(map[string]*TrajectoryProfile)
+}
+
 // Observe folds a report into its mover's profile.
 func (pf *Profiler) Observe(r mobility.Report) {
 	p, ok := pf.profiles[r.ID]

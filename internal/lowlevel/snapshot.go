@@ -1,0 +1,134 @@
+package lowlevel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"datacron/internal/mobility"
+)
+
+// runningStatsSnapshot is the wire form of RunningStats. Min/Max are pointers
+// so the ±Inf sentinels of an empty accumulator (not representable in JSON)
+// can be omitted and re-seeded on restore. Lo/Hi are the heap slices verbatim:
+// the heap invariant is positional, so copying the backing arrays preserves it.
+type runningStatsSnapshot struct {
+	N   int64     `json:"n"`
+	Sum float64   `json:"sum"`
+	Min *float64  `json:"min,omitempty"`
+	Max *float64  `json:"max,omitempty"`
+	Lo  []float64 `json:"lo,omitempty"`
+	Hi  []float64 `json:"hi,omitempty"`
+}
+
+func snapshotStats(s *RunningStats) runningStatsSnapshot {
+	snap := runningStatsSnapshot{N: s.n, Sum: s.sum, Lo: s.lo, Hi: s.hi}
+	if s.n > 0 {
+		mn, mx := s.min, s.max
+		snap.Min, snap.Max = &mn, &mx
+	}
+	return snap
+}
+
+func restoreStats(snap runningStatsSnapshot) *RunningStats {
+	s := NewRunningStats()
+	s.n = snap.N
+	s.sum = snap.Sum
+	if snap.Min != nil {
+		s.min = *snap.Min
+	}
+	if snap.Max != nil {
+		s.max = *snap.Max
+	}
+	s.lo = maxHeap(snap.Lo)
+	s.hi = minHeap(snap.Hi)
+	return s
+}
+
+// profileSnapshot is the wire form of TrajectoryProfile.
+type profileSnapshot struct {
+	MoverID string               `json:"id"`
+	Speed   runningStatsSnapshot `json:"speed"`
+	Accel   runningStatsSnapshot `json:"accel"`
+	Last    mobility.Report      `json:"last"`
+	HasLast bool                 `json:"hasLast,omitempty"`
+}
+
+// Snapshot serializes every mover's profile (checkpoint.Snapshotter).
+func (pf *Profiler) Snapshot() ([]byte, error) {
+	out := make(map[string]profileSnapshot, len(pf.profiles))
+	for id, p := range pf.profiles {
+		out[id] = profileSnapshot{
+			MoverID: p.MoverID,
+			Speed:   snapshotStats(p.Speed),
+			Accel:   snapshotStats(p.Accel),
+			Last:    p.last,
+			HasLast: p.hasLast,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// Restore replaces the profiler's state with a snapshot taken by Snapshot.
+func (pf *Profiler) Restore(data []byte) error {
+	var snaps map[string]profileSnapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		return fmt.Errorf("lowlevel: restore profiler: %w", err)
+	}
+	pf.profiles = make(map[string]*TrajectoryProfile, len(snaps))
+	for id, ps := range snaps {
+		if math.IsNaN(ps.Speed.Sum) || math.IsNaN(ps.Accel.Sum) {
+			return fmt.Errorf("lowlevel: restore profiler: NaN sum for %s", id)
+		}
+		pf.profiles[id] = &TrajectoryProfile{
+			MoverID: ps.MoverID,
+			Speed:   restoreStats(ps.Speed),
+			Accel:   restoreStats(ps.Accel),
+			last:    ps.Last,
+			hasLast: ps.HasLast,
+		}
+	}
+	return nil
+}
+
+// Snapshot serializes the monitor's inside-sets (checkpoint.Snapshotter).
+// The region index and grid are functions of the configured regions, rebuilt
+// identically on restart, so only the dynamic membership is captured. Region
+// indices are stored sorted for deterministic encoding.
+func (m *AreaMonitor) Snapshot() ([]byte, error) {
+	out := make(map[string][]int, len(m.inside))
+	for id, set := range m.inside {
+		ris := make([]int, 0, len(set))
+		for ri := range set {
+			ris = append(ris, ri)
+		}
+		sort.Ints(ris)
+		out[id] = ris
+	}
+	return json.Marshal(out)
+}
+
+// Restore replaces the monitor's inside-sets with a snapshot taken by
+// Snapshot against a monitor built over the same regions.
+func (m *AreaMonitor) Restore(data []byte) error {
+	var snaps map[string][]int
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		return fmt.Errorf("lowlevel: restore area monitor: %w", err)
+	}
+	inside := make(map[string]map[int]bool, len(snaps))
+	for id, ris := range snaps {
+		set := make(map[int]bool, len(ris))
+		for _, ri := range ris {
+			if ri < 0 || ri >= len(m.regions) {
+				return fmt.Errorf("lowlevel: restore area monitor: region index %d out of range for %d regions", ri, len(m.regions))
+			}
+			set[ri] = true
+		}
+		if len(set) > 0 {
+			inside[id] = set
+		}
+	}
+	m.inside = inside
+	return nil
+}

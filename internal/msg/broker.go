@@ -213,6 +213,54 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, 
 	return out, nil
 }
 
+// PeekTime returns the event time of the record at offset without consuming
+// it. ok is false when the offset is at or past the end of the partition.
+// Consumers use it to merge their assigned partitions in event-time order.
+func (b *Broker) PeekTime(topicName string, partitionIdx int, offset int64) (time.Time, bool, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return time.Time{}, false, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return time.Time{}, false, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	if offset < 0 {
+		return time.Time{}, false, fmt.Errorf("%w: %d", ErrOffsetOutRange, offset)
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset >= int64(len(p.records)) {
+		return time.Time{}, false, nil
+	}
+	return p.records[offset].Time, true, nil
+}
+
+// Truncate discards the tail of a partition: records at offsets >= end are
+// removed, so the next produced record is assigned offset end. Truncating at
+// or past the current end is a no-op. Crash recovery uses this to abort
+// output that was produced after the last completed checkpoint, the
+// in-process analogue of aborting an uncommitted Kafka transaction.
+func (b *Broker) Truncate(topicName string, partitionIdx int, end int64) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	if end < 0 {
+		return fmt.Errorf("%w: %d", ErrOffsetOutRange, end)
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if end < int64(len(p.records)) {
+		p.records = p.records[:end]
+	}
+	return nil
+}
+
 // EndOffset returns the offset one past the last record of the partition.
 func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
 	t, err := b.topic(topicName)

@@ -6,7 +6,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
+
+// ErrConsumerClosed is returned by operations on a consumer after Close.
+// It is distinct from ErrClosed, which signals end-of-stream on the topic.
+var ErrConsumerClosed = errors.New("msg: consumer closed")
 
 // group holds the coordination state for one (groupID, topic) pair:
 // member list, partition assignment generation, and committed offsets.
@@ -100,6 +105,42 @@ func (g *group) commit(partition int, nextOffset int64) {
 	}
 }
 
+// CommittedOffsets returns a copy of the committed offsets (partition ->
+// next offset to consume) of a consumer group on a topic. An unknown group
+// yields an empty map; a checkpointer can therefore read group progress
+// without joining the group or touching broker internals.
+func (b *Broker) CommittedOffsets(groupID, topicName string) map[int]int64 {
+	b.mu.RLock()
+	g, ok := b.groups[groupKey(groupID, topicName)]
+	b.mu.RUnlock()
+	out := make(map[int]int64)
+	if !ok {
+		return out
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p, off := range g.committed {
+		out[p] = off
+	}
+	return out
+}
+
+// RestoreOffsets overwrites a group's committed offsets with a checkpointed
+// snapshot. Unlike Commit it moves offsets backwards as well as forwards —
+// recovery must be able to rewind a group past commits that were made after
+// the checkpoint being restored. Live consumers of the group pick the
+// restored offsets up at their next rebalance; recovery normally creates
+// its consumers after restoring.
+func (b *Broker) RestoreOffsets(groupID, topicName string, offsets map[int]int64) {
+	g := b.group(groupID, topicName)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.committed = make(map[int]int64, len(offsets))
+	for p, off := range offsets {
+		g.committed[p] = off
+	}
+}
+
 // Consumer reads a topic as part of a consumer group. Consumers are not
 // safe for concurrent use; create one per goroutine.
 type Consumer struct {
@@ -111,7 +152,6 @@ type Consumer struct {
 	gen       int
 	parts     []int
 	positions map[int]int64 // partition -> next fetch offset
-	rr        int           // round-robin cursor over parts
 	closed    bool
 }
 
@@ -151,7 +191,6 @@ func (c *Consumer) refresh() error {
 	for _, p := range parts {
 		c.positions[p] = c.grp.committedOffset(p)
 	}
-	c.rr = 0
 	return nil
 }
 
@@ -163,13 +202,18 @@ func (c *Consumer) Assignment() []int {
 	return append([]int(nil), c.parts...)
 }
 
-// Poll returns up to max records from the consumer's assigned partitions,
-// cycling through them round-robin. It blocks until at least one record is
-// available, the topic is closed (ErrClosed), or the context is cancelled.
-// Polled records are NOT committed automatically; call Commit.
+// Poll returns up to max records from the consumer's assigned partitions.
+// When several partitions have buffered records it fetches from the one
+// whose head record has the earliest event time (ties broken by partition
+// index), so consumption order is a pure function of the fetch positions:
+// a consumer resuming from restored offsets replays the exact sequence the
+// original consumer saw — the property crash recovery relies on. It blocks
+// until at least one record is available, the topic is closed (ErrClosed),
+// or the context is cancelled. Polled records are NOT committed
+// automatically; call Commit.
 func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 	if c.closed {
-		return nil, ErrClosed
+		return nil, ErrConsumerClosed
 	}
 	if err := c.refresh(); err != nil {
 		return nil, err
@@ -180,32 +224,50 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 	if max <= 0 {
 		max = 1
 	}
-	// First pass: try each partition non-blockingly by checking EndOffset.
-	for range c.parts {
-		p := c.parts[c.rr%len(c.parts)]
-		c.rr++
-		end, err := c.broker.EndOffset(c.topicName, p)
+	fetch := func(ctx context.Context, p int) ([]Record, error) {
+		recs, err := c.broker.Fetch(ctx, c.topicName, p, c.positions[p], max)
 		if err != nil {
 			return nil, err
 		}
-		if end > c.positions[p] {
-			recs, err := c.broker.Fetch(ctx, c.topicName, p, c.positions[p], max)
-			if err != nil {
-				return nil, err
-			}
-			c.positions[p] = recs[len(recs)-1].Offset + 1
-			return recs, nil
+		c.positions[p] = recs[len(recs)-1].Offset + 1
+		return recs, nil
+	}
+	if p, ok, err := c.earliestReady(); err != nil {
+		return nil, err
+	} else if ok {
+		return fetch(ctx, p)
+	}
+	// Nothing buffered anywhere: block on the lowest assigned partition.
+	// ErrClosed from it only means end-of-stream for the whole consumer if
+	// no other partition received records while we were blocked.
+	recs, err := fetch(ctx, c.parts[0])
+	if errors.Is(err, ErrClosed) {
+		// The topic is closed, so partition contents are final: one more
+		// non-blocking scan either drains a remaining partition or
+		// confirms end-of-stream.
+		if p, ok, serr := c.earliestReady(); serr == nil && ok {
+			return fetch(ctx, p)
 		}
 	}
-	// Nothing buffered anywhere: block on the next partition in order.
-	p := c.parts[c.rr%len(c.parts)]
-	c.rr++
-	recs, err := c.broker.Fetch(ctx, c.topicName, p, c.positions[p], max)
-	if err != nil {
-		return nil, err
+	return recs, err
+}
+
+// earliestReady returns the assigned partition with buffered records whose
+// head record has the earliest event time, or ok=false when no assigned
+// partition has records at the current positions.
+func (c *Consumer) earliestReady() (part int, ok bool, err error) {
+	best := -1
+	var bestTime time.Time
+	for _, p := range c.parts {
+		t, has, err := c.broker.PeekTime(c.topicName, p, c.positions[p])
+		if err != nil {
+			return 0, false, err
+		}
+		if has && (best < 0 || t.Before(bestTime)) {
+			best, bestTime = p, t
+		}
 	}
-	c.positions[p] = recs[len(recs)-1].Offset + 1
-	return recs, nil
+	return best, best >= 0, nil
 }
 
 // Commit records that every record of rec's partition up to and including
@@ -214,9 +276,36 @@ func (c *Consumer) Commit(rec Record) {
 	c.grp.commit(rec.Partition, rec.Offset+1)
 }
 
+// SeekTo moves the consumer's fetch position of an assigned partition to
+// offset: the next Poll touching that partition resumes there. It rewinds
+// as well as fast-forwards — recovery and redelivery both need to re-read
+// records that were fetched but whose effects were lost. The committed
+// offset is not changed.
+func (c *Consumer) SeekTo(partition int, offset int64) error {
+	if c.closed {
+		return ErrConsumerClosed
+	}
+	if err := c.refresh(); err != nil {
+		return err
+	}
+	if offset < 0 {
+		return fmt.Errorf("%w: %d", ErrOffsetOutRange, offset)
+	}
+	for _, p := range c.parts {
+		if p == partition {
+			c.positions[partition] = offset
+			return nil
+		}
+	}
+	return fmt.Errorf("msg: consumer %s does not own partition %d", c.member, partition)
+}
+
 // Lag returns the total number of records in assigned partitions that have
 // been produced but not yet fetched by this consumer.
 func (c *Consumer) Lag() (int64, error) {
+	if c.closed {
+		return 0, ErrConsumerClosed
+	}
 	if err := c.refresh(); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,342 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func offsetsTestBroker(t *testing.T, parts, n int) *Broker {
+	t.Helper()
+	b := NewBroker()
+	if err := b.CreateTopic("t", parts); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0).UTC()
+	for i := 0; i < n; i++ {
+		if _, err := b.Produce("t", fmt.Sprintf("k%d", i%8), []byte{byte(i)}, t0.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestCommittedOffsetsUnknownGroup(t *testing.T) {
+	b := offsetsTestBroker(t, 2, 4)
+	got := b.CommittedOffsets("ghost", "t")
+	if len(got) != 0 {
+		t.Fatalf("unknown group: %v", got)
+	}
+	// Reading offsets must not create the group: a consumer joining later
+	// still triggers the first generation.
+	c, err := b.NewConsumer("ghost", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if parts := c.Assignment(); len(parts) != 2 {
+		t.Fatalf("assignment after probe: %v", parts)
+	}
+}
+
+func TestCommittedOffsetsSurviveCloseRejoinAndRebalance(t *testing.T) {
+	b := offsetsTestBroker(t, 2, 20)
+	ctx := context.Background()
+
+	c1, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0
+	for consumed < 10 {
+		recs, err := c1.Poll(ctx, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			c1.Commit(r)
+			consumed++
+		}
+	}
+	before := b.CommittedOffsets("g", "t")
+	var total int64
+	for _, off := range before {
+		total += off
+	}
+	if total != 10 {
+		t.Fatalf("committed %d records, want 10 (%v)", total, before)
+	}
+
+	// Close: offsets must survive the member leaving.
+	c1.Close()
+	if got := b.CommittedOffsets("g", "t"); len(got) != len(before) {
+		t.Fatalf("offsets after close: %v, want %v", got, before)
+	}
+	for p, off := range before {
+		if b.CommittedOffsets("g", "t")[p] != off {
+			t.Fatalf("offset %d changed after close", p)
+		}
+	}
+
+	// Rejoin plus a second member: rebalance must hand each member the
+	// group's committed offset for its partitions, not zero.
+	c2, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c3, err := b.NewConsumer("g", "t", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	seen := map[string]bool{}
+	drain := func(c *Consumer) {
+		for {
+			recs, err := c.Poll(ctx, 100)
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				key := fmt.Sprintf("%d/%d", r.Partition, r.Offset)
+				if seen[key] {
+					t.Fatalf("record %s delivered twice after rebalance", key)
+				}
+				seen[key] = true
+				c.Commit(r)
+			}
+		}
+	}
+	if err := b.CloseTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	drain(c2)
+	drain(c3)
+	if len(seen) != 10 {
+		t.Fatalf("after rejoin consumed %d records, want the remaining 10", len(seen))
+	}
+}
+
+func TestRestoreOffsetsRewinds(t *testing.T) {
+	b := offsetsTestBroker(t, 2, 10)
+	ctx := context.Background()
+	c, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		recs, err := c.Poll(ctx, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			c.Commit(r)
+		}
+	}
+	c.Close()
+
+	// Commit() never rewinds; RestoreOffsets must.
+	b.RestoreOffsets("g", "t", map[int]int64{0: 1})
+	got := b.CommittedOffsets("g", "t")
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after restore: %v, want map[0:1]", got)
+	}
+
+	// A consumer created after the restore resumes from the restored offsets:
+	// partition 0 from offset 1, partition 1 from the rewound offset 0.
+	if err := b.CloseTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := b.NewConsumer("g", "t", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	first := map[int]int64{0: -1, 1: -1}
+	for {
+		recs, err := c2.Poll(ctx, 4)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if first[r.Partition] == -1 {
+				first[r.Partition] = r.Offset
+			}
+		}
+	}
+	if first[0] != 1 || first[1] != 0 {
+		t.Fatalf("first offsets after restore = %v, want map[0:1 1:0]", first)
+	}
+}
+
+func TestSeekTo(t *testing.T) {
+	b := offsetsTestBroker(t, 1, 10)
+	ctx := context.Background()
+	c, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recs, err := c.Poll(ctx, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		c.Commit(r)
+	}
+
+	// Rewind and re-read the same records.
+	if err := c.SeekTo(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = c.Poll(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Offset != 2 {
+		t.Fatalf("after SeekTo(0,2) first offset = %d", recs[0].Offset)
+	}
+	// Committed offset is untouched by the seek.
+	if got := b.CommittedOffsets("g", "t")[0]; got != 6 {
+		t.Fatalf("committed offset after seek = %d, want 6", got)
+	}
+
+	if err := c.SeekTo(0, -1); !errors.Is(err, ErrOffsetOutRange) {
+		t.Fatalf("negative seek: %v", err)
+	}
+	if err := c.SeekTo(5, 0); err == nil {
+		t.Fatal("seek to unowned partition succeeded")
+	}
+}
+
+func TestPollAfterClose(t *testing.T) {
+	b := offsetsTestBroker(t, 2, 4)
+	c, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Poll after Close must return the sentinel immediately — never block,
+	// never panic — even with records still buffered in the topic.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Poll(context.Background(), 10)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConsumerClosed) {
+			t.Fatalf("Poll after Close: %v, want ErrConsumerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Poll after Close blocked")
+	}
+
+	if err := c.SeekTo(0, 0); !errors.Is(err, ErrConsumerClosed) {
+		t.Fatalf("SeekTo after Close: %v", err)
+	}
+	if _, err := c.Lag(); !errors.Is(err, ErrConsumerClosed) {
+		t.Fatalf("Lag after Close: %v", err)
+	}
+	c.Close() // double close is a no-op
+}
+
+func TestPollMergesByEventTime(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(5000, 0).UTC()
+	// Interleave event times across explicit partitions.
+	times := []struct {
+		part int
+		sec  int
+	}{{2, 0}, {0, 1}, {1, 2}, {0, 3}, {2, 4}, {1, 5}}
+	for i, pt := range times {
+		if _, err := b.ProduceTo("t", pt.part, "k", []byte{byte(i)}, t0.Add(time.Duration(pt.sec)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.CloseTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var got []time.Time
+	for {
+		recs, err := c.Poll(context.Background(), 1)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			got = append(got, r.Time)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("consumed %d records, want %d", len(got), len(times))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Before(got[i-1]) {
+			t.Fatalf("records out of event-time order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestTruncateAndPeekTime(t *testing.T) {
+	b := offsetsTestBroker(t, 1, 5)
+
+	ts, ok, err := b.PeekTime("t", 0, 2)
+	if err != nil || !ok {
+		t.Fatalf("PeekTime: ok=%v err=%v", ok, err)
+	}
+	if ts.IsZero() {
+		t.Fatal("PeekTime returned zero time")
+	}
+	if _, ok, err := b.PeekTime("t", 0, 5); err != nil || ok {
+		t.Fatalf("PeekTime past end: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := b.PeekTime("t", 0, -1); !errors.Is(err, ErrOffsetOutRange) {
+		t.Fatalf("PeekTime negative: %v", err)
+	}
+	if _, _, err := b.PeekTime("ghost", 0, 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("PeekTime unknown topic: %v", err)
+	}
+
+	if err := b.Truncate("t", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	end, err := b.EndOffset("t", 0)
+	if err != nil || end != 3 {
+		t.Fatalf("after truncate: end=%d err=%v", end, err)
+	}
+	// The next produce reuses offset 3.
+	rec, err := b.Produce("t", "k0", []byte("new"), time.Unix(9999, 0).UTC())
+	if err != nil || rec.Offset != 3 {
+		t.Fatalf("produce after truncate: offset=%d err=%v", rec.Offset, err)
+	}
+	// Truncating at or past the end is a no-op.
+	if err := b.Truncate("t", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if end, _ := b.EndOffset("t", 0); end != 4 {
+		t.Fatalf("no-op truncate changed end to %d", end)
+	}
+	if err := b.Truncate("t", 0, -1); !errors.Is(err, ErrOffsetOutRange) {
+		t.Fatalf("negative truncate: %v", err)
+	}
+}

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"sort"
 	"time"
 )
 
@@ -21,67 +20,5 @@ func SessionWindow[I, A any](
 	init func(w Window) A,
 	add func(acc A, e Event[I]) A,
 ) <-chan Event[WindowAggregate[A]] {
-	out := make(chan Event[WindowAggregate[A]])
-	go func() {
-		defer close(out)
-		wm := NewWatermarker(allowedLateness)
-		type session struct {
-			win Window
-			acc A
-		}
-		open := map[string]*session{}
-
-		emit := func(s *session) {
-			out <- Event[WindowAggregate[A]]{
-				Key:   s.win.Key,
-				Time:  s.win.End,
-				Value: WindowAggregate[A]{Window: s.win, Value: s.acc},
-			}
-		}
-		fire := func(upTo time.Time, all bool) {
-			var ready []*session
-			for k, s := range open {
-				if all || !s.win.End.Add(gap).After(upTo) {
-					ready = append(ready, s)
-					delete(open, k)
-				}
-			}
-			sort.Slice(ready, func(i, j int) bool {
-				if !ready[i].win.End.Equal(ready[j].win.End) {
-					return ready[i].win.End.Before(ready[j].win.End)
-				}
-				return ready[i].win.Key < ready[j].win.Key
-			})
-			for _, s := range ready {
-				emit(s)
-			}
-		}
-
-		for e := range in {
-			if !wm.Observe(e.Time) {
-				continue
-			}
-			s, ok := open[e.Key]
-			if ok && e.Time.Sub(s.win.End) > gap {
-				// Silence exceeded the gap: the old session is complete.
-				emit(s)
-				ok = false
-			}
-			if !ok {
-				win := Window{Key: e.Key, Start: e.Time, End: e.Time}
-				s = &session{win: win, acc: init(win)}
-				open[e.Key] = s
-			}
-			if e.Time.After(s.win.End) {
-				s.win.End = e.Time
-			}
-			if e.Time.Before(s.win.Start) {
-				s.win.Start = e.Time // late-but-allowed event extends backwards
-			}
-			s.acc = add(s.acc, e)
-			fire(wm.Watermark(), false)
-		}
-		fire(time.Time{}, true)
-	}()
-	return out
+	return NewSessionWindowOp(gap, allowedLateness, init, add, nil, nil).Run(in)
 }

@@ -1,0 +1,487 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file adds checkpointable forms of the package's stateful operators.
+// The channel-based operators (Process, TumblingWindow, SessionWindow, ...)
+// own their processing loop, which leaves no safe point to capture state at;
+// the *Op types below expose the same logic step-by-step — Feed one event,
+// Close to flush — so a caller that owns the loop can Snapshot between
+// events and Restore after a crash. Each channel operator is a thin wrapper
+// that drives its Op, so both forms share one implementation.
+
+// watermarkerSnapshot is the wire form of Watermarker's mutable state (the
+// lateness allowance is configuration).
+type watermarkerSnapshot struct {
+	MaxTime   time.Time `json:"maxTime"`
+	SeenFirst bool      `json:"seenFirst,omitempty"`
+	Late      int64     `json:"late,omitempty"`
+}
+
+func (w *Watermarker) snapshot() watermarkerSnapshot {
+	return watermarkerSnapshot{MaxTime: w.maxTime, SeenFirst: w.seenFirst, Late: w.Late}
+}
+
+func (w *Watermarker) restore(s watermarkerSnapshot) {
+	w.maxTime = s.MaxTime
+	w.seenFirst = s.SeenFirst
+	w.Late = s.Late
+}
+
+// ProcessOp is the step-driven form of Process: a keyed stateful operator
+// whose per-key state can be checkpointed. enc/dec translate a key's state
+// to and from bytes; they may be nil when snapshots are not needed (Snapshot
+// then fails). Not safe for concurrent use.
+type ProcessOp[I, O, S any] struct {
+	newState func(key string) *S
+	f        func(state *S, e Event[I], emit func(Event[O]))
+	onClose  func(key string, state *S, emit func(Event[O]))
+	enc      func(*S) ([]byte, error)
+	dec      func([]byte) (*S, error)
+	states   map[string]*S
+}
+
+// NewProcessOp builds a resumable keyed operator. Arguments mirror Process,
+// plus the state codec.
+func NewProcessOp[I, O, S any](
+	newState func(key string) *S,
+	f func(state *S, e Event[I], emit func(Event[O])),
+	onClose func(key string, state *S, emit func(Event[O])),
+	enc func(*S) ([]byte, error),
+	dec func([]byte) (*S, error),
+) *ProcessOp[I, O, S] {
+	return &ProcessOp[I, O, S]{
+		newState: newState, f: f, onClose: onClose, enc: enc, dec: dec,
+		states: make(map[string]*S),
+	}
+}
+
+// Feed processes one event, emitting through the callback.
+func (op *ProcessOp[I, O, S]) Feed(e Event[I], emit func(Event[O])) {
+	st, ok := op.states[e.Key]
+	if !ok {
+		st = op.newState(e.Key)
+		op.states[e.Key] = st
+	}
+	op.f(st, e, emit)
+}
+
+// Close flushes every key's state (sorted for determinism) via onClose.
+func (op *ProcessOp[I, O, S]) Close(emit func(Event[O])) {
+	if op.onClose == nil {
+		return
+	}
+	keys := make([]string, 0, len(op.states))
+	for k := range op.states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		op.onClose(k, op.states[k], emit)
+	}
+}
+
+// Run drives the operator from a channel, giving the classic Process shape.
+func (op *ProcessOp[I, O, S]) Run(in <-chan Event[I]) <-chan Event[O] {
+	out := make(chan Event[O])
+	go func() {
+		defer close(out)
+		emit := func(o Event[O]) { out <- o }
+		for e := range in {
+			op.Feed(e, emit)
+		}
+		op.Close(emit)
+	}()
+	return out
+}
+
+// Snapshot encodes every key's state (checkpoint.Snapshotter).
+func (op *ProcessOp[I, O, S]) Snapshot() ([]byte, error) {
+	if op.enc == nil {
+		return nil, fmt.Errorf("stream: ProcessOp has no state encoder")
+	}
+	blobs := make(map[string][]byte, len(op.states))
+	for k, st := range op.states {
+		b, err := op.enc(st)
+		if err != nil {
+			return nil, fmt.Errorf("stream: encoding state for key %q: %w", k, err)
+		}
+		blobs[k] = b
+	}
+	return json.Marshal(blobs)
+}
+
+// Restore replaces the operator's state with a snapshot taken by Snapshot.
+func (op *ProcessOp[I, O, S]) Restore(data []byte) error {
+	if op.dec == nil {
+		return fmt.Errorf("stream: ProcessOp has no state decoder")
+	}
+	var blobs map[string][]byte
+	if err := json.Unmarshal(data, &blobs); err != nil {
+		return fmt.Errorf("stream: restore ProcessOp: %w", err)
+	}
+	states := make(map[string]*S, len(blobs))
+	for k, b := range blobs {
+		st, err := op.dec(b)
+		if err != nil {
+			return fmt.Errorf("stream: decoding state for key %q: %w", k, err)
+		}
+		states[k] = st
+	}
+	op.states = states
+	return nil
+}
+
+// winKey identifies an open time window: (key, window start).
+type winKey struct {
+	key   string
+	start int64
+}
+
+// WindowOp is the step-driven form of TumblingWindow/SlidingWindow with
+// checkpointable open-window state. Not safe for concurrent use.
+type WindowOp[I, A any] struct {
+	size, slide time.Duration
+	wm          *Watermarker
+	init        func(w Window) A
+	add         func(acc A, e Event[I]) A
+	enc         func(A) ([]byte, error)
+	dec         func([]byte) (A, error)
+	open        map[winKey]*windowState[A]
+}
+
+// NewWindowOp builds a resumable window operator; slide == size gives
+// tumbling windows. enc/dec may be nil when snapshots are not needed.
+func NewWindowOp[I, A any](
+	size, slide time.Duration,
+	allowedLateness time.Duration,
+	init func(w Window) A,
+	add func(acc A, e Event[I]) A,
+	enc func(A) ([]byte, error),
+	dec func([]byte) (A, error),
+) *WindowOp[I, A] {
+	if slide <= 0 {
+		slide = size
+	}
+	return &WindowOp[I, A]{
+		size: size, slide: slide,
+		wm:   NewWatermarker(allowedLateness),
+		init: init, add: add, enc: enc, dec: dec,
+		open: make(map[winKey]*windowState[A]),
+	}
+}
+
+func (op *WindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[WindowAggregate[A]])) {
+	var ready []*windowState[A]
+	for k, ws := range op.open {
+		if all || !ws.win.End.After(upTo) {
+			ready = append(ready, ws)
+			delete(op.open, k)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if !ready[i].win.End.Equal(ready[j].win.End) {
+			return ready[i].win.End.Before(ready[j].win.End)
+		}
+		return ready[i].win.Key < ready[j].win.Key
+	})
+	for _, ws := range ready {
+		emit(Event[WindowAggregate[A]]{
+			Key:   ws.win.Key,
+			Time:  ws.win.End,
+			Value: WindowAggregate[A]{Window: ws.win, Value: ws.acc},
+		})
+	}
+}
+
+// Feed assigns one event to its windows and fires any window the advancing
+// watermark completed.
+func (op *WindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]])) {
+	if !op.wm.Observe(e.Time) {
+		return // late beyond allowance: drop
+	}
+	t := e.Time.UnixNano()
+	sz, sl := op.size.Nanoseconds(), op.slide.Nanoseconds()
+	// First window start covering t: the largest multiple of slide that is
+	// > t-size, i.e. start in (t-size, t].
+	first := (t-sz)/sl*sl + sl
+	if t-sz < 0 && (t-sz)%sl != 0 {
+		first -= sl // floor division for negatives
+	}
+	for s := first; s <= t; s += sl {
+		start := time.Unix(0, s).UTC()
+		wk := winKey{key: e.Key, start: s}
+		ws, ok := op.open[wk]
+		if !ok {
+			win := Window{Key: e.Key, Start: start, End: start.Add(op.size)}
+			ws = &windowState[A]{win: win, acc: op.init(win)}
+			op.open[wk] = ws
+		}
+		ws.acc = op.add(ws.acc, e)
+	}
+	op.fire(op.wm.Watermark(), false, emit)
+}
+
+// Close fires every remaining open window.
+func (op *WindowOp[I, A]) Close(emit func(Event[WindowAggregate[A]])) {
+	op.fire(time.Time{}, true, emit)
+}
+
+// Run drives the operator from a channel.
+func (op *WindowOp[I, A]) Run(in <-chan Event[I]) <-chan Event[WindowAggregate[A]] {
+	out := make(chan Event[WindowAggregate[A]])
+	go func() {
+		defer close(out)
+		emit := func(o Event[WindowAggregate[A]]) { out <- o }
+		for e := range in {
+			op.Feed(e, emit)
+		}
+		op.Close(emit)
+	}()
+	return out
+}
+
+// openWindowSnapshot is the wire form of one open window.
+type openWindowSnapshot struct {
+	Key   string `json:"key"`
+	Start int64  `json:"start"` // UnixNano of the window start
+	Acc   []byte `json:"acc"`
+}
+
+type windowOpSnapshot struct {
+	Watermark watermarkerSnapshot  `json:"wm"`
+	Open      []openWindowSnapshot `json:"open,omitempty"`
+}
+
+// Snapshot encodes the watermark state and every open window
+// (checkpoint.Snapshotter).
+func (op *WindowOp[I, A]) Snapshot() ([]byte, error) {
+	if op.enc == nil {
+		return nil, fmt.Errorf("stream: WindowOp has no accumulator encoder")
+	}
+	snap := windowOpSnapshot{Watermark: op.wm.snapshot()}
+	for wk, ws := range op.open {
+		b, err := op.enc(ws.acc)
+		if err != nil {
+			return nil, fmt.Errorf("stream: encoding window %q@%d: %w", wk.key, wk.start, err)
+		}
+		snap.Open = append(snap.Open, openWindowSnapshot{Key: wk.key, Start: wk.start, Acc: b})
+	}
+	sort.Slice(snap.Open, func(i, j int) bool {
+		if snap.Open[i].Key != snap.Open[j].Key {
+			return snap.Open[i].Key < snap.Open[j].Key
+		}
+		return snap.Open[i].Start < snap.Open[j].Start
+	})
+	return json.Marshal(snap)
+}
+
+// Restore replaces the operator's state with a snapshot taken by Snapshot.
+func (op *WindowOp[I, A]) Restore(data []byte) error {
+	if op.dec == nil {
+		return fmt.Errorf("stream: WindowOp has no accumulator decoder")
+	}
+	var snap windowOpSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("stream: restore WindowOp: %w", err)
+	}
+	open := make(map[winKey]*windowState[A], len(snap.Open))
+	for _, ow := range snap.Open {
+		acc, err := op.dec(ow.Acc)
+		if err != nil {
+			return fmt.Errorf("stream: decoding window %q@%d: %w", ow.Key, ow.Start, err)
+		}
+		start := time.Unix(0, ow.Start).UTC()
+		win := Window{Key: ow.Key, Start: start, End: start.Add(op.size)}
+		open[winKey{key: ow.Key, start: ow.Start}] = &windowState[A]{win: win, acc: acc}
+	}
+	op.open = open
+	op.wm.restore(snap.Watermark)
+	return nil
+}
+
+// session is one open gap-separated session.
+type session[A any] struct {
+	win Window
+	acc A
+}
+
+// SessionWindowOp is the step-driven form of SessionWindow with
+// checkpointable open-session state. Not safe for concurrent use.
+type SessionWindowOp[I, A any] struct {
+	gap  time.Duration
+	wm   *Watermarker
+	init func(w Window) A
+	add  func(acc A, e Event[I]) A
+	enc  func(A) ([]byte, error)
+	dec  func([]byte) (A, error)
+	open map[string]*session[A]
+}
+
+// NewSessionWindowOp builds a resumable session-window operator. enc/dec may
+// be nil when snapshots are not needed.
+func NewSessionWindowOp[I, A any](
+	gap time.Duration,
+	allowedLateness time.Duration,
+	init func(w Window) A,
+	add func(acc A, e Event[I]) A,
+	enc func(A) ([]byte, error),
+	dec func([]byte) (A, error),
+) *SessionWindowOp[I, A] {
+	return &SessionWindowOp[I, A]{
+		gap:  gap,
+		wm:   NewWatermarker(allowedLateness),
+		init: init, add: add, enc: enc, dec: dec,
+		open: make(map[string]*session[A]),
+	}
+}
+
+func (op *SessionWindowOp[I, A]) emitSession(s *session[A], emit func(Event[WindowAggregate[A]])) {
+	emit(Event[WindowAggregate[A]]{
+		Key:   s.win.Key,
+		Time:  s.win.End,
+		Value: WindowAggregate[A]{Window: s.win, Value: s.acc},
+	})
+}
+
+func (op *SessionWindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[WindowAggregate[A]])) {
+	var ready []*session[A]
+	for k, s := range op.open {
+		if all || !s.win.End.Add(op.gap).After(upTo) {
+			ready = append(ready, s)
+			delete(op.open, k)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if !ready[i].win.End.Equal(ready[j].win.End) {
+			return ready[i].win.End.Before(ready[j].win.End)
+		}
+		return ready[i].win.Key < ready[j].win.Key
+	})
+	for _, s := range ready {
+		op.emitSession(s, emit)
+	}
+}
+
+// Feed folds one event into its key's session, closing the previous session
+// when the gap was exceeded, then fires sessions completed by the watermark.
+func (op *SessionWindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]])) {
+	if !op.wm.Observe(e.Time) {
+		return
+	}
+	s, ok := op.open[e.Key]
+	if ok && e.Time.Sub(s.win.End) > op.gap {
+		// Silence exceeded the gap: the old session is complete.
+		op.emitSession(s, emit)
+		ok = false
+	}
+	if !ok {
+		win := Window{Key: e.Key, Start: e.Time, End: e.Time}
+		s = &session[A]{win: win, acc: op.init(win)}
+		op.open[e.Key] = s
+	}
+	if e.Time.After(s.win.End) {
+		s.win.End = e.Time
+	}
+	if e.Time.Before(s.win.Start) {
+		s.win.Start = e.Time // late-but-allowed event extends backwards
+	}
+	s.acc = op.add(s.acc, e)
+	op.fire(op.wm.Watermark(), false, emit)
+}
+
+// Close fires every remaining open session.
+func (op *SessionWindowOp[I, A]) Close(emit func(Event[WindowAggregate[A]])) {
+	op.fire(time.Time{}, true, emit)
+}
+
+// Run drives the operator from a channel.
+func (op *SessionWindowOp[I, A]) Run(in <-chan Event[I]) <-chan Event[WindowAggregate[A]] {
+	out := make(chan Event[WindowAggregate[A]])
+	go func() {
+		defer close(out)
+		emit := func(o Event[WindowAggregate[A]]) { out <- o }
+		for e := range in {
+			op.Feed(e, emit)
+		}
+		op.Close(emit)
+	}()
+	return out
+}
+
+// openSessionSnapshot is the wire form of one open session.
+type openSessionSnapshot struct {
+	Key   string `json:"key"`
+	Start int64  `json:"start"` // UnixNano
+	End   int64  `json:"end"`   // UnixNano
+	Acc   []byte `json:"acc"`
+}
+
+type sessionOpSnapshot struct {
+	Watermark watermarkerSnapshot   `json:"wm"`
+	Open      []openSessionSnapshot `json:"open,omitempty"`
+}
+
+// Snapshot encodes the watermark state and every open session
+// (checkpoint.Snapshotter).
+func (op *SessionWindowOp[I, A]) Snapshot() ([]byte, error) {
+	if op.enc == nil {
+		return nil, fmt.Errorf("stream: SessionWindowOp has no accumulator encoder")
+	}
+	snap := sessionOpSnapshot{Watermark: op.wm.snapshot()}
+	for k, s := range op.open {
+		b, err := op.enc(s.acc)
+		if err != nil {
+			return nil, fmt.Errorf("stream: encoding session %q: %w", k, err)
+		}
+		snap.Open = append(snap.Open, openSessionSnapshot{
+			Key: k, Start: s.win.Start.UnixNano(), End: s.win.End.UnixNano(), Acc: b,
+		})
+	}
+	sort.Slice(snap.Open, func(i, j int) bool { return snap.Open[i].Key < snap.Open[j].Key })
+	return json.Marshal(snap)
+}
+
+// Restore replaces the operator's state with a snapshot taken by Snapshot.
+func (op *SessionWindowOp[I, A]) Restore(data []byte) error {
+	if op.dec == nil {
+		return fmt.Errorf("stream: SessionWindowOp has no accumulator decoder")
+	}
+	var snap sessionOpSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("stream: restore SessionWindowOp: %w", err)
+	}
+	open := make(map[string]*session[A], len(snap.Open))
+	for _, os := range snap.Open {
+		acc, err := op.dec(os.Acc)
+		if err != nil {
+			return fmt.Errorf("stream: decoding session %q: %w", os.Key, err)
+		}
+		open[os.Key] = &session[A]{
+			win: Window{Key: os.Key, Start: time.Unix(0, os.Start).UTC(), End: time.Unix(0, os.End).UTC()},
+			acc: acc,
+		}
+	}
+	op.open = open
+	op.wm.restore(snap.Watermark)
+	return nil
+}
+
+// JSONCodec returns a JSON encoder/decoder pair for a snapshot-friendly
+// state type — a convenience for building resumable operators.
+func JSONCodec[S any]() (func(*S) ([]byte, error), func([]byte) (*S, error)) {
+	enc := func(s *S) ([]byte, error) { return json.Marshal(s) }
+	dec := func(b []byte) (*S, error) {
+		s := new(S)
+		if err := json.Unmarshal(b, s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return enc, dec
+}

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// splitResume runs the generic snapshot/restore experiment: feed the first
+// `split` events into op A, snapshot, restore into a fresh op B, feed the
+// remainder plus Close, and return A's output up to the split concatenated
+// with B's output. A correct operator makes this equal the uninterrupted run.
+func splitResume[I any, O any, Op interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}](t *testing.T, events []Event[I], split int, mk func() Op,
+	feed func(Op, Event[I], func(Event[O])), closeOp func(Op, func(Event[O]))) []Event[O] {
+	t.Helper()
+	var out []Event[O]
+	emit := func(e Event[O]) { out = append(out, e) }
+
+	a := mk()
+	for _, e := range events[:split] {
+		feed(a, e, emit)
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot at %d: %v", split, err)
+	}
+	b := mk()
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore at %d: %v", split, err)
+	}
+	for _, e := range events[split:] {
+		feed(b, e, emit)
+	}
+	closeOp(b, emit)
+	return out
+}
+
+type procState struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+func TestProcessOpSnapshotResume(t *testing.T) {
+	t0 := time.Unix(10_000, 0).UTC()
+	var events []Event[float64]
+	for i := 0; i < 40; i++ {
+		events = append(events, Event[float64]{
+			Key:   fmt.Sprintf("k%d", i%3),
+			Time:  t0.Add(time.Duration(i) * time.Second),
+			Value: float64(i) * 1.5,
+		})
+	}
+	enc, dec := JSONCodec[procState]()
+	mk := func() *ProcessOp[float64, string, procState] {
+		return NewProcessOp(
+			func(key string) *procState { return &procState{} },
+			func(st *procState, e Event[float64], emit func(Event[string])) {
+				st.Count++
+				st.Sum += e.Value
+				if st.Count%5 == 0 {
+					emit(Event[string]{Key: e.Key, Time: e.Time,
+						Value: fmt.Sprintf("%s:%d:%.1f", e.Key, st.Count, st.Sum)})
+				}
+			},
+			func(key string, st *procState, emit func(Event[string])) {
+				emit(Event[string]{Key: key, Value: fmt.Sprintf("final %s %d %.1f", key, st.Count, st.Sum)})
+			},
+			enc, dec,
+		)
+	}
+	feed := func(op *ProcessOp[float64, string, procState], e Event[float64], emit func(Event[string])) {
+		op.Feed(e, emit)
+	}
+	closeOp := func(op *ProcessOp[float64, string, procState], emit func(Event[string])) {
+		op.Close(emit)
+	}
+
+	var want []Event[string]
+	ref := mk()
+	for _, e := range events {
+		ref.Feed(e, func(o Event[string]) { want = append(want, o) })
+	}
+	ref.Close(func(o Event[string]) { want = append(want, o) })
+
+	for _, split := range []int{0, 1, 7, 20, 39, 40} {
+		got := splitResume(t, events, split, mk, feed, closeOp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("split %d: output diverged\ngot  %v\nwant %v", split, got, want)
+		}
+	}
+}
+
+func TestProcessOpSnapshotWithoutCodec(t *testing.T) {
+	op := NewProcessOp[int, int, procState](
+		func(string) *procState { return &procState{} },
+		func(st *procState, e Event[int], emit func(Event[int])) {},
+		nil, nil, nil,
+	)
+	if _, err := op.Snapshot(); err == nil {
+		t.Fatal("Snapshot without encoder succeeded")
+	}
+	if err := op.Restore([]byte("{}")); err == nil {
+		t.Fatal("Restore without decoder succeeded")
+	}
+}
+
+func TestWindowOpSnapshotResume(t *testing.T) {
+	t0 := time.Unix(100_000, 0).UTC()
+	var events []Event[int]
+	for i := 0; i < 60; i++ {
+		// Two keys, slightly jittered spacing so windows open and close at
+		// varying points; a late-but-allowed event every 11th record.
+		ts := t0.Add(time.Duration(i*7) * time.Second)
+		if i%11 == 10 {
+			ts = ts.Add(-9 * time.Second)
+		}
+		events = append(events, Event[int]{Key: fmt.Sprintf("v%d", i%2), Time: ts, Value: i})
+	}
+	enc := func(a int) ([]byte, error) { return json.Marshal(a) }
+	dec := func(b []byte) (int, error) {
+		var a int
+		err := json.Unmarshal(b, &a)
+		return a, err
+	}
+	type outT = WindowAggregate[int]
+	mk := func() *WindowOp[int, int] {
+		return NewWindowOp(
+			30*time.Second, 15*time.Second, 10*time.Second,
+			func(w Window) int { return 0 },
+			func(acc int, e Event[int]) int { return acc + e.Value },
+			enc, dec,
+		)
+	}
+	feed := func(op *WindowOp[int, int], e Event[int], emit func(Event[outT])) { op.Feed(e, emit) }
+	closeOp := func(op *WindowOp[int, int], emit func(Event[outT])) { op.Close(emit) }
+
+	var want []Event[outT]
+	ref := mk()
+	for _, e := range events {
+		ref.Feed(e, func(o Event[outT]) { want = append(want, o) })
+	}
+	ref.Close(func(o Event[outT]) { want = append(want, o) })
+	if len(want) == 0 {
+		t.Fatal("reference run emitted nothing")
+	}
+
+	for _, split := range []int{0, 3, 17, 31, 59, 60} {
+		got := splitResume(t, events, split, mk, feed, closeOp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("split %d: output diverged\ngot  %v\nwant %v", split, got, want)
+		}
+	}
+}
+
+func TestSessionWindowOpSnapshotResume(t *testing.T) {
+	t0 := time.Unix(200_000, 0).UTC()
+	var events []Event[int]
+	for i := 0; i < 50; i++ {
+		gap := time.Duration(i*3) * time.Second
+		if i%9 == 8 {
+			gap += 2 * time.Minute // force a session boundary
+		}
+		t0 = t0.Add(gap)
+		events = append(events, Event[int]{Key: fmt.Sprintf("s%d", i%2), Time: t0, Value: 1})
+	}
+	enc := func(a int) ([]byte, error) { return json.Marshal(a) }
+	dec := func(b []byte) (int, error) {
+		var a int
+		err := json.Unmarshal(b, &a)
+		return a, err
+	}
+	type outT = WindowAggregate[int]
+	mk := func() *SessionWindowOp[int, int] {
+		return NewSessionWindowOp(
+			time.Minute, 5*time.Second,
+			func(w Window) int { return 0 },
+			func(acc int, e Event[int]) int { return acc + e.Value },
+			enc, dec,
+		)
+	}
+	feed := func(op *SessionWindowOp[int, int], e Event[int], emit func(Event[outT])) { op.Feed(e, emit) }
+	closeOp := func(op *SessionWindowOp[int, int], emit func(Event[outT])) { op.Close(emit) }
+
+	var want []Event[outT]
+	ref := mk()
+	for _, e := range events {
+		ref.Feed(e, func(o Event[outT]) { want = append(want, o) })
+	}
+	ref.Close(func(o Event[outT]) { want = append(want, o) })
+	if len(want) < 2 {
+		t.Fatalf("reference run emitted %d sessions, want several", len(want))
+	}
+
+	for _, split := range []int{0, 5, 23, 42, 50} {
+		got := splitResume(t, events, split, mk, feed, closeOp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("split %d: output diverged\ngot  %v\nwant %v", split, got, want)
+		}
+	}
+}

@@ -12,7 +12,6 @@
 package stream
 
 import (
-	"sort"
 	"sync"
 	"time"
 )
@@ -115,31 +114,7 @@ func Process[I, O, S any](
 	f func(state *S, e Event[I], emit func(Event[O])),
 	onClose func(key string, state *S, emit func(Event[O])),
 ) <-chan Event[O] {
-	out := make(chan Event[O])
-	go func() {
-		defer close(out)
-		states := make(map[string]*S)
-		emit := func(o Event[O]) { out <- o }
-		for e := range in {
-			st, ok := states[e.Key]
-			if !ok {
-				st = newState(e.Key)
-				states[e.Key] = st
-			}
-			f(st, e, emit)
-		}
-		if onClose != nil {
-			keys := make([]string, 0, len(states))
-			for k := range states {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				onClose(k, states[k], emit)
-			}
-		}
-	}()
-	return out
+	return NewProcessOp(newState, f, onClose, nil, nil).Run(in)
 }
 
 // Merge fans multiple streams into one. Output order across inputs is

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"sort"
 	"time"
 )
 
@@ -96,71 +95,5 @@ func slidingWindow[I, A any](
 	init func(w Window) A,
 	add func(acc A, e Event[I]) A,
 ) <-chan Event[WindowAggregate[A]] {
-	if slide <= 0 {
-		slide = size
-	}
-	out := make(chan Event[WindowAggregate[A]])
-	go func() {
-		defer close(out)
-		wm := NewWatermarker(allowedLateness)
-		// open windows keyed by (key, window start).
-		type winKey struct {
-			key   string
-			start int64
-		}
-		open := make(map[winKey]*windowState[A])
-
-		fire := func(upTo time.Time, all bool) {
-			// Collect fireable windows, emit in deterministic order.
-			var ready []*windowState[A]
-			for k, ws := range open {
-				if all || !ws.win.End.After(upTo) {
-					ready = append(ready, ws)
-					delete(open, k)
-				}
-			}
-			sort.Slice(ready, func(i, j int) bool {
-				if !ready[i].win.End.Equal(ready[j].win.End) {
-					return ready[i].win.End.Before(ready[j].win.End)
-				}
-				return ready[i].win.Key < ready[j].win.Key
-			})
-			for _, ws := range ready {
-				out <- Event[WindowAggregate[A]]{
-					Key:   ws.win.Key,
-					Time:  ws.win.End,
-					Value: WindowAggregate[A]{Window: ws.win, Value: ws.acc},
-				}
-			}
-		}
-
-		for e := range in {
-			if !wm.Observe(e.Time) {
-				continue // late beyond allowance: drop
-			}
-			// Assign to every window containing e.Time.
-			t := e.Time.UnixNano()
-			sz, sl := size.Nanoseconds(), slide.Nanoseconds()
-			// First window start covering t: the largest multiple of slide
-			// that is > t-size, i.e. start in (t-size, t].
-			first := (t-sz)/sl*sl + sl
-			if t-sz < 0 && (t-sz)%sl != 0 {
-				first -= sl // floor division for negatives
-			}
-			for s := first; s <= t; s += sl {
-				start := time.Unix(0, s).UTC()
-				wk := winKey{key: e.Key, start: s}
-				ws, ok := open[wk]
-				if !ok {
-					win := Window{Key: e.Key, Start: start, End: start.Add(size)}
-					ws = &windowState[A]{win: win, acc: init(win)}
-					open[wk] = ws
-				}
-				ws.acc = add(ws.acc, e)
-			}
-			fire(wm.Watermark(), false)
-		}
-		fire(time.Time{}, true)
-	}()
-	return out
+	return NewWindowOp(size, slide, allowedLateness, init, add, nil, nil).Run(in)
 }
