@@ -1,12 +1,22 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build vet test race bench ci clean
+.PHONY: build vet lint test race bench ci clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the project gate beyond go vet: gofmt drift, vet, and the
+# project-specific analyzers in cmd/datacronlint (determinism, errdrop,
+# locksafety, snapshotpair). Any finding fails the build.
+lint:
+	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/datacronlint ./...
 
 test:
 	$(GO) test ./...
@@ -17,6 +27,7 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
-# ci is the full gate: compile everything, run static analysis, then the
-# test suite twice — plain and under the race detector.
-ci: build vet test race
+# ci is the full gate: compile everything, run go vet, run the static
+# analysis suite, then the test suite twice — plain and under the race
+# detector.
+ci: build vet lint test race

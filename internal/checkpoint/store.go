@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -133,32 +134,33 @@ func (s *DirStore) writeManifest() error {
 	return atomicWrite(filepath.Join(s.dir, manifestName), []byte(b.String()))
 }
 
-func atomicWrite(path string, data []byte) error {
+func atomicWrite(path string, data []byte) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
+	defer func() {
+		if err == nil {
+			return
+		}
+		// A temp file that cannot be removed leaks into the checkpoint
+		// directory and is scanned on the next open; surface that too.
+		if rmErr := os.Remove(tmpName); rmErr != nil && !os.IsNotExist(rmErr) {
+			err = errors.Join(err, rmErr)
+		}
+	}()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+	return os.Rename(tmpName, path)
 }
 
 // MemStore is an in-memory Store for tests and benchmarks.

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var errdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags bare statement calls that discard an error returned by a write-like " +
+		"operation (io/os/bufio and friends, or any Write*/Encode*/Flush/Save/... " +
+		"method); an explicit `_ =` assignment documents intent and is accepted",
+	Run: runErrDrop,
+}
+
+// errdropPkgs are packages whose error results are always worth handling
+// when the call is a statement, whatever the function is called.
+var errdropPkgs = map[string]bool{
+	"os": true, "io": true, "bufio": true, "io/fs": true, "database/sql": true,
+}
+
+var errdropPkgPrefixes = []string{"compress/", "archive/", "encoding/"}
+
+// errdropNames match write-like operations in any package, including this
+// module's stores, brokers and codecs.
+var errdropNamePrefixes = []string{
+	"Write", "Encode", "Decode", "Flush", "Sync", "Save", "Publish", "Produce",
+	"Commit", "Truncate", "Remove", "Rename", "Delete", "Capture", "Restore",
+	"Snapshot", "Mkdir", "Create", "Append", "Put", "Push", "Seek", "Store",
+}
+
+// infallibleType reports types whose write methods are documented to always
+// return a nil error (bytes.Buffer, strings.Builder, hash.Hash, ...).
+func infallibleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "bytes" || path == "strings" || path == "hash" || strings.HasPrefix(path, "hash/") ||
+		strings.HasPrefix(path, "crypto/")
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !lastResultIsError(sig) {
+				return true
+			}
+			if sig.Recv() != nil {
+				// Judge by the call site's receiver type: a hash.Hash or
+				// bytes.Buffer reached through an embedded io.Writer is
+				// still infallible.
+				if infallibleType(sig.Recv().Type()) {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && infallibleType(p.Info.TypeOf(sel.X)) {
+					return true
+				}
+			}
+			if !writeLike(fn) {
+				return true
+			}
+			diags = append(diags, p.diag("errdrop", call.Pos(),
+				"error returned by %s is silently discarded; handle it or assign to _ explicitly", callName(fn)))
+			return true
+		})
+	}
+	return diags
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	n := sig.Results().Len()
+	if n == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(n-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+func writeLike(fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	if errdropPkgs[path] {
+		return true
+	}
+	for _, prefix := range errdropPkgPrefixes {
+		if strings.HasPrefix(path, prefix) {
+			return true
+		}
+	}
+	for _, prefix := range errdropNamePrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func callName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return pathBase(fn.Pkg().Path()) + "." + fn.Name()
+}

@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var locksafetyAnalyzer = &Analyzer{
+	Name: "locksafety",
+	Doc: "flags sync.Mutex/RWMutex values copied by value (receivers, params, " +
+		"assignments, range copies), double-locking, and Lock calls that can reach " +
+		"a return or the end of the function without an Unlock or deferred Unlock",
+	Run: runLockSafety,
+}
+
+func runLockSafety(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				diags = append(diags, checkLockCopies(p, n.Recv, n.Type)...)
+				if n.Body != nil {
+					diags = append(diags, checkLockPaths(p, n.Body)...)
+				}
+			case *ast.FuncLit:
+				diags = append(diags, checkLockCopies(p, nil, n.Type)...)
+				diags = append(diags, checkLockPaths(p, n.Body)...)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// x = y copies; _ = y does not.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					diags = append(diags, checkValueCopy(p, rhs)...)
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range n.Values {
+					diags = append(diags, checkValueCopy(p, rhs)...)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlank(n.Value) {
+					if t := p.Info.TypeOf(n.Value); t != nil && lockKind(t) != "" {
+						diags = append(diags, p.diag("locksafety", n.Value.Pos(),
+							"range copies values of type %s which contains sync.%s; iterate by index or store pointers", t, lockKind(t)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// lockKind reports the sync type a value of type t would copy ("" if none).
+// Pointers, slices, maps and channels share the lock rather than copying it.
+func lockKind(t types.Type) string {
+	return lockKindSeen(t, make(map[types.Type]bool))
+}
+
+func lockKindSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if k := lockKindSeen(u.Field(i).Type(), seen); k != "" {
+				return k
+			}
+		}
+	case *types.Array:
+		return lockKindSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// checkLockCopies flags receivers, parameters and results that pass a
+// lock-containing type by value.
+func checkLockCopies(p *Package, recv *ast.FieldList, ft *ast.FuncType) []Diagnostic {
+	var diags []Diagnostic
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if k := lockKind(t); k != "" {
+				diags = append(diags, p.diag("locksafety", field.Type.Pos(),
+					"%s of type %s passes a sync.%s by value; use a pointer", what, t, k))
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+	return diags
+}
+
+// checkValueCopy flags x = y / x := y where y is an addressable expression
+// whose type contains a lock: the assignment duplicates lock state.
+// Composite literals and function calls construct fresh values and are fine.
+func checkValueCopy(p *Package, rhs ast.Expr) []Diagnostic {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil
+	}
+	t := p.Info.TypeOf(rhs)
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	if k := lockKind(t); k != "" {
+		// Zero-value identifiers (nil etc.) have no lock state; resolve
+		// idents to rule out predeclared values.
+		if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+			if _, isVar := p.Info.Uses[id].(*types.Var); !isVar {
+				return nil
+			}
+		}
+		return []Diagnostic{p.diag("locksafety", rhs.Pos(),
+			"assignment copies a value of type %s which contains sync.%s; use a pointer", t, k)}
+	}
+	return nil
+}
+
+// --- Lock/Unlock path analysis -------------------------------------------
+
+// lockOp classifies one mutex call site.
+type lockOp struct {
+	key     string // receiver expression + mode, e.g. "s.mu#w"
+	text    string // printable receiver, e.g. "s.mu"
+	acquire bool
+	rlocked bool
+}
+
+// classifyLockCall recognizes calls to sync.Mutex / sync.RWMutex Lock,
+// Unlock, RLock and RUnlock (including promoted methods on embedding types).
+func classifyLockCall(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var acquire, rlocked bool
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, rlocked = true, true
+	case "Unlock":
+	case "RUnlock":
+		rlocked = true
+	default:
+		return lockOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockOp{}, false
+	}
+	text := types.ExprString(sel.X)
+	mode := "#w"
+	if rlocked {
+		mode = "#r"
+	}
+	return lockOp{key: text + mode, text: text, acquire: acquire, rlocked: rlocked}, true
+}
+
+// heldLock records where a lock was taken.
+type heldLock struct {
+	pos  token.Pos
+	text string
+}
+
+// lockPathState is the abstract state threaded through one function body.
+type lockPathState struct {
+	held     map[string]heldLock
+	deferred map[string]bool
+}
+
+func newLockPathState() *lockPathState {
+	return &lockPathState{held: make(map[string]heldLock), deferred: make(map[string]bool)}
+}
+
+func (s *lockPathState) clone() *lockPathState {
+	c := newLockPathState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// absorb unions another continuing path's state into s (keeping the earliest
+// acquisition position for locks held on both paths).
+func (s *lockPathState) absorb(o *lockPathState) {
+	for k, v := range o.held {
+		if cur, ok := s.held[k]; !ok || v.pos < cur.pos {
+			s.held[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+// lockWalker walks one function body. It is deliberately syntactic about
+// receiver identity (the printed receiver expression) and conservative about
+// control flow: states from branches that can fall through are unioned, so a
+// lock left held on any such path is reported.
+type lockWalker struct {
+	p     *Package
+	diags []Diagnostic
+}
+
+func checkLockPaths(p *Package, body *ast.BlockStmt) []Diagnostic {
+	w := &lockWalker{p: p}
+	st := newLockPathState()
+	if terminated := w.walkStmts(body.List, st); !terminated {
+		for key, h := range st.held {
+			if !st.deferred[key] {
+				w.diags = append(w.diags, p.diag("locksafety", h.pos,
+					"%s.Lock is not released before the end of the function on some path (no Unlock, no defer)", h.text))
+			}
+		}
+	}
+	return w.diags
+}
+
+// walkStmts interprets a statement list, returning true if every path
+// through it terminates (return, branch, panic).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st *lockPathState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockPathState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := classifyLockCall(w.p, call); ok {
+				if op.acquire {
+					if prev, held := st.held[op.key]; held {
+						w.diags = append(w.diags, w.p.diag("locksafety", call.Pos(),
+							"%s is locked again while already held (locked at line %d); this deadlocks",
+							op.text, w.p.position(prev.pos).Line))
+					}
+					st.held[op.key] = heldLock{pos: call.Pos(), text: op.text}
+				} else {
+					delete(st.held, op.key)
+				}
+				return false
+			}
+			if isPanicCall(call) {
+				return true
+			}
+		}
+	case *ast.DeferStmt:
+		for _, key := range deferredUnlockKeys(w.p, s.Call) {
+			st.deferred[key] = true
+		}
+	case *ast.ReturnStmt:
+		w.reportEscape(s.Pos(), "return", st)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treat as a
+		// terminated path rather than model label targets.
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		bodySt := st.clone()
+		bodyTerm := w.walkStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		if bodyTerm && elseTerm {
+			return true
+		}
+		reset(st)
+		if !bodyTerm {
+			st.absorb(bodySt)
+		}
+		if !elseTerm {
+			st.absorb(elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+		st.absorb(bodySt) // the loop may run zero or more times
+	case *ast.RangeStmt:
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+		st.absorb(bodySt)
+	case *ast.SwitchStmt:
+		return w.walkCases(s.Init, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(s.Init, s.Body, st)
+	case *ast.SelectStmt:
+		return w.walkCases(nil, s.Body, st)
+	case *ast.GoStmt:
+		// Runs on another goroutine; its locking is analyzed via its FuncLit.
+	}
+	return false
+}
+
+// walkCases interprets switch/select clause bodies on forked states and
+// unions the continuing ones.
+func (w *lockWalker) walkCases(init ast.Stmt, body *ast.BlockStmt, st *lockPathState) bool {
+	if init != nil {
+		w.walkStmt(init, st)
+	}
+	hasDefault := false
+	var continuing []*lockPathState
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		default:
+			continue
+		}
+		caseSt := st.clone()
+		if !w.walkStmts(stmts, caseSt) {
+			continuing = append(continuing, caseSt)
+		}
+	}
+	if hasDefault && len(continuing) == 0 && len(body.List) > 0 {
+		return true
+	}
+	if !hasDefault {
+		continuing = append(continuing, st.clone())
+	}
+	reset(st)
+	for _, c := range continuing {
+		st.absorb(c)
+	}
+	return false
+}
+
+func (w *lockWalker) reportEscape(pos token.Pos, how string, st *lockPathState) {
+	for key, h := range st.held {
+		if !st.deferred[key] {
+			w.diags = append(w.diags, w.p.diag("locksafety", pos,
+				"%s while %s is locked (locked at line %d) with no Unlock or defer on this path",
+				how, h.text, w.p.position(h.pos).Line))
+		}
+	}
+}
+
+func reset(st *lockPathState) {
+	st.held = make(map[string]heldLock)
+}
+
+// deferredUnlockKeys returns the lock keys a deferred call releases: either
+// a direct defer mu.Unlock(), or unlock calls inside a deferred closure.
+func deferredUnlockKeys(p *Package, call *ast.CallExpr) []string {
+	if op, ok := classifyLockCall(p, call); ok && !op.acquire {
+		return []string{op.key}
+	}
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if op, ok := classifyLockCall(p, c); ok && !op.acquire {
+				keys = append(keys, op.key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

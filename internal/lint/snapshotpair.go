@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+var snapshotpairAnalyzer = &Analyzer{
+	Name: "snapshotpair",
+	Doc: "requires every type participating in checkpointing to declare the full " +
+		"contract pair Snapshot() ([]byte, error) / Restore([]byte) error; a type " +
+		"with only one half silently breaks crash recovery",
+	Run: runSnapshotPair,
+}
+
+func runSnapshotPair(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+
+	isCanonicalSnapshot := func(sig *types.Signature) bool {
+		return sig.Params().Len() == 0 && sig.Results().Len() == 2 &&
+			types.Identical(sig.Results().At(0).Type(), byteSlice) &&
+			types.Identical(sig.Results().At(1).Type(), errType)
+	}
+	isCanonicalRestore := func(sig *types.Signature) bool {
+		return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+			types.Identical(sig.Params().At(0).Type(), byteSlice) &&
+			types.Identical(sig.Results().At(0).Type(), errType)
+	}
+	// A method is snapshot-shaped if it traffics in []byte at all — that is
+	// the signal that it participates in checkpoint serialization rather
+	// than being an unrelated use of the name (e.g. a dashboard snapshot).
+	resultsHaveBytes := func(sig *types.Signature) bool {
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), byteSlice) {
+				return true
+			}
+		}
+		return false
+	}
+	paramsHaveBytes := func(sig *types.Signature) bool {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if types.Identical(sig.Params().At(i).Type(), byteSlice) {
+				return true
+			}
+		}
+		return false
+	}
+
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		snap := methodNamed(named, p.Types, "Snapshot")
+		rest := methodNamed(named, p.Types, "Restore")
+
+		// anchor picks a position inside this package for the finding.
+		anchor := func(m *types.Func) token.Pos {
+			if m != nil && m.Pkg() == p.Types {
+				return m.Pos()
+			}
+			return tn.Pos()
+		}
+
+		var snapSig, restSig *types.Signature
+		if snap != nil {
+			snapSig = snap.Type().(*types.Signature)
+		}
+		if rest != nil {
+			restSig = rest.Type().(*types.Signature)
+		}
+
+		switch {
+		case snap != nil && isCanonicalSnapshot(snapSig):
+			if rest == nil {
+				diags = append(diags, p.diag("snapshotpair", anchor(snap),
+					"%s declares Snapshot() ([]byte, error) but no Restore([]byte) error; its checkpoints cannot be recovered", name))
+			} else if !isCanonicalRestore(restSig) {
+				diags = append(diags, p.diag("snapshotpair", anchor(rest),
+					"%s.Restore has signature %s; the checkpoint contract requires Restore([]byte) error to pair with Snapshot", name, restSig))
+			}
+		case rest != nil && isCanonicalRestore(restSig):
+			if snap == nil {
+				diags = append(diags, p.diag("snapshotpair", anchor(rest),
+					"%s declares Restore([]byte) error but no Snapshot() ([]byte, error); it restores state it can never capture", name))
+			} else if resultsHaveBytes(snapSig) {
+				diags = append(diags, p.diag("snapshotpair", anchor(snap),
+					"%s.Snapshot has signature %s; the checkpoint contract requires Snapshot() ([]byte, error) to pair with Restore", name, snapSig))
+			}
+		case snap != nil && resultsHaveBytes(snapSig):
+			diags = append(diags, p.diag("snapshotpair", anchor(snap),
+				"%s.Snapshot returns []byte but has signature %s; the checkpoint contract is Snapshot() ([]byte, error)", name, snapSig))
+		case rest != nil && paramsHaveBytes(restSig):
+			diags = append(diags, p.diag("snapshotpair", anchor(rest),
+				"%s.Restore takes []byte but has signature %s; the checkpoint contract is Restore([]byte) error", name, restSig))
+		}
+	}
+	return diags
+}
+
+// methodNamed resolves a (possibly promoted) method on *T visible from pkg.
+// Interface types are looked up directly: a *I method set is empty.
+func methodNamed(named *types.Named, pkg *types.Package, name string) *types.Func {
+	var recv types.Type = types.NewPointer(named)
+	if types.IsInterface(named) {
+		recv = named
+	}
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,66 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want 9:"time.Now"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global random source"
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(10) // ok: explicit seeded source
+}
+
+func emitFromMap(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func emitSorted(w io.Writer, m map[string]int, keys []string) {
+	for _, k := range keys { // ok: slice iteration
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func collectOnly(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: collecting for a later sort
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation"
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer addition is exact
+	}
+	return n
+}
+
+func perKeyScale(m map[string]float64, f float64) {
+	for k := range m {
+		m[k] *= f // ok: per-key update, keys independent
+	}
+}

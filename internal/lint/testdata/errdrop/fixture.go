@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"bytes"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+func dropOS(path string) {
+	os.Remove(path) // want 2:"os.Remove"
+}
+
+func dropWrite(w io.Writer, b []byte) {
+	w.Write(b) // want "Writer.Write"
+}
+
+func explicitDiscard(w io.Writer, b []byte) {
+	_, _ = w.Write(b) // ok: discard is explicit and visible in review
+}
+
+func handled(path string) error {
+	return os.Remove(path) // ok: propagated
+}
+
+func buffered(b []byte) string {
+	var buf bytes.Buffer
+	buf.Write(b) // ok: bytes.Buffer writes never fail
+	return buf.String()
+}
+
+func hashed(b []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(b) // ok: hash.Hash writes never fail
+	return h.Sum32()
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // ok: deferred cleanup cannot propagate anyway
+}
+
+type store struct{}
+
+func (s *store) Save(data []byte) error { return nil }
+
+func dropSave(s *store) {
+	s.Save(nil) // want "store.Save"
+}
+
+func checkSave(s *store) error {
+	return s.Save(nil) // ok
+}

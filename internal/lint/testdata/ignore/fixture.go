@@ -1,0 +1,24 @@
+package fixture
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:ignore determinism fixture exercises the suppression path
+}
+
+func suppressedLineAbove() time.Time {
+	//lint:ignore determinism fixture exercises above-line suppression
+	return time.Now()
+}
+
+func wildcard() time.Time {
+	return time.Now() //lint:ignore * fixture exercises wildcard suppression
+}
+
+func missingReason() time.Time {
+	return time.Now() //lint:ignore determinism
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //lint:ignore nosuchanalyzer the name above is a typo
+}

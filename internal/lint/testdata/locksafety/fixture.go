@@ -1,0 +1,112 @@
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func lockNoUnlock(c *counter) {
+	c.mu.Lock() // want "not released before the end"
+	c.n++
+}
+
+func returnWhileLocked(c *counter, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return c.n // want "while c.mu is locked"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func deferUnlock(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: deferred unlock covers every return
+}
+
+func deferClosureUnlock(c *counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	return c.n // ok: unlock inside deferred closure
+}
+
+func balanced(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func branchBalanced(c *counter, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 1 // ok: unlocked before this return
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want "locked again while already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func readLockLeak(b *rwbox) int {
+	b.mu.RLock()
+	return b.n // want "while b.mu is locked"
+}
+
+func readLockBalanced(b *rwbox) int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.RUnlock()
+	return n // ok
+}
+
+func lockInLoop(c *counter, xs []int) {
+	for range xs {
+		c.mu.Lock() // want "not released before the end"
+		c.n++
+	}
+}
+
+func (c counter) byValueReceiver() int { // want "receiver"
+	return c.n
+}
+
+func takeByValue(c counter) int { // want "parameter"
+	return c.n
+}
+
+func copyAssign(c *counter) int {
+	d := *c // want "assignment copies"
+	return d.n
+}
+
+func rangeCopy(cs []counter) int {
+	n := 0
+	for _, c := range cs { // want "range copies"
+		n += c.n
+	}
+	return n
+}
+
+func pointerUses(cs []*counter) int {
+	n := 0
+	for _, c := range cs { // ok: pointers share, not copy
+		n += c.n
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package fixture
+
+type snapshotOnly struct{ n int }
+
+func (s *snapshotOnly) Snapshot() ([]byte, error) { return nil, nil } // want "no Restore"
+
+type restoreOnly struct{ n int }
+
+func (r *restoreOnly) Restore(data []byte) error { return nil } // want "no Snapshot"
+
+type goodPair struct{ n int }
+
+func (g *goodPair) Snapshot() ([]byte, error) { return nil, nil } // ok: full contract
+func (g *goodPair) Restore(data []byte) error { return nil }
+
+type badRestoreSig struct{ n int }
+
+func (b *badRestoreSig) Snapshot() ([]byte, error) { return nil, nil }
+func (b *badRestoreSig) Restore(data []byte)       {} // want "requires Restore"
+
+type badSnapshotSig struct{ n int }
+
+func (b *badSnapshotSig) Snapshot() []byte          { return nil } // want "requires Snapshot"
+func (b *badSnapshotSig) Restore(data []byte) error { return nil }
+
+type view struct{ n int }
+
+// A "snapshot" that never touches []byte is a different concept (e.g. a
+// dashboard view) and must not be dragged into the checkpoint contract.
+func (v *view) Snapshot() view { return *v } // ok: not checkpoint-shaped
+
+type embedded struct {
+	goodPair
+	extra int
+}

@@ -56,9 +56,17 @@ func ReconstructionError(raw []mobility.Report, cps []CriticalPoint) (rmseM, max
 	for id := range byMover {
 		synth[id] = Reconstruct(id, cps)
 	}
+	// Iterate movers in sorted order: float accumulation is not associative,
+	// so summing in map order would make the reported error run-dependent.
+	ids := make([]string, 0, len(byMover))
+	for id := range byMover {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var sumSq float64
 	var n int
-	for id, tr := range byMover {
+	for _, id := range ids {
+		tr := byMover[id]
 		s := synth[id]
 		if len(s.Reports) == 0 {
 			continue
