@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet lint test race bench ci clean
+.PHONY: build vet lint test race bench smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ vet:
 
 # lint is the project gate beyond go vet: gofmt drift, vet, and the
 # project-specific analyzers in cmd/datacronlint (determinism, errdrop,
-# locksafety, snapshotpair). Any finding fails the build.
+# locksafety, obsclock, snapshotpair). Any finding fails the build.
 lint:
 	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
@@ -27,7 +27,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
+# smoke exercises the real binaries end to end on small workloads: a short
+# datacron run with the metric dump enabled, and one benchrunner experiment
+# with per-experiment metric rows.
+smoke:
+	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -metrics
+	$(GO) run ./cmd/benchrunner -exp dashboard -scale small -metrics
+
 # ci is the full gate: compile everything, run go vet, run the static
-# analysis suite, then the test suite twice — plain and under the race
-# detector.
-ci: build vet lint test race
+# analysis suite, the test suite twice — plain and under the race
+# detector — then the CLI smoke runs.
+ci: build vet lint test race smoke

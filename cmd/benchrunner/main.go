@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full]
+//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full] [-metrics]
 package main
 
 import (
@@ -32,7 +32,12 @@ func wrap[T any](fn func(io.Writer, experiments.Scale) (T, error)) func(io.Write
 func main() {
 	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
+	metrics := flag.Bool("metrics", false, "attach a shared metric registry and print one metric row per experiment")
 	flag.Parse()
+
+	if *metrics {
+		experiments.EnableMetrics()
+	}
 
 	scale := experiments.Small
 	if *scaleName == "full" {
@@ -70,6 +75,12 @@ func main() {
 		if err := r.fn(os.Stdout, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", r.name, err)
 			os.Exit(1)
+		}
+		if *metrics {
+			if err := experiments.WriteMetricsRow(os.Stdout, r.name); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", r.name, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("[%s completed in %s]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}

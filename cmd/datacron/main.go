@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-v]
+//	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-v] [-metrics]
 //	         [-checkpoint-dir DIR] [-checkpoint-interval 1s] [-checkpoint-every N]
 //	         [-fault-seed S -fault-kill N]
 package main
@@ -47,6 +47,7 @@ func main() {
 	flights := flag.Int("flights", 12, "flight count (aviation)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	verbose := flag.Bool("v", false, "print dashboard event notes")
+	metrics := flag.Bool("metrics", false, "print the pipeline's metric registry after the run")
 	export := flag.String("export", "", "write the RDF-ized stream to this N-Triples file")
 	ckptDir := flag.String("checkpoint-dir", "", "enable checkpointing, storing checkpoints in this directory")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Second, "wall-clock checkpoint trigger (0 disables)")
@@ -55,14 +56,14 @@ func main() {
 	faultKill := flag.Int64("fault-kill", 0, "inject a crash roughly every this many records")
 	flag.Parse()
 
-	if err := run(*domain, *duration, *vessels, *flights, *seed, *verbose, *export,
+	if err := run(*domain, *duration, *vessels, *flights, *seed, *verbose, *metrics, *export,
 		*ckptDir, *ckptInterval, *ckptEvery, *faultSeed, *faultKill); err != nil {
 		fmt.Fprintln(os.Stderr, "datacron:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain string, duration time.Duration, vessels, flights int, seed int64, verbose bool, export string,
+func run(domain string, duration time.Duration, vessels, flights int, seed int64, verbose, metrics bool, export string,
 	ckptDir string, ckptInterval time.Duration, ckptEvery int, faultSeed, faultKill int64) error {
 	region := geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 	var cfg core.Config
@@ -108,7 +109,7 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 		return fmt.Errorf("unknown domain %q", domain)
 	}
 
-	pipeline, err := core.NewPipeline(cfg)
+	pipeline, err := core.New(core.WithConfig(cfg))
 	if err != nil {
 		return err
 	}
@@ -205,6 +206,16 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 		fmt.Printf("star query [%s]: %d nodes in %s (candidates %d, cell-rejected %d, precise checks %d)\n",
 			plan, len(results), time.Since(qStart).Round(time.Microsecond),
 			stats.Candidates, stats.CellRejected, stats.PreciseChecks)
+	}
+
+	if metrics {
+		st := pipeline.Stats()
+		ratio, _ := st.Metrics.Gauge("synopses.compression_ratio")
+		fmt.Printf("metrics: %.0f records/s, %.0f entities/s, compression ratio %.3f\n",
+			st.Metrics.Rate("core.records"), st.Metrics.Rate("linkdisc.entities"), ratio)
+		if err := st.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 
 	snap := pipeline.Dashboard.Snapshot(time.Now())

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"datacron/internal/msg"
 )
@@ -26,6 +27,7 @@ type Checkpointer struct {
 	ops     map[string]Snapshotter
 
 	captures int
+	m        *cpMetrics // nil when uninstrumented
 }
 
 type sourceRef struct {
@@ -96,6 +98,10 @@ func (c *Checkpointer) Captures() int { return c.captures }
 // prunes old generations beyond the retention limit. It returns the new
 // generation number.
 func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
+	var start time.Time
+	if c.m != nil {
+		start = c.m.clock.Now()
+	}
 	cp := &Checkpoint{
 		Generation: c.nextGen,
 		Operators:  make(map[string][]byte, len(c.ops)),
@@ -140,6 +146,9 @@ func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
 	c.nextGen = cp.Generation + 1
 	c.captures++
 	c.prune()
+	if c.m != nil {
+		c.m.recordCapture(c.m.clock.Now().Sub(start), len(data))
+	}
 	return cp.Generation, nil
 }
 
@@ -192,6 +201,13 @@ func (c *Checkpointer) Latest() (*Checkpoint, error) {
 // missing from the checkpoint are an error; checkpointed operators that are
 // no longer registered are ignored.
 func (c *Checkpointer) Restore(b *msg.Broker) (*Checkpoint, error) {
+	var start time.Time
+	if c.m != nil {
+		start = c.m.clock.Now()
+		defer func() {
+			c.m.restoreSeconds.ObserveDuration(c.m.clock.Now().Sub(start))
+		}()
+	}
 	cp, err := c.Latest()
 	if err != nil {
 		if errors.Is(err, ErrNoCheckpoint) {
@@ -224,5 +240,8 @@ func (c *Checkpointer) Restore(b *msg.Broker) (*Checkpoint, error) {
 		}
 	}
 	c.nextGen = cp.Generation + 1
+	if c.m != nil {
+		c.m.restores.Inc()
+	}
 	return cp, nil
 }

@@ -1,0 +1,44 @@
+package checkpoint
+
+import (
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// cpMetrics caches the checkpointer's metric handles. Timings read the
+// registry's injected clock — the checkpoint package is inside the
+// replayable scope, so it never touches the wall clock directly.
+type cpMetrics struct {
+	clock          obs.Clock
+	captureSeconds *obs.Histogram
+	snapshotBytes  *obs.Histogram
+	captures       *obs.Counter
+	restoreSeconds *obs.Histogram
+	restores       *obs.Counter
+}
+
+// Instrument attaches checkpoint metrics: "checkpoint.capture.seconds",
+// "checkpoint.snapshot.bytes" (size of the encoded checkpoint),
+// "checkpoint.captures", "checkpoint.restore.seconds" and
+// "checkpoint.restores". A nil registry detaches instrumentation.
+func (c *Checkpointer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		c.m = nil
+		return
+	}
+	c.m = &cpMetrics{
+		clock:          reg.Clock(),
+		captureSeconds: reg.Histogram("checkpoint.capture.seconds"),
+		snapshotBytes:  reg.Histogram("checkpoint.snapshot.bytes", obs.SizeBuckets()...),
+		captures:       reg.Counter("checkpoint.captures"),
+		restoreSeconds: reg.Histogram("checkpoint.restore.seconds"),
+		restores:       reg.Counter("checkpoint.restores"),
+	}
+}
+
+func (m *cpMetrics) recordCapture(d time.Duration, bytes int) {
+	m.captureSeconds.ObserveDuration(d)
+	m.snapshotBytes.Observe(float64(bytes))
+	m.captures.Inc()
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
+)
+
+// TestInstrumentedRecoveryByteIdentical pins the central contract between
+// metrics and checkpointing: instrumentation must be invisible to the data
+// path. A fully instrumented pipeline killed and recovered mid-stream must
+// publish byte-identical topics and an identical summary to an uninterrupted
+// run with instrumentation disabled entirely.
+func TestInstrumentedRecoveryByteIdentical(t *testing.T) {
+	base, reports := maritimePipeline(t, true)
+	// Strip the default registry and tracer: the baseline observes nothing.
+	base.obs = nil
+	base.tracer = nil
+	if err := base.Ingest(reports); err != nil {
+		t.Fatal(err)
+	}
+	baseSum, err := base.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, reports2 := maritimePipeline(t, true)
+	if faulty.Obs() == nil || faulty.Tracer() == nil {
+		t.Fatal("test premise broken: maritimePipeline must be instrumented by default")
+	}
+	if err := faulty.Ingest(reports2); err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 42, KillMin: 900, KillMax: 1500, DropProb: 0.01})
+	rc := &RecoveryConfig{Checkpointer: cpr, EveryRecords: 300, Injector: inj}
+
+	sum, restarts := runUntilDone(t, faulty, rc, 100)
+	if inj.Kills() < 2 {
+		t.Fatalf("only %d crashes injected; the test proved nothing", inj.Kills())
+	}
+	t.Logf("instrumented run recovered from %d crashes (%d restarts)", inj.Kills(), restarts)
+
+	if fmt.Sprint(sum) != fmt.Sprint(baseSum) {
+		t.Errorf("summaries differ:\nuninstrumented %v\ninstrumented   %v", baseSum, sum)
+	}
+	requireIdenticalTopics(t, base.Broker, faulty.Broker)
+}
+
+// TestRecoveryResetsMetrics verifies the registry's recovery semantics:
+// metric state is monitoring-only and lives outside the checkpoint, so each
+// restore resets it and the final readings cover exactly the span replayed
+// since the last restart — never the double-counted pre-crash run.
+func TestRecoveryResetsMetrics(t *testing.T) {
+	p, reports := maritimePipeline(t, false)
+	if err := p.Ingest(reports); err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 42, KillMin: 900, KillMax: 1500})
+	rc := &RecoveryConfig{Checkpointer: cpr, EveryRecords: 300, Injector: inj}
+
+	sum, restarts := runUntilDone(t, p, rc, 100)
+	if restarts < 2 {
+		t.Fatalf("only %d restarts; the reset semantics were not exercised", restarts)
+	}
+
+	st := p.Stats()
+	records := st.Metrics.Counter("core.records")
+	if records <= 0 {
+		t.Fatal("core.records must count the final run's replayed records")
+	}
+	// Every restart replays from a checkpoint strictly past the start of the
+	// stream, so the final (post-reset) count must be well short of the total.
+	if records >= sum.RawIn {
+		t.Errorf("core.records = %d after %d restarts, want < total RawIn %d (registry not reset on restore)",
+			records, restarts, sum.RawIn)
+	}
+	// Operator state DOES survive restores: the mirrored synopses counters
+	// are re-anchored, not reset, so the registry's critical-point count also
+	// stays bounded by the replayed span while the component stats cover the
+	// whole stream.
+	if crit := st.Metrics.Counter("synopses.critical"); crit >= sum.CriticalPoints {
+		t.Errorf("synopses.critical = %d, want < full-run count %d", crit, sum.CriticalPoints)
+	}
+	if st.Synopses.Critical != sum.CriticalPoints {
+		t.Errorf("component stats must span the whole run: synopses %d, summary %d",
+			st.Synopses.Critical, sum.CriticalPoints)
+	}
+	// The capture counter was reset with everything else (the final run may
+	// even capture nothing if it replays only a short tail); the
+	// checkpointer's own lifetime count keeps the full total.
+	if caps := st.Metrics.Counter("checkpoint.captures"); caps >= int64(cpr.Captures()) {
+		t.Errorf("checkpoint.captures = %d, want < lifetime total %d (registry not reset)", caps, cpr.Captures())
+	}
+	if restores := st.Metrics.Counter("checkpoint.restores"); restores != 1 {
+		t.Errorf("checkpoint.restores = %d after reset, want exactly the final run's restore", restores)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"time"
+
+	"datacron/internal/gen"
+	"datacron/internal/linkdisc"
+	"datacron/internal/lowlevel"
+	"datacron/internal/mobility"
+	"datacron/internal/obs"
+	"datacron/internal/synopses"
+)
+
+// Option configures a Pipeline built with New. Options replace the old
+// pattern of filling a Config struct and relying on zero-value defaulting:
+// each option states one intent, unset aspects keep their documented
+// defaults, and new knobs can be added without breaking callers.
+type Option func(*options)
+
+// options is the accumulated build state. cfg reuses the legacy Config
+// layout internally so both construction paths share one defaulting rule.
+type options struct {
+	cfg    Config
+	reg    *obs.Registry
+	regSet bool
+	clock  obs.Clock
+}
+
+// WithConfig applies a legacy Config wholesale. Later options override the
+// fields they touch. This is the bridge for callers migrating from
+// NewPipeline.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithDomain selects the mobility domain (maritime or aviation); the
+// domain picks the default synopses thresholds.
+func WithDomain(d mobility.Domain) Option {
+	return func(o *options) { o.cfg.Domain = d }
+}
+
+// WithSynopses overrides the synopses generator thresholds (default: the
+// domain's tuned configuration).
+func WithSynopses(cfg synopses.Config) Option {
+	return func(o *options) { o.cfg.Synopses = cfg }
+}
+
+// WithLink enables spatio-temporal link discovery against the given static
+// entities. Without statics the link-discovery stage is skipped entirely.
+func WithLink(cfg linkdisc.Config, statics []linkdisc.StaticEntity) Option {
+	return func(o *options) {
+		o.cfg.Link = cfg
+		o.cfg.Statics = statics
+	}
+}
+
+// WithRegions sets the monitored zones for low-level area events.
+func WithRegions(regions ...lowlevel.Region) Option {
+	return func(o *options) { o.cfg.Regions = regions }
+}
+
+// WithPartitions sets the broker partition count (default 4).
+func WithPartitions(n int) Option {
+	return func(o *options) { o.cfg.Partitions = n }
+}
+
+// WithFLP tunes future-location prediction: look-ahead steps per mover
+// (default 8) and the sampling interval (default 10s).
+func WithFLP(steps int, sample time.Duration) Option {
+	return func(o *options) {
+		o.cfg.PredictSteps = steps
+		o.cfg.SampleInterval = sample
+	}
+}
+
+// WithCER enables complex event forecasting: a Wayeb pattern over the
+// critical-point type alphabet, a symbol model of the given order trained
+// on train, and a forecast confidence threshold theta (default 0.5).
+func WithCER(pattern string, alphabet []string, order int, theta float64, train []string) Option {
+	return func(o *options) {
+		o.cfg.Pattern = pattern
+		o.cfg.Alphabet = alphabet
+		o.cfg.ModelOrder = order
+		o.cfg.Theta = theta
+		o.cfg.TrainSymbols = train
+	}
+}
+
+// WithWeather enables weather enrichment of critical points.
+func WithWeather(w *gen.WeatherField) Option {
+	return func(o *options) { o.cfg.Weather = w }
+}
+
+// WithObs attaches the given metrics registry instead of the default
+// fresh one. Pass nil to disable instrumentation entirely — every metric
+// handle degrades to a no-op. Sharing one registry across pipelines merges
+// their metrics.
+func WithObs(reg *obs.Registry) Option {
+	return func(o *options) {
+		o.reg = reg
+		o.regSet = true
+	}
+}
+
+// WithClock injects the time source used by the default registry, span
+// tracing and the interval checkpoint trigger (default: the wall clock).
+// Deterministic tests pass an obs.ManualClock. When WithObs supplies a
+// registry, that registry's clock wins.
+func WithClock(clock obs.Clock) Option {
+	return func(o *options) { o.clock = clock }
+}
+
+// New builds a pipeline from options: broker topics, dashboard, profiler,
+// optional forecaster, and — unless WithObs(nil) disables it — a metrics
+// registry instrumenting every stage.
+func New(opts ...Option) (*Pipeline, error) {
+	o := &options{clock: obs.WallClock{}}
+	for _, opt := range opts {
+		opt(o)
+	}
+	reg := o.reg
+	if !o.regSet {
+		reg = obs.NewRegistry(o.clock)
+	}
+	clock := o.clock
+	if reg != nil {
+		clock = reg.Clock()
+	}
+	p, err := newPipeline(o.cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	p.obs = reg
+	p.clock = clock
+	if reg != nil {
+		p.tracer = obs.NewTracer(reg, 64)
+		p.Broker.Instrument(reg)
+	}
+	return p, nil
+}
+
+// NewPipeline creates the broker topics and components from a legacy
+// Config.
+//
+// Deprecated: use New with functional options, e.g.
+// New(WithDomain(d), WithLink(cfg, statics)). NewPipeline remains for
+// existing callers and behaves exactly like New(WithConfig(cfg)).
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	return New(WithConfig(cfg))
+}

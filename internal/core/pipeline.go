@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"datacron/internal/cer"
@@ -20,6 +21,7 @@ import (
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
 	"datacron/internal/msg"
+	"datacron/internal/obs"
 	"datacron/internal/rdf"
 	"datacron/internal/store"
 	"datacron/internal/synopses"
@@ -110,11 +112,23 @@ type Pipeline struct {
 	Profiler  *lowlevel.Profiler
 
 	forecaster *cer.Forecaster
+
+	obs    *obs.Registry // nil when built with WithObs(nil)
+	clock  obs.Clock
+	tracer *obs.Tracer
+
+	// Component stats captured at the end of the most recent real-time
+	// run; guarded because Stats may be called from a monitoring goroutine.
+	mu       sync.Mutex
+	lastSyn  synopses.Stats
+	lastLink linkdisc.Stats
+	lastCons msg.ConsumerStats
+	lastSum  Summary
 }
 
-// NewPipeline creates the broker topics and components.
-func NewPipeline(cfg Config) (*Pipeline, error) {
-	cfg = cfg.withDefaults()
+// newPipeline builds the component set from a defaulted Config; New wires
+// observability on top.
+func newPipeline(cfg Config) (*Pipeline, error) {
 	b := msg.NewBroker()
 	for _, t := range []string{TopicRaw, TopicSynopses, TopicTriples, TopicLinks, TopicEvents} {
 		if err := b.CreateTopic(t, cfg.Partitions); err != nil {
@@ -181,6 +195,7 @@ func (p *Pipeline) BuildKnowledgeGraph(cfg store.STCellConfig, layout store.Layo
 	// Group the N-Triples lines into one batch per subject-bearing record
 	// ordering; Load batches per 10k lines to bound memory.
 	st := store.New(cfg, layout)
+	st.Instrument(p.obs)
 	var batch []rdf.Triple
 	flush := func() error {
 		if len(batch) == 0 {

@@ -149,16 +149,27 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	// (thresholds, grids, masks, automata) is rebuilt, dynamic state is
 	// restored from the checkpoint below.
 	sg := synopses.NewGenerator(p.cfg.Synopses)
+	sg.Instrument(p.obs)
 	areaMon := lowlevel.NewAreaMonitor(p.cfg.Regions, 64)
 	var disc *linkdisc.Discoverer
 	if len(p.cfg.Statics) > 0 {
 		disc = linkdisc.NewDiscoverer(p.cfg.Link, p.cfg.Statics)
+		disc.Instrument(p.obs)
 	}
 	rdfGen := rdfgen.CriticalPointGenerator()
 	predictors := map[string]flp.Predictor{}
 	seq := 0
 
+	// Per-stage metric handles, resolved once; nil-safe no-ops when
+	// instrumentation is off.
+	var (
+		mRecords     = p.obs.Counter("core.records")
+		mPredictions = p.obs.Counter("core.predictions")
+		mAreaEvents  = p.obs.Counter("core.area_events")
+	)
+
 	if cpr != nil {
+		cpr.Instrument(p.obs)
 		cpr.RegisterSource(sourceGroup, TopicRaw)
 		for _, t := range outputTopics {
 			cpr.RegisterOutput(t)
@@ -175,6 +186,12 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		cpr.Register("flp", predictorsSnapshotter{preds: predictors, sample: p.cfg.SampleInterval})
 		cpr.Register("summary", runStateSnapshotter{seq: &seq, sum: &sum})
 
+		// Metric state is monitoring-only and deliberately outside the
+		// checkpoint: reset it (before restoring, so the restore itself is
+		// the new run's first observation) and post-recovery readings cover
+		// exactly the replayed span instead of double-counting the pre-crash
+		// run.
+		p.obs.Reset()
 		cp, err := cpr.Restore(p.Broker)
 		if err != nil {
 			return sum, err
@@ -209,6 +226,18 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		return sum, err
 	}
 	defer cons.Close()
+	// Capture end-of-run component stats for Pipeline.Stats (runs before
+	// cons.Close: deferred calls execute last-in first-out).
+	defer func() {
+		p.mu.Lock()
+		p.lastSyn = sg.Stats()
+		if disc != nil {
+			p.lastLink = disc.Stats()
+		}
+		p.lastCons = cons.Stats()
+		p.lastSum = sum
+		p.mu.Unlock()
+	}()
 
 	processCritical := func(cp synopses.CriticalPoint) error {
 		sum.CriticalPoints++
@@ -268,24 +297,30 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		return nil
 	}
 
+	// The interval trigger reads the pipeline's injected clock, never the
+	// wall clock directly: a run driven by an obs.ManualClock checkpoints at
+	// deterministic points, so replay stays byte-identical.
 	var (
 		recsSinceCp int
-		lastCp      = time.Now()
+		lastCp      = p.clock.Now()
 	)
 	maybeCheckpoint := func() error {
 		if cpr == nil || rc == nil {
 			return nil
 		}
 		due := (rc.EveryRecords > 0 && recsSinceCp >= rc.EveryRecords) ||
-			(rc.Interval > 0 && time.Since(lastCp) >= rc.Interval)
+			(rc.Interval > 0 && p.clock.Now().Sub(lastCp) >= rc.Interval)
 		if !due {
 			return nil
 		}
-		if _, err := cpr.Capture(p.Broker); err != nil {
+		span := p.tracer.Start("checkpoint")
+		_, err := cpr.Capture(p.Broker)
+		span.End()
+		if err != nil {
 			return err
 		}
 		recsSinceCp = 0
-		lastCp = time.Now()
+		lastCp = p.clock.Now()
 		return nil
 	}
 
@@ -295,7 +330,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				time.Sleep(d)
 			}
 		}
+		pollSpan := p.tracer.Start("poll")
 		recs, err := cons.Poll(ctx, 256)
+		pollSpan.End()
 		if errors.Is(err, msg.ErrClosed) {
 			break
 		}
@@ -310,9 +347,11 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			}
 			continue
 		}
+		procSpan := p.tracer.Start("process")
 		for _, rec := range recs {
 			if inj != nil {
 				if err := inj.BeforeRecord(); err != nil {
+					procSpan.End()
 					return sum, err
 				}
 			}
@@ -321,10 +360,13 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				continue // corrupt record: dropped by the cleaning stage
 			}
 			sum.RawIn++
+			mRecords.Inc()
 			// In-situ processing.
 			if r.Valid() {
 				p.Profiler.Observe(r)
-				sum.AreaEvents += int64(len(areaMon.Update(r)))
+				areaEvents := int64(len(areaMon.Update(r)))
+				sum.AreaEvents += areaEvents
+				mAreaEvents.Add(areaEvents)
 				p.Dashboard.UpdatePosition(r)
 				// Future location prediction.
 				pred, ok := predictors[r.ID]
@@ -335,17 +377,20 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				pred.Observe(r)
 				if pts := pred.Predict(p.cfg.PredictSteps); pts != nil {
 					sum.Predictions++
+					mPredictions.Inc()
 					p.Dashboard.SetPrediction(r.ID, pts)
 				}
 			}
 			// Synopses generation (applies its own noise filters).
 			for _, cp := range sg.Process(r) {
 				if err := processCritical(cp); err != nil {
+					procSpan.End()
 					return sum, err
 				}
 			}
 			cons.Commit(rec)
 		}
+		procSpan.End()
 		// Checkpoints are captured only between poll batches: every record
 		// of the batch is committed, so the consumer's fetch positions equal
 		// the group's committed offsets — the consistent cut a restored run

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"datacron/internal/linkdisc"
+	"datacron/internal/msg"
+	"datacron/internal/obs"
+	"datacron/internal/synopses"
+)
+
+// PipelineStats is one composed, race-free snapshot of the pipeline: the
+// live metric registry, broker topic depths, and the component stats of
+// the most recent completed real-time run. Metrics are live at the instant
+// of the call; component stats (Synopses, Links, Consumer, Summary) are
+// value copies captured when the last run returned.
+type PipelineStats struct {
+	Metrics  obs.Snapshot
+	Broker   msg.BrokerStats
+	Synopses synopses.Stats
+	Links    linkdisc.Stats
+	Consumer msg.ConsumerStats
+	Summary  Summary
+}
+
+// Stats snapshots the pipeline. Safe to call concurrently with a run; the
+// metric registry and broker are read atomically, the component stats are
+// from the last completed run.
+func (p *Pipeline) Stats() PipelineStats {
+	s := PipelineStats{
+		Metrics: p.obs.Snapshot(),
+		Broker:  p.Broker.Stats(),
+	}
+	p.mu.Lock()
+	s.Synopses = p.lastSyn
+	s.Links = p.lastLink
+	s.Consumer = p.lastCons
+	s.Summary = p.lastSum
+	p.mu.Unlock()
+	return s
+}
+
+// Obs exposes the pipeline's metric registry (nil when instrumentation is
+// disabled) so callers can share it across pipelines or add their own
+// metrics.
+func (p *Pipeline) Obs() *obs.Registry { return p.obs }
+
+// Tracer exposes the pipeline's span tracer (nil when instrumentation is
+// disabled).
+func (p *Pipeline) Tracer() *obs.Tracer { return p.tracer }
+
+// WriteText renders the snapshot as a plain-text dump: the run summary,
+// per-topic broker depths, then every registry metric with rates — the
+// output behind cmd/datacron's -metrics flag.
+func (s PipelineStats) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# run summary\n%s\n", s.Summary); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# topics\n"); err != nil {
+		return err
+	}
+	for _, t := range s.Broker.Topics {
+		if _, err := fmt.Fprintf(w, "topic   %-42s parts=%d records=%d bytes=%d\n",
+			t.Name, t.Partitions, t.Records, t.Bytes); err != nil {
+			return err
+		}
+	}
+	return s.Metrics.WriteText(w)
+}

@@ -63,7 +63,7 @@ func checkpointWorkload(scale Scale) (core.Config, []mobility.Report) {
 }
 
 func runCheckpointed(cfg core.Config, reports []mobility.Report, rc *core.RecoveryConfig) (*core.Pipeline, core.Summary, int, error) {
-	p, err := core.NewPipeline(cfg)
+	p, err := core.New(pipelineOpts(cfg)...)
 	if err != nil {
 		return nil, core.Summary{}, 0, err
 	}

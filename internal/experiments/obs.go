@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"datacron/internal/core"
+	"datacron/internal/obs"
+)
+
+// registry, when non-nil, is the shared metric registry every experiment
+// pipeline attaches to, so the driver can report one metric block per
+// experiment. Experiments run sequentially, so a single registry with a
+// snapshot-and-reset between experiments gives per-experiment readings.
+var registry *obs.Registry
+
+// EnableMetrics switches the suite to a shared metric registry and returns
+// it. Call once before running experiments (benchrunner does this for its
+// -metrics flag); without it every pipeline keeps its own private registry.
+func EnableMetrics() *obs.Registry {
+	registry = obs.NewRegistry(nil)
+	return registry
+}
+
+// pipelineOpts assembles the options every experiment pipeline is built
+// with: the experiment's configuration, plus the shared registry when
+// metrics reporting is on.
+func pipelineOpts(cfg core.Config) []core.Option {
+	opts := []core.Option{core.WithConfig(cfg)}
+	if registry != nil {
+		opts = append(opts, core.WithObs(registry))
+	}
+	return opts
+}
+
+// WriteMetricsRow prints one compact metric row from the shared registry —
+// the headline pipeline gauges — and resets the registry so the next
+// experiment starts a fresh window. A no-op without EnableMetrics.
+func WriteMetricsRow(w io.Writer, name string) error {
+	if registry == nil {
+		return nil
+	}
+	s := registry.Snapshot()
+	defer registry.Reset()
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
+		return nil // experiment built no pipeline
+	}
+	ratio, _ := s.Gauge("synopses.compression_ratio")
+	_, err := fmt.Fprintf(w,
+		"[%s metrics] records=%d (%.0f/s) critical=%d entities/s=%.0f compression=%.3f checkpoints=%d\n",
+		name, s.Counter("core.records"), s.Rate("core.records"),
+		s.Counter("synopses.critical"), s.Rate("linkdisc.entities"),
+		ratio, s.Counter("checkpoint.captures"))
+	return err
+}

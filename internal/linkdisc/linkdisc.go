@@ -110,6 +110,7 @@ type Discoverer struct {
 	masks   map[int][]bool // cell -> sub-cell raster; true = in mask (skip)
 	recent  map[int][]recentPoint
 	stats   Stats
+	m       *discMetrics // nil when uninstrumented
 }
 
 // NewDiscoverer indexes the stationary entities. Building cell masks is a
@@ -257,6 +258,9 @@ func (d *Discoverer) inMask(cell int, p geo.Point) bool {
 // ProcessPoint evaluates one streaming entity position and returns the
 // relations it satisfies, sorted by (relation, target) for determinism.
 func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
+	if d.m != nil {
+		defer func() { d.m.sync(d.stats) }()
+	}
 	d.stats.Entities++
 	cell, ok := d.grid.CellIndex(p)
 	if !ok {

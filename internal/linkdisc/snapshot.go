@@ -52,6 +52,11 @@ func (d *Discoverer) Restore(data []byte) error {
 		return fmt.Errorf("linkdisc: restore: %w", err)
 	}
 	d.stats = snap.Stats
+	if d.m != nil {
+		// Re-anchor the delta mirror; metric state stays outside the
+		// checkpoint so only post-restore progress reaches the registry.
+		d.m.last = d.stats
+	}
 	d.recent = make(map[int][]recentPoint, len(snap.Recent))
 	for cell, rps := range snap.Recent {
 		out := make([]recentPoint, len(rps))

@@ -72,6 +72,7 @@ func Analyzers() []*Analyzer {
 		determinismAnalyzer,
 		errdropAnalyzer,
 		locksafetyAnalyzer,
+		obsclockAnalyzer,
 		snapshotpairAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })

@@ -143,6 +143,30 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	}
 }
 
+func TestObsClock(t *testing.T) {
+	runFixture(t, "obsclock", "obsclock", "datacron/internal/msg/lintfixture")
+}
+
+func TestObsClockSuppression(t *testing.T) {
+	// Run (with directive filtering) must drop the finding covered by the
+	// fixture's //lint:ignore obsclock directive; the three bare wall-clock
+	// reads survive.
+	p := loadFixture(t, "obsclock", "datacron/internal/msg/lintfixture")
+	diags := Run([]*Package{p}, []*Analyzer{Lookup("obsclock")})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (one suppressed): %v", len(diags), diags)
+	}
+}
+
+func TestObsClockOutOfScope(t *testing.T) {
+	// The same fixture outside the instrumented scope must produce nothing:
+	// experiments and CLIs may read the wall clock freely.
+	p := loadFixture(t, "obsclock", "datacron/internal/experiments/lintfixture")
+	if diags := Lookup("obsclock").Run(p); len(diags) != 0 {
+		t.Fatalf("obsclock fired outside the instrumented scope: %v", diags)
+	}
+}
+
 func TestLockSafety(t *testing.T) {
 	runFixture(t, "locksafety", "locksafety", "datacron/internal/lintfixture/locksafety")
 }

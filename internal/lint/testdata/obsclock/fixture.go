@@ -1,0 +1,38 @@
+package fixture
+
+import "time"
+
+// Clock mirrors obs.Clock; the fixture is self-contained so the analyzer
+// test does not depend on the real obs package.
+type Clock interface {
+	Now() time.Time
+}
+
+func wallClock() time.Time {
+	return time.Now() // want 9:"time.Now"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until"
+}
+
+func injected(c Clock) time.Time {
+	return c.Now() // ok: reads the injected clock
+}
+
+func derived(a, b time.Time) time.Duration {
+	return b.Sub(a) // ok: pure arithmetic on existing instants
+}
+
+func construct() time.Time {
+	return time.Unix(42, 0) // ok: not a wall-clock read
+}
+
+func sanctioned() time.Time {
+	//lint:ignore obsclock fixture mirror of the one sanctioned reader
+	return time.Now() // want "time.Now"
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"datacron/internal/obs"
 )
 
 // Errors returned by broker operations.
@@ -24,12 +26,30 @@ type Broker struct {
 	topics map[string]*topic
 	groups map[string]*group // keyed by groupID + "/" + topic
 	closed bool
+	obs    *obs.Registry
 }
 
 // topic is a named set of partition logs.
 type topic struct {
 	name  string
 	parts []*partition
+	m     *topicMetrics // nil when the broker is not instrumented
+}
+
+// topicMetrics caches the per-topic metric handles so the produce hot path
+// never resolves names.
+type topicMetrics struct {
+	produced *obs.Counter
+	bytes    *obs.Counter
+	depth    *obs.Gauge
+}
+
+func newTopicMetrics(reg *obs.Registry, name string) *topicMetrics {
+	return &topicMetrics{
+		produced: reg.Counter("msg.produced." + name),
+		bytes:    reg.Counter("msg.bytes." + name),
+		depth:    reg.Gauge("msg.depth." + name),
+	}
 }
 
 // partition is an append-only log with a broadcast condition for blocking
@@ -72,8 +92,30 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	for i := range t.parts {
 		t.parts[i] = newPartition()
 	}
+	if b.obs != nil {
+		t.m = newTopicMetrics(b.obs, name)
+	}
 	b.topics[name] = t
 	return nil
+}
+
+// Instrument attaches a metrics registry: per-topic produced/bytes counters
+// and retained-depth gauges, plus poll latency and consumer lag on consumers
+// created afterwards. Call it before producing; topics created later are
+// instrumented automatically. A nil registry detaches instrumentation for
+// new topics/consumers but leaves existing handles live.
+func (b *Broker) Instrument(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.obs = reg
+	if reg == nil {
+		return
+	}
+	for name, t := range b.topics {
+		if t.m == nil {
+			t.m = newTopicMetrics(reg, name)
+		}
+	}
 }
 
 // EnsureTopic creates the topic if it does not exist and returns nil either way.
@@ -162,6 +204,11 @@ func (b *Broker) produceTo(t *topic, pIdx int, key string, value []byte, ts time
 	}
 	p.records = append(p.records, rec)
 	p.cond.Broadcast()
+	if t.m != nil {
+		t.m.produced.Inc()
+		t.m.bytes.Add(int64(len(value)))
+		t.m.depth.Add(1)
+	}
 	return rec, nil
 }
 
@@ -256,6 +303,9 @@ func (b *Broker) Truncate(topicName string, partitionIdx int, end int64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if end < int64(len(p.records)) {
+		if t.m != nil {
+			t.m.depth.Add(float64(end - int64(len(p.records))))
+		}
 		p.records = p.records[:end]
 	}
 	return nil

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"datacron/internal/obs"
 )
 
 // ErrConsumerClosed is returned by operations on a consumer after Close.
@@ -152,7 +154,38 @@ type Consumer struct {
 	gen       int
 	parts     []int
 	positions map[int]int64 // partition -> next fetch offset
+	polled    int64         // records returned by Poll since creation
 	closed    bool
+
+	m *consumerMetrics // nil when the broker is not instrumented
+}
+
+// consumerMetrics caches this consumer's metric handles so Poll never
+// resolves names. Lag is a gauge keyed by group/topic: the latest reading
+// wins, which is what a rebalancing group wants.
+type consumerMetrics struct {
+	clock   obs.Clock
+	polls   *obs.Counter
+	records *obs.Counter
+	latency *obs.Histogram
+	lag     *obs.Gauge
+}
+
+func newConsumerMetrics(reg *obs.Registry, groupID, topicName string) *consumerMetrics {
+	return &consumerMetrics{
+		clock:   reg.Clock(),
+		polls:   reg.Counter("msg.poll.count"),
+		records: reg.Counter("msg.poll.records"),
+		latency: reg.Histogram("msg.poll.seconds"),
+		lag:     reg.Gauge("msg.lag." + groupKey(groupID, topicName)),
+	}
+}
+
+// registry returns the broker's attached registry, nil when uninstrumented.
+func (b *Broker) registry() *obs.Registry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.obs
 }
 
 // NewConsumer joins the consumer group for a topic. Member IDs must be
@@ -170,6 +203,9 @@ func (b *Broker) NewConsumer(groupID, topicName, member string) (*Consumer, erro
 		member:    member,
 		gen:       -1,
 		positions: make(map[int]int64),
+	}
+	if reg := b.registry(); reg != nil {
+		c.m = newConsumerMetrics(reg, groupID, topicName)
 	}
 	return c, nil
 }
@@ -212,6 +248,26 @@ func (c *Consumer) Assignment() []int {
 // or the context is cancelled. Polled records are NOT committed
 // automatically; call Commit.
 func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
+	if c.m == nil {
+		recs, err := c.poll(ctx, max)
+		c.polled += int64(len(recs))
+		return recs, err
+	}
+	start := c.m.clock.Now()
+	recs, err := c.poll(ctx, max)
+	c.m.latency.ObserveDuration(c.m.clock.Now().Sub(start))
+	c.m.polls.Inc()
+	if n := int64(len(recs)); n > 0 {
+		c.polled += n
+		c.m.records.Add(n)
+	}
+	if lag, lerr := c.Lag(); lerr == nil {
+		c.m.lag.Set(float64(lag))
+	}
+	return recs, err
+}
+
+func (c *Consumer) poll(ctx context.Context, max int) ([]Record, error) {
 	if c.closed {
 		return nil, ErrConsumerClosed
 	}

@@ -1,0 +1,125 @@
+package msg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+func TestBrokerInstrumentation(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("pre", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(obs.NewManualClock(time.Unix(0, 0).UTC()))
+	b.Instrument(reg)
+	if err := b.CreateTopic("post", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := time.Unix(100, 0).UTC()
+	for i := 0; i < 5; i++ {
+		if _, err := b.Produce("pre", "k", []byte("0123456789"), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Produce("post", "k", []byte("abc"), ts); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counter("msg.produced.pre"); got != 5 {
+		t.Fatalf("msg.produced.pre = %d, want 5 (pre-existing topics must be instrumented)", got)
+	}
+	if got := s.Counter("msg.bytes.pre"); got != 50 {
+		t.Fatalf("msg.bytes.pre = %d, want 50", got)
+	}
+	if got := s.Counter("msg.produced.post"); got != 1 {
+		t.Fatalf("msg.produced.post = %d, want 1 (topics created after Instrument)", got)
+	}
+	if d, _ := s.Gauge("msg.depth.pre"); d != 5 {
+		t.Fatalf("msg.depth.pre = %v, want 5", d)
+	}
+
+	// Truncate pulls the depth gauge back down.
+	if err := b.Truncate("pre", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := reg.Snapshot().Gauge("msg.depth.pre"); d != 2 {
+		t.Fatalf("msg.depth.pre after truncate = %v, want 2", d)
+	}
+
+	// Broker-level snapshot agrees with the gauges.
+	bs := b.Stats()
+	if ts, ok := bs.Topic("pre"); !ok || ts.Records != 2 || ts.Bytes != 20 || ts.Partitions != 1 {
+		t.Fatalf("broker stats for pre = %+v", ts)
+	}
+}
+
+func TestConsumerInstrumentation(t *testing.T) {
+	b := NewBroker()
+	clk := obs.NewManualClock(time.Unix(0, 0).UTC())
+	reg := obs.NewRegistry(clk)
+	b.Instrument(reg)
+	if err := b.CreateTopic("raw", 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(100, 0).UTC()
+	for i := 0; i < 4; i++ {
+		if _, err := b.Produce("raw", "k", []byte{byte(i)}, ts.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := b.NewConsumer("g", "raw", "m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("polled %d records, want 3", len(recs))
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counter("msg.poll.count"); got != 1 {
+		t.Fatalf("msg.poll.count = %d, want 1", got)
+	}
+	if got := s.Counter("msg.poll.records"); got != 3 {
+		t.Fatalf("msg.poll.records = %d, want 3", got)
+	}
+	if h, ok := s.Histogram("msg.poll.seconds"); !ok || h.Count != 1 {
+		t.Fatalf("msg.poll.seconds = %+v, ok=%v", h, ok)
+	}
+	if lag, ok := s.Gauge("msg.lag.g/raw"); !ok || lag != 1 {
+		t.Fatalf("msg.lag.g/raw = %v, ok=%v, want 1", lag, ok)
+	}
+
+	cs := c.Stats()
+	if cs.Polled != 3 || cs.Lag != 1 || cs.Group != "g" || cs.Topic != "raw" {
+		t.Fatalf("consumer stats = %+v", cs)
+	}
+
+	// Uninstrumented brokers still track Polled in Stats.
+	b2 := NewBroker()
+	if err := b2.CreateTopic("raw", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Produce("raw", "k", []byte("x"), ts); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := b2.NewConsumer("g", "raw", "m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Poll(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Stats().Polled; got != 1 {
+		t.Fatalf("uninstrumented Polled = %d, want 1", got)
+	}
+}

@@ -1,0 +1,80 @@
+package msg
+
+import "sort"
+
+// TopicStats is a point-in-time summary of one topic.
+type TopicStats struct {
+	Name       string
+	Partitions int
+	Records    int64 // records currently retained, summed over partitions
+	Bytes      int64 // summed value sizes of retained records
+}
+
+// BrokerStats is a race-free, value-type snapshot of the broker, topics
+// sorted by name.
+type BrokerStats struct {
+	Topics []TopicStats
+}
+
+// Stats captures every topic's retained depth and size. Safe to call
+// concurrently with producers and consumers.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.RLock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.RUnlock()
+
+	var s BrokerStats
+	for _, t := range topics {
+		ts := TopicStats{Name: t.name, Partitions: len(t.parts)}
+		for _, p := range t.parts {
+			p.mu.Lock()
+			ts.Records += int64(len(p.records))
+			for _, r := range p.records {
+				ts.Bytes += int64(len(r.Value))
+			}
+			p.mu.Unlock()
+		}
+		s.Topics = append(s.Topics, ts)
+	}
+	sort.Slice(s.Topics, func(i, j int) bool { return s.Topics[i].Name < s.Topics[j].Name })
+	return s
+}
+
+// Topic returns the named topic's stats and whether it exists.
+func (s BrokerStats) Topic(name string) (TopicStats, bool) {
+	for _, t := range s.Topics {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TopicStats{}, false
+}
+
+// ConsumerStats is a value-type snapshot of one consumer's progress. Like
+// the consumer itself it must be taken from the consumer's own goroutine.
+type ConsumerStats struct {
+	Group      string
+	Topic      string
+	Member     string
+	Partitions []int // current assignment
+	Polled     int64 // records returned by Poll since creation
+	Lag        int64 // produced but not yet fetched, over the assignment
+}
+
+// Stats captures the consumer's current assignment, poll progress and lag.
+func (c *Consumer) Stats() ConsumerStats {
+	s := ConsumerStats{
+		Group:  c.grp.id,
+		Topic:  c.topicName,
+		Member: c.member,
+		Polled: c.polled,
+	}
+	s.Partitions = append([]int(nil), c.parts...)
+	if lag, err := c.Lag(); err == nil {
+		s.Lag = lag
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+// Package obs is the pipeline-wide observability layer: a Registry of
+// counters, gauges and fixed-bucket histograms with mergeable value-type
+// snapshots, plus lightweight span tracing for per-stage timings. It is
+// built exclusively on the standard library.
+//
+// Design constraints, in order:
+//
+//   - Instrumentation must never perturb pipeline output. Metrics are
+//     read-only observers; nothing in this package feeds back into operator
+//     state, and metric state is deliberately NOT checkpointed — recovery
+//     calls Registry.Reset so post-restore readings cover exactly the
+//     replayed span (see internal/core).
+//   - Time is injected. Every component that needs a timestamp reads it
+//     from a Clock carried by the Registry, never from time.Now directly,
+//     so instrumented code stays compatible with the determinism lint
+//     analyzer and with byte-identical checkpoint replay. The obsclock
+//     analyzer in internal/lint enforces this.
+//   - Disabled must be (nearly) free. Every metric handle is nil-safe: a
+//     nil *Counter, *Gauge, *Histogram, *Registry or *Tracer accepts the
+//     full API as a no-op, so instrumented packages write straight-line
+//     code with no "is monitoring on?" branches.
+//   - Hot-path updates are lock-free. Counters, gauges and histogram
+//     buckets are atomics; the registry mutex is only taken when resolving
+//     a metric by name (done once, at instrumentation time) and when
+//     snapshotting.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps to instrumentation. Production code uses
+// WallClock; tests and replay-sensitive drills inject a ManualClock so
+// rates and timings are reproducible.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock reads the system clock. It is the single sanctioned wall-clock
+// source for instrumented packages: everything else must go through an
+// injected Clock so that replacing it replaces every timestamp at once.
+type WallClock struct{}
+
+// Now returns the current wall-clock time.
+func (WallClock) Now() time.Time {
+	//lint:ignore obsclock WallClock is the one sanctioned wall-clock reader behind the Clock interface
+	return time.Now()
+}
+
+// ManualClock is a settable Clock for tests and deterministic drills. The
+// zero value starts at the zero time; use NewManualClock to seed it.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now returns the clock's current (frozen) time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// Set jumps the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records lightweight spans: named, timed stages of the pipeline
+// (poll, process, checkpoint, ...). Each completed span feeds a per-name
+// duration histogram and counter in the registry — "trace.<name>.seconds",
+// "trace.<name>.count" — and is kept in a bounded ring of recent spans for
+// dumps. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	reg  *Registry
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// NewTracer returns a tracer recording into reg and retaining the last
+// ringSize completed spans (minimum 16).
+func NewTracer(reg *Registry, ringSize int) *Tracer {
+	if ringSize < 16 {
+		ringSize = 16
+	}
+	return &Tracer{reg: reg, ring: make([]SpanRecord, ringSize)}
+}
+
+// Span is an in-flight stage timing; call End exactly once. The zero Span
+// (from a nil Tracer) ends as a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start opens a span. Time comes from the registry's injected Clock.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.reg.Clock().Now()}
+}
+
+// End closes the span, recording its duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := s.t.reg.Clock().Now().Sub(s.start)
+	s.t.reg.Histogram("trace." + s.name + ".seconds").ObserveDuration(d)
+	s.t.reg.Counter("trace." + s.name + ".count").Inc()
+	s.t.mu.Lock()
+	s.t.ring[s.t.next] = SpanRecord{Name: s.name, Start: s.start, Duration: d}
+	s.t.next = (s.t.next + 1) % len(s.t.ring)
+	if s.t.next == 0 {
+		s.t.full = true
+	}
+	s.t.mu.Unlock()
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// storeMetrics caches the store's metric handles; resolved once at
+// Instrument time. Queries accumulate their QueryStats into counters so
+// pruning effectiveness is visible live, not just per call.
+type storeMetrics struct {
+	clock         obs.Clock
+	joinSeconds   *obs.Histogram
+	joins         *obs.Counter
+	candidates    *obs.Counter
+	cellRejected  *obs.Counter
+	cellAccepted  *obs.Counter
+	preciseChecks *obs.Counter
+	results       *obs.Counter
+	loadSeconds   *obs.Histogram
+	loadTriples   *obs.Counter
+}
+
+// Instrument attaches query and load metrics: "store.starjoin.seconds",
+// "store.starjoin.count", the accumulated QueryStats counters
+// ("store.starjoin.candidates", ".cell_rejected", ".cell_accepted",
+// ".precise_checks", ".results"), plus "store.load.seconds" and
+// "store.load.triples". Timings read the registry's injected clock. A nil
+// registry detaches instrumentation.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.m = nil
+		return
+	}
+	s.m = &storeMetrics{
+		clock:         reg.Clock(),
+		joinSeconds:   reg.Histogram("store.starjoin.seconds"),
+		joins:         reg.Counter("store.starjoin.count"),
+		candidates:    reg.Counter("store.starjoin.candidates"),
+		cellRejected:  reg.Counter("store.starjoin.cell_rejected"),
+		cellAccepted:  reg.Counter("store.starjoin.cell_accepted"),
+		preciseChecks: reg.Counter("store.starjoin.precise_checks"),
+		results:       reg.Counter("store.starjoin.results"),
+		loadSeconds:   reg.Histogram("store.load.seconds"),
+		loadTriples:   reg.Counter("store.load.triples"),
+	}
+}
+
+func (m *storeMetrics) recordJoin(d time.Duration, stats QueryStats) {
+	m.joinSeconds.ObserveDuration(d)
+	m.joins.Inc()
+	m.candidates.Add(int64(stats.Candidates))
+	m.cellRejected.Add(int64(stats.CellRejected))
+	m.cellAccepted.Add(int64(stats.CellAccepted))
+	m.preciseChecks.Add(int64(stats.PreciseChecks))
+	m.results.Add(int64(stats.Results))
+}

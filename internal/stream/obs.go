@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// opMetrics caches one operator's metric handles, resolved once at
+// Instrument time so Feed never touches the registry. Which handles are
+// populated depends on the operator kind: keyed process operators count
+// in/out, window operators additionally track late drops, fired windows,
+// open-window depth and event-time disorder.
+type opMetrics struct {
+	in       *obs.Counter
+	out      *obs.Counter
+	late     *obs.Counter
+	open     *obs.Gauge
+	disorder *obs.Gauge // seconds the current event trails the stream front
+}
+
+func newProcessMetrics(reg *obs.Registry, name string) *opMetrics {
+	return &opMetrics{
+		in:  reg.Counter("stream." + name + ".in"),
+		out: reg.Counter("stream." + name + ".out"),
+	}
+}
+
+func newWindowMetrics(reg *obs.Registry, name string) *opMetrics {
+	return &opMetrics{
+		in:       reg.Counter("stream." + name + ".in"),
+		out:      reg.Counter("stream." + name + ".fired"),
+		late:     reg.Counter("stream." + name + ".late"),
+		open:     reg.Gauge("stream." + name + ".open_windows"),
+		disorder: reg.Gauge("stream." + name + ".disorder.seconds"),
+	}
+}
+
+// lateDrop counts one late-beyond-allowance drop; nil-safe so the drop
+// path needs no instrumentation branch of its own.
+func (m *opMetrics) lateDrop() {
+	if m == nil {
+		return
+	}
+	m.late.Inc()
+}
+
+// countEmit wraps an emit callback to count emissions.
+func countEmit[O any](c *obs.Counter, emit func(Event[O])) func(Event[O]) {
+	return func(o Event[O]) {
+		c.Inc()
+		emit(o)
+	}
+}
+
+// Instrument attaches per-operator counters under "stream.<name>.*" —
+// events in, events out — and returns the operator for chaining. A nil
+// registry detaches instrumentation.
+func (op *ProcessOp[I, O, S]) Instrument(reg *obs.Registry, name string) *ProcessOp[I, O, S] {
+	if reg == nil {
+		op.m = nil
+		return op
+	}
+	op.m = newProcessMetrics(reg, name)
+	return op
+}
+
+// Instrument attaches window metrics under "stream.<name>.*": events in,
+// windows fired, late drops, open-window depth and event-time disorder.
+// Returns the operator for chaining. A nil registry detaches.
+func (op *WindowOp[I, A]) Instrument(reg *obs.Registry, name string) *WindowOp[I, A] {
+	if reg == nil {
+		op.m = nil
+		return op
+	}
+	op.m = newWindowMetrics(reg, name)
+	return op
+}
+
+// Instrument attaches session-window metrics under "stream.<name>.*";
+// see WindowOp.Instrument. A nil registry detaches.
+func (op *SessionWindowOp[I, A]) Instrument(reg *obs.Registry, name string) *SessionWindowOp[I, A] {
+	if reg == nil {
+		op.m = nil
+		return op
+	}
+	op.m = newWindowMetrics(reg, name)
+	return op
+}
+
+// WatermarkStats is a value-type snapshot of event-time progress.
+type WatermarkStats struct {
+	Watermark    time.Time // current watermark (zero before any event)
+	MaxEventTime time.Time // stream front: latest event time observed
+	Late         int64     // events observed at or before the watermark
+}
+
+// Stats captures the watermarker's progress. Like the operators that own
+// watermarkers it must be called from the processing goroutine.
+func (w *Watermarker) Stats() WatermarkStats {
+	return WatermarkStats{Watermark: w.Watermark(), MaxEventTime: w.maxTime, Late: w.Late}
+}
+
+// Watermark exposes a window operator's event-time progress.
+func (op *WindowOp[I, A]) Watermark() WatermarkStats { return op.wm.Stats() }
+
+// Watermark exposes a session operator's event-time progress.
+func (op *SessionWindowOp[I, A]) Watermark() WatermarkStats { return op.wm.Stats() }

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+func TestProcessOpInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewManualClock(time.Unix(0, 0).UTC()))
+	op := NewProcessOp(
+		func(key string) *int { v := 0; return &v },
+		func(st *int, e Event[int], emit func(Event[int])) {
+			*st += e.Value
+			if *st%2 == 0 {
+				emit(Event[int]{Key: e.Key, Time: e.Time, Value: *st})
+			}
+		},
+		nil, nil, nil,
+	).Instrument(reg, "speed")
+
+	base := time.Unix(1000, 0).UTC()
+	var got []Event[int]
+	sink := func(o Event[int]) { got = append(got, o) }
+	for i := 1; i <= 4; i++ {
+		op.Feed(E("v1", base.Add(time.Duration(i)*time.Second), 1), sink)
+	}
+	s := reg.Snapshot()
+	if in := s.Counter("stream.speed.in"); in != 4 {
+		t.Fatalf("in = %d, want 4", in)
+	}
+	if out := s.Counter("stream.speed.out"); out != int64(len(got)) || out != 2 {
+		t.Fatalf("out = %d, emitted %d, want 2", out, len(got))
+	}
+}
+
+func TestWindowOpInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewManualClock(time.Unix(0, 0).UTC()))
+	op := NewWindowOp[int, int](
+		time.Minute, time.Minute, 0,
+		func(w Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + e.Value },
+		nil, nil,
+	).Instrument(reg, "win")
+
+	base := time.Unix(0, 0).UTC()
+	var fired int
+	sink := func(o Event[WindowAggregate[int]]) { fired++ }
+	op.Feed(E("k", base.Add(10*time.Second), 1), sink)
+	op.Feed(E("k", base.Add(70*time.Second), 1), sink) // fires window 0
+	op.Feed(E("k", base.Add(5*time.Second), 1), sink)  // late beyond allowance
+
+	s := reg.Snapshot()
+	if in := s.Counter("stream.win.in"); in != 3 {
+		t.Fatalf("in = %d, want 3", in)
+	}
+	if f := s.Counter("stream.win.fired"); f != int64(fired) || f != 1 {
+		t.Fatalf("fired counter = %d, emitted %d, want 1", f, fired)
+	}
+	if late := s.Counter("stream.win.late"); late != 1 {
+		t.Fatalf("late = %d, want 1", late)
+	}
+	if open, _ := s.Gauge("stream.win.open_windows"); open != 1 {
+		t.Fatalf("open_windows = %v, want 1", open)
+	}
+
+	ws := op.Watermark()
+	if ws.Late != 1 || !ws.MaxEventTime.Equal(base.Add(70*time.Second)) {
+		t.Fatalf("watermark stats = %+v", ws)
+	}
+	if !ws.Watermark.Equal(base.Add(70 * time.Second)) {
+		t.Fatalf("watermark = %v, want %v", ws.Watermark, base.Add(70*time.Second))
+	}
+}
+
+func TestSessionOpInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewManualClock(time.Unix(0, 0).UTC()))
+	op := NewSessionWindowOp[int, int](
+		30*time.Second, 0,
+		func(w Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+		nil, nil,
+	).Instrument(reg, "gaps")
+
+	base := time.Unix(0, 0).UTC()
+	var fired int
+	sink := func(o Event[WindowAggregate[int]]) { fired++ }
+	op.Feed(E("k", base, 1), sink)
+	op.Feed(E("k", base.Add(10*time.Second), 1), sink)
+	op.Feed(E("k", base.Add(2*time.Minute), 1), sink) // gap exceeded: closes session
+
+	s := reg.Snapshot()
+	if in := s.Counter("stream.gaps.in"); in != 3 {
+		t.Fatalf("in = %d, want 3", in)
+	}
+	if f := s.Counter("stream.gaps.fired"); f != int64(fired) || f < 1 {
+		t.Fatalf("fired = %d, emitted %d", f, fired)
+	}
+	// Uninstrumented op keeps working (m == nil path).
+	op2 := NewSessionWindowOp[int, int](time.Second, 0,
+		func(w Window) int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+		nil, nil,
+	)
+	op2.Feed(E("k", base, 1), sink)
+}

@@ -44,6 +44,7 @@ type ProcessOp[I, O, S any] struct {
 	enc      func(*S) ([]byte, error)
 	dec      func([]byte) (*S, error)
 	states   map[string]*S
+	m        *opMetrics // nil when uninstrumented
 }
 
 // NewProcessOp builds a resumable keyed operator. Arguments mirror Process,
@@ -63,6 +64,10 @@ func NewProcessOp[I, O, S any](
 
 // Feed processes one event, emitting through the callback.
 func (op *ProcessOp[I, O, S]) Feed(e Event[I], emit func(Event[O])) {
+	if op.m != nil {
+		op.m.in.Inc()
+		emit = countEmit(op.m.out, emit)
+	}
 	st, ok := op.states[e.Key]
 	if !ok {
 		st = op.newState(e.Key)
@@ -153,6 +158,7 @@ type WindowOp[I, A any] struct {
 	enc         func(A) ([]byte, error)
 	dec         func([]byte) (A, error)
 	open        map[winKey]*windowState[A]
+	m           *opMetrics // nil when uninstrumented
 }
 
 // NewWindowOp builds a resumable window operator; slide == size gives
@@ -202,7 +208,16 @@ func (op *WindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[WindowA
 // Feed assigns one event to its windows and fires any window the advancing
 // watermark completed.
 func (op *WindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]])) {
+	if op.m != nil {
+		op.m.in.Inc()
+		emit = countEmit(op.m.out, emit)
+		defer func() {
+			op.m.open.Set(float64(len(op.open)))
+			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())
+		}()
+	}
 	if !op.wm.Observe(e.Time) {
+		op.m.lateDrop()
 		return // late beyond allowance: drop
 	}
 	t := e.Time.UnixNano()
@@ -321,6 +336,7 @@ type SessionWindowOp[I, A any] struct {
 	enc  func(A) ([]byte, error)
 	dec  func([]byte) (A, error)
 	open map[string]*session[A]
+	m    *opMetrics // nil when uninstrumented
 }
 
 // NewSessionWindowOp builds a resumable session-window operator. enc/dec may
@@ -371,7 +387,16 @@ func (op *SessionWindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[
 // Feed folds one event into its key's session, closing the previous session
 // when the gap was exceeded, then fires sessions completed by the watermark.
 func (op *SessionWindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]])) {
+	if op.m != nil {
+		op.m.in.Inc()
+		emit = countEmit(op.m.out, emit)
+		defer func() {
+			op.m.open.Set(float64(len(op.open)))
+			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())
+		}()
+	}
 	if !op.wm.Observe(e.Time) {
+		op.m.lateDrop()
 		return
 	}
 	s, ok := op.open[e.Key]

@@ -67,6 +67,12 @@ func (g *Generator) Restore(data []byte) error {
 		return fmt.Errorf("synopses: restore: %w", err)
 	}
 	g.stats = snap.Stats
+	if g.m != nil {
+		// Re-anchor the delta mirror: metric state is monitoring-only and
+		// deliberately outside the checkpoint, so only progress made after
+		// this restore flows into the registry.
+		g.m.last = g.stats
+	}
 	g.states = make(map[string]*moverState, len(snap.Movers))
 	for id, ms := range snap.Movers {
 		g.states[id] = &moverState{

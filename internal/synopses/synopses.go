@@ -164,6 +164,7 @@ type Generator struct {
 	cfg    Config
 	states map[string]*moverState
 	stats  Stats
+	m      *genMetrics // nil when uninstrumented
 }
 
 // NewGenerator returns a Generator with the given thresholds.
@@ -184,6 +185,9 @@ func (g *Generator) Stats() Stats { return g.stats }
 // triggers (usually none). Reports must arrive per-mover in time order;
 // out-of-order and invalid records are dropped as noise.
 func (g *Generator) Process(r mobility.Report) []CriticalPoint {
+	if g.m != nil {
+		defer func() { g.m.sync(g.stats) }()
+	}
 	g.stats.In++
 	if !r.Valid() {
 		g.stats.Dropped++
@@ -333,6 +337,9 @@ func (g *Generator) processVertical(st *moverState, r mobility.Report, emit func
 
 // Flush emits a TrajectoryEnd for every active mover and clears all state.
 func (g *Generator) Flush() []CriticalPoint {
+	if g.m != nil {
+		defer func() { g.m.sync(g.stats) }()
+	}
 	var out []CriticalPoint
 	for _, st := range g.states {
 		if st.hasLast {
