@@ -11,7 +11,8 @@ vet:
 
 # lint is the project gate beyond go vet: gofmt drift, vet, and the
 # project-specific analyzers in cmd/datacronlint (determinism, errdrop,
-# locksafety, obsclock, snapshotpair). Any finding fails the build.
+# httpserver, locksafety, obsclock, snapshotpair). Any finding fails the
+# build.
 lint:
 	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
@@ -28,11 +29,14 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # smoke exercises the real binaries end to end on small workloads: a short
-# datacron run with the metric dump enabled, and one benchrunner experiment
-# with per-experiment metric rows.
+# datacron run with the metric dump enabled, one benchrunner experiment
+# with per-experiment metric rows, and an admin-plane probe — datacron is
+# started with -admin, /metrics and /healthz are curled, and the exposition
+# output is asserted non-empty.
 smoke:
 	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -metrics
 	$(GO) run ./cmd/benchrunner -exp dashboard -scale small -metrics
+	./scripts/smoke_admin.sh
 
 # ci is the full gate: compile everything, run go vet, run the static
 # analysis suite, the test suite twice — plain and under the race

@@ -12,9 +12,16 @@
 // -fault-seed/-fault-kill flags inject deterministic crashes to drill the
 // recovery path.
 //
+// With -admin the pipeline serves its operational plane over HTTP:
+// /metrics (Prometheus text exposition), /statz (JSON), /healthz, /readyz,
+// /traces and /debug/pprof/*. SIGINT/SIGTERM interrupt the run gracefully:
+// a final checkpoint is captured (when checkpointing is on), the admin
+// server is shut down, and a last stats dump is printed before exit 0.
+//
 // Usage:
 //
 //	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-v] [-metrics]
+//	         [-admin ADDR] [-log-level debug|info|warn|error] [-log-format text|json]
 //	         [-checkpoint-dir DIR] [-checkpoint-interval 1s] [-checkpoint-every N]
 //	         [-fault-seed S -fault-kill N]
 package main
@@ -24,7 +31,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"datacron/internal/checkpoint"
@@ -40,39 +51,86 @@ import (
 	"datacron/internal/store"
 )
 
+// options collects every CLI flag so run is callable from tests.
+type options struct {
+	domain           string
+	duration         time.Duration
+	vessels, flights int
+	seed             int64
+	verbose, metrics bool
+	export           string
+
+	adminAddr string
+	logLevel  string
+	logFormat string
+
+	ckptDir              string
+	ckptInterval         time.Duration
+	ckptEvery            int
+	faultSeed, faultKill int64
+}
+
 func main() {
-	domain := flag.String("domain", "maritime", "scenario domain: maritime or aviation")
-	duration := flag.Duration("duration", 2*time.Hour, "simulated duration (maritime)")
-	vessels := flag.Int("vessels", 16, "fleet size (maritime)")
-	flights := flag.Int("flights", 12, "flight count (aviation)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	verbose := flag.Bool("v", false, "print dashboard event notes")
-	metrics := flag.Bool("metrics", false, "print the pipeline's metric registry after the run")
-	export := flag.String("export", "", "write the RDF-ized stream to this N-Triples file")
-	ckptDir := flag.String("checkpoint-dir", "", "enable checkpointing, storing checkpoints in this directory")
-	ckptInterval := flag.Duration("checkpoint-interval", time.Second, "wall-clock checkpoint trigger (0 disables)")
-	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many records (0 disables)")
-	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed for crash drills (0 disables)")
-	faultKill := flag.Int64("fault-kill", 0, "inject a crash roughly every this many records")
+	var o options
+	flag.StringVar(&o.domain, "domain", "maritime", "scenario domain: maritime or aviation")
+	flag.DurationVar(&o.duration, "duration", 2*time.Hour, "simulated duration (maritime)")
+	flag.IntVar(&o.vessels, "vessels", 16, "fleet size (maritime)")
+	flag.IntVar(&o.flights, "flights", 12, "flight count (aviation)")
+	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.BoolVar(&o.verbose, "v", false, "print dashboard event notes")
+	flag.BoolVar(&o.metrics, "metrics", false, "print the pipeline's metric registry after the run")
+	flag.StringVar(&o.export, "export", "", "write the RDF-ized stream to this N-Triples file")
+	flag.StringVar(&o.adminAddr, "admin", "", "serve /metrics, /statz, /healthz, /readyz, /traces and pprof on this address (empty disables)")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured log level: debug, info, warn or error (empty disables logging)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "enable checkpointing, storing checkpoints in this directory")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", time.Second, "wall-clock checkpoint trigger (0 disables)")
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "checkpoint after this many records (0 disables)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "fault-injection seed for crash drills (0 disables)")
+	flag.Int64Var(&o.faultKill, "fault-kill", 0, "inject a crash roughly every this many records")
 	flag.Parse()
 
-	if err := run(*domain, *duration, *vessels, *flights, *seed, *verbose, *metrics, *export,
-		*ckptDir, *ckptInterval, *ckptEvery, *faultSeed, *faultKill); err != nil {
+	// SIGINT/SIGTERM cancel the run context; the pipeline notices at the
+	// next poll and run takes the graceful-shutdown path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "datacron:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain string, duration time.Duration, vessels, flights int, seed int64, verbose, metrics bool, export string,
-	ckptDir string, ckptInterval time.Duration, ckptEvery int, faultSeed, faultKill int64) error {
+// logger builds the slog logger the pipeline components share, or nil when
+// logging is disabled.
+func logger(o options) (*slog.Logger, error) {
+	if o.logLevel == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(o.logLevel)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", o.logLevel, err)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch o.logFormat {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", o.logFormat)
+	}
+}
+
+func run(ctx context.Context, o options, out io.Writer) error {
 	region := geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 	var cfg core.Config
 	var reports []mobility.Report
 
-	switch domain {
+	switch o.domain {
 	case "maritime":
-		areas := gen.Areas(seed, gen.ProtectedArea, 40, region, 3_000, 25_000)
-		ports := gen.Ports(seed+1, 40, region)
+		areas := gen.Areas(o.seed, gen.ProtectedArea, 40, region, 3_000, 25_000)
+		ports := gen.Ports(o.seed+1, 40, region)
 		var statics []linkdisc.StaticEntity
 		var zones []lowlevel.Region
 		for _, a := range areas {
@@ -89,37 +147,53 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 			Regions: zones,
 		}
 		sim := gen.NewVesselSim(gen.VesselSimConfig{
-			Seed: seed, Region: region,
+			Seed: o.seed, Region: region,
 			Counts: map[gen.VesselClass]int{
-				gen.Cargo: vessels / 2, gen.Tanker: vessels / 4,
-				gen.Ferry: vessels / 8, gen.Fishing: vessels - vessels/2 - vessels/4 - vessels/8,
+				gen.Cargo: o.vessels / 2, gen.Tanker: o.vessels / 4,
+				gen.Ferry: o.vessels / 8, gen.Fishing: o.vessels - o.vessels/2 - o.vessels/4 - o.vessels/8,
 			},
 			GapProb: 0.002,
 		})
-		reports = sim.Run(duration)
+		reports = sim.Run(o.duration)
 	case "aviation":
 		region = gen.IberiaRegion
 		cfg = core.Config{
 			Domain:         mobility.Aviation,
 			SampleInterval: 8 * time.Second,
 		}
-		sim := gen.NewFlightSim(gen.FlightSimConfig{Seed: seed, NumFlights: flights})
+		sim := gen.NewFlightSim(gen.FlightSimConfig{Seed: o.seed, NumFlights: o.flights})
 		_, reports = sim.Run()
 	default:
-		return fmt.Errorf("unknown domain %q", domain)
+		return fmt.Errorf("unknown domain %q", o.domain)
 	}
 
-	pipeline, err := core.New(core.WithConfig(cfg))
+	coreOpts := []core.Option{core.WithConfig(cfg)}
+	log, err := logger(o)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("datAcron pipeline — %s scenario, %d raw reports\n", domain, len(reports))
+	if log != nil {
+		coreOpts = append(coreOpts, core.WithLogger(log))
+	}
+	if o.adminAddr != "" {
+		coreOpts = append(coreOpts, core.WithAdmin(o.adminAddr))
+	}
+	pipeline, err := core.New(coreOpts...)
+	if err != nil {
+		return err
+	}
+	defer pipeline.Shutdown(context.Background())
+
+	fmt.Fprintf(out, "datAcron pipeline — %s scenario, %d raw reports\n", o.domain, len(reports))
+	if o.adminAddr != "" {
+		fmt.Fprintf(out, "admin server listening on %s\n", pipeline.Admin().Addr())
+	}
 	if err := pipeline.Ingest(reports); err != nil {
 		return err
 	}
 	var rc *core.RecoveryConfig
-	if ckptDir != "" {
-		dirStore, err := checkpoint.NewDirStore(ckptDir)
+	if o.ckptDir != "" {
+		dirStore, err := checkpoint.NewDirStore(o.ckptDir)
 		if err != nil {
 			return err
 		}
@@ -127,43 +201,46 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 		if err != nil {
 			return err
 		}
-		rc = &core.RecoveryConfig{Checkpointer: cpr, Interval: ckptInterval, EveryRecords: ckptEvery}
+		rc = &core.RecoveryConfig{Checkpointer: cpr, Interval: o.ckptInterval, EveryRecords: o.ckptEvery}
 		if cp, err := cpr.Latest(); err == nil {
 			// A pre-existing checkpoint resumes that run's offsets and state.
 			// The broker is in-process, so this only replays correctly when
 			// the directory belongs to this process's crashed attempt — a
 			// leftover from a finished run skips the already-processed span.
-			fmt.Printf("warning: resuming from existing %s in %s\n", cp, ckptDir)
+			fmt.Fprintf(out, "warning: resuming from existing %s in %s\n", cp, o.ckptDir)
 		} else if !errors.Is(err, checkpoint.ErrNoCheckpoint) {
 			return err
 		}
-		if faultKill > 0 {
+		if o.faultKill > 0 {
 			rc.Injector = faultinject.New(faultinject.Config{
-				Seed: faultSeed, KillMin: faultKill, KillMax: 2 * faultKill,
+				Seed: o.faultSeed, KillMin: o.faultKill, KillMax: 2 * o.faultKill,
 			})
 		}
-		fmt.Printf("checkpointing to %s (interval %s, every %d records)\n", ckptDir, ckptInterval, ckptEvery)
+		fmt.Fprintf(out, "checkpointing to %s (interval %s, every %d records)\n", o.ckptDir, o.ckptInterval, o.ckptEvery)
 	}
 	start := time.Now()
-	sum, err := pipeline.RunWithRecovery(context.Background(), rc)
+	sum, err := pipeline.RunWithRecovery(ctx, rc)
 	for restarts := 0; errors.Is(err, faultinject.ErrInjectedCrash); restarts++ {
 		if restarts >= 1000 {
 			return fmt.Errorf("giving up after %d injected crashes", restarts)
 		}
-		fmt.Printf("injected crash after %d records — recovering from latest checkpoint\n", sum.RawIn)
-		sum, err = pipeline.RunWithRecovery(context.Background(), rc)
+		fmt.Fprintf(out, "injected crash after %d records — recovering from latest checkpoint\n", sum.RawIn)
+		sum, err = pipeline.RunWithRecovery(ctx, rc)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return shutdown(pipeline, rc, sum, time.Since(start), out)
 	}
 	if err != nil {
 		return err
 	}
 	if rc != nil && rc.Injector != nil && rc.Injector.Kills() > 0 {
-		fmt.Printf("survived %d injected crashes (%d checkpoints captured)\n",
+		fmt.Fprintf(out, "survived %d injected crashes (%d checkpoints captured)\n",
 			rc.Injector.Kills(), rc.Checkpointer.Captures())
 	}
-	fmt.Printf("real-time layer (%s): %s\n", time.Since(start).Round(time.Millisecond), sum)
+	fmt.Fprintf(out, "real-time layer (%s): %s\n", time.Since(start).Round(time.Millisecond), sum)
 
-	if export != "" {
-		f, err := os.Create(export)
+	if o.export != "" {
+		f, err := os.Create(o.export)
 		if err != nil {
 			return err
 		}
@@ -174,7 +251,7 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 		if err != nil {
 			return err
 		}
-		fmt.Printf("exported %d triples to %s\n", n, export)
+		fmt.Fprintf(out, "exported %d triples to %s\n", n, o.export)
 	}
 
 	kg, err := pipeline.BuildKnowledgeGraph(store.STCellConfig{
@@ -184,7 +261,7 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 	if err != nil {
 		return err
 	}
-	fmt.Printf("batch layer: knowledge graph with %d triples, %d dictionary entries\n",
+	fmt.Fprintf(out, "batch layer: knowledge graph with %d triples, %d dictionary entries\n",
 		kg.Len(), kg.Dict().Len())
 
 	// Example offline query: semantic nodes in the first simulated hour.
@@ -203,28 +280,49 @@ func run(domain string, duration time.Duration, vessels, flights int, seed int64
 		if err != nil {
 			return err
 		}
-		fmt.Printf("star query [%s]: %d nodes in %s (candidates %d, cell-rejected %d, precise checks %d)\n",
+		fmt.Fprintf(out, "star query [%s]: %d nodes in %s (candidates %d, cell-rejected %d, precise checks %d)\n",
 			plan, len(results), time.Since(qStart).Round(time.Microsecond),
 			stats.Candidates, stats.CellRejected, stats.PreciseChecks)
 	}
 
-	if metrics {
+	if o.metrics {
 		st := pipeline.Stats()
 		ratio, _ := st.Metrics.Gauge("synopses.compression_ratio")
-		fmt.Printf("metrics: %.0f records/s, %.0f entities/s, compression ratio %.3f\n",
+		fmt.Fprintf(out, "metrics: %.0f records/s, %.0f entities/s, compression ratio %.3f\n",
 			st.Metrics.Rate("core.records"), st.Metrics.Rate("linkdisc.entities"), ratio)
-		if err := st.WriteText(os.Stdout); err != nil {
+		if err := st.WriteText(out); err != nil {
 			return err
 		}
 	}
 
 	snap := pipeline.Dashboard.Snapshot(time.Now())
-	fmt.Printf("dashboard: %d movers, %d critical points, %d links, %d predictions, %d event notes\n",
+	fmt.Fprintf(out, "dashboard: %d movers, %d critical points, %d links, %d predictions, %d event notes\n",
 		len(snap.Positions), len(snap.Criticals), len(snap.Links), len(snap.Predictions), len(snap.Events))
-	if verbose {
+	if o.verbose {
 		for _, note := range snap.Events {
-			fmt.Println("  event:", note)
+			fmt.Fprintln(out, "  event:", note)
 		}
 	}
 	return nil
+}
+
+// shutdown is the graceful interrupt path: capture a final checkpoint when
+// checkpointing is on, stop the admin server and watchdog, and print one
+// last stats dump so the partial run is not lost. It returns nil so the
+// process exits 0 — an operator-requested stop is not a failure.
+func shutdown(pipeline *core.Pipeline, rc *core.RecoveryConfig, sum core.Summary, elapsed time.Duration, out io.Writer) error {
+	fmt.Fprintf(out, "interrupt: shutting down gracefully after %s\n", elapsed.Round(time.Millisecond))
+	if rc != nil {
+		if gen, err := rc.Checkpointer.Capture(pipeline.Broker); err != nil {
+			fmt.Fprintf(out, "final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "final checkpoint captured (generation %d)\n", gen)
+		}
+	}
+	if err := pipeline.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(out, "admin shutdown: %v\n", err)
+	}
+	fmt.Fprintf(out, "partial summary: %s\n", sum)
+	st := pipeline.Stats()
+	return st.WriteText(out)
 }

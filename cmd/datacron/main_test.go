@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdown drives the SIGINT/SIGTERM path: a cancelled context
+// (what signal.NotifyContext produces on a signal) must make run capture a
+// final checkpoint, shut the admin server down, print a last stats dump,
+// and return nil so the process exits 0.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the recovery loop notices before its first poll
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	o := options{
+		domain: "maritime", duration: 30 * time.Minute, vessels: 4, seed: 1,
+		adminAddr:    "127.0.0.1:0",
+		ckptDir:      dir,
+		ckptInterval: time.Second,
+	}
+	if err := run(ctx, o, &out); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got: %v", err)
+	}
+
+	got := out.String()
+	for _, want := range []string{
+		"admin server listening on 127.0.0.1:",
+		"interrupt: shutting down gracefully",
+		"final checkpoint captured",
+		"partial summary:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "batch layer") {
+		t.Error("interrupted run must not proceed to the batch layer")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("final checkpoint left no files in the checkpoint directory")
+	}
+}
+
+// TestRunCompletes checks the normal end-to-end path still works with the
+// admin server attached and structured logging configured.
+func TestRunCompletes(t *testing.T) {
+	var out bytes.Buffer
+	o := options{
+		domain: "maritime", duration: 30 * time.Minute, vessels: 4, seed: 1,
+		adminAddr: "127.0.0.1:0",
+		logLevel:  "error", logFormat: "text",
+	}
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"real-time layer", "batch layer", "dashboard:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestBadFlags checks option validation fails fast.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), options{domain: "submarine"}, &out); err == nil {
+		t.Error("unknown domain must fail")
+	}
+	o := options{domain: "aviation", flights: 1, logLevel: "loud"}
+	if err := run(context.Background(), o, &out); err == nil {
+		t.Error("bad -log-level must fail")
+	}
+}

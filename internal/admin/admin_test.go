@@ -1,0 +1,234 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"datacron/internal/health"
+	"datacron/internal/obs"
+	"datacron/internal/obs/export"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// start spins up a fully wired admin server on a loopback ephemeral port
+// and returns its pieces plus a cleanup-registered base URL.
+func start(t *testing.T) (*obs.ManualClock, *obs.Registry, *obs.Tracer, *health.Watchdog, string) {
+	t.Helper()
+	clk := obs.NewManualClock(epoch)
+	reg := obs.NewRegistry(clk)
+	tr := obs.NewTracer(reg, 16)
+	w := health.NewWatchdog(reg, health.Config{})
+	srv := New(Config{Addr: "127.0.0.1:0", Registry: reg, Tracer: tr, Watchdog: w})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return clk, reg, tr, w, "http://" + srv.Addr()
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	clk, reg, _, _, base := start(t)
+	reg.Counter("core.records").Add(420)
+	reg.Gauge("msg.depth.surveillance.raw").Set(7)
+	clk.Advance(10 * time.Second)
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != export.ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE core_records_total counter",
+		"core_records_total 420",
+		"core_records_per_second 42",
+		`msg_depth{topic="surveillance.raw"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatzEndpoint(t *testing.T) {
+	clk, reg, _, _, base := start(t)
+	reg.Counter("core.records").Add(100)
+	clk.Advance(time.Second)
+
+	code, body, hdr := get(t, base+"/statz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var s export.SnapshotJSON
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("statz is not a snapshot: %v\n%s", err, body)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 100 || s.Counters[0].RatePerSec != 100 {
+		t.Fatalf("statz counters = %+v", s.Counters)
+	}
+}
+
+func TestProbesFollowWatchdog(t *testing.T) {
+	clk, reg, _, w, base := start(t)
+
+	// Before any tick: ready and live by default.
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz pre-tick = %d", code)
+	}
+	if code, _, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz pre-tick = %d", code)
+	}
+
+	// Inject a stalled watermark: input advances, watermark frozen.
+	reg.Counter("core.records").Add(10)
+	reg.Gauge("core.watermark.unixsec").Set(float64(epoch.Unix()))
+	w.Tick()
+	clk.Advance(time.Second)
+	reg.Counter("core.records").Add(10)
+	w.Tick() // ONE tick after the fault
+
+	code, body, _ := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with stalled watermark = %d, want 503", code)
+	}
+	var probe struct {
+		Live       bool            `json:"live"`
+		Ready      bool            `json:"ready"`
+		Components []health.Result `json:"components"`
+	}
+	if err := json.Unmarshal([]byte(body), &probe); err != nil {
+		t.Fatalf("readyz body: %v\n%s", err, body)
+	}
+	if probe.Ready || probe.Live || len(probe.Components) == 0 {
+		t.Fatalf("probe body = %+v", probe)
+	}
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with stalled watermark = %d, want 503", code)
+	}
+
+	// Watermark recovers; probes flip back on the next tick.
+	clk.Advance(time.Second)
+	reg.Counter("core.records").Add(10)
+	reg.Gauge("core.watermark.unixsec").Set(float64(epoch.Unix()) + 2)
+	w.Tick()
+	if code, _, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d", code)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	clk, _, tr, _, base := start(t)
+	sp := tr.Start("poll")
+	clk.Advance(250 * time.Millisecond)
+	sp.End()
+
+	code, body, _ := get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var out struct {
+		Spans []struct {
+			ID              int64   `json:"id"`
+			Name            string  `json:"name"`
+			DurationSeconds float64 `json:"durationSeconds"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("traces body: %v\n%s", err, body)
+	}
+	if len(out.Spans) != 1 || out.Spans[0].Name != "poll" || out.Spans[0].ID == 0 || out.Spans[0].DurationSeconds != 0.25 {
+		t.Fatalf("spans = %+v", out.Spans)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	_, _, _, _, base := start(t)
+	if code, body, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+	if code, body, _ := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d\n%s", code, body)
+	}
+	if code, _, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestStatzOverrideAndNilSafety(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewManualClock(epoch))
+	srv := New(Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Statz:    func() any { return map[string]string{"custom": "payload"} },
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	base := "http://" + srv.Addr()
+	if _, body, _ := get(t, base+"/statz"); !strings.Contains(body, `"custom": "payload"`) {
+		t.Fatalf("statz override not served:\n%s", body)
+	}
+	// Nil tracer and watchdog degrade gracefully.
+	if code, body, _ := get(t, base+"/traces"); code != http.StatusOK || !strings.Contains(body, `"spans": []`) {
+		t.Fatalf("traces with nil tracer = %d\n%s", code, body)
+	}
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz with nil watchdog = %d", code)
+	}
+
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Shutdown(context.Background()) != nil {
+		t.Fatal("nil server must be a benign no-op")
+	}
+}
+
+func TestShutdownUnblocksStart(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewManualClock(epoch))
+	srv := New(Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+	// Shutdown before Start is a no-op.
+	if err := New(Config{Addr: "127.0.0.1:0", Registry: reg}).Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

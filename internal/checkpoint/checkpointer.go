@@ -3,10 +3,12 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
 	"datacron/internal/msg"
+	"datacron/internal/obs"
 )
 
 // Checkpointer captures and restores consistent pipeline checkpoints. A
@@ -28,6 +30,7 @@ type Checkpointer struct {
 
 	captures int
 	m        *cpMetrics // nil when uninstrumented
+	log      *slog.Logger
 }
 
 type sourceRef struct {
@@ -54,7 +57,14 @@ func NewCheckpointer(store Store, keep int) (*Checkpointer, error) {
 		keep:    keep,
 		nextGen: next,
 		ops:     make(map[string]Snapshotter),
+		log:     obs.NopLogger(),
 	}, nil
+}
+
+// SetLogger attaches a structured logger for capture and restore events;
+// nil silences them again.
+func (c *Checkpointer) SetLogger(l *slog.Logger) {
+	c.log = obs.Component(l, "checkpoint")
 }
 
 // RegisterSource adds a consumer group whose committed offsets are captured
@@ -149,6 +159,8 @@ func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
 	if c.m != nil {
 		c.m.recordCapture(c.m.clock.Now().Sub(start), len(data))
 	}
+	c.log.Debug("checkpoint captured",
+		"generation", cp.Generation, "bytes", len(data), "operators", len(cp.Operators))
 	return cp.Generation, nil
 }
 
@@ -243,5 +255,7 @@ func (c *Checkpointer) Restore(b *msg.Broker) (*Checkpoint, error) {
 	if c.m != nil {
 		c.m.restores.Inc()
 	}
+	c.log.Info("restored from checkpoint",
+		"generation", cp.Generation, "operators", len(cp.Operators))
 	return cp, nil
 }

@@ -14,13 +14,15 @@ type cpMetrics struct {
 	captureSeconds *obs.Histogram
 	snapshotBytes  *obs.Histogram
 	captures       *obs.Counter
+	lastCapture    *obs.Gauge
 	restoreSeconds *obs.Histogram
 	restores       *obs.Counter
 }
 
 // Instrument attaches checkpoint metrics: "checkpoint.capture.seconds",
 // "checkpoint.snapshot.bytes" (size of the encoded checkpoint),
-// "checkpoint.captures", "checkpoint.restore.seconds" and
+// "checkpoint.captures", "checkpoint.last_capture.unixsec" (the health
+// watchdog's checkpoint-age signal), "checkpoint.restore.seconds" and
 // "checkpoint.restores". A nil registry detaches instrumentation.
 func (c *Checkpointer) Instrument(reg *obs.Registry) {
 	if reg == nil {
@@ -32,6 +34,7 @@ func (c *Checkpointer) Instrument(reg *obs.Registry) {
 		captureSeconds: reg.Histogram("checkpoint.capture.seconds"),
 		snapshotBytes:  reg.Histogram("checkpoint.snapshot.bytes", obs.SizeBuckets()...),
 		captures:       reg.Counter("checkpoint.captures"),
+		lastCapture:    reg.Gauge("checkpoint.last_capture.unixsec"),
 		restoreSeconds: reg.Histogram("checkpoint.restore.seconds"),
 		restores:       reg.Counter("checkpoint.restores"),
 	}
@@ -41,4 +44,5 @@ func (m *cpMetrics) recordCapture(d time.Duration, bytes int) {
 	m.captureSeconds.ObserveDuration(d)
 	m.snapshotBytes.Observe(float64(bytes))
 	m.captures.Inc()
+	m.lastCapture.Set(float64(m.clock.Now().Unix()))
 }

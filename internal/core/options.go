@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"log/slog"
 	"time"
 
+	"datacron/internal/admin"
 	"datacron/internal/gen"
+	"datacron/internal/health"
 	"datacron/internal/linkdisc"
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
@@ -20,10 +25,15 @@ type Option func(*options)
 // options is the accumulated build state. cfg reuses the legacy Config
 // layout internally so both construction paths share one defaulting rule.
 type options struct {
-	cfg    Config
-	reg    *obs.Registry
-	regSet bool
-	clock  obs.Clock
+	cfg       Config
+	reg       *obs.Registry
+	regSet    bool
+	clock     obs.Clock
+	logger    *slog.Logger
+	adminAddr string
+	adminSet  bool
+	health    health.Config
+	wdTick    time.Duration
 }
 
 // WithConfig applies a legacy Config wholesale. Later options override the
@@ -110,11 +120,46 @@ func WithClock(clock obs.Clock) Option {
 	return func(o *options) { o.clock = clock }
 }
 
+// WithLogger attaches a structured logger: the pipeline, broker and
+// checkpointer log through it with per-component attrs, and the admin
+// server (when enabled) reports its lifecycle on it. Nil (the default)
+// logs nowhere. Build one with obs.NewLogger.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
+
+// WithAdmin starts the operational HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0" for an ephemeral port) serving /metrics, /statz, /healthz,
+// /readyz, /traces and /debug/pprof/, and arms a health watchdog over the
+// pipeline's registry. Requires metrics (i.e. not WithObs(nil)). Shut it
+// down with Pipeline.Shutdown.
+func WithAdmin(addr string) Option {
+	return func(o *options) {
+		o.adminAddr = addr
+		o.adminSet = true
+	}
+}
+
+// WithHealth tunes the watchdog started by WithAdmin; without WithAdmin it
+// has no effect. The zero Config uses the documented defaults (every
+// verdict flips within one tick).
+func WithHealth(cfg health.Config) Option {
+	return func(o *options) { o.health = cfg }
+}
+
+// WithWatchdogInterval sets how often the admin watchdog ticks (default
+// 5s). Tests that tick manually can set a large interval and drive
+// Pipeline.Watchdog().Tick() themselves.
+func WithWatchdogInterval(d time.Duration) Option {
+	return func(o *options) { o.wdTick = d }
+}
+
 // New builds a pipeline from options: broker topics, dashboard, profiler,
 // optional forecaster, and — unless WithObs(nil) disables it — a metrics
-// registry instrumenting every stage.
+// registry instrumenting every stage. With WithAdmin it also starts the
+// operational HTTP server and its health watchdog.
 func New(opts ...Option) (*Pipeline, error) {
-	o := &options{clock: obs.WallClock{}}
+	o := &options{clock: obs.WallClock{}, wdTick: 5 * time.Second}
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -132,9 +177,32 @@ func New(opts ...Option) (*Pipeline, error) {
 	}
 	p.obs = reg
 	p.clock = clock
+	p.log = obs.Component(o.logger, "core")
+	p.rootLog = o.logger
+	p.Broker.SetLogger(o.logger)
 	if reg != nil {
 		p.tracer = obs.NewTracer(reg, 64)
 		p.Broker.Instrument(reg)
+	}
+	if o.adminSet {
+		if reg == nil {
+			return nil, fmt.Errorf("core: WithAdmin requires metrics; do not combine with WithObs(nil)")
+		}
+		p.watchdog = health.NewWatchdog(reg, o.health)
+		p.admin = admin.New(admin.Config{
+			Addr:     o.adminAddr,
+			Registry: reg,
+			Tracer:   p.tracer,
+			Watchdog: p.watchdog,
+			Statz:    func() any { return p.Stats().Statz() },
+			Logger:   o.logger,
+		})
+		if err := p.admin.Start(); err != nil {
+			return nil, fmt.Errorf("core: admin server: %w", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		p.stopWatchdog = cancel
+		go p.watchdog.Run(ctx, o.wdTick)
 	}
 	return p, nil
 }

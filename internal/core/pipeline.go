@@ -12,11 +12,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"datacron/internal/admin"
 	"datacron/internal/cer"
 	"datacron/internal/gen"
+	"datacron/internal/health"
 	"datacron/internal/linkdisc"
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
@@ -113,9 +116,16 @@ type Pipeline struct {
 
 	forecaster *cer.Forecaster
 
-	obs    *obs.Registry // nil when built with WithObs(nil)
-	clock  obs.Clock
-	tracer *obs.Tracer
+	obs     *obs.Registry // nil when built with WithObs(nil)
+	clock   obs.Clock
+	tracer  *obs.Tracer
+	log     *slog.Logger // component "core"
+	rootLog *slog.Logger // as passed to WithLogger; handed to sub-components
+
+	// Operational plane, present only with WithAdmin.
+	admin        *admin.Server
+	watchdog     *health.Watchdog
+	stopWatchdog context.CancelFunc
 
 	// Component stats captured at the end of the most recent real-time
 	// run; guarded because Stats may be called from a monitoring goroutine.
@@ -153,6 +163,25 @@ func newPipeline(cfg Config) (*Pipeline, error) {
 		}
 	}
 	return p, nil
+}
+
+// Admin returns the operational HTTP server (nil without WithAdmin). Its
+// Addr method reports the bound address, useful with ":0".
+func (p *Pipeline) Admin() *admin.Server { return p.admin }
+
+// Watchdog returns the health watchdog (nil without WithAdmin). Tests
+// driving a ManualClock can call its Tick directly.
+func (p *Pipeline) Watchdog() *health.Watchdog { return p.watchdog }
+
+// Shutdown stops the operational plane: the watchdog loop ends and the
+// admin server drains within ctx. Safe without WithAdmin and safe to call
+// more than once; the data path is unaffected (cancel the run's context to
+// stop it).
+func (p *Pipeline) Shutdown(ctx context.Context) error {
+	if p.stopWatchdog != nil {
+		p.stopWatchdog()
+	}
+	return p.admin.Shutdown(ctx)
 }
 
 // Ingest publishes raw surveillance reports to the broker, keyed by mover

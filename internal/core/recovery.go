@@ -161,15 +161,26 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	seq := 0
 
 	// Per-stage metric handles, resolved once; nil-safe no-ops when
-	// instrumentation is off.
+	// instrumentation is off. The watermark gauge tracks the real-time
+	// layer's event-time front; the health watchdog pairs it with
+	// core.records to detect a stalled run.
 	var (
 		mRecords     = p.obs.Counter("core.records")
 		mPredictions = p.obs.Counter("core.predictions")
 		mAreaEvents  = p.obs.Counter("core.area_events")
+		mWatermark   = p.obs.Gauge("core.watermark.unixsec")
 	)
+	var maxEventTime time.Time
+
+	p.log.Info("real-time run starting",
+		"checkpointing", cpr != nil, "faults", inj != nil)
+	if rc != nil {
+		p.watchdog.SetCheckpointInterval(rc.Interval)
+	}
 
 	if cpr != nil {
 		cpr.Instrument(p.obs)
+		cpr.SetLogger(p.rootLog)
 		cpr.RegisterSource(sourceGroup, TopicRaw)
 		for _, t := range outputTopics {
 			cpr.RegisterOutput(t)
@@ -195,6 +206,10 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		cp, err := cpr.Restore(p.Broker)
 		if err != nil {
 			return sum, err
+		}
+		if cp != nil {
+			p.log.Info("restored from checkpoint",
+				"generation", cp.Generation, "records", sum.RawIn)
 		}
 		if cp == nil {
 			// No checkpoint: cold start. A previous crashed attempt may
@@ -314,17 +329,25 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			return nil
 		}
 		span := p.tracer.Start("checkpoint")
-		_, err := cpr.Capture(p.Broker)
+		gen, err := cpr.Capture(p.Broker)
 		span.End()
 		if err != nil {
 			return err
 		}
+		p.log.Debug("checkpoint captured",
+			"generation", gen, "records", sum.RawIn, "span", span.ID())
 		recsSinceCp = 0
 		lastCp = p.clock.Now()
 		return nil
 	}
 
 	for {
+		// The broker returns buffered records regardless of ctx state, so a
+		// cancelled context (SIGINT/SIGTERM in cmd/datacron) must be checked
+		// here for shutdown to interrupt a drain of queued records.
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
 		if inj != nil {
 			if d := inj.Delay(); d > 0 {
 				time.Sleep(d)
@@ -361,6 +384,10 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			}
 			sum.RawIn++
 			mRecords.Inc()
+			if r.Time.After(maxEventTime) {
+				maxEventTime = r.Time
+				mWatermark.Set(float64(maxEventTime.Unix()))
+			}
 			// In-situ processing.
 			if r.Valid() {
 				p.Profiler.Observe(r)
@@ -412,5 +439,8 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		}
 	}
 	sum.Compression = sg.Stats().CompressionRatio()
+	p.log.Info("real-time run complete",
+		"records", sum.RawIn, "critical", sum.CriticalPoints,
+		"triples", sum.Triples, "links", sum.Links)
 	return sum, nil
 }

@@ -7,6 +7,7 @@ import (
 	"datacron/internal/linkdisc"
 	"datacron/internal/msg"
 	"datacron/internal/obs"
+	"datacron/internal/obs/export"
 	"datacron/internal/synopses"
 )
 
@@ -39,6 +40,30 @@ func (p *Pipeline) Stats() PipelineStats {
 	s.Summary = p.lastSum
 	p.mu.Unlock()
 	return s
+}
+
+// StatzPayload is the admin server's /statz document: PipelineStats with
+// the metric snapshot replaced by its sanitised JSON form, so the document
+// always encodes (encoding/json rejects non-finite floats).
+type StatzPayload struct {
+	Metrics  export.SnapshotJSON `json:"metrics"`
+	Broker   msg.BrokerStats     `json:"broker"`
+	Synopses synopses.Stats      `json:"synopses"`
+	Links    linkdisc.Stats      `json:"links"`
+	Consumer msg.ConsumerStats   `json:"consumer"`
+	Summary  Summary             `json:"summary"`
+}
+
+// Statz converts the stats to the /statz wire form.
+func (s PipelineStats) Statz() StatzPayload {
+	return StatzPayload{
+		Metrics:  export.JSONSnapshot(s.Metrics),
+		Broker:   s.Broker,
+		Synopses: s.Synopses,
+		Links:    s.Links,
+		Consumer: s.Consumer,
+		Summary:  s.Summary,
+	}
 }
 
 // Obs exposes the pipeline's metric registry (nil when instrumentation is

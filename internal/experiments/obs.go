@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"datacron/internal/core"
 	"datacron/internal/obs"
@@ -33,23 +34,58 @@ func pipelineOpts(cfg core.Config) []core.Option {
 	return opts
 }
 
-// WriteMetricsRow prints one compact metric row from the shared registry —
-// the headline pipeline gauges — and resets the registry so the next
-// experiment starts a fresh window. A no-op without EnableMetrics.
-func WriteMetricsRow(w io.Writer, name string) error {
+// Row is one machine-readable experiment result, the unit benchrunner's
+// -json output accumulates in BENCH_*.json files so the repo's performance
+// trajectory can be tracked across commits.
+type Row struct {
+	Name             string  `json:"name"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	Records          int64   `json:"records"`
+	RecordsPerSec    float64 `json:"recordsPerSecond"`
+	CriticalPoints   int64   `json:"criticalPoints"`
+	EntitiesPerSec   float64 `json:"entitiesPerSecond"`
+	CompressionRatio float64 `json:"compressionRatio"`
+	Checkpoints      int64   `json:"checkpoints"`
+}
+
+// MetricsRow snapshots the shared registry into one Row and resets it so
+// the next experiment starts a fresh window. ok is false without
+// EnableMetrics or when the experiment built no pipeline. The wall-clock
+// duration is the caller's measurement — the registry only knows its own
+// observation window.
+func MetricsRow(name string, wall time.Duration) (Row, bool) {
 	if registry == nil {
-		return nil
+		return Row{}, false
 	}
 	s := registry.Snapshot()
 	defer registry.Reset()
 	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
-		return nil // experiment built no pipeline
+		return Row{}, false // experiment built no pipeline
 	}
 	ratio, _ := s.Gauge("synopses.compression_ratio")
+	return Row{
+		Name:             name,
+		WallSeconds:      wall.Seconds(),
+		Records:          s.Counter("core.records"),
+		RecordsPerSec:    s.Rate("core.records"),
+		CriticalPoints:   s.Counter("synopses.critical"),
+		EntitiesPerSec:   s.Rate("linkdisc.entities"),
+		CompressionRatio: ratio,
+		Checkpoints:      s.Counter("checkpoint.captures"),
+	}, true
+}
+
+// WriteMetricsRow prints one compact metric row from the shared registry —
+// the headline pipeline gauges — and resets the registry so the next
+// experiment starts a fresh window. A no-op without EnableMetrics.
+func WriteMetricsRow(w io.Writer, name string) error {
+	row, ok := MetricsRow(name, 0)
+	if !ok {
+		return nil
+	}
 	_, err := fmt.Fprintf(w,
 		"[%s metrics] records=%d (%.0f/s) critical=%d entities/s=%.0f compression=%.3f checkpoints=%d\n",
-		name, s.Counter("core.records"), s.Rate("core.records"),
-		s.Counter("synopses.critical"), s.Rate("linkdisc.entities"),
-		ratio, s.Counter("checkpoint.captures"))
+		row.Name, row.Records, row.RecordsPerSec, row.CriticalPoints,
+		row.EntitiesPerSec, row.CompressionRatio, row.Checkpoints)
 	return err
 }

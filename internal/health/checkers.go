@@ -1,0 +1,160 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// watermarkChecker flags operators whose event-time watermark stops
+// advancing while their input keeps arriving. It pairs every
+// "<base>.watermark.unixsec" gauge with the progress counter "<base>.in"
+// (stream operators) or "<base>.records" (the core pipeline): input moving
+// with the watermark flat for stallTicks consecutive ticks is a stall —
+// windows stop firing and downstream consumers starve even though data
+// flows in.
+type watermarkChecker struct {
+	stallTicks int
+	streak     map[string]int
+}
+
+func newWatermarkChecker(stallTicks int) *watermarkChecker {
+	return &watermarkChecker{stallTicks: stallTicks, streak: make(map[string]int)}
+}
+
+func (c *watermarkChecker) Name() string { return "watermark" }
+
+func (c *watermarkChecker) Check(prev, cur obs.Snapshot) Result {
+	worst := Result{Component: "watermark", Status: Healthy, Detail: "watermarks advancing"}
+	for _, g := range cur.Gauges {
+		base, ok := strings.CutSuffix(g.Name, ".watermark.unixsec")
+		if !ok {
+			continue
+		}
+		progress := cur.Counter(base+".in") - prev.Counter(base+".in")
+		if progress == 0 {
+			progress = cur.Counter(base+".records") - prev.Counter(base+".records")
+		}
+		prevWM, _ := prev.Gauge(g.Name)
+		if progress > 0 && g.Value <= prevWM {
+			c.streak[g.Name]++
+		} else {
+			delete(c.streak, g.Name)
+		}
+		if n := c.streak[g.Name]; n >= c.stallTicks {
+			worst = Result{
+				Component: "watermark",
+				Status:    Unhealthy,
+				Detail:    fmt.Sprintf("%s watermark stalled for %d tick(s) while input advanced", base, n),
+			}
+		}
+	}
+	return worst
+}
+
+// lagChecker flags consumer groups whose lag grows tick over tick. Each
+// "msg.lag.<group>/<topic>" gauge is tracked independently; lag that both
+// grew since the previous tick and sits at or above minLag for growthTicks
+// consecutive ticks means the consumer is falling behind its producer.
+type lagChecker struct {
+	growthTicks int
+	minLag      float64
+	streak      map[string]int
+}
+
+func newLagChecker(growthTicks int, minLag float64) *lagChecker {
+	return &lagChecker{growthTicks: growthTicks, minLag: minLag, streak: make(map[string]int)}
+}
+
+func (c *lagChecker) Name() string { return "lag" }
+
+func (c *lagChecker) Check(prev, cur obs.Snapshot) Result {
+	worst := Result{Component: "lag", Status: Healthy, Detail: "consumer lag stable"}
+	for _, g := range cur.Gauges {
+		if !strings.HasPrefix(g.Name, "msg.lag.") {
+			continue
+		}
+		prevLag, _ := prev.Gauge(g.Name)
+		if g.Value > prevLag && g.Value >= c.minLag {
+			c.streak[g.Name]++
+		} else {
+			delete(c.streak, g.Name)
+		}
+		if n := c.streak[g.Name]; n >= c.growthTicks {
+			worst = Result{
+				Component: "lag",
+				Status:    Unhealthy,
+				Detail: fmt.Sprintf("%s grew to %.0f over %d tick(s)",
+					strings.TrimPrefix(g.Name, "msg.lag."), g.Value, n),
+			}
+		}
+	}
+	return worst
+}
+
+// checkpointChecker flags a checkpointer that has not captured within its
+// configured interval times a slack factor. The age is derived from the
+// "checkpoint.last_capture.unixsec" gauge against the snapshot's own
+// timestamp, so a ManualClock drives it like everything else. With no
+// interval configured, or before the first capture is recorded, the
+// component is healthy.
+type checkpointChecker struct {
+	interval time.Duration
+	slack    float64
+}
+
+func (c *checkpointChecker) Name() string { return "checkpoint" }
+
+func (c *checkpointChecker) Check(_, cur obs.Snapshot) Result {
+	if c.interval <= 0 {
+		return Result{Component: "checkpoint", Status: Healthy, Detail: "checkpointing not configured"}
+	}
+	last, ok := cur.Gauge("checkpoint.last_capture.unixsec")
+	if !ok {
+		return Result{Component: "checkpoint", Status: Healthy, Detail: "no capture recorded yet"}
+	}
+	age := float64(cur.At.Unix()) - last
+	limit := c.interval.Seconds() * c.slack
+	if age > limit {
+		return Result{
+			Component: "checkpoint",
+			Status:    Unhealthy,
+			Detail:    fmt.Sprintf("last capture %.0fs ago exceeds limit %.0fs", age, limit),
+		}
+	}
+	return Result{Component: "checkpoint", Status: Healthy, Detail: fmt.Sprintf("last capture %.0fs ago", age)}
+}
+
+// depthChecker flags broker topics whose queue depth reaches saturation.
+// A full queue means the slowest consumer is applying backpressure to the
+// whole pipeline; the component degrades (costing readiness) rather than
+// going unhealthy, because the broker itself is still moving records. With
+// maxDepth unset (0) the check is disabled.
+type depthChecker struct {
+	maxDepth float64
+}
+
+func (c *depthChecker) Name() string { return "depth" }
+
+func (c *depthChecker) Check(_, cur obs.Snapshot) Result {
+	if c.maxDepth <= 0 {
+		return Result{Component: "depth", Status: Healthy, Detail: "depth check disabled"}
+	}
+	worst := Result{Component: "depth", Status: Healthy, Detail: "broker queues below saturation"}
+	for _, g := range cur.Gauges {
+		if !strings.HasPrefix(g.Name, "msg.depth.") {
+			continue
+		}
+		if g.Value >= c.maxDepth {
+			worst = Result{
+				Component: "depth",
+				Status:    Degraded,
+				Detail: fmt.Sprintf("topic %s depth %.0f at saturation (max %.0f)",
+					strings.TrimPrefix(g.Name, "msg.depth."), g.Value, c.maxDepth),
+			}
+		}
+	}
+	return worst
+}

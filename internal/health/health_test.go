@@ -1,0 +1,236 @@
+package health
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func setup() (*obs.ManualClock, *obs.Registry, *Watchdog) {
+	clk := obs.NewManualClock(epoch)
+	reg := obs.NewRegistry(clk)
+	return clk, reg, NewWatchdog(reg, Config{})
+}
+
+func result(t *testing.T, w *Watchdog, component string) Result {
+	t.Helper()
+	for _, r := range w.Report() {
+		if r.Component == component {
+			return r
+		}
+	}
+	t.Fatalf("no verdict for component %q in %+v", component, w.Report())
+	return Result{}
+}
+
+func TestWatermarkStallFlipsInOneTick(t *testing.T) {
+	clk, reg, w := setup()
+	records := reg.Counter("core.records")
+	wm := reg.Gauge("core.watermark.unixsec")
+
+	records.Add(100)
+	wm.Set(float64(epoch.Unix()))
+	w.Tick() // first tick: baseline, healthy
+	if !w.Ready() || !w.Live() {
+		t.Fatalf("baseline tick must be ready+live: %+v", w.Report())
+	}
+
+	// Normal progress: input and watermark both advance.
+	clk.Advance(time.Second)
+	records.Add(100)
+	wm.Set(float64(epoch.Unix()) + 1)
+	w.Tick()
+	if !w.Ready() {
+		t.Fatalf("advancing watermark must stay ready: %+v", w.Report())
+	}
+
+	// Fault: input keeps arriving, watermark frozen. ONE tick must flip it.
+	clk.Advance(time.Second)
+	records.Add(100)
+	w.Tick()
+	if w.Ready() || w.Live() {
+		t.Fatalf("stalled watermark must cost ready and live within one tick: %+v", w.Report())
+	}
+	r := result(t, w, "watermark")
+	if r.Status != Unhealthy || !strings.Contains(r.Detail, "core") {
+		t.Fatalf("watermark verdict = %+v", r)
+	}
+	if v, ok := reg.Snapshot().Gauge("health.watermark.status"); !ok || v != float64(Unhealthy) {
+		t.Fatalf("health.watermark.status gauge = %v, %v", v, ok)
+	}
+
+	// Recovery: watermark advances again.
+	clk.Advance(time.Second)
+	records.Add(100)
+	wm.Set(float64(epoch.Unix()) + 3)
+	w.Tick()
+	if !w.Ready() || !w.Live() {
+		t.Fatalf("recovered watermark must restore ready+live: %+v", w.Report())
+	}
+}
+
+func TestIdleWatermarkIsNotAStall(t *testing.T) {
+	clk, reg, w := setup()
+	reg.Counter("stream.win.in").Add(10)
+	reg.Gauge("stream.win.watermark.unixsec").Set(float64(epoch.Unix()))
+	w.Tick()
+	// No new input: a flat watermark is idleness, not a stall.
+	clk.Advance(time.Minute)
+	w.Tick()
+	if !w.Ready() {
+		t.Fatalf("idle operator must stay ready: %+v", w.Report())
+	}
+}
+
+func TestLagGrowthFlipsInOneTick(t *testing.T) {
+	clk, reg, w := setup()
+	lag := reg.Gauge("msg.lag.realtime/surveillance.raw")
+	lag.Set(5)
+	w.Tick()
+
+	clk.Advance(time.Second)
+	lag.Set(50)
+	w.Tick()
+	if w.Ready() || w.Live() {
+		t.Fatalf("growing lag must cost ready and live within one tick: %+v", w.Report())
+	}
+	r := result(t, w, "lag")
+	if r.Status != Unhealthy || !strings.Contains(r.Detail, "realtime/surveillance.raw") {
+		t.Fatalf("lag verdict = %+v", r)
+	}
+
+	// Lag draining restores health.
+	clk.Advance(time.Second)
+	lag.Set(10)
+	w.Tick()
+	if !w.Ready() {
+		t.Fatalf("draining lag must restore ready: %+v", w.Report())
+	}
+}
+
+func TestMinLagFiltersStartupJitter(t *testing.T) {
+	clk := obs.NewManualClock(epoch)
+	reg := obs.NewRegistry(clk)
+	w := NewWatchdog(reg, Config{MinLag: 100})
+	lag := reg.Gauge("msg.lag.realtime/surveillance.raw")
+	lag.Set(1)
+	w.Tick()
+	clk.Advance(time.Second)
+	lag.Set(7) // growing, but far below the floor
+	w.Tick()
+	if !w.Ready() {
+		t.Fatalf("lag below MinLag must not alarm: %+v", w.Report())
+	}
+}
+
+func TestCheckpointAge(t *testing.T) {
+	clk, reg, w := setup()
+	w.SetCheckpointInterval(10 * time.Second)
+
+	w.Tick()
+	if r := result(t, w, "checkpoint"); r.Status != Healthy {
+		t.Fatalf("no capture recorded yet must be healthy: %+v", r)
+	}
+
+	reg.Gauge("checkpoint.last_capture.unixsec").Set(float64(epoch.Unix()))
+	clk.Advance(15 * time.Second) // inside 2× slack
+	w.Tick()
+	if r := result(t, w, "checkpoint"); r.Status != Healthy {
+		t.Fatalf("capture inside slack must be healthy: %+v", r)
+	}
+
+	clk.Advance(10 * time.Second) // 25s age > 20s limit
+	w.Tick()
+	if r := result(t, w, "checkpoint"); r.Status != Unhealthy {
+		t.Fatalf("stale capture must be unhealthy: %+v", r)
+	}
+	if w.Live() {
+		t.Fatal("stale checkpoint must cost liveness")
+	}
+
+	reg.Gauge("checkpoint.last_capture.unixsec").Set(float64(clk.Now().Unix()))
+	w.Tick()
+	if !w.Live() || !w.Ready() {
+		t.Fatalf("fresh capture must restore health: %+v", w.Report())
+	}
+}
+
+func TestDepthSaturationDegrades(t *testing.T) {
+	clk := obs.NewManualClock(epoch)
+	reg := obs.NewRegistry(clk)
+	w := NewWatchdog(reg, Config{MaxDepth: 64})
+	depth := reg.Gauge("msg.depth.surveillance.raw")
+	depth.Set(10)
+	w.Tick()
+	if !w.Ready() {
+		t.Fatalf("shallow queue must be ready: %+v", w.Report())
+	}
+
+	depth.Set(64)
+	w.Tick()
+	if w.Ready() {
+		t.Fatal("saturated queue must cost readiness")
+	}
+	if !w.Live() {
+		t.Fatal("saturation degrades, it must not cost liveness")
+	}
+	if r := result(t, w, "depth"); r.Status != Degraded {
+		t.Fatalf("depth verdict = %+v", r)
+	}
+}
+
+func TestCustomCheckerAndNilSafety(t *testing.T) {
+	_, _, w := setup()
+	w.Register(checkerFunc(func(prev, cur obs.Snapshot) Result {
+		return Result{Component: "custom", Status: Degraded, Detail: "always degraded"}
+	}))
+	w.Tick()
+	if w.Ready() {
+		t.Fatal("custom degraded checker must cost readiness")
+	}
+	if r := result(t, w, "custom"); r.Status != Degraded {
+		t.Fatalf("custom verdict = %+v", r)
+	}
+
+	var nilW *Watchdog
+	nilW.Tick()
+	nilW.SetCheckpointInterval(time.Second)
+	if !nilW.Ready() || !nilW.Live() || nilW.Report() != nil || nilW.Ticks() != 0 {
+		t.Fatal("nil watchdog must be a benign no-op")
+	}
+}
+
+func TestRunTicksAndStops(t *testing.T) {
+	_, _, w := setup()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		w.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for w.Ticks() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog did not tick")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+// checkerFunc adapts a function to the Checker interface for tests.
+type checkerFunc func(prev, cur obs.Snapshot) Result
+
+func (f checkerFunc) Name() string                   { return "custom" }
+func (f checkerFunc) Check(p, c obs.Snapshot) Result { return f(p, c) }

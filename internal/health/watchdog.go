@@ -1,0 +1,206 @@
+package health
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// Config tunes the Watchdog's built-in checkers. The zero value is usable:
+// every threshold defaults so that a fault injected between two ticks flips
+// the verdict on the very next tick.
+type Config struct {
+	// StallTicks is how many consecutive ticks a watermark must sit flat
+	// (with input advancing) before the watermark component goes unhealthy.
+	// Default 1.
+	StallTicks int
+	// LagTicks is how many consecutive ticks consumer lag must grow before
+	// the lag component goes unhealthy. Default 1.
+	LagTicks int
+	// MinLag is the lag floor below which growth never alarms, filtering
+	// startup jitter. Default 0 (any growth counts).
+	MinLag float64
+	// CheckpointSlack multiplies the checkpoint interval to form the age
+	// limit: older captures mark the checkpoint component unhealthy.
+	// Default 2.
+	CheckpointSlack float64
+	// MaxDepth is the broker queue depth at which a topic counts as
+	// saturated, degrading the depth component. Default 0 (disabled).
+	MaxDepth float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StallTicks <= 0 {
+		c.StallTicks = 1
+	}
+	if c.LagTicks <= 0 {
+		c.LagTicks = 1
+	}
+	if c.CheckpointSlack <= 0 {
+		c.CheckpointSlack = 2
+	}
+	return c
+}
+
+// Watchdog periodically snapshots a registry and runs health checkers over
+// consecutive snapshots. Each tick publishes every component's verdict back
+// into the registry as a "health.<component>.status" gauge (0 healthy,
+// 1 degraded, 2 unhealthy), making the health model visible on /metrics
+// alongside the signals it derives from.
+//
+// All state is guarded by one mutex; Tick, Report, Ready and Live are safe
+// to call concurrently with a running Run loop.
+type Watchdog struct {
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	checkers []Checker
+	cp       *checkpointChecker
+	prev     obs.Snapshot
+	havePrev bool
+	results  []Result
+	ticks    int64
+}
+
+// NewWatchdog builds a watchdog over reg with the built-in checkers
+// (watermark stall, lag growth, checkpoint age, broker depth) configured
+// from cfg. The checkpoint checker stays dormant until
+// SetCheckpointInterval is called with a positive interval.
+func NewWatchdog(reg *obs.Registry, cfg Config) *Watchdog {
+	cfg = cfg.withDefaults()
+	cp := &checkpointChecker{slack: cfg.CheckpointSlack}
+	return &Watchdog{
+		reg: reg,
+		cp:  cp,
+		checkers: []Checker{
+			newWatermarkChecker(cfg.StallTicks),
+			newLagChecker(cfg.LagTicks, cfg.MinLag),
+			cp,
+			&depthChecker{maxDepth: cfg.MaxDepth},
+		},
+	}
+}
+
+// Register appends a custom checker; its verdict joins the built-ins in
+// Report and the aggregate Ready/Live verdicts.
+func (w *Watchdog) Register(c Checker) {
+	if w == nil || c == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkers = append(w.checkers, c)
+}
+
+// SetCheckpointInterval arms the checkpoint-age rule: captures older than
+// interval times the configured slack mark the checkpoint component
+// unhealthy. A non-positive interval disarms it.
+func (w *Watchdog) SetCheckpointInterval(interval time.Duration) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cp.interval = interval
+}
+
+// Tick snapshots the registry, runs every checker against the previous and
+// current snapshots, stores the verdicts and publishes them as status
+// gauges. The first tick compares the snapshot with itself, so delta rules
+// start healthy.
+func (w *Watchdog) Tick() {
+	if w == nil {
+		return
+	}
+	cur := w.reg.Snapshot()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev := w.prev
+	if !w.havePrev {
+		prev = cur
+	}
+	w.results = w.results[:0]
+	for _, c := range w.checkers {
+		r := c.Check(prev, cur)
+		w.results = append(w.results, r)
+		w.reg.Gauge("health." + r.Component + ".status").Set(float64(r.Status))
+	}
+	w.prev = cur
+	w.havePrev = true
+	w.ticks++
+}
+
+// Run ticks every interval until ctx is cancelled. It ticks once
+// immediately so the first verdict does not wait a full interval.
+func (w *Watchdog) Run(ctx context.Context, interval time.Duration) {
+	if w == nil || interval <= 0 {
+		return
+	}
+	w.Tick()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Tick()
+		}
+	}
+}
+
+// Report returns a copy of the verdicts from the most recent tick, in
+// checker registration order. Before the first tick it returns nil.
+func (w *Watchdog) Report() []Result {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Result(nil), w.results...)
+}
+
+// Ticks returns how many times the watchdog has ticked.
+func (w *Watchdog) Ticks() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ticks
+}
+
+// Ready reports whether every component is fully healthy: the process
+// should receive traffic. Before the first tick a watchdog is ready — no
+// evidence of trouble exists yet.
+func (w *Watchdog) Ready() bool {
+	if w == nil {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range w.results {
+		if r.Status != Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Live reports whether no component is unhealthy: the process should keep
+// running. Degraded components cost readiness but not liveness.
+func (w *Watchdog) Live() bool {
+	if w == nil {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range w.results {
+		if r.Status == Unhealthy {
+			return false
+		}
+	}
+	return true
+}

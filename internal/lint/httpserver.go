@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var httpserverAnalyzer = &Analyzer{
+	Name: "httpserver",
+	Doc: "forbids http.ListenAndServe(TLS) and the process-global DefaultServeMux " +
+		"(http.Handle/HandleFunc or direct references): servers must be explicit " +
+		"http.Server values on their own mux so imports with handler side effects " +
+		"(net/http/pprof) cannot leak into them — and every http.Server composite " +
+		"literal must set ReadHeaderTimeout so a slow client cannot pin a " +
+		"connection forever",
+	Run: runHTTPServer,
+}
+
+// forbiddenHTTPFuncs are net/http package-level functions that start a
+// server without timeouts or register handlers on the global mux.
+var forbiddenHTTPFuncs = map[string]string{
+	"ListenAndServe":    "construct an http.Server with explicit timeouts and call its Serve/ListenAndServe method",
+	"ListenAndServeTLS": "construct an http.Server with explicit timeouts and call its Serve/ListenAndServeTLS method",
+	"Handle":            "register on your own http.NewServeMux instead of the global DefaultServeMux",
+	"HandleFunc":        "register on your own http.NewServeMux instead of the global DefaultServeMux",
+	"Serve":             "construct an http.Server with explicit timeouts and call its Serve method",
+	"ServeTLS":          "construct an http.Server with explicit timeouts and call its ServeTLS method",
+}
+
+// isNetHTTP reports whether obj belongs to package net/http.
+func isNetHTTP(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// httpServerLit reports whether the composite literal builds an http.Server.
+func httpServerLit(p *Package, lit *ast.CompositeLit) bool {
+	t := p.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return isNetHTTP(named.Obj()) && named.Obj().Name() == "Server"
+}
+
+func runHTTPServer(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p, n)
+				if fn == nil || !isNetHTTP(fn) {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (mux.Handle, srv.Serve) are the fix, not the bug
+				}
+				if hint, bad := forbiddenHTTPFuncs[fn.Name()]; bad {
+					diags = append(diags, p.diag("httpserver", n.Pos(),
+						"http.%s uses the global server/mux; %s", fn.Name(), hint))
+				}
+			case *ast.SelectorExpr:
+				if obj := p.Info.Uses[n.Sel]; isNetHTTP(obj) && obj.Name() == "DefaultServeMux" {
+					diags = append(diags, p.diag("httpserver", n.Pos(),
+						"http.DefaultServeMux is process-global state; build your own http.NewServeMux"))
+				}
+			case *ast.CompositeLit:
+				if !httpServerLit(p, n) {
+					return true
+				}
+				// A positional literal sets every field, including the
+				// timeout; only keyed literals can omit it.
+				positional := false
+				hasTimeout := false
+				for _, e := range n.Elts {
+					kv, ok := e.(*ast.KeyValueExpr)
+					if !ok {
+						positional = true
+						break
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "ReadHeaderTimeout" {
+						hasTimeout = true
+					}
+				}
+				if !positional && !hasTimeout {
+					diags = append(diags, p.diag("httpserver", n.Pos(),
+						"http.Server literal without ReadHeaderTimeout; a slow client can hold the connection open indefinitely"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

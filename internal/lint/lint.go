@@ -71,6 +71,7 @@ func Analyzers() []*Analyzer {
 	all := []*Analyzer{
 		determinismAnalyzer,
 		errdropAnalyzer,
+		httpserverAnalyzer,
 		locksafetyAnalyzer,
 		obsclockAnalyzer,
 		snapshotpairAnalyzer,

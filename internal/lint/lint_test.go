@@ -179,6 +179,22 @@ func TestErrDrop(t *testing.T) {
 	runFixture(t, "errdrop", "errdrop", "datacron/internal/lintfixture/errdrop")
 }
 
+func TestHTTPServer(t *testing.T) {
+	runFixture(t, "httpserver", "httpserver", "datacron/internal/lintfixture/httpserver")
+}
+
+func TestHTTPServerSuppression(t *testing.T) {
+	// Run (with directive filtering) must drop the finding covered by the
+	// fixture's //lint:ignore httpserver directive; the rest survive.
+	p := loadFixture(t, "httpserver", "datacron/internal/lintfixture/httpserver")
+	raw := Lookup("httpserver").Run(p)
+	filtered := Run([]*Package{p}, []*Analyzer{Lookup("httpserver")})
+	if len(filtered) != len(raw)-1 {
+		t.Fatalf("got %d diagnostics after filtering, want %d (one suppressed): %v",
+			len(filtered), len(raw)-1, filtered)
+	}
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	p := loadFixture(t, "ignore", "datacron/internal/cer/lintfixture")
 	diags := Run([]*Package{p}, []*Analyzer{Lookup("determinism")})

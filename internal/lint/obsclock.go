@@ -21,6 +21,7 @@ var InstrumentedScope = []string{
 	"internal/store",
 	"internal/checkpoint",
 	"internal/core",
+	"internal/health",
 	"internal/obs",
 }
 

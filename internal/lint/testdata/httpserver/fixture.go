@@ -1,0 +1,54 @@
+package fixture
+
+import (
+	"net/http"
+	"time"
+)
+
+func globalServer() error {
+	return http.ListenAndServe(":8080", nil) // want "http.ListenAndServe uses the global server/mux"
+}
+
+func globalServerTLS() error {
+	return http.ListenAndServeTLS(":8443", "c.pem", "k.pem", nil) // want "http.ListenAndServeTLS uses the global server/mux"
+}
+
+func globalMux() {
+	http.Handle("/x", http.NotFoundHandler())                          // want "http.Handle uses the global server/mux"
+	http.HandleFunc("/y", func(http.ResponseWriter, *http.Request) {}) // want "http.HandleFunc uses the global server/mux"
+}
+
+func defaultMuxRef() http.Handler {
+	return http.DefaultServeMux // want "http.DefaultServeMux is process-global state"
+}
+
+func noTimeout() *http.Server {
+	return &http.Server{Addr: ":8080"} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+func noTimeoutValue() http.Server {
+	var s http.Server // ok: zero value is not a literal the analyzer can judge
+	_ = s
+	return http.Server{Handler: http.NewServeMux()} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+func withTimeout() *http.Server {
+	return &http.Server{ // ok: explicit header timeout
+		Addr:              ":8080",
+		Handler:           http.NewServeMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+func ownMux() {
+	mux := http.NewServeMux()
+	mux.Handle("/x", http.NotFoundHandler()) // ok: method on an explicit mux
+	mux.HandleFunc("/y", func(http.ResponseWriter, *http.Request) {})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: time.Second}
+	_ = srv.Close() // ok: method on an explicit server
+}
+
+func suppressed() error {
+	//lint:ignore httpserver fixture exercises the suppression path
+	return http.ListenAndServe(":8080", nil) // want "http.ListenAndServe uses the global server/mux"
+}

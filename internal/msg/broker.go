@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ type Broker struct {
 	groups map[string]*group // keyed by groupID + "/" + topic
 	closed bool
 	obs    *obs.Registry
+	log    *slog.Logger
 }
 
 // topic is a named set of partition logs.
@@ -72,7 +74,23 @@ func NewBroker() *Broker {
 	return &Broker{
 		topics: make(map[string]*topic),
 		groups: make(map[string]*group),
+		log:    obs.NopLogger(),
 	}
+}
+
+// SetLogger attaches a structured logger for topic lifecycle events; nil
+// silences them again. Safe to call concurrently with broker use.
+func (b *Broker) SetLogger(l *slog.Logger) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.log = obs.Component(l, "msg")
+}
+
+// logger returns the current logger under the read lock's protection.
+func (b *Broker) logger() *slog.Logger {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.log
 }
 
 // CreateTopic creates a topic with the given number of partitions (minimum 1).
@@ -96,6 +114,7 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 		t.m = newTopicMetrics(b.obs, name)
 	}
 	b.topics[name] = t
+	b.log.Debug("topic created", "topic", name, "partitions", partitions)
 	return nil
 }
 
@@ -340,6 +359,7 @@ func (b *Broker) CloseTopic(topicName string) error {
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
+	b.logger().Debug("topic closed", "topic", topicName)
 	return nil
 }
 

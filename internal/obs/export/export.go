@@ -1,0 +1,200 @@
+// Package export renders obs.Snapshot values for the serving plane: the
+// Prometheus text exposition format (version 0.0.4) behind the admin
+// server's /metrics endpoint, and a JSON form behind /statz. Like the rest
+// of the observability layer it is built exclusively on the standard
+// library.
+//
+// The internal metric namespace is dotted ("msg.depth.surveillance.raw");
+// Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*. A Mapper translates
+// between the two worlds: it turns an internal name into an exposition
+// family plus labels, so per-topic and per-operator series collapse into
+// one labelled family instead of exploding the name space. DefaultMapping
+// knows this repository's naming conventions; unmapped names fall back to
+// character sanitisation.
+//
+// Every sample value is sanitised to a finite number: snapshots taken
+// against a never-advanced ManualClock derive 0 rates (see obs.Snapshot.
+// Rate), and NaN/±Inf readings from any other source are rendered as 0 —
+// non-finite values are not valid exposition output.
+package export
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Mapper rewrites an internal metric name into an exposition family name
+// and labels. The family is sanitised afterwards, label values are escaped
+// at render time; a Mapper therefore never needs to escape anything.
+type Mapper func(name string) (family string, labels []Label)
+
+// Options configures the Prometheus renderer.
+type Options struct {
+	// Namespace, when non-empty, prefixes every family ("datacron" →
+	// datacron_core_records_total).
+	Namespace string
+	// Help maps family names (post-mapping, without the namespace prefix
+	// and without the counter _total suffix) to HELP text. Families without
+	// an entry get no HELP line.
+	Help map[string]string
+	// Const labels are stamped on every series (e.g. job or instance).
+	Const []Label
+	// Map translates internal names; nil uses DefaultMapping().
+	Map Mapper
+	// Rates additionally emits a <family>_per_second gauge for every
+	// counter, derived from the snapshot's elapsed window. A zero window
+	// derives 0.
+	Rates bool
+}
+
+// identityMapping maps every name to itself with no labels.
+func identityMapping(name string) (string, []Label) { return name, nil }
+
+// DefaultMapping returns the Mapper encoding this repository's metric
+// naming conventions:
+//
+//	msg.depth.<topic>        → msg_depth{topic=...}   (likewise produced, bytes)
+//	msg.lag.<group>/<topic>  → msg_lag{group=..., topic=...}
+//	stream.<op>.<metric>     → stream_<metric>{op=...}
+//	trace.<span>.<metric>    → trace_<metric>{span=...}
+//	health.<component>.status→ health_status{component=...}
+//
+// Everything else keeps its dotted name, sanitised to underscores.
+func DefaultMapping() Mapper {
+	return func(name string) (string, []Label) {
+		switch {
+		case hasSegPrefix(name, "msg.depth."), hasSegPrefix(name, "msg.produced."), hasSegPrefix(name, "msg.bytes."):
+			parts := strings.SplitN(name, ".", 3)
+			return "msg_" + parts[1], []Label{{Name: "topic", Value: parts[2]}}
+		case hasSegPrefix(name, "msg.lag."):
+			rest := strings.TrimPrefix(name, "msg.lag.")
+			if group, topic, ok := strings.Cut(rest, "/"); ok {
+				return "msg_lag", []Label{{Name: "group", Value: group}, {Name: "topic", Value: topic}}
+			}
+			return "msg_lag", []Label{{Name: "group", Value: rest}}
+		case hasSegPrefix(name, "stream."):
+			if op, metric, ok := splitMiddle(name, "stream."); ok {
+				return "stream_" + metric, []Label{{Name: "op", Value: op}}
+			}
+		case hasSegPrefix(name, "trace."):
+			if span, metric, ok := splitMiddle(name, "trace."); ok {
+				return "trace_" + metric, []Label{{Name: "span", Value: span}}
+			}
+		case hasSegPrefix(name, "health."):
+			if comp, metric, ok := splitMiddle(name, "health."); ok {
+				return "health_" + metric, []Label{{Name: "component", Value: comp}}
+			}
+		}
+		return name, nil
+	}
+}
+
+// hasSegPrefix is strings.HasPrefix with the intent (segment boundary
+// included in the prefix) spelled out at call sites.
+func hasSegPrefix(name, prefix string) bool { return strings.HasPrefix(name, prefix) }
+
+// splitMiddle splits "<prefix><middle>.<rest>" into middle and rest with
+// dots in rest converted later by sanitisation.
+func splitMiddle(name, prefix string) (middle, rest string, ok bool) {
+	trimmed := strings.TrimPrefix(name, prefix)
+	middle, rest, ok = strings.Cut(trimmed, ".")
+	if !ok || middle == "" || rest == "" {
+		return "", "", false
+	}
+	return middle, rest, true
+}
+
+// sanitizeName rewrites a family name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune becomes an underscore and an
+// empty or digit-leading name gains a leading underscore.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !valid {
+			if i == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sanitizeLabelName rewrites a label name into [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	s := sanitizeName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// finite maps NaN and ±Inf to 0; everything the renderers print goes
+// through it.
+func finite(v float64) float64 {
+	if v != v || v > maxFinite || v < -maxFinite {
+		return 0
+	}
+	return v
+}
+
+const maxFinite = 1.7976931348623157e308
+
+// formatValue renders a (sanitised) sample value in the shortest exact
+// form, matching Go's %g with full precision.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(finite(v), 'g', -1, 64)
+}
+
+// labelString renders a sorted, escaped label set incl. braces; empty
+// input renders as the empty string.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// fixedRegistry builds the deterministic registry behind the golden test:
+// a ManualClock advanced by exactly 10s, counters, gauges and a histogram
+// with explicit bounds.
+func fixedRegistry() *obs.Registry {
+	clk := obs.NewManualClock(epoch)
+	r := obs.NewRegistry(clk)
+	r.Counter("core.records").Add(1500)
+	r.Counter("msg.produced.surveillance.raw").Add(1500)
+	r.Counter("stream.win.in").Add(700)
+	r.Gauge("synopses.compression_ratio").Set(0.937)
+	r.Gauge("msg.depth.trajectory.synopses").Set(96)
+	r.Gauge("msg.lag.realtime/surveillance.raw").Set(42)
+	r.Gauge("health.watermark.status").Set(0)
+	h := r.Histogram("checkpoint.capture.seconds", 0.001, 0.01, 0.1, 1)
+	for _, v := range []float64{0.0004, 0.002, 0.003, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	clk.Advance(10 * time.Second)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WritePrometheus(&buf, fixedRegistry().Snapshot(), Options{
+		Namespace: "datacron",
+		Help: map[string]string{
+			"core_records":               "raw surveillance records consumed by the real-time layer",
+			"checkpoint_capture_seconds": "time to capture one coordinated checkpoint",
+		},
+		Const: []Label{{Name: "job", Value: "datacron"}},
+		Rates: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, fixedRegistry().Snapshot(), Options{Rates: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE core_records_total counter",
+		"core_records_total 1500",
+		"# TYPE core_records_per_second gauge",
+		"core_records_per_second 150",
+		`msg_produced_total{topic="surveillance.raw"} 1500`,
+		`msg_lag{group="realtime",topic="surveillance.raw"} 42`,
+		`stream_in_total{op="win"} 700`,
+		`health_status{component="watermark"} 0`,
+		"# TYPE checkpoint_capture_seconds histogram",
+		`checkpoint_capture_seconds_bucket{le="0.001"} 1`,
+		`checkpoint_capture_seconds_bucket{le="0.01"} 3`,
+		`checkpoint_capture_seconds_bucket{le="0.1"} 4`,
+		`checkpoint_capture_seconds_bucket{le="1"} 5`,
+		`checkpoint_capture_seconds_bucket{le="+Inf"} 6`,
+		"checkpoint_capture_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even though several internal metrics map
+	// onto the labelled msg_depth / msg_lag families.
+	if got := strings.Count(out, "# TYPE msg_lag gauge"); got != 1 {
+		t.Errorf("msg_lag TYPE lines = %d, want 1", got)
+	}
+}
+
+func TestHelpAndLabelEscaping(t *testing.T) {
+	clk := obs.NewManualClock(epoch)
+	r := obs.NewRegistry(clk)
+	r.Counter("weird").Add(1)
+	s := r.Snapshot()
+
+	var buf bytes.Buffer
+	err := WritePrometheus(&buf, s, Options{
+		Help: map[string]string{
+			"weird": "back\\slash and \"quotes\" and a\nnewline",
+		},
+		Const: []Label{{Name: "path", Value: `C:\tmp`}, {Name: "q", Value: "say \"hi\"\nbye"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// HELP escapes backslash and newline; quotes stay literal.
+	if !strings.Contains(out, `# HELP weird_total back\\slash and "quotes" and a\nnewline`) {
+		t.Errorf("help escaping wrong:\n%s", out)
+	}
+	// Label values escape backslash, quote and newline.
+	if !strings.Contains(out, `path="C:\\tmp"`) || !strings.Contains(out, `q="say \"hi\"\nbye"`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	if strings.Contains(out, "a\nnewline") || strings.Contains(out, "\nbye") {
+		t.Errorf("raw newline leaked into exposition:\n%q", out)
+	}
+}
+
+func TestHistogramMergeThenRender(t *testing.T) {
+	// Two workers' histograms merged, then rendered: bucket cumulative
+	// counts, sum and count must reflect the element-wise sum.
+	mk := func(vals ...float64) obs.HistogramSnapshot {
+		clk := obs.NewManualClock(epoch)
+		r := obs.NewRegistry(clk)
+		h := r.Histogram("flush.seconds", 1, 10)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		hs, ok := r.Snapshot().Histogram("flush.seconds")
+		if !ok {
+			t.Fatal("histogram missing from snapshot")
+		}
+		return hs
+	}
+	merged, err := mk(0.5, 5).Merge(mk(0.5, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obs.Snapshot{At: epoch, Histograms: []obs.HistogramSnapshot{merged}}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`flush_seconds_bucket{le="1"} 2`,
+		`flush_seconds_bucket{le="10"} 3`,
+		`flush_seconds_bucket{le="+Inf"} 4`,
+		"flush_seconds_sum 26",
+		"flush_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNonFiniteSanitised(t *testing.T) {
+	clk := obs.NewManualClock(epoch)
+	r := obs.NewRegistry(clk)
+	r.Gauge("bad.nan").Set(math.NaN())
+	r.Gauge("bad.inf").Set(math.Inf(1))
+	r.Counter("events").Add(7)
+	r.Histogram("empty.seconds", 1, 2) // zero observations: Mean() is NaN
+	s := r.Snapshot()                  // Elapsed == 0: rates would divide by zero
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s, Options{Rates: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "Inf "} {
+		if strings.Contains(buf.String(), bad) {
+			t.Errorf("exposition contains %q:\n%s", bad, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), "events_per_second 0") {
+		t.Errorf("zero-window rate must render 0:\n%s", buf.String())
+	}
+
+	var jb bytes.Buffer
+	if err := WriteJSON(&jb, s); err != nil {
+		t.Fatalf("WriteJSON over non-finite snapshot: %v", err)
+	}
+	var decoded SnapshotJSON
+	if err := json.Unmarshal(jb.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(decoded.Histograms) != 1 || decoded.Histograms[0].Mean != 0 {
+		t.Errorf("empty-histogram mean must sanitise to 0, got %+v", decoded.Histograms)
+	}
+	for _, c := range decoded.Counters {
+		if c.RatePerSec != 0 {
+			t.Errorf("zero-window JSON rate = %v, want 0", c.RatePerSec)
+		}
+	}
+}
+
+func TestJSONSnapshotValues(t *testing.T) {
+	s := fixedRegistry().Snapshot()
+	j := JSONSnapshot(s)
+	if j.ElapsedSeconds != 10 {
+		t.Fatalf("elapsed = %v, want 10", j.ElapsedSeconds)
+	}
+	var recs *CounterJSON
+	for i := range j.Counters {
+		if j.Counters[i].Name == "core.records" {
+			recs = &j.Counters[i]
+		}
+	}
+	if recs == nil || recs.Value != 1500 || recs.RatePerSec != 150 {
+		t.Fatalf("core.records JSON row = %+v", recs)
+	}
+	if len(j.Histograms) != 1 || j.Histograms[0].Count != 6 {
+		t.Fatalf("histogram rows = %+v", j.Histograms)
+	}
+	buckets := j.Histograms[0].Buckets
+	if buckets[len(buckets)-1].LE != "+Inf" || buckets[len(buckets)-1].Cumulative != 6 {
+		t.Fatalf("overflow bucket = %+v", buckets[len(buckets)-1])
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"core.records":     "core_records",
+		"9lives":           "_9lives",
+		"ok_name:colon":    "ok_name:colon",
+		"sp ace-dash/path": "sp_ace_dash_path",
+		"":                 "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

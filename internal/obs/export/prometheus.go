@@ -1,0 +1,157 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"datacron/internal/obs"
+)
+
+// ContentType is the Content-Type header value for the exposition output
+// WritePrometheus produces.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// family accumulates one exposition family: a # TYPE line plus its series,
+// kept in insertion order (the snapshot is already name-sorted, and
+// histogram buckets must stay in ascending-le order).
+type family struct {
+	name   string // rendered name, without namespace
+	kind   string // counter | gauge | histogram
+	series []series
+}
+
+type series struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // rendered label block, may be empty
+	value  string
+}
+
+// renderer collects families keyed by rendered name so TYPE lines are
+// emitted exactly once per family even when several internal metrics map
+// onto it.
+type renderer struct {
+	opts     Options
+	mapper   Mapper
+	families map[string]*family
+	order    []string
+}
+
+func newRenderer(opts Options) *renderer {
+	m := opts.Map
+	if m == nil {
+		m = DefaultMapping()
+	}
+	return &renderer{opts: opts, mapper: m, families: make(map[string]*family)}
+}
+
+// ensure returns the named family, creating it on first use. Kind conflicts
+// (two internal metrics of different kinds mapped onto one family) are
+// resolved deterministically by suffixing the kind, which keeps the output
+// valid instead of emitting duplicate TYPE lines.
+func (r *renderer) ensure(famName, kind string) *family {
+	f, ok := r.families[famName]
+	if ok && f.kind != kind {
+		famName += "_" + kind
+		f, ok = r.families[famName]
+	}
+	if !ok {
+		f = &family{name: famName, kind: kind}
+		r.families[famName] = f
+		r.order = append(r.order, famName)
+	}
+	return f
+}
+
+// resolve maps an internal metric name through the Mapper and returns the
+// family plus the series labels (mapper labels followed by const labels).
+func (r *renderer) resolve(name, kind, suffix string) (*family, []Label) {
+	mapped, labels := r.mapper(name)
+	f := r.ensure(sanitizeName(mapped)+suffix, kind)
+	return f, append(labels, r.opts.Const...)
+}
+
+func (r *renderer) add(f *family, suffix string, labels []Label, value string) {
+	f.series = append(f.series, series{suffix: suffix, labels: labelString(labels), value: value})
+}
+
+// helpFor looks up HELP text: families are keyed without the namespace and
+// without the counter _total suffix, so one Help entry can cover a counter
+// family while its derived _per_second gauge keys independently.
+func (r *renderer) helpFor(famName string) (string, bool) {
+	h, ok := r.opts.Help[famName]
+	if !ok {
+		h, ok = r.opts.Help[strings.TrimSuffix(famName, "_total")]
+	}
+	return h, ok
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, version 0.0.4: for every family a # TYPE line (plus # HELP when
+// configured), then its series. Counters gain the conventional _total
+// suffix; with opts.Rates each counter additionally yields a
+// <family>_per_second gauge derived over the snapshot window (a zero
+// window derives 0, see obs.Snapshot.Rate). Histograms render cumulative
+// le-buckets, _sum and _count. Every value is finite: NaN and ±Inf
+// sanitise to 0, which the format would otherwise reject.
+func WritePrometheus(w io.Writer, s obs.Snapshot, opts Options) error {
+	r := newRenderer(opts)
+
+	for _, c := range s.Counters {
+		f, labels := r.resolve(c.Name, "counter", "_total")
+		r.add(f, "", labels, formatValue(float64(c.Value)))
+		if opts.Rates {
+			rateName := strings.TrimSuffix(f.name, "_total") + "_per_second"
+			rf := r.ensure(rateName, "gauge")
+			r.add(rf, "", labels, formatValue(s.Rate(c.Name)))
+		}
+	}
+	for _, g := range s.Gauges {
+		f, labels := r.resolve(g.Name, "gauge", "")
+		r.add(f, "", labels, formatValue(g.Value))
+	}
+	for _, h := range s.Histograms {
+		f, labels := r.resolve(h.Name, "histogram", "")
+		var cum int64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatValue(h.Bounds[i])
+			}
+			bl := append(append([]Label(nil), labels...), Label{Name: "le", Value: le})
+			r.add(f, "_bucket", bl, formatValue(float64(cum)))
+		}
+		r.add(f, "_sum", labels, formatValue(h.Sum))
+		r.add(f, "_count", labels, formatValue(float64(cum)))
+	}
+
+	return r.write(w)
+}
+
+func (r *renderer) write(w io.Writer) error {
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		full := f.name
+		if r.opts.Namespace != "" {
+			full = sanitizeName(r.opts.Namespace) + "_" + f.name
+		}
+		if help, ok := r.helpFor(f.name); ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", full, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", full, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", full, sr.suffix, sr.labels, sr.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -268,3 +268,62 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
 	}
 }
+
+func TestRateZeroElapsed(t *testing.T) {
+	// A ManualClock that is never advanced yields a zero-length window; the
+	// derived rate must be 0 (not NaN or +Inf) because it flows into the
+	// Prometheus exposition of obs/export, where non-finite values are
+	// invalid output.
+	clk := NewManualClock(epoch)
+	r := NewRegistry(clk)
+	r.Counter("core.records").Add(1234)
+	s := r.Snapshot()
+	if s.Elapsed != 0 {
+		t.Fatalf("elapsed = %v, want 0", s.Elapsed)
+	}
+	if got := s.Rate("core.records"); got != 0 {
+		t.Fatalf("rate over zero window = %v, want 0", got)
+	}
+	if got := s.Rate("missing"); got != 0 {
+		t.Fatalf("rate of missing counter = %v, want 0", got)
+	}
+	// WriteText must render finite values only.
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(b.String(), bad) {
+			t.Fatalf("WriteText contains %s:\n%s", bad, b.String())
+		}
+	}
+}
+
+func TestSpanIDs(t *testing.T) {
+	clk := NewManualClock(epoch)
+	r := NewRegistry(clk)
+	tr := NewTracer(r, 16)
+	a := tr.Start("poll")
+	b := tr.Start("process")
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Fatalf("span IDs must be unique and non-zero, got %d and %d", a.ID(), b.ID())
+	}
+	b.End()
+	a.End()
+	recent := tr.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(recent))
+	}
+	for _, rec := range recent {
+		if rec.ID != a.ID() && rec.ID != b.ID() {
+			t.Fatalf("record ID %d matches no started span", rec.ID)
+		}
+	}
+	// The zero Span from a nil tracer has ID 0 and ends as a no-op.
+	var nilTr *Tracer
+	sp := nilTr.Start("x")
+	if sp.ID() != 0 {
+		t.Fatalf("nil tracer span ID = %d, want 0", sp.ID())
+	}
+	sp.End()
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -190,13 +191,20 @@ func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
 }
 
 // Rate returns the named counter's per-second rate over the snapshot's
-// elapsed window (0 when the window is empty).
+// elapsed window. An empty or zero window — a ManualClock that was never
+// advanced — derives 0, never NaN or ±Inf: rate values flow into the
+// Prometheus and JSON encoders of obs/export, where non-finite numbers are
+// invalid output.
 func (s Snapshot) Rate(name string) float64 {
 	secs := s.Elapsed.Seconds()
 	if secs <= 0 {
 		return 0
 	}
-	return float64(s.Counter(name)) / secs
+	r := float64(s.Counter(name)) / secs
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
 }
 
 // Merge combines two snapshots — e.g. from partitioned workers: counters

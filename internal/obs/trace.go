@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,9 +10,12 @@ import (
 // (poll, process, checkpoint, ...). Each completed span feeds a per-name
 // duration histogram and counter in the registry — "trace.<name>.seconds",
 // "trace.<name>.count" — and is kept in a bounded ring of recent spans for
-// dumps. A nil *Tracer is a valid no-op tracer.
+// dumps (the admin server's /traces endpoint). Spans carry a tracer-unique
+// ID so log lines tagged with it correlate with the dumped records. A nil
+// *Tracer is a valid no-op tracer.
 type Tracer struct {
 	reg  *Registry
+	seq  atomic.Int64
 	mu   sync.Mutex
 	ring []SpanRecord
 	next int
@@ -20,6 +24,7 @@ type Tracer struct {
 
 // SpanRecord is one completed span.
 type SpanRecord struct {
+	ID       int64
 	Name     string
 	Start    time.Time
 	Duration time.Duration
@@ -38,6 +43,7 @@ func NewTracer(reg *Registry, ringSize int) *Tracer {
 // (from a nil Tracer) ends as a no-op.
 type Span struct {
 	t     *Tracer
+	id    int64
 	name  string
 	start time.Time
 }
@@ -47,8 +53,13 @@ func (t *Tracer) Start(name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, name: name, start: t.reg.Clock().Now()}
+	return Span{t: t, id: t.seq.Add(1), name: name, start: t.reg.Clock().Now()}
 }
+
+// ID returns the span's tracer-unique identifier (0 for the no-op span).
+// Log lines that carry it under the "span" attr correlate with the
+// tracer's Recent dump.
+func (s Span) ID() int64 { return s.id }
 
 // End closes the span, recording its duration.
 func (s Span) End() {
@@ -59,7 +70,7 @@ func (s Span) End() {
 	s.t.reg.Histogram("trace." + s.name + ".seconds").ObserveDuration(d)
 	s.t.reg.Counter("trace." + s.name + ".count").Inc()
 	s.t.mu.Lock()
-	s.t.ring[s.t.next] = SpanRecord{Name: s.name, Start: s.start, Duration: d}
+	s.t.ring[s.t.next] = SpanRecord{ID: s.id, Name: s.name, Start: s.start, Duration: d}
 	s.t.next = (s.t.next + 1) % len(s.t.ring)
 	if s.t.next == 0 {
 		s.t.full = true

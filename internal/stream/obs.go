@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"log/slog"
 	"time"
 
 	"datacron/internal/obs"
@@ -10,39 +11,68 @@ import (
 // Instrument time so Feed never touches the registry. Which handles are
 // populated depends on the operator kind: keyed process operators count
 // in/out, window operators additionally track late drops, fired windows,
-// open-window depth and event-time disorder.
+// open-window depth, event-time disorder and the watermark itself (the
+// health watchdog pairs "stream.<name>.watermark.unixsec" with
+// "stream.<name>.in" to detect a stalled operator).
 type opMetrics struct {
-	in       *obs.Counter
-	out      *obs.Counter
-	late     *obs.Counter
-	open     *obs.Gauge
-	disorder *obs.Gauge // seconds the current event trails the stream front
+	name      string
+	in        *obs.Counter
+	out       *obs.Counter
+	late      *obs.Counter
+	open      *obs.Gauge
+	disorder  *obs.Gauge // seconds the current event trails the stream front
+	watermark *obs.Gauge // current watermark as unix seconds
+	log       *slog.Logger
 }
 
 func newProcessMetrics(reg *obs.Registry, name string) *opMetrics {
 	return &opMetrics{
-		in:  reg.Counter("stream." + name + ".in"),
-		out: reg.Counter("stream." + name + ".out"),
+		name: name,
+		in:   reg.Counter("stream." + name + ".in"),
+		out:  reg.Counter("stream." + name + ".out"),
+		log:  obs.NopLogger(),
 	}
 }
 
 func newWindowMetrics(reg *obs.Registry, name string) *opMetrics {
 	return &opMetrics{
-		in:       reg.Counter("stream." + name + ".in"),
-		out:      reg.Counter("stream." + name + ".fired"),
-		late:     reg.Counter("stream." + name + ".late"),
-		open:     reg.Gauge("stream." + name + ".open_windows"),
-		disorder: reg.Gauge("stream." + name + ".disorder.seconds"),
+		name:      name,
+		in:        reg.Counter("stream." + name + ".in"),
+		out:       reg.Counter("stream." + name + ".fired"),
+		late:      reg.Counter("stream." + name + ".late"),
+		open:      reg.Gauge("stream." + name + ".open_windows"),
+		disorder:  reg.Gauge("stream." + name + ".disorder.seconds"),
+		watermark: reg.Gauge("stream." + name + ".watermark.unixsec"),
+		log:       obs.NopLogger(),
 	}
 }
 
 // lateDrop counts one late-beyond-allowance drop; nil-safe so the drop
 // path needs no instrumentation branch of its own.
-func (m *opMetrics) lateDrop() {
+func (m *opMetrics) lateDrop(t time.Time) {
 	if m == nil {
 		return
 	}
 	m.late.Inc()
+	m.log.Debug("late event dropped", "op", m.name, "eventTime", t)
+}
+
+// setWatermark publishes the operator's watermark; the zero time (no event
+// observed yet) is not a watermark and is skipped.
+func (m *opMetrics) setWatermark(t time.Time) {
+	if t.IsZero() {
+		return
+	}
+	m.watermark.Set(float64(t.Unix()))
+}
+
+// setLogger attaches a component logger to instrumented operators; a nil
+// receiver (uninstrumented operator) drops it.
+func (m *opMetrics) setLogger(l *slog.Logger) {
+	if m == nil {
+		return
+	}
+	m.log = obs.Component(l, "stream")
 }
 
 // countEmit wraps an emit callback to count emissions.
@@ -85,6 +115,25 @@ func (op *SessionWindowOp[I, A]) Instrument(reg *obs.Registry, name string) *Ses
 		return op
 	}
 	op.m = newWindowMetrics(reg, name)
+	return op
+}
+
+// SetLogger attaches a structured logger; instrumented operators log late
+// drops through it at debug level. A no-op before Instrument.
+func (op *ProcessOp[I, O, S]) SetLogger(l *slog.Logger) *ProcessOp[I, O, S] {
+	op.m.setLogger(l)
+	return op
+}
+
+// SetLogger attaches a structured logger; see ProcessOp.SetLogger.
+func (op *WindowOp[I, A]) SetLogger(l *slog.Logger) *WindowOp[I, A] {
+	op.m.setLogger(l)
+	return op
+}
+
+// SetLogger attaches a structured logger; see ProcessOp.SetLogger.
+func (op *SessionWindowOp[I, A]) SetLogger(l *slog.Logger) *SessionWindowOp[I, A] {
+	op.m.setLogger(l)
 	return op
 }
 

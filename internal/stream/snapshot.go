@@ -214,10 +214,11 @@ func (op *WindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]]))
 		defer func() {
 			op.m.open.Set(float64(len(op.open)))
 			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())
+			op.m.setWatermark(op.wm.Watermark())
 		}()
 	}
 	if !op.wm.Observe(e.Time) {
-		op.m.lateDrop()
+		op.m.lateDrop(e.Time)
 		return // late beyond allowance: drop
 	}
 	t := e.Time.UnixNano()
@@ -393,10 +394,11 @@ func (op *SessionWindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregat
 		defer func() {
 			op.m.open.Set(float64(len(op.open)))
 			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())
+			op.m.setWatermark(op.wm.Watermark())
 		}()
 	}
 	if !op.wm.Observe(e.Time) {
-		op.m.lateDrop()
+		op.m.lateDrop(e.Time)
 		return
 	}
 	s, ok := op.open[e.Key]
