@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet lint test race bench smoke ci clean
+.PHONY: build vet lint test race shardrace bench smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,8 @@ vet:
 
 # lint is the project gate beyond go vet: gofmt drift, vet, and the
 # project-specific analyzers in cmd/datacronlint (determinism, errdrop,
-# httpserver, locksafety, obsclock, snapshotpair). Any finding fails the
-# build.
+# httpserver, locksafety, obsclock, sharddeterminism, snapshotpair). Any
+# finding fails the build.
 lint:
 	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
@@ -25,6 +25,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# shardrace is the focused race gate for the parallel execution plane: the
+# shard package under the race detector, where every worker/coordinator
+# interleaving matters most. Part of ci (and of race, via ./...); kept as
+# its own target for quick iteration on the plane.
+shardrace:
+	$(GO) test -race ./internal/shard/...
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
@@ -35,10 +42,11 @@ bench:
 # output is asserted non-empty.
 smoke:
 	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -metrics
+	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -shards 4
 	$(GO) run ./cmd/benchrunner -exp dashboard -scale small -metrics
 	./scripts/smoke_admin.sh
 
 # ci is the full gate: compile everything, run go vet, run the static
 # analysis suite, the test suite twice — plain and under the race
 # detector — then the CLI smoke runs.
-ci: build vet lint test race smoke
+ci: build vet lint test shardrace race smoke

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full] [-metrics] [-json FILE]
+//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|shard|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full] [-metrics] [-json FILE]
 package main
 
 import (
@@ -46,7 +46,7 @@ func wrap[T any](fn func(io.Writer, experiments.Scale) (T, error)) func(io.Write
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, shard, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
 	metrics := flag.Bool("metrics", false, "attach a shared metric registry and print one metric row per experiment")
 	jsonPath := flag.String("json", "", "also write machine-readable per-experiment results to this file")
@@ -61,6 +61,7 @@ func main() {
 		scale = experiments.Full
 	}
 
+	rep := report{Scale: *scaleName, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	runners := []runner{
 		{"table1", wrap(experiments.RunTable1)},
 		{"synopses", wrap(experiments.RunSynopses)},
@@ -69,6 +70,15 @@ func main() {
 		{"linkdisc", wrap(experiments.RunLinkDiscovery)},
 		{"store", wrap(experiments.RunStore)},
 		{"checkpoint", wrap(experiments.RunCheckpoint)},
+		// shard bypasses the MetricsRow path: its JSON rows are the per-
+		// shard-count scaling curve, not one aggregate metric window.
+		{"shard", func(w io.Writer, s experiments.Scale) error {
+			res, err := experiments.RunShardScaling(w, s)
+			if res != nil {
+				rep.Rows = append(rep.Rows, res.BenchRows()...)
+			}
+			return err
+		}},
 		{"fig5a", wrap(experiments.RunFig5a)},
 		{"fig5b", wrap(experiments.RunFig5b)},
 		{"fig6", wrap(experiments.RunFig6)},
@@ -82,7 +92,6 @@ func main() {
 		{"dashboard", wrap(experiments.RunDashboard)},
 	}
 
-	rep := report{Scale: *scaleName, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	matched := false
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.name {

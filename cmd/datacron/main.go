@@ -20,7 +20,7 @@
 //
 // Usage:
 //
-//	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-v] [-metrics]
+//	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-shards N] [-v] [-metrics]
 //	         [-admin ADDR] [-log-level debug|info|warn|error] [-log-format text|json]
 //	         [-checkpoint-dir DIR] [-checkpoint-interval 1s] [-checkpoint-every N]
 //	         [-fault-seed S -fault-kill N]
@@ -60,6 +60,8 @@ type options struct {
 	verbose, metrics bool
 	export           string
 
+	shards int
+
 	adminAddr string
 	logLevel  string
 	logFormat string
@@ -77,6 +79,7 @@ func main() {
 	flag.IntVar(&o.vessels, "vessels", 16, "fleet size (maritime)")
 	flag.IntVar(&o.flights, "flights", 12, "flight count (aviation)")
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.IntVar(&o.shards, "shards", 1, "parallel shard workers for the real-time layer (output is byte-identical for any count)")
 	flag.BoolVar(&o.verbose, "v", false, "print dashboard event notes")
 	flag.BoolVar(&o.metrics, "metrics", false, "print the pipeline's metric registry after the run")
 	flag.StringVar(&o.export, "export", "", "write the RDF-ized stream to this N-Triples file")
@@ -168,6 +171,9 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 
 	coreOpts := []core.Option{core.WithConfig(cfg)}
+	if o.shards > 1 {
+		coreOpts = append(coreOpts, core.WithShards(o.shards))
+	}
 	log, err := logger(o)
 	if err != nil {
 		return err

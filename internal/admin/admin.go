@@ -33,6 +33,11 @@ type Config struct {
 	Addr string
 	// Registry backs /metrics and the default /statz payload.
 	Registry *obs.Registry
+	// Snapshot overrides how /metrics (and the default /statz) read the
+	// metric state; nil reads Registry.Snapshot directly. The sharded
+	// pipeline supplies its merged view here — main registry plus every
+	// shard worker's registry, aggregate and per-shard labelled.
+	Snapshot func() obs.Snapshot
 	// Tracer backs /traces; nil serves an empty span list.
 	Tracer *obs.Tracer
 	// Watchdog backs /healthz and /readyz; nil reports always live/ready.
@@ -148,13 +153,22 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 `))
 }
 
+// snapshot reads the metric state through the configured override, falling
+// back to the registry.
+func (s *Server) snapshot() obs.Snapshot {
+	if s.cfg.Snapshot != nil {
+		return s.cfg.Snapshot()
+	}
+	return s.cfg.Registry.Snapshot()
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	opts := export.Options{Rates: true}
 	if s.cfg.Metrics != nil {
 		opts = *s.cfg.Metrics
 	}
 	w.Header().Set("Content-Type", export.ContentType)
-	if err := export.WritePrometheus(w, s.cfg.Registry.Snapshot(), opts); err != nil {
+	if err := export.WritePrometheus(w, s.snapshot(), opts); err != nil {
 		s.log.Error("metrics render failed", "err", err)
 	}
 }
@@ -164,7 +178,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Statz != nil {
 		payload = s.cfg.Statz()
 	} else {
-		payload = export.JSONSnapshot(s.cfg.Registry.Snapshot())
+		payload = export.JSONSnapshot(s.snapshot())
 	}
 	writeJSON(w, http.StatusOK, payload)
 }

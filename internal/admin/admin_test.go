@@ -232,3 +232,47 @@ func TestShutdownUnblocksStart(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSnapshotOverride pins the Config.Snapshot hook the sharded pipeline
+// uses: /metrics and the default /statz payload must read the metric state
+// through the override (the merged main+per-shard view) rather than the
+// raw registry.
+func TestSnapshotOverride(t *testing.T) {
+	clk := obs.NewManualClock(epoch)
+	reg := obs.NewRegistry(clk)
+	reg.Counter("core.records").Add(10)
+	shardReg := obs.NewRegistry(obs.NewManualClock(epoch))
+	shardReg.Counter("core.records").Add(32)
+
+	srv := New(Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Snapshot: func() obs.Snapshot {
+			return reg.Snapshot().Merge(shardReg.Snapshot().Prefixed("shard.0."))
+		},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	base := "http://" + srv.Addr()
+
+	_, body, _ := get(t, base+"/metrics")
+	if !strings.Contains(body, "shard_0_core_records") {
+		t.Errorf("/metrics missing the override's per-shard series:\n%s", body)
+	}
+	_, body, _ = get(t, base+"/statz")
+	var statz map[string]any
+	if err := json.Unmarshal([]byte(body), &statz); err != nil {
+		t.Fatalf("statz not JSON: %v", err)
+	}
+	if !strings.Contains(body, "shard.0.core.records") {
+		t.Errorf("/statz missing the override's per-shard counter:\n%s", body)
+	}
+}

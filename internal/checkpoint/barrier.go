@@ -1,0 +1,127 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShardSnapshots bridges a coordinated shard barrier into a Checkpointer.
+//
+// The sharded pipeline cannot hand the Checkpointer live operator handles:
+// worker state is only consistent at a barrier, when every shard has
+// processed exactly the records submitted before the epoch marker and none
+// after. So the coordinator runs plane.Barrier immediately before Capture,
+// stages the collected per-shard blobs here with SetEpoch, and the
+// Checkpointer snapshots them through per-shard adapter operators named
+// "shard/<i>/<op>". A "shard/meta" operator pins the shard count and
+// barrier epoch: restoring a checkpoint into a pipeline configured with a
+// different shard count fails with a clear error instead of silently
+// misrouting per-trajectory state.
+//
+// On Restore the adapters stage the checkpointed blobs back here; the
+// coordinator applies them to the (not yet started) workers with Restored.
+type ShardSnapshots struct {
+	shards int
+	ops    []string
+
+	epoch  uint64
+	states []map[string][]byte // staged by SetEpoch for the next Capture
+
+	restoredEpoch uint64
+	restored      []map[string][]byte // staged by adapter Restore calls
+}
+
+type shardMeta struct {
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// NewShardSnapshots prepares a bridge for the given shard count and the
+// exact set of per-shard operator names every worker snapshot must contain.
+func NewShardSnapshots(shards int, ops []string) *ShardSnapshots {
+	return &ShardSnapshots{
+		shards:   shards,
+		ops:      append([]string(nil), ops...),
+		restored: make([]map[string][]byte, shards),
+	}
+}
+
+// Register binds the meta operator and one adapter per (shard, op) pair to
+// the Checkpointer. The meta operator registers first so a shard-count
+// mismatch surfaces before any per-shard state is touched on restore.
+func (s *ShardSnapshots) Register(c *Checkpointer) {
+	c.Register("shard/meta", metaOp{s})
+	for i := 0; i < s.shards; i++ {
+		for _, op := range s.ops {
+			c.Register(fmt.Sprintf("shard/%d/%s", i, op), shardOp{s: s, shard: i, op: op})
+		}
+	}
+}
+
+// SetEpoch stages the blobs collected by a barrier at the given epoch, one
+// map per shard, for the next Capture.
+func (s *ShardSnapshots) SetEpoch(epoch uint64, states []map[string][]byte) error {
+	if len(states) != s.shards {
+		return fmt.Errorf("checkpoint: barrier returned %d shard states, want %d", len(states), s.shards)
+	}
+	s.epoch = epoch
+	s.states = states
+	return nil
+}
+
+// Restored returns the blobs staged for one shard by the last Restore, or
+// nil when no checkpoint was restored. The coordinator applies these to
+// workers before starting the plane.
+func (s *ShardSnapshots) Restored(shard int) map[string][]byte {
+	return s.restored[shard]
+}
+
+// RestoredEpoch returns the barrier epoch recorded in the restored
+// checkpoint's meta entry (0 when nothing was restored).
+func (s *ShardSnapshots) RestoredEpoch() uint64 { return s.restoredEpoch }
+
+type metaOp struct{ s *ShardSnapshots }
+
+func (m metaOp) Snapshot() ([]byte, error) {
+	if m.s.states == nil {
+		return nil, fmt.Errorf("checkpoint: capture without a preceding shard barrier")
+	}
+	return json.Marshal(shardMeta{Shards: m.s.shards, Epoch: m.s.epoch})
+}
+
+func (m metaOp) Restore(blob []byte) error {
+	var meta shardMeta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return fmt.Errorf("checkpoint: decode shard meta: %w", err)
+	}
+	if meta.Shards != m.s.shards {
+		return fmt.Errorf("checkpoint: taken with %d shards, pipeline configured with %d — shard count must match to restore per-trajectory state", meta.Shards, m.s.shards)
+	}
+	m.s.restoredEpoch = meta.Epoch
+	return nil
+}
+
+type shardOp struct {
+	s     *ShardSnapshots
+	shard int
+	op    string
+}
+
+func (o shardOp) Snapshot() ([]byte, error) {
+	if o.s.states == nil {
+		return nil, fmt.Errorf("checkpoint: capture without a preceding shard barrier")
+	}
+	blob, ok := o.s.states[o.shard][o.op]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: shard %d barrier snapshot missing operator %q", o.shard, o.op)
+	}
+	return blob, nil
+}
+
+func (o shardOp) Restore(blob []byte) error {
+	if o.s.restored[o.shard] == nil {
+		o.s.restored[o.shard] = make(map[string][]byte, len(o.s.ops))
+	}
+	o.s.restored[o.shard][o.op] = blob
+	return nil
+}

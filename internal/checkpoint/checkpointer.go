@@ -103,6 +103,11 @@ func (c *Checkpointer) Register(name string, op Snapshotter) {
 // Checkpointer instance.
 func (c *Checkpointer) Captures() int { return c.captures }
 
+// NextGeneration returns the generation number the next Capture will use.
+// The sharded pipeline uses it as the barrier epoch, aligning each
+// coordinated shard snapshot with the checkpoint generation it lands in.
+func (c *Checkpointer) NextGeneration() uint64 { return c.nextGen }
+
 // Capture takes a checkpoint of the registered sources, outputs, and
 // operators against the broker, persists it as the next generation, and
 // prunes old generations beyond the retention limit. It returns the new

@@ -74,6 +74,18 @@ func WithPartitions(n int) Option {
 	return func(o *options) { o.cfg.Partitions = n }
 }
 
+// WithShards runs the real-time loop's per-trajectory stages (synopses,
+// area monitoring, future-location prediction) on n parallel shard workers
+// (default 1 = serial), routed by hash of the mover ID. Output is
+// byte-identical for any shard count: worker results are merged back in
+// the deterministic ingest order, and checkpoints are coordinated through
+// an epoch barrier. With WithAdmin, each shard gets its own health verdict
+// and /statz row. Pick n around the machine's core count, capped by the
+// fleet size — shards beyond the number of distinct movers sit idle.
+func WithShards(n int) Option {
+	return func(o *options) { o.cfg.Shards = n }
+}
+
 // WithFLP tunes future-location prediction: look-ahead steps per mover
 // (default 8) and the sampling interval (default 10s).
 func WithFLP(steps int, sample time.Duration) Option {
@@ -189,9 +201,18 @@ func New(opts ...Option) (*Pipeline, error) {
 			return nil, fmt.Errorf("core: WithAdmin requires metrics; do not combine with WithObs(nil)")
 		}
 		p.watchdog = health.NewWatchdog(reg, o.health)
+		if p.cfg.Shards > 1 {
+			// One verdict per shard worker: a stalled shard surfaces in
+			// /healthz as "shard.<i>" instead of hiding inside aggregate
+			// throughput.
+			for i := 0; i < p.cfg.Shards; i++ {
+				p.watchdog.Register(health.NewShardChecker(i, 1))
+			}
+		}
 		p.admin = admin.New(admin.Config{
 			Addr:     o.adminAddr,
 			Registry: reg,
+			Snapshot: p.MergedSnapshot,
 			Tracer:   p.tracer,
 			Watchdog: p.watchdog,
 			Statz:    func() any { return p.Stats().Statz() },

@@ -26,6 +26,7 @@ import (
 	"datacron/internal/msg"
 	"datacron/internal/obs"
 	"datacron/internal/rdf"
+	"datacron/internal/shard"
 	"datacron/internal/store"
 	"datacron/internal/synopses"
 	"datacron/internal/va"
@@ -48,6 +49,13 @@ type Config struct {
 	Statics    []linkdisc.StaticEntity
 	Regions    []lowlevel.Region // monitored zones for low-level events
 	Partitions int               // broker partitions (default 4)
+	// Shards is the number of parallel shard workers in the real-time run
+	// loop (default 1 = serial). Records route to workers by hash of the
+	// mover ID, so per-trajectory state stays shard-local, and worker
+	// results merge back in submit order — output is byte-identical for
+	// any shard count. When checkpointing, the shard count must stay the
+	// same across restarts of one checkpoint store.
+	Shards int
 	// FLP configuration.
 	PredictSteps   int           // look-ahead steps per mover (default 8)
 	SampleInterval time.Duration // FLP sampling interval (default 10s)
@@ -74,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Partitions <= 0 {
 		c.Partitions = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.PredictSteps <= 0 {
 		c.PredictSteps = 8
@@ -134,6 +145,11 @@ type Pipeline struct {
 	lastLink linkdisc.Stats
 	lastCons msg.ConsumerStats
 	lastSum  Summary
+	// Shard view of the current (or last) run, set at run start: the
+	// per-worker metric registries (nil when the run is serial) and the
+	// plane's live per-shard progress.
+	shardRegs  []*obs.Registry
+	shardStats func() []shard.Stats
 }
 
 // newPipeline builds the component set from a defaulted Config; New wires

@@ -21,6 +21,13 @@ var region = geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 
 func maritimePipeline(t *testing.T, withCER bool) (*Pipeline, []mobility.Report) {
 	t.Helper()
+	return shardedMaritimePipeline(t, withCER, 1)
+}
+
+// shardedMaritimePipeline is maritimePipeline with an explicit shard
+// count; the shard determinism tests compare runs across counts.
+func shardedMaritimePipeline(t *testing.T, withCER bool, shards int) (*Pipeline, []mobility.Report) {
+	t.Helper()
 	areas := gen.Areas(5, gen.ProtectedArea, 40, region, 3_000, 25_000)
 	ports := gen.Ports(6, 30, region)
 	var statics []linkdisc.StaticEntity
@@ -50,6 +57,7 @@ func maritimePipeline(t *testing.T, withCER bool) (*Pipeline, []mobility.Report)
 		cfg.Theta = 0.4
 		cfg.TrainSymbols = src.Generate(50_000)
 	}
+	cfg.Shards = shards
 	p, err := NewPipeline(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -12,12 +12,12 @@ import (
 	"datacron/internal/checkpoint/faultinject"
 	"datacron/internal/flp"
 	"datacron/internal/linkdisc"
-	"datacron/internal/lowlevel"
-	"datacron/internal/mobility"
 	"datacron/internal/msg"
+	"datacron/internal/obs"
 	"datacron/internal/ontology"
 	"datacron/internal/rdf"
 	"datacron/internal/rdfgen"
+	"datacron/internal/shard"
 	"datacron/internal/synopses"
 )
 
@@ -45,6 +45,11 @@ const (
 	sourceGroup  = "realtime"
 	sourceMember = "rt-1"
 )
+
+// pollBatch is the per-poll record cap. Checkpoints and shard barriers run
+// only at batch boundaries, and the plane's per-shard queues are sized
+// against it so a whole batch can be in flight without blocking.
+const pollBatch = 256
 
 // outputTopics are the topics the real-time layer produces to; recovery
 // truncates them back to the checkpointed end offsets.
@@ -148,16 +153,48 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	// Build the operator set fresh; configuration-derived structure
 	// (thresholds, grids, masks, automata) is rebuilt, dynamic state is
 	// restored from the checkpoint below.
-	sg := synopses.NewGenerator(p.cfg.Synopses)
-	sg.Instrument(p.obs)
-	areaMon := lowlevel.NewAreaMonitor(p.cfg.Regions, 64)
+	//
+	// Per-trajectory operators (synopses, area monitor, FLP) live inside
+	// shard workers: one worker driven inline when shards=1, N plane
+	// workers on their own goroutines otherwise. Cross-entity operators
+	// (link discovery, CER, RDF sequencing, broker output) stay on this
+	// goroutine — the serial merge stage — which applies worker results
+	// in global submit order, so published output is byte-identical
+	// whatever the shard count.
+	shards := p.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	workers := make([]*shardWorker, shards)
+	shardRegs := make([]*obs.Registry, shards)
+	for i := range workers {
+		reg := p.obs
+		if shards > 1 {
+			// Each worker gets its own registry so per-trajectory metric
+			// updates never contend; readers see them merged — aggregate
+			// plus per-shard label — through MergedSnapshot.
+			reg = obs.NewRegistry(p.clock)
+		}
+		shardRegs[i] = reg
+		workers[i] = p.newShardWorker(i, reg)
+	}
+	var plane *shard.Plane[msg.Record, workerOut]
+	if shards > 1 {
+		plane = shard.New(shard.Config{Shards: shards, Queue: 2 * pollBatch},
+			func(rec msg.Record) string { return rec.Key },
+			func(i int) shard.Worker[msg.Record, workerOut] { return workers[i] })
+		defer plane.Close()
+		p.setShardView(shardRegs, plane.Stats)
+	} else {
+		p.setShardView(nil, nil)
+	}
+
 	var disc *linkdisc.Discoverer
 	if len(p.cfg.Statics) > 0 {
 		disc = linkdisc.NewDiscoverer(p.cfg.Link, p.cfg.Statics)
 		disc.Instrument(p.obs)
 	}
 	rdfGen := rdfgen.CriticalPointGenerator()
-	predictors := map[string]flp.Predictor{}
 	seq := 0
 
 	// Per-stage metric handles, resolved once; nil-safe no-ops when
@@ -178,6 +215,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		p.watchdog.SetCheckpointInterval(rc.Interval)
 	}
 
+	var shardSnaps *checkpoint.ShardSnapshots
 	if cpr != nil {
 		cpr.Instrument(p.obs)
 		cpr.SetLogger(p.rootLog)
@@ -185,8 +223,19 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		for _, t := range outputTopics {
 			cpr.RegisterOutput(t)
 		}
-		cpr.Register("synopses", sg)
-		cpr.Register("area", areaMon)
+		if shards == 1 {
+			// Single shard: the worker's operators register under the
+			// bare legacy names, so the checkpoint format is unchanged.
+			cpr.Register("synopses", workers[0].sg)
+			cpr.Register("area", workers[0].areaMon)
+		} else {
+			// Sharded: per-worker state is only consistent at a barrier,
+			// so it flows through the ShardSnapshots bridge under
+			// "shard/<i>/<op>" names, with a meta entry pinning the
+			// shard count.
+			shardSnaps = checkpoint.NewShardSnapshots(shards, shardOps)
+			shardSnaps.Register(cpr)
+		}
 		if disc != nil {
 			cpr.Register("linkdisc", disc)
 		}
@@ -194,7 +243,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			cpr.Register("cer", p.forecaster)
 		}
 		cpr.Register("profiler", p.Profiler)
-		cpr.Register("flp", predictorsSnapshotter{preds: predictors, sample: p.cfg.SampleInterval})
+		if shards == 1 {
+			cpr.Register("flp", predictorsSnapshotter{preds: workers[0].predictors, sample: p.cfg.SampleInterval})
+		}
 		cpr.Register("summary", runStateSnapshotter{seq: &seq, sum: &sum})
 
 		// Metric state is monitoring-only and deliberately outside the
@@ -208,8 +259,18 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			return sum, err
 		}
 		if cp != nil {
+			if shardSnaps != nil {
+				// The bridge staged each worker's blobs during Restore;
+				// apply them now, before Start, while the workers are
+				// still single-threaded.
+				for i, w := range workers {
+					if err := w.Restore(shardSnaps.Restored(i)); err != nil {
+						return sum, err
+					}
+				}
+			}
 			p.log.Info("restored from checkpoint",
-				"generation", cp.Generation, "records", sum.RawIn)
+				"generation", cp.Generation, "records", sum.RawIn, "shards", shards)
 		}
 		if cp == nil {
 			// No checkpoint: cold start. A previous crashed attempt may
@@ -234,6 +295,10 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		}
 	}
 
+	if plane != nil {
+		plane.Start()
+	}
+
 	// The consumer is created after the restore so its first rebalance
 	// picks up the restored committed offsets.
 	cons, err := p.Broker.NewConsumer(sourceGroup, TopicRaw, sourceMember)
@@ -244,8 +309,13 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	// Capture end-of-run component stats for Pipeline.Stats (runs before
 	// cons.Close: deferred calls execute last-in first-out).
 	defer func() {
+		// On the crash/error return path the plane may still have workers
+		// mid-record; stop them (idempotent) before reading their state.
+		if plane != nil {
+			plane.Close()
+		}
 		p.mu.Lock()
-		p.lastSyn = sg.Stats()
+		p.lastSyn = aggregateSynStats(workers)
 		if disc != nil {
 			p.lastLink = disc.Stats()
 		}
@@ -312,6 +382,53 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		return nil
 	}
 
+	// apply is the serial merge stage: it folds one record's shard-local
+	// result into the cross-entity operators in global submit order.
+	apply := func(rec msg.Record, out workerOut) error {
+		if !out.ok {
+			return nil // corrupt record: dropped by the cleaning stage
+		}
+		sum.RawIn++
+		mRecords.Inc()
+		if out.rep.Time.After(maxEventTime) {
+			maxEventTime = out.rep.Time
+			mWatermark.Set(float64(maxEventTime.Unix()))
+		}
+		if out.valid {
+			p.Profiler.Observe(out.rep)
+			sum.AreaEvents += out.areaEvents
+			mAreaEvents.Add(out.areaEvents)
+			p.Dashboard.UpdatePosition(out.rep)
+			if out.pred != nil {
+				sum.Predictions++
+				mPredictions.Inc()
+				p.Dashboard.SetPrediction(out.rep.ID, out.pred)
+			}
+		}
+		for _, cp := range out.cps {
+			if err := processCritical(cp); err != nil {
+				return err
+			}
+		}
+		cons.Commit(rec)
+		return nil
+	}
+
+	// barrier coordinates a consistent cut across the plane and stages
+	// the per-shard snapshots for the next Capture. Called only between
+	// fully drained poll batches.
+	barrier := func() error {
+		if plane == nil || shardSnaps == nil {
+			return nil
+		}
+		epoch := cpr.NextGeneration()
+		states, err := plane.Barrier(epoch)
+		if err != nil {
+			return err
+		}
+		return shardSnaps.SetEpoch(epoch, states)
+	}
+
 	// The interval trigger reads the pipeline's injected clock, never the
 	// wall clock directly: a run driven by an obs.ManualClock checkpoints at
 	// deterministic points, so replay stays byte-identical.
@@ -327,6 +444,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			(rc.Interval > 0 && p.clock.Now().Sub(lastCp) >= rc.Interval)
 		if !due {
 			return nil
+		}
+		if err := barrier(); err != nil {
+			return err
 		}
 		span := p.tracer.Start("checkpoint")
 		gen, err := cpr.Capture(p.Broker)
@@ -346,6 +466,12 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		// cancelled context (SIGINT/SIGTERM in cmd/datacron) must be checked
 		// here for shutdown to interrupt a drain of queued records.
 		if err := ctx.Err(); err != nil {
+			// Leave a consistent cut staged for a caller-driven final
+			// capture (cmd/datacron's graceful shutdown): the plane is
+			// drained here, so the barrier is valid.
+			if cpr != nil {
+				_ = barrier()
+			}
 			return sum, err
 		}
 		if inj != nil {
@@ -354,7 +480,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			}
 		}
 		pollSpan := p.tracer.Start("poll")
-		recs, err := cons.Poll(ctx, 256)
+		recs, err := cons.Poll(ctx, pollBatch)
 		pollSpan.End()
 		if errors.Is(err, msg.ErrClosed) {
 			break
@@ -371,51 +497,41 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			continue
 		}
 		procSpan := p.tracer.Start("process")
+		// Fan the whole batch out to the shard workers (per-trajectory
+		// stages run in parallel), then drain and apply results in submit
+		// order on this goroutine. With one shard the worker runs inline —
+		// the identical code path minus the goroutine hop.
+		if plane != nil {
+			for _, rec := range recs {
+				if err := plane.Submit(rec); err != nil {
+					procSpan.End()
+					return sum, err
+				}
+			}
+		}
 		for _, rec := range recs {
 			if inj != nil {
 				if err := inj.BeforeRecord(); err != nil {
+					// Simulated crash: undrained worker outputs are
+					// discarded with the process state, exactly like a
+					// real crash mid-batch.
 					procSpan.End()
 					return sum, err
 				}
 			}
-			r, err := mobility.UnmarshalReport(rec.Value)
-			if err != nil {
-				continue // corrupt record: dropped by the cleaning stage
-			}
-			sum.RawIn++
-			mRecords.Inc()
-			if r.Time.After(maxEventTime) {
-				maxEventTime = r.Time
-				mWatermark.Set(float64(maxEventTime.Unix()))
-			}
-			// In-situ processing.
-			if r.Valid() {
-				p.Profiler.Observe(r)
-				areaEvents := int64(len(areaMon.Update(r)))
-				sum.AreaEvents += areaEvents
-				mAreaEvents.Add(areaEvents)
-				p.Dashboard.UpdatePosition(r)
-				// Future location prediction.
-				pred, ok := predictors[r.ID]
-				if !ok {
-					pred = flp.NewRMFStar(p.cfg.SampleInterval)
-					predictors[r.ID] = pred
-				}
-				pred.Observe(r)
-				if pts := pred.Predict(p.cfg.PredictSteps); pts != nil {
-					sum.Predictions++
-					mPredictions.Inc()
-					p.Dashboard.SetPrediction(r.ID, pts)
-				}
-			}
-			// Synopses generation (applies its own noise filters).
-			for _, cp := range sg.Process(r) {
-				if err := processCritical(cp); err != nil {
+			var out workerOut
+			if plane != nil {
+				if out, err = plane.Next(); err != nil {
 					procSpan.End()
 					return sum, err
 				}
+			} else {
+				out = workers[0].Process(rec)
 			}
-			cons.Commit(rec)
+			if err := apply(rec, out); err != nil {
+				procSpan.End()
+				return sum, err
+			}
 		}
 		procSpan.End()
 		// Checkpoints are captured only between poll batches: every record
@@ -427,8 +543,21 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			return sum, err
 		}
 	}
-	// Flush trajectory ends.
-	for _, cp := range sg.Flush() {
+	// Flush trajectory ends. Each worker flushes its own movers sorted by
+	// (time, ID); the k-way merge with the same comparator reproduces the
+	// exact sequence a single shard emits.
+	var ends []synopses.CriticalPoint
+	if plane != nil {
+		plane.Close() // workers are single-threaded again after Close
+		lists := make([][]synopses.CriticalPoint, len(workers))
+		for i, w := range workers {
+			lists[i] = w.Flush()
+		}
+		ends = shard.MergeSorted(lessCritical, lists...)
+	} else {
+		ends = workers[0].Flush()
+	}
+	for _, cp := range ends {
 		if err := processCritical(cp); err != nil {
 			return sum, err
 		}
@@ -438,9 +567,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			return sum, err
 		}
 	}
-	sum.Compression = sg.Stats().CompressionRatio()
+	sum.Compression = aggregateSynStats(workers).CompressionRatio()
 	p.log.Info("real-time run complete",
 		"records", sum.RawIn, "critical", sum.CriticalPoints,
-		"triples", sum.Triples, "links", sum.Links)
+		"triples", sum.Triples, "links", sum.Links, "shards", shards)
 	return sum, nil
 }

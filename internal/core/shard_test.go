@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
+)
+
+// TestShardedByteIdenticalOutput pins the shard plane's headline contract:
+// the full maritime pipeline (synopses, FLP, link discovery, CER, weather-
+// free RDF) run with 1, 2 and 4 shards over the same seeded input must
+// publish byte-identical output topics and an identical summary.
+func TestShardedByteIdenticalOutput(t *testing.T) {
+	base, reports := shardedMaritimePipeline(t, true, 1)
+	if err := base.Ingest(reports); err != nil {
+		t.Fatal(err)
+	}
+	baseSum, err := base.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 4} {
+		p, reports2 := shardedMaritimePipeline(t, true, shards)
+		if len(reports2) != len(reports) {
+			t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
+		}
+		if err := p.Ingest(reports2); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := p.RunRealTime(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(sum) != fmt.Sprint(baseSum) {
+			t.Errorf("shards=%d: summaries differ:\nserial  %v\nsharded %v", shards, baseSum, sum)
+		}
+		requireIdenticalTopics(t, base.Broker, p.Broker)
+
+		stats := p.Stats()
+		if len(stats.Shards) != shards {
+			t.Fatalf("shards=%d: Stats().Shards has %d rows", shards, len(stats.Shards))
+		}
+		var total int64
+		for _, row := range stats.Shards {
+			total += row.Records
+		}
+		if total != int64(len(reports)) {
+			t.Errorf("shards=%d: per-shard records sum to %d, want %d", shards, total, len(reports))
+		}
+		// The merged view must agree with the serial run on the aggregate
+		// synopses counters while also carrying the per-shard labels.
+		merged := p.MergedSnapshot()
+		if got, want := merged.Counter("synopses.critical"), base.Obs().Snapshot().Counter("synopses.critical"); got != want {
+			t.Errorf("shards=%d: aggregate synopses.critical = %d, want %d", shards, got, want)
+		}
+		var labelled int64
+		for i := 0; i < shards; i++ {
+			labelled += merged.Counter(fmt.Sprintf("shard.%d.synopses.critical", i))
+		}
+		if labelled != merged.Counter("synopses.critical") {
+			t.Errorf("shards=%d: per-shard labels sum to %d, aggregate %d", shards, labelled, merged.Counter("synopses.critical"))
+		}
+	}
+}
+
+// TestShardedRecoveryByteIdenticalOutput extends the fault-tolerance
+// guarantee to the sharded loop: a 4-shard pipeline killed repeatedly
+// mid-stream and recovered from barrier-coordinated checkpoints must
+// reproduce, byte for byte, the output of an uninterrupted serial run.
+func TestShardedRecoveryByteIdenticalOutput(t *testing.T) {
+	base, reports := shardedMaritimePipeline(t, true, 1)
+	if err := base.Ingest(reports); err != nil {
+		t.Fatal(err)
+	}
+	baseSum, err := base.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, reports2 := shardedMaritimePipeline(t, true, 4)
+	if len(reports2) != len(reports) {
+		t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
+	}
+	if err := faulty.Ingest(reports2); err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:     42,
+		KillMin:  900,
+		KillMax:  1500,
+		DropProb: 0.01,
+	})
+	rc := &RecoveryConfig{Checkpointer: cpr, EveryRecords: 300, Injector: inj}
+
+	sum, restarts := runUntilDone(t, faulty, rc, 100)
+	if inj.Kills() < 2 {
+		t.Fatalf("only %d crashes injected; the test proved nothing", inj.Kills())
+	}
+	t.Logf("4-shard pipeline recovered from %d crashes (%d restarts, %d checkpoints)",
+		inj.Kills(), restarts, cpr.Captures())
+
+	if fmt.Sprint(sum) != fmt.Sprint(baseSum) {
+		t.Errorf("summaries differ:\nserial  %v\nsharded %v", baseSum, sum)
+	}
+	requireIdenticalTopics(t, base.Broker, faulty.Broker)
+}
+
+// TestShardedCheckpointShardCountPinned: restoring a checkpoint captured
+// at one shard count into a pipeline configured with another must fail
+// loudly instead of misrouting per-trajectory state.
+func TestShardedCheckpointShardCountPinned(t *testing.T) {
+	p2, reports := shardedMaritimePipeline(t, false, 2)
+	if err := p2.Ingest(reports); err != nil {
+		t.Fatal(err)
+	}
+	store := checkpoint.NewMemStore()
+	cpr, err := checkpoint.NewCheckpointer(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash once after at least one checkpoint so the store holds state.
+	inj := faultinject.New(faultinject.Config{Seed: 9, KillMin: 900, KillMax: 1200})
+	_, err = p2.RunWithRecovery(context.Background(), &RecoveryConfig{
+		Checkpointer: cpr, EveryRecords: 300, Injector: inj,
+	})
+	if err == nil {
+		t.Fatal("run finished before the injected crash; raise KillMin")
+	}
+	if cpr.Captures() == 0 {
+		t.Fatal("no checkpoint captured before the crash")
+	}
+
+	p4, reports4 := shardedMaritimePipeline(t, false, 4)
+	if err := p4.Ingest(reports4); err != nil {
+		t.Fatal(err)
+	}
+	cpr4, err := checkpoint.NewCheckpointer(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p4.RunWithRecovery(context.Background(), &RecoveryConfig{Checkpointer: cpr4, EveryRecords: 300})
+	if err == nil {
+		t.Fatal("restore with mismatched shard count must fail")
+	}
+}

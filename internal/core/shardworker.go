@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"datacron/internal/flp"
+	"datacron/internal/geo"
+	"datacron/internal/lowlevel"
+	"datacron/internal/mobility"
+	"datacron/internal/msg"
+	"datacron/internal/obs"
+	"datacron/internal/synopses"
+)
+
+// shardOps are the operator names every shard worker snapshot contains;
+// checkpoint.ShardSnapshots maps them to "shard/<i>/<op>" entries. With
+// shards=1 the same operators register under these bare names, keeping the
+// single-shard checkpoint format identical to pre-shard pipelines.
+var shardOps = []string{"synopses", "area", "flp"}
+
+// workerOut is one record's shard-local result, applied by the coordinator
+// in submit order. Every submitted record yields exactly one workerOut, so
+// the merged stream is position-for-position identical to a serial run.
+type workerOut struct {
+	ok         bool            // unmarshal succeeded
+	rep        mobility.Report // decoded report
+	valid      bool            // rep.Valid()
+	areaEvents int64           // low-level events detected at this report
+	pred       []geo.Point     // future locations, nil when not predicted
+	cps        []synopses.CriticalPoint
+}
+
+// shardWorker is one shard's operator chain: exactly the per-trajectory
+// stages of the run loop (decoding, synopses, area monitoring, future
+// location prediction). All its state is keyed by mover ID, and the plane
+// routes every record of a mover to the same shard, so the chain needs no
+// locking. Cross-entity stages (link discovery, CER, RDF sequencing,
+// broker output) stay on the coordinator.
+type shardWorker struct {
+	shard      int
+	sg         *synopses.Generator
+	areaMon    *lowlevel.AreaMonitor
+	predictors map[string]flp.Predictor
+	sample     time.Duration
+	steps      int
+	mRecords   *obs.Counter // "shard.<i>.records" in the pipeline registry
+}
+
+func (p *Pipeline) newShardWorker(shard int, reg *obs.Registry) *shardWorker {
+	sg := synopses.NewGenerator(p.cfg.Synopses)
+	sg.Instrument(reg)
+	return &shardWorker{
+		shard:      shard,
+		sg:         sg,
+		areaMon:    lowlevel.NewAreaMonitor(p.cfg.Regions, 64),
+		predictors: map[string]flp.Predictor{},
+		sample:     p.cfg.SampleInterval,
+		steps:      p.cfg.PredictSteps,
+		mRecords:   p.obs.Counter(fmt.Sprintf("shard.%d.records", shard)),
+	}
+}
+
+// Process runs the shard-local stages for one raw record.
+func (w *shardWorker) Process(rec msg.Record) workerOut {
+	w.mRecords.Inc()
+	r, err := mobility.UnmarshalReport(rec.Value)
+	if err != nil {
+		return workerOut{} // corrupt record: dropped by the cleaning stage
+	}
+	out := workerOut{ok: true, rep: r, valid: r.Valid()}
+	if out.valid {
+		out.areaEvents = int64(len(w.areaMon.Update(r)))
+		pred, ok := w.predictors[r.ID]
+		if !ok {
+			pred = flp.NewRMFStar(w.sample)
+			w.predictors[r.ID] = pred
+		}
+		pred.Observe(r)
+		out.pred = pred.Predict(w.steps)
+	}
+	out.cps = w.sg.Process(r)
+	return out
+}
+
+// Snapshot encodes the worker's operators under the shardOps names, for
+// the coordinated checkpoint barrier.
+func (w *shardWorker) Snapshot() (map[string][]byte, error) {
+	out := make(map[string][]byte, len(shardOps))
+	for _, op := range shardOps {
+		blob, err := w.op(op).Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: snapshot %s: %w", w.shard, op, err)
+		}
+		out[op] = blob
+	}
+	return out, nil
+}
+
+// Restore rehydrates the worker's operators from barrier blobs.
+func (w *shardWorker) Restore(ops map[string][]byte) error {
+	for _, op := range shardOps {
+		blob, ok := ops[op]
+		if !ok {
+			return fmt.Errorf("shard %d: restore: missing operator %q", w.shard, op)
+		}
+		if err := w.op(op).Restore(blob); err != nil {
+			return fmt.Errorf("shard %d: restore %s: %w", w.shard, op, err)
+		}
+	}
+	return nil
+}
+
+// op maps a shardOps name to the operator's Snapshotter. The same
+// snapshotters register directly on the Checkpointer when shards=1.
+func (w *shardWorker) op(name string) interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+} {
+	switch name {
+	case "synopses":
+		return w.sg
+	case "area":
+		return w.areaMon
+	case "flp":
+		return predictorsSnapshotter{preds: w.predictors, sample: w.sample}
+	}
+	panic("core: unknown shard operator " + name)
+}
+
+// Flush ends every open trajectory on this shard, returning the closing
+// critical points in (time, ID) order — the coordinator k-way merges the
+// per-shard lists with the same comparator.
+func (w *shardWorker) Flush() []synopses.CriticalPoint {
+	return w.sg.Flush()
+}
+
+// aggregateSynStats sums synopses stats across shard workers; with one
+// worker it is exactly that worker's stats.
+func aggregateSynStats(workers []*shardWorker) synopses.Stats {
+	var out synopses.Stats
+	for _, w := range workers {
+		s := w.sg.Stats()
+		out.In += s.In
+		out.Dropped += s.Dropped
+		out.Critical += s.Critical
+	}
+	return out
+}
+
+// lessCritical is the flush merge comparator, matching the (time, ID)
+// order synopses.Generator.Flush emits.
+func lessCritical(a, b synopses.CriticalPoint) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.ID < b.ID
+}

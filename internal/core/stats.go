@@ -8,6 +8,7 @@ import (
 	"datacron/internal/msg"
 	"datacron/internal/obs"
 	"datacron/internal/obs/export"
+	"datacron/internal/shard"
 	"datacron/internal/synopses"
 )
 
@@ -23,6 +24,21 @@ type PipelineStats struct {
 	Links    linkdisc.Stats
 	Consumer msg.ConsumerStats
 	Summary  Summary
+	// Shards holds one row per shard worker of a sharded run (nil for
+	// serial runs): live progress, queue depth and per-shard synopses
+	// counters.
+	Shards []ShardStats
+}
+
+// ShardStats is one worker's live view in a sharded run: plane progress
+// plus the worker's own synopses counters, read from its shard-local
+// registry.
+type ShardStats struct {
+	Shard    int   `json:"shard"`
+	Records  int64 `json:"records"`  // records processed on the worker goroutine
+	Queue    int   `json:"queue"`    // inputs waiting in the shard's queue
+	Critical int64 `json:"critical"` // critical points emitted by this shard
+	Dropped  int64 `json:"dropped"`  // records dropped by this shard's noise filters
 }
 
 // Stats snapshots the pipeline. Safe to call concurrently with a run; the
@@ -30,7 +46,7 @@ type PipelineStats struct {
 // from the last completed run.
 func (p *Pipeline) Stats() PipelineStats {
 	s := PipelineStats{
-		Metrics: p.obs.Snapshot(),
+		Metrics: p.MergedSnapshot(),
 		Broker:  p.Broker.Stats(),
 	}
 	p.mu.Lock()
@@ -38,8 +54,48 @@ func (p *Pipeline) Stats() PipelineStats {
 	s.Links = p.lastLink
 	s.Consumer = p.lastCons
 	s.Summary = p.lastSum
+	regs, stats := p.shardRegs, p.shardStats
 	p.mu.Unlock()
+	if stats != nil {
+		for _, row := range stats() {
+			sr := ShardStats{Shard: row.Shard, Records: row.Processed, Queue: row.Queue}
+			if row.Shard < len(regs) {
+				snap := regs[row.Shard].Snapshot()
+				sr.Critical = snap.Counter("synopses.critical")
+				sr.Dropped = snap.Counter("synopses.dropped")
+			}
+			s.Shards = append(s.Shards, sr)
+		}
+	}
 	return s
+}
+
+// setShardView publishes a run's shard registries and plane progress for
+// Stats/MergedSnapshot readers; a serial run clears both.
+func (p *Pipeline) setShardView(regs []*obs.Registry, stats func() []shard.Stats) {
+	p.mu.Lock()
+	p.shardRegs = regs
+	p.shardStats = stats
+	p.mu.Unlock()
+}
+
+// MergedSnapshot is the pipeline-wide metric view: the main registry
+// merged with every shard worker's registry, twice over — once unprefixed
+// (the aggregate: per-shard counters sum into the familiar names) and once
+// under a "shard.<i>." prefix (the per-shard label). Serial runs have no
+// shard registries, so it degrades to the main registry's snapshot. The
+// admin /metrics endpoint and Stats().Metrics read through this.
+func (p *Pipeline) MergedSnapshot() obs.Snapshot {
+	p.mu.Lock()
+	regs := p.shardRegs
+	p.mu.Unlock()
+	out := p.obs.Snapshot()
+	for i, reg := range regs {
+		snap := reg.Snapshot()
+		out = out.Merge(snap)
+		out = out.Merge(snap.Prefixed(fmt.Sprintf("shard.%d.", i)))
+	}
+	return out
 }
 
 // StatzPayload is the admin server's /statz document: PipelineStats with
@@ -52,6 +108,7 @@ type StatzPayload struct {
 	Links    linkdisc.Stats      `json:"links"`
 	Consumer msg.ConsumerStats   `json:"consumer"`
 	Summary  Summary             `json:"summary"`
+	Shards   []ShardStats        `json:"shards,omitempty"`
 }
 
 // Statz converts the stats to the /statz wire form.
@@ -63,6 +120,7 @@ func (s PipelineStats) Statz() StatzPayload {
 		Links:    s.Links,
 		Consumer: s.Consumer,
 		Summary:  s.Summary,
+		Shards:   s.Shards,
 	}
 }
 
@@ -89,6 +147,17 @@ func (s PipelineStats) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "topic   %-42s parts=%d records=%d bytes=%d\n",
 			t.Name, t.Partitions, t.Records, t.Bytes); err != nil {
 			return err
+		}
+	}
+	if len(s.Shards) > 0 {
+		if _, err := fmt.Fprintf(w, "# shards\n"); err != nil {
+			return err
+		}
+		for _, sh := range s.Shards {
+			if _, err := fmt.Fprintf(w, "shard   %-42d records=%d critical=%d dropped=%d queue=%d\n",
+				sh.Shard, sh.Records, sh.Critical, sh.Dropped, sh.Queue); err != nil {
+				return err
+			}
 		}
 	}
 	return s.Metrics.WriteText(w)

@@ -362,3 +362,29 @@ func TestVAExperiments(t *testing.T) {
 		t.Error("no report text produced")
 	}
 }
+
+func TestShardScalingShape(t *testing.T) {
+	res, err := RunShardScaling(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(shardCounts) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), 2*len(shardCounts))
+	}
+	for _, r := range res.Rows {
+		if r.Mode == "pipeline" && !r.Identical {
+			t.Errorf("pipeline shards=%d: output diverged from serial run", r.Shards)
+		}
+		if r.PerSecond <= 0 {
+			t.Errorf("%s shards=%d: non-positive throughput", r.Mode, r.Shards)
+		}
+	}
+	// The latency-bound sweep must scale regardless of GOMAXPROCS: shard
+	// workers overlap their per-record waits. Allow generous slack for
+	// scheduler jitter; ideal is 4.0x.
+	for _, r := range res.Rows {
+		if r.Mode == "enrich" && r.Shards == 4 && r.Speedup < 1.5 {
+			t.Errorf("enrich shards=4: speedup %.2fx, want >= 1.5x", r.Speedup)
+		}
+	}
+}

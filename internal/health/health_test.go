@@ -234,3 +234,70 @@ type checkerFunc func(prev, cur obs.Snapshot) Result
 
 func (f checkerFunc) Name() string                   { return "custom" }
 func (f checkerFunc) Check(p, c obs.Snapshot) Result { return f(p, c) }
+
+func TestShardCheckerStallIdleProgress(t *testing.T) {
+	clk, reg, w := setup()
+	w.Register(NewShardChecker(0, 1))
+	w.Register(NewShardChecker(1, 1))
+	core := reg.Counter("core.records")
+	s0 := reg.Counter("shard.0.records")
+	s1 := reg.Counter("shard.1.records")
+
+	// Baseline: shard 1 has never received a record — idle, not stuck.
+	core.Add(50)
+	s0.Add(50)
+	w.Tick()
+	if r := result(t, w, "shard.1"); r.Status != Healthy || !strings.Contains(r.Detail, "no records routed") {
+		t.Fatalf("idle shard must be healthy: %+v", r)
+	}
+
+	// Progress on both: healthy.
+	clk.Advance(time.Second)
+	core.Add(100)
+	s0.Add(60)
+	s1.Add(40)
+	w.Tick()
+	if r := result(t, w, "shard.0"); r.Status != Healthy {
+		t.Fatalf("progressing shard must be healthy: %+v", r)
+	}
+
+	// Shard 0 stops while the pipeline advances: ONE tick must flip it.
+	clk.Advance(time.Second)
+	core.Add(100)
+	s1.Add(100)
+	w.Tick()
+	r := result(t, w, "shard.0")
+	if r.Status != Unhealthy || !strings.Contains(r.Detail, "shard 0") {
+		t.Fatalf("stalled shard must be unhealthy within one tick: %+v", r)
+	}
+	if w.Ready() {
+		t.Fatal("a stalled shard must cost readiness")
+	}
+
+	// Shard 0 resumes: verdict recovers immediately.
+	clk.Advance(time.Second)
+	core.Add(100)
+	s0.Add(50)
+	s1.Add(50)
+	w.Tick()
+	if r := result(t, w, "shard.0"); r.Status != Healthy {
+		t.Fatalf("resumed shard must recover: %+v", r)
+	}
+}
+
+func TestShardCheckerQuietPipeline(t *testing.T) {
+	clk, reg, w := setup()
+	w.Register(NewShardChecker(0, 1))
+	core := reg.Counter("core.records")
+	s0 := reg.Counter("shard.0.records")
+	core.Add(10)
+	s0.Add(10)
+	w.Tick()
+
+	// Nothing moves at all — a quiet pipeline is not a shard stall.
+	clk.Advance(time.Second)
+	w.Tick()
+	if r := result(t, w, "shard.0"); r.Status != Healthy {
+		t.Fatalf("quiet pipeline must not flag the shard: %+v", r)
+	}
+}

@@ -62,12 +62,20 @@ type StaticEntity struct {
 
 // Config parameterises the discoverer.
 type Config struct {
-	Extent         geo.Rect      // blocking grid extent
-	GridCols       int           // default 96
-	GridRows       int           // default 96
-	MaskResolution int           // sub-cells per cell side; 0 disables masks
-	NearDistanceM  float64       // nearTo threshold; 0 disables nearTo
-	TemporalWindow time.Duration // point-point proximity window; 0 disables
+	Extent         geo.Rect // blocking grid extent
+	GridCols       int      // default 96
+	GridRows       int      // default 96
+	MaskResolution int      // sub-cells per cell side; 0 disables masks
+	NearDistanceM  float64  // nearTo threshold; 0 disables nearTo
+	// TemporalWindow is the point-point proximity window; 0 disables the
+	// moving-moving nearTo relation. A remembered point is evicted from its
+	// grid cell strictly by temporal distance: it survives while
+	// now-point.time <= TemporalWindow (a point aged exactly the window is
+	// still a proximity candidate) and is dropped the first time a report
+	// visits its cell with a strictly greater distance. Eviction is lazy and
+	// event-time driven — cells are cleaned when visited, never by wall
+	// clock.
+	TemporalWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -312,8 +320,13 @@ func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
 		for _, c := range cells {
 			kept := d.recent[c][:0]
 			for _, rp := range d.recent[c] {
+				// The paper's book-keeping process: evict strictly by
+				// temporal distance. `>` not `>=` — a point aged exactly
+				// TemporalWindow is still a candidate (Config.TemporalWindow
+				// documents this boundary; TestTemporalEvictionBoundary pins
+				// it).
 				if t.Sub(rp.time) > d.cfg.TemporalWindow {
-					continue // expired: clean up (book-keeping)
+					continue
 				}
 				kept = append(kept, rp)
 				if rp.id == id {

@@ -211,3 +211,37 @@ func TestStatsString(t *testing.T) {
 		t.Errorf("entities = %d", d.Stats().Entities)
 	}
 }
+
+// TestTemporalEvictionBoundary pins the book-keeping contract documented on
+// Config.TemporalWindow: grid-cell state is evicted strictly by temporal
+// distance. A point aged exactly the window is still a proximity candidate;
+// one aged a moment more is both link-invisible and physically removed from
+// the visited cell's state.
+func TestTemporalEvictionBoundary(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.TemporalWindow = 10 * time.Minute
+	d := NewDiscoverer(cfg, nil)
+	base := geo.Pt(25.0, 39.0)
+	d.ProcessPoint("old", t0, base)
+
+	// Exactly at the window edge: strict `>` retains the point.
+	links := d.ProcessPoint("edge", t0.Add(10*time.Minute), geo.Destination(base, 90, 1_000))
+	if !findLink(links, NearTo, "old") {
+		t.Fatalf("point aged exactly TemporalWindow must still match: %v", links)
+	}
+
+	// One second past the window: evicted, so no link...
+	links = d.ProcessPoint("late", t0.Add(10*time.Minute+time.Second), geo.Destination(base, 0, 1_000))
+	if findLink(links, NearTo, "old") {
+		t.Fatalf("point aged past TemporalWindow must be evicted: %v", links)
+	}
+	// ...and the state itself is gone from every visited cell, not just
+	// skipped (the lazy cleanup really frees the memory).
+	for c, pts := range d.recent {
+		for _, rp := range pts {
+			if rp.id == "old" {
+				t.Errorf("evicted point still stored in cell %d", c)
+			}
+		}
+	}
+}

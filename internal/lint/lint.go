@@ -74,6 +74,7 @@ func Analyzers() []*Analyzer {
 		httpserverAnalyzer,
 		locksafetyAnalyzer,
 		obsclockAnalyzer,
+		sharddeterminismAnalyzer,
 		snapshotpairAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })

@@ -295,3 +295,17 @@ func TestModuleIsClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+func TestShardDeterminism(t *testing.T) {
+	runFixture(t, "sharddeterminism", "sharddeterminism", "datacron/internal/synopses/lintfixture")
+}
+
+func TestShardDeterminismOutOfScope(t *testing.T) {
+	// The same fixture outside the shard-worker scope must produce nothing:
+	// packages never reached from worker goroutines may keep package-level
+	// state (the admin server, experiments, CLIs).
+	p := loadFixture(t, "sharddeterminism", "datacron/internal/admin/lintfixture")
+	if diags := Lookup("sharddeterminism").Run(p); len(diags) != 0 {
+		t.Fatalf("sharddeterminism fired outside the shard-worker scope: %v", diags)
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardWorkerScope lists the module-relative package prefixes whose code runs
+// on shard worker goroutines (directly or as a transitive callee of
+// shard.Worker.Process): the shard plane itself, the core coordinator that
+// hosts the worker stages, and the per-trajectory operator packages. Inside
+// this scope, package-level state is shared across all workers, so mutating
+// it breaks both the race-freedom and the byte-identical-output guarantees
+// of the sharded run loop.
+var ShardWorkerScope = []string{
+	"internal/shard",
+	"internal/core",
+	"internal/synopses",
+	"internal/lowlevel",
+	"internal/flp",
+	"internal/geo",
+}
+
+var sharddeterminismAnalyzer = &Analyzer{
+	Name: "sharddeterminism",
+	Doc: "forbids shared mutable package-level state in packages reachable from " +
+		"shard worker code paths: writes to package-level variables outside init, " +
+		"and package-level declarations of inherently stateful types (sync.Mutex, " +
+		"sync.Map, rand.Rand, ...); shard-local state belongs on the worker struct",
+	Run: runShardDeterminism,
+}
+
+func inShardWorkerScope(p *Package) bool {
+	for _, prefix := range ShardWorkerScope {
+		if p.RelPath == prefix || strings.HasPrefix(p.RelPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// statefulTypes are types whose package-level presence is shared mutable
+// state even without a visible assignment: their methods mutate them.
+var statefulTypes = map[string]bool{
+	"sync.Mutex":      true,
+	"sync.RWMutex":    true,
+	"sync.Map":        true,
+	"sync.WaitGroup":  true,
+	"sync.Once":       true,
+	"sync.Pool":       true,
+	"math/rand.Rand":  true,
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+func statefulTypeName(t types.Type) (string, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return name, statefulTypes[name]
+}
+
+func runShardDeterminism(p *Package) []Diagnostic {
+	if !inShardWorkerScope(p) {
+		return nil
+	}
+	var diags []Diagnostic
+
+	// Pass 1: package-level vars — collect them, and flag declarations of
+	// inherently stateful types outright.
+	pkgVars := make(map[*types.Var]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := p.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					pkgVars[v] = true
+					if tn, bad := statefulTypeName(v.Type()); bad {
+						diags = append(diags, p.diag("sharddeterminism", name.Pos(),
+							"package-level %s %q in shard-worker-reachable package %s; shard workers share it — move it into the worker or operator struct",
+							tn, name.Name, p.RelPath))
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: writes to package-level vars from any function except init.
+	// Read-only tables are fine (initialization runs before the workers
+	// start); a write from operator code is a data race across workers and
+	// makes output depend on shard scheduling.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || (fd.Recv == nil && fd.Name.Name == "init") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if v, name := pkgVarRoot(p, pkgVars, lhs); v != nil {
+							diags = append(diags, p.diag("sharddeterminism", lhs.Pos(),
+								"write to package-level variable %q from shard-worker-reachable function %s; shard workers run concurrently — carry this state on the worker struct",
+								name, fd.Name.Name))
+						}
+					}
+				case *ast.IncDecStmt:
+					if v, name := pkgVarRoot(p, pkgVars, n.X); v != nil {
+						diags = append(diags, p.diag("sharddeterminism", n.Pos(),
+							"write to package-level variable %q from shard-worker-reachable function %s; shard workers run concurrently — carry this state on the worker struct",
+							name, fd.Name.Name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// pkgVarRoot unwraps selectors, indexing and dereferences down to the root
+// identifier and reports whether it names a package-level var of this
+// package. `v.Field = x`, `v[i] = x` and `*v = x` all mutate shared state
+// rooted at v.
+func pkgVarRoot(p *Package, pkgVars map[*types.Var]bool, expr ast.Expr) (*types.Var, string) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			// A qualified identifier (pkg.Var) has no X to recurse into
+			// beyond the package name; Uses resolves the Sel directly.
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+					expr = e.Sel
+					continue
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[e].(*types.Var); ok && pkgVars[v] {
+				return v, e.Name
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}

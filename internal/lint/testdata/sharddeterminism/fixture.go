@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel errors are written once at init and never mutated: fine.
+var ErrNotReady = errors.New("fixture: not ready")
+
+// A read-only lookup table is fine — only writes are flagged.
+var opNames = []string{"synopses", "area", "flp"}
+
+// Package-level counters and caches are shared across shard workers.
+var processed int
+var cache = map[string]int{}
+var lastSeen struct{ id string }
+
+// Inherently stateful types are flagged at the declaration.
+var mu sync.Mutex              // want "sync.Mutex"
+var registry = new(sync.Map)   // want "sync.Map"
+var initOnce sync.Once         // want "sync.Once"
+var pool = sync.Pool{New: nil} // want "sync.Pool"
+var workers sync.WaitGroup     // want "sync.WaitGroup"
+var errCount, dropCount int    // shared counters; writes below are flagged
+
+func process(id string) {
+	processed++                // want "processed"
+	cache[id] = processed      // want "cache"
+	lastSeen.id = id           // want "lastSeen"
+	errCount, dropCount = 0, 0 // want "errCount" "dropCount"
+	local := 0
+	local++ // ok: local state
+	_ = local
+	_ = opNames[0] // ok: read of a package-level table
+}
+
+func init() {
+	processed = 0 // ok: init runs before the workers start
+	cache["warm"] = 1
+}

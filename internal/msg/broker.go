@@ -190,7 +190,7 @@ func (b *Broker) Produce(topicName, key string, value []byte, ts time.Time) (Rec
 	if err != nil {
 		return Record{}, err
 	}
-	pIdx := hashKey(key, len(t.parts))
+	pIdx := HashKey(key, len(t.parts))
 	return b.produceTo(t, pIdx, key, value, ts)
 }
 

@@ -50,7 +50,7 @@ func TestKeyAffinity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	part := hashKey("vessel-42", 8)
+	part := HashKey("vessel-42", 8)
 	recs, err := b.Fetch(context.Background(), "t", part, 0, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -68,8 +68,8 @@ func TestKeyAffinity(t *testing.T) {
 func TestHashKeyProperties(t *testing.T) {
 	f := func(key string, nSeed uint8) bool {
 		n := int(nSeed%16) + 1
-		p := hashKey(key, n)
-		return p >= 0 && p < n && p == hashKey(key, n) // in-range and stable
+		p := HashKey(key, n)
+		return p >= 0 && p < n && p == HashKey(key, n) // in-range and stable
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -512,5 +512,106 @@ func TestBrokerVolumeAccounting(t *testing.T) {
 	}
 	if bytes != 70 {
 		t.Errorf("bytes = %d, want 70", bytes)
+	}
+}
+
+// TestPartitionsAndOffsetsUnderConcurrentProducers races the broker's
+// read-side introspection — Partitions and CommittedOffsets — against
+// concurrent producers and a committing consumer. Run under -race (make ci
+// does), this pins the locking discipline: Partitions stays constant,
+// CommittedOffsets only ever moves forward per partition, and once the
+// consumer has drained everything the committed offsets cover every
+// produced record.
+func TestPartitionsAndOffsetsUnderConcurrentProducers(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	const producers, each = 8, 200
+	total := producers * each
+
+	cons, err := b.NewConsumer("g", "t", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Introspection reader: hammers the two accessors while everything else
+	// is in flight, checking the invariants on every read.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := map[int]int64{}
+		for {
+			n, err := b.Partitions("t")
+			if err != nil || n != 4 {
+				t.Errorf("Partitions = %d, %v; want 4", n, err)
+				return
+			}
+			for p, off := range b.CommittedOffsets("g", "t") {
+				if off < last[p] {
+					t.Errorf("partition %d committed offset moved backwards: %d -> %d", p, last[p], off)
+					return
+				}
+				last[p] = off
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("key-%d", (p*each+i)%23)
+				if _, err := b.Produce("t", key, []byte("v"), base.Add(time.Duration(i))); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Consumer drains and commits concurrently with the producers.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	consumed := 0
+	for consumed < total {
+		recs, err := cons.Poll(ctx, 64)
+		if err != nil {
+			t.Fatalf("poll after %d records: %v", consumed, err)
+		}
+		for _, rec := range recs {
+			cons.Commit(rec)
+		}
+		consumed += len(recs)
+	}
+	close(done)
+	wg.Wait()
+
+	var committed int64
+	for _, off := range b.CommittedOffsets("g", "t") {
+		committed += off
+	}
+	if committed != int64(total) {
+		t.Errorf("committed offsets sum to %d, want %d", committed, total)
+	}
+	// The group view must agree with the log itself.
+	for p, off := range b.CommittedOffsets("g", "t") {
+		end, err := b.EndOffset("t", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != end {
+			t.Errorf("partition %d: committed %d, log end %d", p, off, end)
+		}
 	}
 }

@@ -25,8 +25,13 @@ type Record struct {
 	Time      time.Time
 }
 
-// hashKey maps a key to a partition index in [0, n).
-func hashKey(key string, n int) int {
+// HashKey maps a key to a partition index in [0, n) by FNV-1a hash. It is
+// exported because it defines the project's one keyed-routing discipline:
+// the broker partitions producers with it, and the shard execution plane
+// (internal/shard) routes records to workers with the same function, so a
+// record's broker partition and its processing shard are derived from the
+// same hash of the same key.
+func HashKey(key string, n int) int {
 	if n <= 1 {
 		return 0
 	}

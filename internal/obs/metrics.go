@@ -188,6 +188,14 @@ type HistogramSnapshot struct {
 	Sum    float64
 }
 
+// clone returns a deep copy that shares no slices with the receiver, so
+// merged snapshots never alias their inputs.
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
 // Merge returns the element-wise sum of two snapshots of the same shape.
 func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
 	if len(h.Bounds) != len(o.Bounds) {

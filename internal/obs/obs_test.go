@@ -327,3 +327,69 @@ func TestSpanIDs(t *testing.T) {
 	}
 	sp.End()
 }
+
+// TestSnapshotMergeHistogramBuckets covers the satellite contract for
+// Registry snapshot merging across shard workers: histograms under
+// overlapping names with identical buckets sum element-wise, disjoint names
+// both survive, mismatched bucket shapes keep the receiver's data — and the
+// merged snapshot never aliases its inputs' bucket slices.
+func TestSnapshotMergeHistogramBuckets(t *testing.T) {
+	a, b := NewRegistry(NewManualClock(epoch)), NewRegistry(NewManualClock(epoch))
+
+	// Overlapping name, identical bounds.
+	a.Histogram("both", 1, 2).Observe(0.5)
+	a.Histogram("both", 1, 2).Observe(1.5)
+	b.Histogram("both", 1, 2).Observe(5)
+	// Disjoint names, one per side.
+	a.Histogram("only.a", 10).Observe(3)
+	b.Histogram("only.b", 10, 20).Observe(15)
+	// Overlapping name, mismatched bucket shapes.
+	a.Histogram("mix", 1, 2).Observe(0.5)
+	b.Histogram("mix", 1, 2, 3).Observe(2.5)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := sa.Merge(sb)
+
+	if h, ok := m.Histogram("both"); !ok || h.Count != 3 ||
+		h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Sum != 7 {
+		t.Fatalf("overlapping histogram merged wrong: %+v", h)
+	}
+	if h, ok := m.Histogram("only.a"); !ok || h.Count != 1 || h.Counts[0] != 1 {
+		t.Fatalf("s-only histogram lost: %+v", h)
+	}
+	if h, ok := m.Histogram("only.b"); !ok || h.Count != 1 || h.Counts[1] != 1 {
+		t.Fatalf("o-only histogram lost: %+v", h)
+	}
+	// Documented fallback: incompatible shapes keep the receiver's data.
+	if h, ok := m.Histogram("mix"); !ok || h.Count != 1 || len(h.Bounds) != 2 {
+		t.Fatalf("mismatched-bounds histogram should keep the receiver's data: %+v", h)
+	}
+
+	// No aliasing: scribbling on every merged bucket slice must leave both
+	// input snapshots untouched.
+	for i := range m.Histograms {
+		for j := range m.Histograms[i].Counts {
+			m.Histograms[i].Counts[j] += 1000
+		}
+	}
+	if h, _ := sa.Histogram("both"); h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("merge aliased the receiver's buckets: %+v", h)
+	}
+	if h, _ := sb.Histogram("only.b"); h.Counts[1] != 1 {
+		t.Errorf("merge aliased the argument's buckets: %+v", h)
+	}
+
+	// Prefixed views (the per-shard labels) must deep-copy too.
+	pre := sb.Prefixed("shard.1.")
+	if h, ok := pre.Histogram("shard.1.only.b"); !ok || h.Count != 1 {
+		t.Fatalf("prefixed histogram missing: %+v", pre.Histograms)
+	}
+	for i := range pre.Histograms {
+		for j := range pre.Histograms[i].Counts {
+			pre.Histograms[i].Counts[j] += 1000
+		}
+	}
+	if h, _ := sb.Histogram("only.b"); h.Counts[1] != 1 {
+		t.Errorf("Prefixed aliased the source's buckets: %+v", h)
+	}
+}

@@ -255,7 +255,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 
 	hs := make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms))
 	for _, h := range s.Histograms {
-		hs[h.Name] = h
+		hs[h.Name] = h.clone()
 	}
 	for _, h := range o.Histograms {
 		if prev, ok := hs[h.Name]; ok {
@@ -263,7 +263,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 				hs[h.Name] = merged
 			}
 		} else {
-			hs[h.Name] = h
+			hs[h.Name] = h.clone()
 		}
 	}
 	names = names[:0]
@@ -273,6 +273,26 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		out.Histograms = append(out.Histograms, hs[name])
+	}
+	return out
+}
+
+// Prefixed returns a copy of the snapshot with every metric name prefixed,
+// e.g. "synopses.critical" → "shard.2.synopses.critical". The shard plane
+// uses it to publish each worker's registry under a per-shard label next to
+// the unlabelled aggregate, so both views coexist in one merged snapshot.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{At: s.At, Elapsed: s.Elapsed}
+	for _, c := range s.Counters {
+		out.Counters = append(out.Counters, CounterSnapshot{Name: prefix + c.Name, Value: c.Value})
+	}
+	for _, g := range s.Gauges {
+		out.Gauges = append(out.Gauges, GaugeSnapshot{Name: prefix + g.Name, Value: g.Value})
+	}
+	for _, h := range s.Histograms {
+		hc := h.clone()
+		hc.Name = prefix + h.Name
+		out.Histograms = append(out.Histograms, hc)
 	}
 	return out
 }

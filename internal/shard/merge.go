@@ -1,0 +1,33 @@
+package shard
+
+// MergeSorted k-way merges per-shard slices, each already sorted under
+// less, into one slice sorted under less. The coordinator uses it for the
+// end-of-run synopses flush: each shard flushes its own movers in (time,
+// ID) order, and merging with the same comparator reproduces byte for byte
+// the order a single shard would have emitted. Ties under less are broken
+// by the lower shard index, so the result is deterministic even for
+// comparators that are not total — though callers wanting shard-count
+// independence must supply a total order (the flush comparator is total
+// because mover IDs are unique).
+func MergeSorted[T any](less func(a, b T) bool, lists ...[]T) []T {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]T, 0, n)
+	heads := make([]int, len(lists))
+	for len(out) < n {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

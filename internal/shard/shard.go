@@ -1,0 +1,286 @@
+// Package shard implements the keyed parallel execution plane: one ingest
+// stream fanned out to N worker pipelines by hash of the entity (trajectory)
+// key, each worker running on its own goroutine over its own operator chain,
+// with outputs merged back into a single deterministic stream.
+//
+// This reproduces, inside one process, the partitioned-by-trajectory
+// distribution the datAcron architecture describes for its in-situ
+// processing and synopses generation: all per-trajectory state stays
+// shard-local because every record of a mover hashes to the same shard,
+// while cross-entity operators (link discovery, event recognition, RDF
+// sequence numbering) stay on the coordinator.
+//
+// Determinism contract: the coordinator calls Submit in the global
+// event-time order produced by the broker's Poll merge, and Next returns
+// worker outputs in exactly that submit order — so downstream of the merge
+// the record sequence is byte-identical whatever the shard count, including
+// shards=1. The coordinated snapshot barrier extends the same guarantee to
+// checkpoints: an epoch marker is injected into every worker queue, each
+// worker snapshots its operator state when the marker reaches it, and
+// because barriers run only at drained batch boundaries the collected
+// snapshots form a consistent cut.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker is one shard's operator chain. Process is called only from the
+// shard's own goroutine, so implementations need no internal locking for
+// per-trajectory state. Snapshot and Restore serve the checkpoint barrier:
+// Snapshot runs on the worker goroutine when an epoch marker arrives,
+// Restore runs before Start, both single-threaded with respect to Process.
+type Worker[I, O any] interface {
+	// Process consumes one routed input and returns its output. Every
+	// input produces exactly one output (fold summaries into O); the
+	// plane relies on this 1:1 discipline to merge deterministically.
+	Process(in I) O
+	// Snapshot encodes the worker's operator state, one blob per named
+	// operator (e.g. "synopses", "flp").
+	Snapshot() (map[string][]byte, error)
+	// Restore rehydrates the worker from blobs previously produced by
+	// Snapshot on the same shard index.
+	Restore(ops map[string][]byte) error
+}
+
+// Route maps an entity key to a shard index in [0, n) with the same FNV-1a
+// discipline as msg.HashKey, so a record's broker partition and its
+// processing shard derive from the same hash of the same key. Pinned
+// against msg.HashKey by test.
+func Route(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Stats is one shard's progress reading.
+type Stats struct {
+	Shard     int   // shard index
+	Processed int64 // records processed on the worker goroutine
+	Queue     int   // inputs currently waiting in the shard's queue
+}
+
+// ErrNotStarted is returned by Submit/Next/Barrier before Start.
+var ErrNotStarted = errors.New("shard: plane not started")
+
+// ErrClosed is returned by operations on a closed plane.
+var ErrClosed = errors.New("shard: plane closed")
+
+// ErrPending is returned by Barrier when submitted records have not been
+// drained with Next: a barrier is only a consistent cut at an empty plane.
+var ErrPending = errors.New("shard: barrier with undrained outputs pending")
+
+type message[I any] struct {
+	item   I
+	marker bool
+	epoch  uint64
+}
+
+type barrierAck struct {
+	epoch uint64
+	ops   map[string][]byte
+	err   error
+}
+
+type lane[I, O any] struct {
+	w         Worker[I, O]
+	in        chan message[I]
+	out       chan O
+	ack       chan barrierAck
+	processed atomic.Int64
+}
+
+// Plane coordinates N shard workers. It is operated by a single coordinator
+// goroutine: Submit, Next, Barrier and Close are not safe for concurrent
+// use with each other (Stats is safe from anywhere). The coordinator must
+// drain every submitted record with Next before submitting more than Queue
+// records per shard — in practice, submit one poll batch, drain it, repeat.
+type Plane[I, O any] struct {
+	key     func(I) string
+	lanes   []*lane[I, O]
+	wg      sync.WaitGroup
+	fifo    []int // shard index per undrained submit, in submit order
+	head    int   // next fifo entry to drain
+	started bool
+	closed  bool
+}
+
+// Config sizes a Plane.
+type Config struct {
+	Shards int // number of workers; values < 1 are treated as 1
+	Queue  int // per-shard input/output channel capacity (default 512)
+}
+
+// New builds a plane with cfg.Shards workers constructed by build(shard).
+// Workers are created immediately (so state can be restored into them) but
+// their goroutines only run after Start.
+func New[I, O any](cfg Config, key func(I) string, build func(shard int) Worker[I, O]) *Plane[I, O] {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Queue < 1 {
+		cfg.Queue = 512
+	}
+	p := &Plane[I, O]{key: key}
+	for i := 0; i < cfg.Shards; i++ {
+		p.lanes = append(p.lanes, &lane[I, O]{
+			w:   build(i),
+			in:  make(chan message[I], cfg.Queue),
+			out: make(chan O, cfg.Queue),
+			ack: make(chan barrierAck, 1),
+		})
+	}
+	return p
+}
+
+// Shards returns the number of workers.
+func (p *Plane[I, O]) Shards() int { return len(p.lanes) }
+
+// Worker returns shard i's worker. Only valid for single-threaded access:
+// before Start (checkpoint restore) or after Close (final flush).
+func (p *Plane[I, O]) Worker(i int) Worker[I, O] { return p.lanes[i].w }
+
+// Start launches the worker goroutines. Must be called exactly once, after
+// any Restore and before the first Submit.
+func (p *Plane[I, O]) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	for _, l := range p.lanes {
+		p.wg.Add(1)
+		go p.run(l)
+	}
+}
+
+func (p *Plane[I, O]) run(l *lane[I, O]) {
+	defer p.wg.Done()
+	for m := range l.in {
+		if m.marker {
+			ops, err := l.w.Snapshot()
+			l.ack <- barrierAck{epoch: m.epoch, ops: ops, err: err}
+			continue
+		}
+		l.out <- l.w.Process(m.item)
+		l.processed.Add(1)
+	}
+}
+
+// Submit routes one input to its shard's queue. Outputs must be drained in
+// submit order with Next.
+func (p *Plane[I, O]) Submit(in I) error {
+	if !p.started {
+		return ErrNotStarted
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	i := Route(p.key(in), len(p.lanes))
+	p.lanes[i].in <- message[I]{item: in}
+	p.fifo = append(p.fifo, i)
+	return nil
+}
+
+// Next blocks for and returns the output of the oldest undrained Submit.
+// Because each worker's outputs arrive in its input order and Next follows
+// the global submit order, the merged stream is identical to processing
+// every record serially.
+func (p *Plane[I, O]) Next() (O, error) {
+	var zero O
+	if !p.started {
+		return zero, ErrNotStarted
+	}
+	if p.head >= len(p.fifo) {
+		return zero, errors.New("shard: Next without pending Submit")
+	}
+	i := p.fifo[p.head]
+	p.head++
+	if p.head == len(p.fifo) {
+		p.fifo = p.fifo[:0]
+		p.head = 0
+	}
+	return <-p.lanes[i].out, nil
+}
+
+// Pending returns the number of submitted records not yet drained by Next.
+func (p *Plane[I, O]) Pending() int { return len(p.fifo) - p.head }
+
+// Barrier performs a coordinated snapshot at the given epoch: it injects a
+// marker into every shard's queue, waits for each worker to snapshot when
+// the marker reaches it, and returns the per-shard operator blobs indexed
+// by shard. It requires a drained plane (Pending() == 0), which makes the
+// collected snapshots a consistent cut: every worker has processed exactly
+// the records submitted before the barrier, and none after.
+func (p *Plane[I, O]) Barrier(epoch uint64) ([]map[string][]byte, error) {
+	if !p.started {
+		return nil, ErrNotStarted
+	}
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if p.Pending() != 0 {
+		return nil, fmt.Errorf("%w (%d)", ErrPending, p.Pending())
+	}
+	for _, l := range p.lanes {
+		l.in <- message[I]{marker: true, epoch: epoch}
+	}
+	out := make([]map[string][]byte, len(p.lanes))
+	for i, l := range p.lanes {
+		a := <-l.ack
+		if a.err != nil {
+			return nil, fmt.Errorf("shard %d: snapshot: %w", i, a.err)
+		}
+		if a.epoch != epoch {
+			return nil, fmt.Errorf("shard %d: barrier epoch mismatch: marker %d, ack %d", i, epoch, a.epoch)
+		}
+		out[i] = a.ops
+	}
+	return out, nil
+}
+
+// Close shuts the worker goroutines down and waits for them to exit. After
+// Close the workers are again safe for single-threaded access via Worker
+// (the coordinator uses this for the final flush). Undrained outputs are
+// discarded. Idempotent.
+func (p *Plane[I, O]) Close() {
+	if !p.started || p.closed {
+		p.closed = true
+		return
+	}
+	p.closed = true
+	// Drain leftover outputs (one drainer per lane) so workers blocked on
+	// a full out channel can observe the input close and exit.
+	var drainers sync.WaitGroup
+	for _, l := range p.lanes {
+		drainers.Add(1)
+		go func(l *lane[I, O]) {
+			defer drainers.Done()
+			for range l.out {
+			}
+		}(l)
+		close(l.in)
+	}
+	p.wg.Wait()
+	for _, l := range p.lanes {
+		close(l.out)
+	}
+	drainers.Wait()
+	p.fifo, p.head = nil, 0
+}
+
+// Stats reports per-shard progress. Safe to call from any goroutine while
+// the plane runs; the admin /statz view and the health watchdog read it.
+func (p *Plane[I, O]) Stats() []Stats {
+	out := make([]Stats, len(p.lanes))
+	for i, l := range p.lanes {
+		out[i] = Stats{Shard: i, Processed: l.processed.Load(), Queue: len(l.in)}
+	}
+	return out
+}

@@ -14,6 +14,8 @@ package stream
 import (
 	"sync"
 	"time"
+
+	"datacron/internal/shard"
 )
 
 // Event is a keyed, timestamped element of a stream. Time is event time
@@ -136,6 +138,37 @@ func Merge[T any](ins ...<-chan Event[T]) <-chan Event[T] {
 		close(out)
 	}()
 	return out
+}
+
+// Partition fans a stream out to n keyed substreams: every event goes to
+// output shard.Route(e.Key, n), the same FNV-1a discipline the broker uses
+// for partition affinity and the shard plane for worker routing, so a
+// stream partitioned here lands on the same shard index as the equivalent
+// broker-keyed record. All events of one key share a substream (keyed
+// operator state stays local to it) and per-substream order follows input
+// order. Each output must be consumed or the pipeline stalls once buf is
+// exhausted.
+func Partition[T any](in <-chan Event[T], n, buf int) []<-chan Event[T] {
+	if n < 1 {
+		n = 1
+	}
+	chans := make([]chan Event[T], n)
+	outs := make([]<-chan Event[T], n)
+	for i := range chans {
+		chans[i] = make(chan Event[T], buf)
+		outs[i] = chans[i]
+	}
+	go func() {
+		defer func() {
+			for _, c := range chans {
+				close(c)
+			}
+		}()
+		for e := range in {
+			chans[shard.Route(e.Key, n)] <- e
+		}
+	}()
+	return outs
 }
 
 // Tee duplicates a stream into n independent output streams. Each output

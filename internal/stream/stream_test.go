@@ -3,8 +3,11 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
+
+	"datacron/internal/shard"
 )
 
 var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
@@ -348,5 +351,58 @@ func TestPipelineComposition(t *testing.T) {
 	}
 	if byKey["v1"] != 3 || byKey["v2"] != 1 {
 		t.Errorf("counts = %v", byKey)
+	}
+}
+
+func TestPartitionKeyAffinityAndOrder(t *testing.T) {
+	const n = 4
+	var events []Event[int]
+	for i := 0; i < 200; i++ {
+		events = append(events, E(fmt.Sprintf("mover-%d", i%13), t0.Add(time.Duration(i)), i))
+	}
+	outs := Partition(FromSlice(events), n, 256)
+	if len(outs) != n {
+		t.Fatalf("got %d substreams, want %d", len(outs), n)
+	}
+	var wg sync.WaitGroup
+	collected := make([][]Event[int], n)
+	for i, out := range outs {
+		wg.Add(1)
+		go func(i int, out <-chan Event[int]) {
+			defer wg.Done()
+			collected[i] = Collect(out)
+		}(i, out)
+	}
+	wg.Wait()
+
+	total := 0
+	for i, evs := range collected {
+		total += len(evs)
+		last := -1
+		for _, e := range evs {
+			// Routing parity with the shard plane (and hence the broker).
+			if got := shard.Route(e.Key, n); got != i {
+				t.Fatalf("key %q on substream %d, Route says %d", e.Key, i, got)
+			}
+			// Per-substream order follows input order.
+			if e.Value <= last {
+				t.Fatalf("substream %d out of order: %d after %d", i, e.Value, last)
+			}
+			last = e.Value
+		}
+	}
+	if total != len(events) {
+		t.Fatalf("substreams hold %d events, want %d", total, len(events))
+	}
+}
+
+func TestPartitionSingle(t *testing.T) {
+	events := []Event[int]{E("a", t0, 1), E("b", t0.Add(1), 2)}
+	outs := Partition(FromSlice(events), 0, 4)
+	if len(outs) != 1 {
+		t.Fatalf("n<1 must clamp to one substream, got %d", len(outs))
+	}
+	if got := Collect(outs[0]); len(got) != 2 {
+		t.Fatalf("lone substream got %d events", len(got))
 	}
 }
