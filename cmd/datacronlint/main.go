@@ -1,14 +1,23 @@
 // Command datacronlint runs the project's static-analysis suite
 // (internal/lint) over the module and reports invariant violations with
-// file:line:column positions. It exits 1 when findings are reported and 2 on
-// usage or load errors.
+// file:line:column positions.
 //
 // Usage:
 //
-//	datacronlint [-list] [-only=name,name] [packages]
+//	datacronlint [-list] [-only=name,name] [-json] [-sarif=file]
+//	             [-baseline=file] [-update-baseline] [packages]
 //
 // With no package arguments (or "./...") the whole module is analyzed.
 // Arguments are directories relative to the current working directory.
+//
+// With -baseline, findings recorded in the baseline file are reported but do
+// not fail the build; -update-baseline rewrites the file from the current
+// findings. Exit codes distinguish the outcomes:
+//
+//	0  no findings
+//	1  new findings (not covered by the baseline)
+//	2  usage or load error
+//	3  findings, all covered by the baseline
 package main
 
 import (
@@ -29,13 +38,21 @@ func main() {
 func run() int {
 	listFlag := flag.Bool("list", false, "print available analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of text")
+	sarifFlag := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
+	baselineFlag := flag.String("baseline", "", "baseline file; findings recorded in it do not fail the build")
+	updateFlag := flag.Bool("update-baseline", false, "rewrite the -baseline file from current findings and exit")
 	flag.Parse()
 
 	if *listFlag {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *updateFlag && *baselineFlag == "" {
+		fmt.Fprintln(os.Stderr, "datacronlint: -update-baseline requires -baseline")
+		return 2
 	}
 
 	analyzers := lint.Analyzers()
@@ -75,16 +92,67 @@ func run() int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+
+	if *updateFlag {
+		if err := lint.NewBaseline(diags, root).Write(*baselineFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "datacronlint:", err)
+			return 2
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(os.Stderr, "datacronlint: wrote %s with %d finding(s)\n", *baselineFlag, len(diags))
+		return 0
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "datacronlint: %d finding(s)\n", len(diags))
+
+	var known map[*lint.Diagnostic]bool
+	if *baselineFlag != "" {
+		b, err := lint.LoadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datacronlint:", err)
+			return 2
+		}
+		known = b.KnownSet(diags, root)
+	}
+
+	if *sarifFlag != "" {
+		data, err := lint.EncodeSARIF(diags, known, root)
+		if err == nil {
+			err = os.WriteFile(*sarifFlag, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datacronlint:", err)
+			return 2
+		}
+	}
+
+	if *jsonFlag {
+		data, err := lint.EncodeJSON(diags, known, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datacronlint:", err)
+			return 2
+		}
+		_, _ = os.Stdout.Write(data)
+	} else {
+		for i := range diags {
+			d := &diags[i]
+			pos := d.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			suffix := ""
+			if known[d] {
+				suffix = " (baseline)"
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s%s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message, suffix)
+		}
+	}
+
+	newCount := len(diags) - len(known)
+	switch {
+	case newCount > 0:
+		fmt.Fprintf(os.Stderr, "datacronlint: %d new finding(s), %d in baseline\n", newCount, len(known))
 		return 1
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "datacronlint: %d finding(s), all in baseline\n", len(diags))
+		return 3
 	}
 	return 0
 }

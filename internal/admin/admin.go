@@ -100,6 +100,7 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.mu.Unlock()
 	s.log.Info("admin server listening", "addr", ln.Addr().String())
+	//lint:ignore goroleak joined through http.Server: Stop calls srv.Shutdown, which makes Serve return ErrServerClosed and the goroutine exit
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.log.Error("admin server failed", "err", err)

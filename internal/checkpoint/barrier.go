@@ -53,6 +53,7 @@ func (s *ShardSnapshots) Register(c *Checkpointer) {
 	c.Register("shard/meta", metaOp{s})
 	for i := 0; i < s.shards; i++ {
 		for _, op := range s.ops {
+			//lint:ignore hotalloc wiring-time: runs once per (shard, op) pair at pipeline construction, not per record
 			c.Register(fmt.Sprintf("shard/%d/%s", i, op), shardOp{s: s, shard: i, op: op})
 		}
 	}

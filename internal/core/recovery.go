@@ -324,6 +324,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		p.mu.Unlock()
 	}()
 
+	// One-element scratch buffer reused for every discovered link's triple,
+	// so the per-link publish does not allocate a fresh slice each time.
+	linkTriple := make([]rdf.Triple, 1)
 	processCritical := func(cp synopses.CriticalPoint) error {
 		sum.CriticalPoints++
 		p.Dashboard.AddCritical(cp)
@@ -353,11 +356,13 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			for _, l := range disc.ProcessPoint(cp.ID, cp.Time, cp.Pos) {
 				sum.Links++
 				p.Dashboard.AddLink(l)
-				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(l.Triple().String()), l.Time); err != nil {
+				t := l.Triple()
+				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(t.String()), l.Time); err != nil {
 					return err
 				}
 				sum.Triples++
-				if err := p.publishTriples([]rdf.Triple{l.Triple()}, l.Time); err != nil {
+				linkTriple[0] = t
+				if err := p.publishTriples(linkTriple, l.Time); err != nil {
 					return err
 				}
 			}

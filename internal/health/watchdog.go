@@ -116,20 +116,25 @@ func (w *Watchdog) Tick() {
 	}
 	cur := w.reg.Snapshot()
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	prev := w.prev
 	if !w.havePrev {
 		prev = cur
 	}
 	w.results = w.results[:0]
 	for _, c := range w.checkers {
-		r := c.Check(prev, cur)
-		w.results = append(w.results, r)
-		w.reg.Gauge("health." + r.Component + ".status").Set(float64(r.Status))
+		w.results = append(w.results, c.Check(prev, cur))
 	}
+	verdicts := append([]Result(nil), w.results...)
 	w.prev = cur
 	w.havePrev = true
 	w.ticks++
+	w.mu.Unlock()
+	// Publish after releasing w.mu: Gauge takes the registry mutex, and
+	// nesting it inside the watchdog lock would stall concurrent Report/
+	// Ready/Live callers behind metric registration.
+	for _, r := range verdicts {
+		w.reg.Gauge("health." + r.Component + ".status").Set(float64(r.Status))
+	}
 }
 
 // Run ticks every interval until ctx is cancelled. It ticks once

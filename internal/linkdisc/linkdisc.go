@@ -143,7 +143,7 @@ func NewDiscoverer(cfg Config, statics []StaticEntity) *Discoverer {
 		}
 		if cfg.NearDistanceM > 0 {
 			buffered := b.Buffer(cfg.NearDistanceM)
-			covered := map[int]bool{}
+			covered := map[int]bool{} //lint:ignore hotalloc construction-time: runs once per static object at startup, not per record
 			for _, c := range d.grid.CoveringCells(b) {
 				covered[c] = true
 			}
@@ -274,6 +274,10 @@ func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
 	if !ok {
 		return nil
 	}
+	// out stays nil until the first hit on purpose: most points produce no
+	// links, and pre-sizing would allocate on every call instead of only on
+	// the rare link-bearing ones. The appends below are waived for the same
+	// reason.
 	var out []Link
 
 	// Stationary candidates, unless masked out.
@@ -288,9 +292,9 @@ func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
 					if !e.near {
 						d.stats.Comparisons++
 						if g.Contains(p) {
-							out = append(out, Link{Source: id, Target: s.ID, Relation: Within, Time: t})
+							out = append(out, Link{Source: id, Target: s.ID, Relation: Within, Time: t}) //lint:ignore hotalloc nil-until-first-hit result slice; links are rare
 							if d.cfg.NearDistanceM > 0 {
-								out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t})
+								out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t}) //lint:ignore hotalloc nil-until-first-hit result slice; links are rare
 							}
 							continue
 						}
@@ -298,14 +302,14 @@ func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
 					if d.cfg.NearDistanceM > 0 {
 						d.stats.Comparisons++
 						if g.DistanceTo(p) <= d.cfg.NearDistanceM {
-							out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t})
+							out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t}) //lint:ignore hotalloc nil-until-first-hit result slice; links are rare
 						}
 					}
 				case geo.Point:
 					if d.cfg.NearDistanceM > 0 {
 						d.stats.Comparisons++
 						if geo.Haversine(g, p) <= d.cfg.NearDistanceM {
-							out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t})
+							out = append(out, Link{Source: id, Target: s.ID, Relation: NearTo, Time: t}) //lint:ignore hotalloc nil-until-first-hit result slice; links are rare
 						}
 					}
 				}
@@ -334,7 +338,7 @@ func (d *Discoverer) ProcessPoint(id string, t time.Time, p geo.Point) []Link {
 				}
 				d.stats.Comparisons++
 				if geo.Haversine(rp.pos, p) <= d.cfg.NearDistanceM {
-					out = append(out, Link{Source: id, Target: rp.id, Relation: NearTo, Time: t})
+					out = append(out, Link{Source: id, Target: rp.id, Relation: NearTo, Time: t}) //lint:ignore hotalloc nil-until-first-hit result slice; links are rare
 				}
 			}
 			d.recent[c] = kept

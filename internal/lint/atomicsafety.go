@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+var atomicsafetyAnalyzer = &Analyzer{
+	Name: "atomicsafety",
+	Doc: "flags struct fields that are accessed through sync/atomic in one " +
+		"place and by plain reads or writes in another, anywhere in the module: " +
+		"mixing the two publishes torn or stale values — every access to an " +
+		"atomically updated field must go through sync/atomic (or the field " +
+		"should become an atomic.Int64-style typed atomic)",
+	RunModule: runAtomicSafety,
+}
+
+// runAtomicSafety is a whole-module, two-pass check. Pass 1 finds every
+// `atomic.XxxInt64(&s.field, ...)`-style call and records the field objects
+// involved (fields of typed atomics like atomic.Int64 never appear here:
+// their methods are the only access path, which is the safe pattern). Pass 2
+// finds selector accesses to those same field objects that are NOT an
+// address-of argument to a sync/atomic call and reports each one. Field
+// identity is the types.Var, so an atomic write in one package and a plain
+// read in another still pair up.
+func runAtomicSafety(m *Module) []Diagnostic {
+	type atomicUse struct {
+		pkg  *Package
+		pos  ast.Node
+		name string // atomic function name, e.g. AddInt64
+	}
+	atomicFields := make(map[*types.Var]atomicUse)
+
+	// Pass 1: fields passed by address to sync/atomic functions.
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(p, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+					return true
+				}
+				if v := addrOfField(p, call.Args[0]); v != nil {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = atomicUse{pkg: p, pos: call, name: fn.Name()}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses to the same fields.
+	var diags []Diagnostic
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			// Selector expressions that are the &-argument of an atomic
+			// call in this file; these are the sanctioned accesses.
+			sanctioned := make(map[*ast.SelectorExpr]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(p, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+						if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fieldVar := selectedField(p, sel)
+				if fieldVar == nil {
+					return true
+				}
+				use, ok := atomicFields[fieldVar]
+				if !ok {
+					return true
+				}
+				atomicAt := use.pkg.position(use.pos.Pos())
+				diags = append(diags, p.diag("atomicsafety", sel.Sel.Pos(),
+					"plain access to field %q which is updated with atomic.%s at %s:%d; every access must use sync/atomic or the race publishes torn/stale values",
+					sel.Sel.Name, use.name, relFile(atomicAt.Filename), atomicAt.Line))
+				return true
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags
+}
+
+// addrOfField returns the struct-field object when e has the form &x.f (f a
+// field), nil otherwise.
+func addrOfField(p *Package, e ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(p, sel)
+}
+
+// selectedField resolves a selector to the struct field it names, or nil for
+// methods, package members and qualified identifiers.
+func selectedField(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// relFile shortens an absolute fixture/module path to its last two segments
+// for stable, readable cross-file references in messages.
+func relFile(path string) string {
+	sep := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			sep++
+			if sep == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

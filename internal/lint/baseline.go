@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed inventory of accepted findings. CI runs with the
+// baseline and fails only on findings not in it, so a large refactor can land
+// analyzer improvements without first fixing every historical hit, while any
+// NEW defect of the same class still breaks the build.
+//
+// Findings are keyed by (file, analyzer, message) with an occurrence count —
+// deliberately not by line, so unrelated edits that shift code do not churn
+// the baseline, while introducing a second instance of an accepted finding in
+// the same file does fail.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one accepted finding class in one file.
+type BaselineFinding struct {
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline, so bootstrapping needs no special casing.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from the given diagnostics, with file paths
+// relativized against the module root.
+func NewBaseline(diags []Diagnostic, moduleRoot string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[keyFor(d, moduleRoot)]++
+	}
+	b := &Baseline{Version: 1}
+	for k, c := range counts {
+		b.Findings = append(b.Findings, BaselineFinding{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: c})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write stores the baseline as deterministic, indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Partition splits diagnostics into new findings (not covered by the
+// baseline) and known ones. Counts matter: with an accepted count of 2 and 3
+// current occurrences, two are known and the third is new — position order
+// decides which occurrence is reported as new.
+func (b *Baseline) Partition(diags []Diagnostic, moduleRoot string) (newDiags, known []Diagnostic) {
+	set := b.KnownSet(diags, moduleRoot)
+	for i := range diags {
+		if set[&diags[i]] {
+			known = append(known, diags[i])
+		} else {
+			newDiags = append(newDiags, diags[i])
+		}
+	}
+	return newDiags, known
+}
+
+// KnownSet marks which elements of diags the baseline covers, keyed by
+// pointer into the slice, consistent with Partition. The set feeds the
+// encoders' baselineState/known annotations.
+func (b *Baseline) KnownSet(diags []Diagnostic, moduleRoot string) map[*Diagnostic]bool {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, f := range b.Findings {
+		budget[baselineKey{file: f.File, analyzer: f.Analyzer, message: f.Message}] += f.Count
+	}
+	set := make(map[*Diagnostic]bool)
+	for i := range diags {
+		k := keyFor(diags[i], moduleRoot)
+		if budget[k] > 0 {
+			budget[k]--
+			set[&diags[i]] = true
+		}
+	}
+	return set
+}
+
+func keyFor(d Diagnostic, moduleRoot string) baselineKey {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineKey{file: file, analyzer: d.Analyzer, message: d.Message}
+}

@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Module bundles the packages of one analysis run together with lazily built,
+// shared interprocedural state. Per-package analyzers never touch it; the
+// call-graph-aware analyzers (goroleak, lockblock, atomicsafety, hotalloc)
+// all pull the same graph from Graph(), so a run of the full suite builds the
+// graph exactly once however many analyzers need it.
+type Module struct {
+	Pkgs []*Package
+
+	graphOnce   sync.Once
+	graph       *CallGraph
+	graphBuilds int
+}
+
+// NewModule wraps a package set for module-wide analysis.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() {
+		m.graph = buildCallGraph(m.Pkgs)
+		m.graphBuilds++
+	})
+	return m.graph
+}
+
+// GraphBuilds reports how many times the call graph has been constructed for
+// this module; the framework contract (tested) is that it never exceeds one.
+func (m *Module) GraphBuilds() int { return m.graphBuilds }
+
+// CallSite is one static call edge recorded in a function body.
+type CallSite struct {
+	Callee *types.Func // origin object of the callee
+	Pos    token.Pos
+	Go     bool // the call is the operand of a go statement
+	Defer  bool // the call is the operand of a defer statement
+	Dyn    bool // resolved from an interface method to a concrete implementation
+}
+
+// SpawnSite is one `go` statement: either a function literal whose body is
+// available for inspection, or a named callee resolved into the graph.
+type SpawnSite struct {
+	Pos    token.Pos
+	Body   *ast.BlockStmt // non-nil for `go func(){...}()`
+	Callee *types.Func    // non-nil for `go f(...)` / `go x.m(...)`
+}
+
+// FuncNode is one declared function or method of the module.
+type FuncNode struct {
+	Obj    *types.Func
+	Pkg    *Package
+	Decl   *ast.FuncDecl
+	Calls  []CallSite
+	Spawns []SpawnSite
+}
+
+// CallGraph is the module-wide static call graph. Edges are resolved from
+// identifier and selector calls (including promoted and generic methods via
+// Origin); calls through interface methods additionally fan out to every
+// module type that implements the interface, tagged Dyn, so analyzers can
+// choose whether to follow devirtualized edges.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+	nodes []*FuncNode // deterministic iteration order (file position)
+}
+
+// All returns every node in deterministic (position) order.
+func (g *CallGraph) All() []*FuncNode { return g.nodes }
+
+// Node returns the graph node for fn (resolving generic instantiations to
+// their origin), or nil when fn is not declared in the module.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn.Origin()]
+}
+
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Obj: obj, Pkg: p, Decl: fd}
+				g.Nodes[obj] = n
+				g.nodes = append(g.nodes, n)
+			}
+		}
+	}
+	sort.Slice(g.nodes, func(i, j int) bool {
+		a, b := g.nodes[i], g.nodes[j]
+		pa, pb := a.Pkg.position(a.Decl.Pos()), b.Pkg.position(b.Decl.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	})
+	impls := collectImplementations(pkgs, g)
+	for _, n := range g.nodes {
+		collectEdges(n, impls)
+	}
+	return g
+}
+
+// collectImplementations maps every interface method declared or used in the
+// module to the concrete module methods that can stand behind it: for each
+// named non-interface type T in the module and each interface I with a method
+// m that T (or *T) implements, impls[I.m] includes T.m.
+func collectImplementations(pkgs []*Package, g *CallGraph) map[*types.Func][]*types.Func {
+	// Concrete named types declared in the module.
+	var concrete []types.Type
+	ifaceMethods := make(map[*types.Func]*types.Interface)
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				for i := 0; i < iface.NumMethods(); i++ {
+					ifaceMethods[iface.Method(i).Origin()] = iface
+				}
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+	impls := make(map[*types.Func][]*types.Func)
+	for im, iface := range ifaceMethods {
+		for _, ct := range concrete {
+			recv := ct
+			if !types.Implements(ct, iface) {
+				if !types.Implements(types.NewPointer(ct), iface) {
+					continue
+				}
+				recv = types.NewPointer(ct)
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, im.Pkg(), im.Name())
+			if cm, ok := obj.(*types.Func); ok && g.Node(cm) != nil {
+				impls[im] = append(impls[im], cm.Origin())
+			}
+		}
+	}
+	return impls
+}
+
+// callee resolves a call expression to the called *types.Func, or nil for
+// calls through function values, builtins and type conversions.
+func callee(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
+		}
+	}
+	return nil
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface (and so
+// has no body of its own).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// collectEdges records n's call and spawn sites. Calls inside `go` function
+// literals are attributed to the enclosing declaration but tagged Go, so
+// analyzers modelling synchronous behaviour (lockblock) can skip them while
+// reachability-oriented analyzers (hotalloc, goroleak) still follow them.
+func collectEdges(n *FuncNode, impls map[*types.Func][]*types.Func) {
+	p := n.Pkg
+	goBodies := make(map[ast.Node]bool) // go-statement FuncLit bodies
+	deferred := make(map[ast.Node]bool) // defer-statement call expressions
+
+	addCall := func(call *ast.CallExpr, inGo bool) {
+		fn := callee(p, call)
+		if fn == nil {
+			return
+		}
+		isDefer := deferred[call]
+		n.Calls = append(n.Calls, CallSite{Callee: fn, Pos: call.Pos(), Go: inGo, Defer: isDefer})
+		if isInterfaceMethod(fn) {
+			for _, impl := range impls[fn] {
+				n.Calls = append(n.Calls, CallSite{Callee: impl, Pos: call.Pos(), Go: inGo, Defer: isDefer, Dyn: true})
+			}
+		}
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.GoStmt:
+			spawn := SpawnSite{Pos: s.Pos()}
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				spawn.Body = fl.Body
+				goBodies[fl.Body] = true
+			} else {
+				spawn.Callee = callee(p, s.Call)
+				addCall(s.Call, true)
+			}
+			n.Spawns = append(n.Spawns, spawn)
+		case *ast.DeferStmt:
+			deferred[s.Call] = true
+		}
+		return true
+	})
+
+	// Second pass: record every call, marking those under a go-FuncLit body.
+	var walk func(node ast.Node, inGo bool)
+	walk = func(node ast.Node, inGo bool) {
+		ast.Inspect(node, func(nd ast.Node) bool {
+			if nd == nil {
+				return false
+			}
+			if goBodies[nd] && !inGo {
+				walk(nd, true)
+				return false
+			}
+			if call, ok := nd.(*ast.CallExpr); ok {
+				// go f() edges were already added by the first pass.
+				if !isGoCall(n, call) {
+					addCall(call, inGo)
+				}
+			}
+			return true
+		})
+	}
+	walk(n.Decl.Body, false)
+}
+
+// isGoCall reports whether call is the direct operand of one of n's recorded
+// named-go statements (whose edge was added in the first pass).
+func isGoCall(n *FuncNode, call *ast.CallExpr) bool {
+	for _, sp := range n.Spawns {
+		if sp.Body == nil && sp.Pos == call.Pos() {
+			return true
+		}
+	}
+	return false
+}
+
+// Fact is one interprocedural property instance: a directly observed
+// behaviour at Pos in Fn, or — after closure — a behaviour reachable from Fn
+// through Via (the chain of callee names leading to the original site).
+type Fact struct {
+	Fn   *types.Func
+	Pos  token.Pos
+	What string
+	Via  []string // call chain from the function to the originating site
+}
+
+// Closure propagates direct facts up the call graph: the result maps every
+// function to a representative fact it can reach through static calls.
+// followGo / followDyn control whether goroutine-spawn edges and
+// devirtualized interface edges conduct facts. Deterministic: with several
+// candidate facts the one with the smallest token.Pos wins.
+func (g *CallGraph) Closure(direct map[*types.Func]Fact, followGo, followDyn bool) map[*types.Func]Fact {
+	out := make(map[*types.Func]Fact, len(direct))
+	for fn, f := range direct {
+		out[fn] = f
+	}
+	// Reverse edges: callee -> callers.
+	type edge struct {
+		caller *FuncNode
+		site   CallSite
+	}
+	rev := make(map[*types.Func][]edge)
+	for _, n := range g.nodes {
+		for _, c := range n.Calls {
+			if c.Go && !followGo {
+				continue
+			}
+			if c.Dyn && !followDyn {
+				continue
+			}
+			rev[c.Callee] = append(rev[c.Callee], edge{caller: n, site: c})
+		}
+	}
+	work := make([]*types.Func, 0, len(direct))
+	for fn := range direct {
+		work = append(work, fn)
+	}
+	sort.Slice(work, func(i, j int) bool { return direct[work[i]].Pos < direct[work[j]].Pos })
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		fact := out[fn]
+		for _, e := range rev[fn] {
+			caller := e.caller.Obj
+			lifted := Fact{
+				Fn:   caller,
+				Pos:  fact.Pos,
+				What: fact.What,
+				Via:  append([]string{fn.Name()}, fact.Via...),
+			}
+			if cur, ok := out[caller]; !ok || betterFact(lifted, cur) {
+				out[caller] = lifted
+				work = append(work, caller)
+			}
+		}
+	}
+	return out
+}
+
+// betterFact orders facts for deterministic closure results: shorter chains
+// first, then earlier origin positions.
+func betterFact(a, b Fact) bool {
+	if len(a.Via) != len(b.Via) {
+		return len(a.Via) < len(b.Via)
+	}
+	return a.Pos < b.Pos
+}
+
+// Reachable returns the set of module functions reachable from roots over
+// static call edges, following goroutine-spawn edges always (a spawned callee
+// runs the same code) and devirtualized edges when followDyn is set.
+func (g *CallGraph) Reachable(roots []*types.Func, followDyn bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var stack []*types.Func
+	push := func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		fn = fn.Origin()
+		if !seen[fn] && g.Nodes[fn] != nil {
+			seen[fn] = true
+			stack = append(stack, fn)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.Nodes[fn].Calls {
+			if c.Dyn && !followDyn {
+				continue
+			}
+			push(c.Callee)
+		}
+	}
+	return seen
+}
+
+// viaSuffix renders a fact's call chain for diagnostics: "" for a direct
+// fact, " (via a → b)" for an inherited one.
+func viaSuffix(f Fact) string {
+	if len(f.Via) == 0 {
+		return ""
+	}
+	s := " (via "
+	for i, v := range f.Via {
+		if i > 0 {
+			s += " → "
+		}
+		s += v
+	}
+	return s + ")"
+}

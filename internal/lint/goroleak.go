@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var goroleakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc: "flags go statements whose goroutine has no shutdown or join path — " +
+		"no ctx.Done() receive, no sync.WaitGroup Done/Wait, no range over a " +
+		"channel, no quit-channel (chan struct{}) receive — in its body or any " +
+		"function it calls (computed over the module call graph); such " +
+		"goroutines outlive the component that started them",
+	RunModule: runGoroleak,
+}
+
+// runGoroleak inspects every spawn site in the module. A goroutine is
+// considered joinable/stoppable when its body — or any function reachable
+// from it through the call graph, including devirtualized interface calls —
+// contains a recognized shutdown signal:
+//
+//   - a call to (context.Context).Done (the conventional cancellation path),
+//   - a call to (*sync.WaitGroup).Done or Wait (the spawner joins it),
+//   - a range statement over a channel (terminates when the producer closes),
+//   - a receive from a chan struct{} (an owned quit channel).
+//
+// Everything else is reported at the go statement.
+func runGoroleak(m *Module) []Diagnostic {
+	g := m.Graph()
+
+	// Direct shutdown facts per declared function.
+	direct := make(map[*types.Func]Fact)
+	for _, n := range g.All() {
+		if what, at := shutdownSignal(n.Pkg, n.Decl.Body); what != "" {
+			direct[n.Obj] = Fact{Fn: n.Obj, Pos: at.Pos(), What: what}
+		}
+	}
+	// A function "has a shutdown path" when it or any callee does. Follow
+	// spawn edges (a nested goroutine's signal does NOT stop this one), so
+	// followGo=false; follow interface implementations optimistically —
+	// a linter should not cry wolf when any plausible callee is joinable.
+	closure := g.Closure(direct, false, true)
+
+	var diags []Diagnostic
+	for _, n := range g.All() {
+		for _, sp := range n.Spawns {
+			if sp.Body != nil {
+				if what, _ := shutdownSignal(n.Pkg, sp.Body); what != "" {
+					continue
+				}
+				if spawnCalleeHasShutdown(n, sp, closure) {
+					continue
+				}
+				diags = append(diags, n.Pkg.diag("goroleak", sp.Pos,
+					"goroutine started in %s has no shutdown path (no ctx.Done, WaitGroup Done/Wait, channel range, or quit-channel receive in its body or callees); it can outlive its owner",
+					n.Obj.Name()))
+				continue
+			}
+			if sp.Callee == nil {
+				continue // go through a function value: body unknown
+			}
+			if _, ok := closure[sp.Callee]; ok {
+				continue
+			}
+			if g.Node(sp.Callee) == nil {
+				continue // callee outside the module (e.g. stdlib)
+			}
+			diags = append(diags, n.Pkg.diag("goroleak", sp.Pos,
+				"goroutine %s started in %s has no shutdown path (no ctx.Done, WaitGroup Done/Wait, channel range, or quit-channel receive in its body or callees); it can outlive its owner",
+				sp.Callee.Name(), n.Obj.Name()))
+		}
+	}
+	return diags
+}
+
+// spawnCalleeHasShutdown reports whether any function called from the spawned
+// literal body carries a shutdown path per the closure.
+func spawnCalleeHasShutdown(n *FuncNode, sp SpawnSite, closure map[*types.Func]Fact) bool {
+	found := false
+	ast.Inspect(sp.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			if fn := callee(n.Pkg, call); fn != nil {
+				if _, ok := closure[fn]; ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// shutdownSignal scans one body for a direct shutdown signal, returning a
+// short description and its position ("" when none).
+func shutdownSignal(p *Package, body ast.Node) (string, ast.Node) {
+	var what string
+	var at ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					what, at = "channel range", n
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if isQuitRecv(p, n) {
+				what, at = "quit-channel receive", n
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := callee(p, n); fn != nil {
+				switch {
+				case fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context":
+					what, at = "ctx.Done", n
+					return false
+				case (fn.Name() == "Done" || fn.Name() == "Wait") && isWaitGroupMethod(fn):
+					what, at = "WaitGroup "+fn.Name(), n
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if what == "" {
+		return "", nil
+	}
+	return what, at
+}
+
+// isQuitRecv reports whether e is `<-ch` with ch of type chan struct{}:
+// the conventional owned quit/stop/done channel.
+func isQuitRecv(p *Package, e *ast.UnaryExpr) bool {
+	if e.Op != token.ARROW {
+		return false
+	}
+	t := p.Info.TypeOf(e.X)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

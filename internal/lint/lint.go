@@ -59,19 +59,27 @@ func (p *Package) diag(name string, pos token.Pos, format string, args ...any) D
 	return Diagnostic{Pos: p.position(pos), Analyzer: name, Message: fmt.Sprintf(format, args...)}
 }
 
-// Analyzer is a single named invariant check.
+// Analyzer is a single named invariant check. Exactly one of Run and
+// RunModule is set: Run is a per-package check, RunModule a module-wide
+// (interprocedural) check that receives every package at once plus the shared
+// call graph through the Module.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Diagnostic
+	RunModule func(m *Module) []Diagnostic
 }
 
 // Analyzers returns the full registry, sorted by name.
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
+		atomicsafetyAnalyzer,
 		determinismAnalyzer,
 		errdropAnalyzer,
+		goroleakAnalyzer,
+		hotallocAnalyzer,
 		httpserverAnalyzer,
+		lockblockAnalyzer,
 		locksafetyAnalyzer,
 		obsclockAnalyzer,
 		sharddeterminismAnalyzer,
@@ -96,15 +104,40 @@ func Lookup(name string) *Analyzer {
 // position. Malformed directives are reported under the pseudo-analyzer
 // "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunModule(NewModule(pkgs), analyzers)
+}
+
+// RunModule is Run with a caller-provided Module, so the expensive shared
+// state (the call graph) can be inspected or reused across invocations.
+// Module-wide analyzers run once over the whole package set; per-package
+// analyzers run per package as before. Suppression directives from any
+// package apply to any diagnostic, since a module analyzer may report into a
+// package other than the one that triggered the analysis.
+func RunModule(m *Module, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, p := range pkgs {
-		dirs, bad := collectIgnores(p)
+	dirs := make(map[ignoreKey]*ignoreDirective)
+	for _, p := range m.Pkgs {
+		pd, bad := collectIgnores(p)
 		out = append(out, bad...)
-		for _, a := range analyzers {
+		for k, v := range pd {
+			dirs[k] = v
+		}
+	}
+	keep := func(d Diagnostic) {
+		if !suppressed(dirs, d) {
+			out = append(out, d)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			for _, d := range a.RunModule(m) {
+				keep(d)
+			}
+			continue
+		}
+		for _, p := range m.Pkgs {
 			for _, d := range a.Run(p) {
-				if !suppressed(dirs, d) {
-					out = append(out, d)
-				}
+				keep(d)
 			}
 		}
 	}

@@ -90,6 +90,15 @@ func parseWants(t *testing.T, path string) map[int][]*want {
 	return wants
 }
 
+// runAnalyzer applies one analyzer — per-package or module-wide — to a
+// single package.
+func runAnalyzer(a *Analyzer, p *Package) []Diagnostic {
+	if a.RunModule != nil {
+		return a.RunModule(NewModule([]*Package{p}))
+	}
+	return a.Run(p)
+}
+
 // runFixture applies one analyzer to a fixture package and checks its
 // diagnostics against the fixture's want comments: every diagnostic must be
 // expected at its exact line (and column, when asserted), and every
@@ -108,7 +117,7 @@ func runFixture(t *testing.T, analyzerName, fixture, importPath string) {
 			wants[line] = append(wants[line], ws...)
 		}
 	}
-	for _, d := range a.Run(p) {
+	for _, d := range runAnalyzer(a, p) {
 		matched := false
 		for _, w := range wants[d.Pos.Line] {
 			if !w.matched && strings.Contains(d.Message, w.substr) && (w.col == 0 || w.col == d.Pos.Column) {
@@ -275,10 +284,19 @@ func TestExactPosition(t *testing.T) {
 }
 
 // TestModuleIsClean runs the full suite over the real module: the tree must
-// stay free of findings (CI enforces the same through make lint).
+// stay free of findings beyond the committed baseline (CI enforces the same
+// through make lint).
 func TestModuleIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	baseline, err := LoadBaseline(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
 	}
 	l, err := sharedLoader()
 	if err != nil {
@@ -291,9 +309,23 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, d := range Run(pkgs, Analyzers()) {
-		t.Errorf("%s", d)
+	newDiags, known := baseline.Partition(Run(pkgs, Analyzers()), root)
+	for _, d := range newDiags {
+		t.Errorf("new finding: %s", d)
 	}
+	// The baseline must not pad beyond reality: stale entries hide future
+	// regressions, so fixing an accepted finding must shrink the baseline.
+	if have, accepted := len(known), baselineCount(baseline); have < accepted {
+		t.Errorf("baseline lists %d finding(s) but only %d occur; run make lint-update-baseline to drop the stale entries", accepted, have)
+	}
+}
+
+func baselineCount(b *Baseline) int {
+	n := 0
+	for _, f := range b.Findings {
+		n += f.Count
+	}
+	return n
 }
 
 func TestShardDeterminism(t *testing.T) {

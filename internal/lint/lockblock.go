@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var lockblockAnalyzer = &Analyzer{
+	Name: "lockblock",
+	Doc: "flags operations that can block indefinitely while a sync.Mutex or " +
+		"RWMutex is held — channel sends/receives, select, time.Sleep, " +
+		"network/file I/O, and further lock acquisitions — including blocking " +
+		"hidden behind calls, computed transitively over the module call graph",
+	RunModule: runLockblock,
+}
+
+// blockFact describes one directly blocking operation.
+type blockFact struct {
+	what string
+	pos  token.Pos
+}
+
+// runLockblock works in two phases over the shared call graph: first it
+// computes, for every module function, whether calling it can block (a
+// channel op, select, sleep, I/O call, or lock acquisition anywhere in the
+// function or its static callees — goroutine bodies excluded, since a go
+// statement returns immediately; devirtualized interface edges excluded,
+// since assuming the worst implementation for every dynamic call drowns the
+// signal). Then it walks every function that acquires a mutex and reports
+// blocking operations — direct or via calls — on the critical section.
+func runLockblock(m *Module) []Diagnostic {
+	g := m.Graph()
+
+	// Phase 1: direct blocking facts.
+	direct := make(map[*types.Func]Fact)
+	for _, n := range g.All() {
+		if f := directBlock(n); f != nil {
+			direct[n.Obj] = Fact{Fn: n.Obj, Pos: f.pos, What: f.what}
+		}
+	}
+	blocks := g.Closure(direct, false, false)
+
+	// Phase 2: critical-section scan.
+	var diags []Diagnostic
+	for _, n := range g.All() {
+		w := &lockblockWalker{p: n.Pkg, blocks: blocks}
+		w.walkStmts(n.Decl.Body.List, newHeldSet())
+		diags = append(diags, w.diags...)
+	}
+	return diags
+}
+
+// directBlock returns the first (by position) blocking operation performed
+// synchronously by n itself, or nil. Operations inside `go` function-literal
+// bodies do not count: spawning is not blocking.
+func directBlock(n *FuncNode) *blockFact {
+	p := n.Pkg
+	var found *blockFact
+	record := func(what string, pos token.Pos) {
+		if found == nil || pos < found.pos {
+			found = &blockFact{what: what, pos: pos}
+		}
+	}
+	var walk func(node ast.Node)
+	walk = func(node ast.Node) {
+		ast.Inspect(node, func(nd ast.Node) bool {
+			switch s := nd.(type) {
+			case *ast.GoStmt:
+				if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					// Skip the spawned body; still inspect the arguments.
+					for _, arg := range s.Call.Args {
+						walk(arg)
+					}
+					_ = fl
+					return false
+				}
+			case *ast.SendStmt:
+				record("channel send", s.Arrow)
+			case *ast.UnaryExpr:
+				if s.Op == token.ARROW {
+					record("channel receive", s.OpPos)
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(s) {
+					record("select without default", s.Select)
+				}
+			case *ast.CallExpr:
+				if what := blockingCallName(p, s); what != "" {
+					record(what, s.Pos())
+				}
+			}
+			return true
+		})
+	}
+	walk(n.Decl.Body)
+	return found
+}
+
+// blockingCallName classifies direct calls to known blocking stdlib entry
+// points: time.Sleep, mutex acquisition, WaitGroup.Wait, and I/O through the
+// os and net trees. sync.Cond.Wait is exempt — it releases the mutex while
+// waiting, which is exactly its contract.
+func blockingCallName(p *Package, call *ast.CallExpr) string {
+	fn := callee(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "time" && name == "Sleep":
+		return "time.Sleep"
+	case path == "sync" && (name == "Lock" || name == "RLock"):
+		if kind := recvSyncKind(fn); kind == "Mutex" || kind == "RWMutex" {
+			return "sync." + kind + "." + name
+		}
+	case path == "sync" && name == "Wait":
+		if recvSyncKind(fn) == "WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	case path == "os" || path == "net" || path == "net/http":
+		// Creation/metadata helpers are cheap; reads, writes, listens,
+		// accepts, dials and removals hit the kernel and can stall.
+		switch name {
+		case "Read", "ReadAt", "Write", "WriteAt", "WriteString", "Sync",
+			"ReadFile", "WriteFile", "Open", "OpenFile", "Create", "Remove",
+			"RemoveAll", "Rename", "Accept", "Dial", "DialTimeout", "Listen",
+			"Do", "Get", "Post", "Serve", "ListenAndServe":
+			return path + "." + name
+		}
+	}
+	return ""
+}
+
+// recvSyncKind returns the sync type name a method is declared on ("" when
+// the receiver is not a sync type).
+func recvSyncKind(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heldSet tracks which mutexes are held at a program point, keyed by the
+// printed receiver expression (same discipline as locksafety).
+type heldSet struct {
+	locks map[string]token.Pos // key -> acquisition position
+}
+
+func newHeldSet() *heldSet { return &heldSet{locks: make(map[string]token.Pos)} }
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k, v := range h.locks {
+		c.locks[k] = v
+	}
+	return c
+}
+
+func (h *heldSet) any() (string, token.Pos, bool) {
+	var bestKey string
+	var bestPos token.Pos
+	for k, p := range h.locks {
+		if bestKey == "" || p < bestPos {
+			bestKey, bestPos = k, p
+		}
+	}
+	return bestKey, bestPos, bestKey != ""
+}
+
+// lockblockWalker scans one function body, maintaining the held-lock set and
+// reporting blocking operations (direct or through calls) inside critical
+// sections. Control flow is handled conservatively but simply: branch bodies
+// are walked with a copy of the held set, and the set in effect after a
+// compound statement is the one from before it (lock state changes inside
+// branches are treated as branch-local).
+type lockblockWalker struct {
+	p      *Package
+	blocks map[*types.Func]Fact
+	diags  []Diagnostic
+}
+
+func (w *lockblockWalker) walkStmts(stmts []ast.Stmt, held *heldSet) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockblockWalker) walkStmt(stmt ast.Stmt, held *heldSet) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := classifyLockCall(w.p, call); ok {
+				if op.acquire {
+					w.checkOp(lockAcquireWhat(w.p, call), call.Pos(), held, op.key)
+					held.locks[op.key] = call.Pos()
+				} else {
+					delete(held.locks, op.key)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at function end, so the critical
+		// section spans the rest of the body: the lock stays in the set.
+		// Deferred calls themselves run after the section; only their
+		// argument expressions evaluate now.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.SendStmt:
+		if key, pos, ok := held.any(); ok {
+			w.report("channel send", s.Arrow, key, pos, nil)
+		}
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		if key, pos, ok := held.any(); ok {
+			if t := w.p.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.report("channel range", s.For, key, pos, nil)
+				}
+			}
+		}
+		w.checkExpr(s.X, held)
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		w.walkClauseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkClauseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			if key, pos, ok := held.any(); ok {
+				w.report("select without default", s.Select, key, pos, nil)
+			}
+		}
+		w.walkClauseBodies(s.Body, held)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// Spawning never blocks; argument evaluation does happen here.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *lockblockWalker) walkClauseBodies(body *ast.BlockStmt, held *heldSet) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(c.Body, held.clone())
+		case *ast.CommClause:
+			w.walkStmts(c.Body, held.clone())
+		}
+	}
+}
+
+// checkExpr scans an expression for blocking constructs while locks are held:
+// receives, and calls whose transitive closure blocks. Function literals are
+// walked as synchronous code (they typically run before the section ends,
+// e.g. sort.Slice callbacks); go bodies never reach here (GoStmt is handled
+// in walkStmt).
+func (w *lockblockWalker) checkExpr(expr ast.Expr, held *heldSet) {
+	if expr == nil {
+		return
+	}
+	key, pos, lockHeld := held.any()
+	ast.Inspect(expr, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && lockHeld {
+				w.report("channel receive", e.OpPos, key, pos, nil)
+			}
+		case *ast.CallExpr:
+			if !lockHeld {
+				return true
+			}
+			if op, ok := classifyLockCall(w.p, e); ok {
+				if op.acquire {
+					w.checkOp(lockAcquireWhat(w.p, e), e.Pos(), held, op.key)
+				}
+				return true
+			}
+			if what := blockingCallName(w.p, e); what != "" {
+				w.report(what, e.Pos(), key, pos, nil)
+				return true
+			}
+			if fn := callee(w.p, e); fn != nil {
+				if f, ok := w.blocks[fn]; ok {
+					w.report(f.What, e.Pos(), key, pos, append([]string{fn.Name()}, f.Via...))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkOp reports a nested lock acquisition performed while another lock is
+// held (re-acquiring the same key is locksafety's double-lock domain, not
+// ours).
+func (w *lockblockWalker) checkOp(what string, opPos token.Pos, held *heldSet, acquiredKey string) {
+	for key, pos := range held.locks {
+		if key == acquiredKey {
+			continue
+		}
+		w.report(what, opPos, key, pos, nil)
+		return
+	}
+}
+
+func lockAcquireWhat(p *Package, call *ast.CallExpr) string {
+	if op, ok := classifyLockCall(p, call); ok {
+		return "acquisition of " + op.text
+	}
+	return "lock acquisition"
+}
+
+func (w *lockblockWalker) report(what string, at token.Pos, lockKey string, lockPos token.Pos, via []string) {
+	lockText := lockKey
+	if i := len(lockText) - 2; i > 0 && lockText[i] == '#' {
+		lockText = lockText[:i]
+	}
+	suffix := ""
+	if len(via) > 0 {
+		suffix = viaSuffix(Fact{Via: via})
+	}
+	w.diags = append(w.diags, w.p.diag("lockblock", at,
+		"%s%s while %s is held (locked at line %d); blocking inside the critical section stalls every other contender",
+		what, suffix, lockText, w.p.position(lockPos).Line))
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// This file renders diagnostics in the two machine-readable formats the
+// driver exposes: a flat JSON array (-json) for scripting, and SARIF 2.1.0
+// (-sarif) for code-scanning UIs (GitHub code scanning, VS Code SARIF
+// viewers). Both relativize file paths against the module root so output is
+// stable across checkouts.
+
+// JSONFinding is one diagnostic in -json output.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Known    bool   `json:"known,omitempty"` // present in the baseline
+}
+
+// EncodeJSON renders diagnostics as an indented JSON array. known marks
+// baseline-covered diagnostics (may be nil).
+func EncodeJSON(diags []Diagnostic, known map[*Diagnostic]bool, moduleRoot string) ([]byte, error) {
+	out := make([]JSONFinding, 0, len(diags))
+	for i := range diags {
+		d := &diags[i]
+		out = append(out, JSONFinding{
+			File:     relModulePath(d.Pos.Filename, moduleRoot),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Known:    known[d],
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// --- SARIF 2.1.0 ----------------------------------------------------------
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	RuleIndex     int             `json:"ruleIndex"`
+	Level         string          `json:"level"`
+	Message       sarifMessage    `json:"message"`
+	Locations     []sarifLocation `json:"locations"`
+	BaselineState string          `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// EncodeSARIF renders diagnostics as a single-run SARIF 2.1.0 log. Every
+// registered analyzer appears as a rule (so rule metadata is stable whether
+// or not it fired); diagnostics become results at level "warning", tagged
+// "unchanged" or "new" via baselineState when a baseline partition is
+// supplied through known (nil means no baseline: no baselineState emitted).
+func EncodeSARIF(diags []Diagnostic, known map[*Diagnostic]bool, moduleRoot string) ([]byte, error) {
+	ruleIndex := make(map[string]int)
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// The pseudo-analyzer for malformed //lint:ignore directives.
+	ruleIndex["lint"] = len(rules)
+	rules = append(rules, sarifRule{ID: "lint", ShortDescription: sarifMessage{
+		Text: "malformed or unknown //lint:ignore suppression directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for i := range diags {
+		d := &diags[i]
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = ruleIndex["lint"]
+		}
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relModulePath(d.Pos.Filename, moduleRoot)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if known != nil {
+			if known[d] {
+				r.BaselineState = "unchanged"
+			} else {
+				r.BaselineState = "new"
+			}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "datacronlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// relModulePath relativizes an absolute position path against the module
+// root, falling back to the input for files outside the module.
+func relModulePath(file, moduleRoot string) string {
+	if moduleRoot == "" {
+		return filepath.ToSlash(file)
+	}
+	if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the atomicsafety analyzer: a field updated
+// through sync/atomic anywhere in the module must never be read or written
+// plainly anywhere else.
+package fixture
+
+import "sync/atomic"
+
+// Counter mixes access disciplines on hits; misses and safe are clean.
+type Counter struct {
+	hits   int64
+	misses int64
+	safe   atomic.Int64
+}
+
+// Hit updates hits atomically — the discipline every access must follow.
+func (c *Counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Hits reads it atomically: sanctioned.
+func (c *Counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Racy reads the atomically updated field without sync/atomic.
+func (c *Counter) Racy() int64 {
+	return c.hits // want "plain access to field"
+}
+
+// ResetRacy writes it plainly, which is just as broken.
+func (c *Counter) ResetRacy() {
+	c.hits = 0 // want "plain access to field"
+}
+
+// Sum reads it plainly in an expression context.
+func (c *Counter) Sum() int64 {
+	return c.hits + c.misses // want "plain access to field"
+}
+
+// Miss touches only the never-atomic misses field: no finding.
+func (c *Counter) Miss() { c.misses++ }
+
+// Safe uses a typed atomic, whose methods are the only access path: clean.
+func (c *Counter) Safe() int64 { return c.safe.Load() }
+
+// Swap uses a different atomic entry point on the same field: sanctioned.
+func (c *Counter) Swap(v int64) int64 {
+	return atomic.SwapInt64(&c.hits, v)
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the goroleak analyzer: goroutines must own a
+// shutdown or join path — ctx.Done, WaitGroup Done/Wait, a channel range, or
+// a quit-channel receive — directly or through the functions they call.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Leaky spawns a goroutine with no way to stop it.
+func Leaky(out chan int) {
+	go func() { // want "no shutdown path"
+		for {
+			out <- 1
+		}
+	}()
+}
+
+// StartSpin spawns a named function that spins forever.
+func StartSpin(out chan int) {
+	go spin(out) // want 2:"goroutine spin started in StartSpin has no shutdown path"
+}
+
+func spin(out chan int) {
+	for {
+		out <- 1
+	}
+}
+
+// Joined is joined through a WaitGroup.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Stopped watches its context.
+func Stopped(ctx context.Context, out chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case out <- 1:
+			}
+		}
+	}()
+}
+
+// Pump owns a quit channel.
+type Pump struct {
+	quit chan struct{}
+}
+
+// Start's goroutine exits when quit is closed.
+func (p *Pump) Start(out chan int) {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case out <- 1:
+			}
+		}
+	}()
+}
+
+// Drain's goroutine ends when the producer closes the channel.
+func Drain(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// Worker spawns a named method whose shutdown path (a channel range) is
+// found through the call graph, not in the go statement itself.
+type Worker struct{ in chan int }
+
+// Start launches the run loop.
+func (w *Worker) Start() { go w.runLoop() }
+
+func (w *Worker) runLoop() {
+	for range w.in {
+	}
+}
+
+// Deep's goroutine inherits its shutdown path from a callee that blocks on
+// ctx.Done — transitive through the call graph.
+func Deep(ctx context.Context) {
+	go func() {
+		helper(ctx)
+	}()
+}
+
+func helper(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func work() {}

@@ -1,0 +1,134 @@
+// Package fixture exercises the lockblock analyzer: operations that can
+// block indefinitely must not run while a mutex is held, whether they appear
+// inline or behind a call chain.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Server holds a mutex-guarded state machine plus a channel.
+type Server struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	ch    chan int
+	state int
+}
+
+// SendLocked sends on a channel inside the critical section.
+func (s *Server) SendLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// RecvLocked receives inside a defer-held critical section.
+func (s *Server) RecvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is held"
+}
+
+// SleepLocked sleeps while holding the lock.
+func (s *Server) SleepLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+}
+
+// WriteLocked performs file I/O while holding the lock.
+func (s *Server) WriteLocked(f *os.File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.Write([]byte("x")) // want "os.Write while s.mu is held"
+}
+
+// NestedLock acquires a second mutex inside the first's critical section.
+func (s *Server) NestedLock() {
+	s.mu.Lock()
+	s.aux.Lock() // want "acquisition of s.aux while s.mu is held"
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+// SelectLocked parks in a select with no default under the lock.
+func (s *Server) SelectLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while s.mu is held"
+	case v := <-s.ch:
+		s.state = v
+	}
+}
+
+// CallBlockedHelper blocks through a call chain: waitSignal receives from a
+// channel, so calling it under the lock is flagged at the call site.
+func (s *Server) CallBlockedHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitSignal() // want "channel receive (via waitSignal) while s.mu is held"
+}
+
+func (s *Server) waitSignal() {
+	<-s.ch
+}
+
+// DeepChain blocks two calls down: level1 -> waitSignal -> receive.
+func (s *Server) DeepChain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.level1() // want "channel receive (via level1"
+}
+
+func (s *Server) level1() {
+	s.waitSignal()
+}
+
+// Quick is the negative case: pure computation under the lock is fine.
+func (s *Server) Quick() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	return s.state
+}
+
+// SendAfterUnlock is fine: the send happens outside the critical section.
+func (s *Server) SendAfterUnlock() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.ch <- s.state
+}
+
+// SpawnUnderLock is fine: the go statement returns immediately; the spawned
+// body's send blocks the goroutine, not the critical section.
+func (s *Server) SpawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+	s.state++
+}
+
+// DefaultSelect is fine: a select with a default never parks.
+func (s *Server) DefaultSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	default:
+	}
+}
+
+// CallQuickHelper is fine: the callee does not block.
+func (s *Server) CallQuickHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+func (s *Server) bump() { s.state++ }

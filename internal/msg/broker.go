@@ -98,24 +98,52 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if partitions < 1 {
 		partitions = 1
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return ErrClosed
-	}
-	if _, ok := b.topics[name]; ok {
-		return fmt.Errorf("%w: %s", ErrTopicExists, name)
-	}
 	t := &topic{name: name, parts: make([]*partition, partitions)}
 	for i := range t.parts {
 		t.parts[i] = newPartition()
 	}
-	if b.obs != nil {
-		t.m = newTopicMetrics(b.obs, name)
+	for {
+		b.mu.RLock()
+		closed := b.closed
+		_, exists := b.topics[name]
+		reg := b.obs
+		b.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		if exists {
+			return fmt.Errorf("%w: %s", ErrTopicExists, name)
+		}
+		// Metric handles are created outside the broker lock: Registry
+		// lookups take the registry mutex, and nesting it under b.mu would
+		// stall every producer and consumer behind metric registration.
+		// Handle creation is idempotent by name, so losing the race below
+		// only wastes the lookup.
+		if reg != nil {
+			t.m = newTopicMetrics(reg, name)
+		} else {
+			t.m = nil
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return ErrClosed
+		}
+		if _, ok := b.topics[name]; ok {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrTopicExists, name)
+		}
+		if b.obs != reg {
+			// Registry swapped between the read and the commit: rebuild the
+			// handles against the current registry.
+			b.mu.Unlock()
+			continue
+		}
+		b.topics[name] = t
+		b.log.Debug("topic created", "topic", name, "partitions", partitions)
+		b.mu.Unlock()
+		return nil
 	}
-	b.topics[name] = t
-	b.log.Debug("topic created", "topic", name, "partitions", partitions)
-	return nil
 }
 
 // Instrument attaches a metrics registry: per-topic produced/bytes counters
@@ -125,14 +153,34 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 // new topics/consumers but leaves existing handles live.
 func (b *Broker) Instrument(reg *obs.Registry) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.obs = reg
-	if reg == nil {
+	var missing []string
+	if reg != nil {
+		for name, t := range b.topics {
+			if t.m == nil {
+				missing = append(missing, name)
+			}
+		}
+	}
+	b.mu.Unlock()
+	if len(missing) == 0 {
 		return
 	}
-	for name, t := range b.topics {
-		if t.m == nil {
-			t.m = newTopicMetrics(reg, name)
+	// Build the handles outside the broker lock (the registry has its own
+	// mutex), then commit them only if the registry is still the one they
+	// were built against.
+	built := make(map[string]*topicMetrics, len(missing))
+	for _, name := range missing {
+		built[name] = newTopicMetrics(reg, name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.obs != reg {
+		return
+	}
+	for name, m := range built {
+		if t, ok := b.topics[name]; ok && t.m == nil {
+			t.m = m
 		}
 	}
 }

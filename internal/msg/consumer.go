@@ -84,7 +84,7 @@ func (g *group) assignment(member string, numPartitions int) ([]int, int) {
 	if idx < 0 || len(g.members) == 0 {
 		return nil, g.gen
 	}
-	var parts []int
+	parts := make([]int, 0, numPartitions/len(g.members)+1)
 	for p := 0; p < numPartitions; p++ {
 		if p%len(g.members) == idx {
 			parts = append(parts, p)

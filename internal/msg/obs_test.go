@@ -2,11 +2,50 @@ package msg
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"datacron/internal/obs"
 )
+
+// TestInstrumentConcurrentCreateTopic pins the lock discipline fix: topic
+// metric handles are built outside the broker mutex, with an optimistic
+// retry when the registry is swapped mid-create. Whatever the interleaving,
+// every topic must end up instrumented — either by its own CreateTopic
+// observing the registry, or by Instrument back-filling it.
+func TestInstrumentConcurrentCreateTopic(t *testing.T) {
+	b := NewBroker()
+	reg := obs.NewRegistry(obs.NewManualClock(time.Unix(0, 0).UTC()))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.CreateTopic(fmt.Sprintf("t%d", i), 1); err != nil {
+				t.Errorf("CreateTopic t%d: %v", i, err)
+			}
+		}(i)
+	}
+	b.Instrument(reg)
+	wg.Wait()
+	b.Instrument(reg) // back-fill topics committed before the registry attach
+
+	ts := time.Unix(100, 0).UTC()
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if _, err := b.Produce(name, "k", []byte("x"), ts); err != nil {
+			t.Fatalf("Produce %s: %v", name, err)
+		}
+	}
+	s := reg.Snapshot()
+	for i := 0; i < 16; i++ {
+		if got := s.Counter(fmt.Sprintf("msg.produced.t%d", i)); got != 1 {
+			t.Errorf("msg.produced.t%d = %d, want 1 (topic missed instrumentation)", i, got)
+		}
+	}
+}
 
 func TestBrokerInstrumentation(t *testing.T) {
 	b := NewBroker()

@@ -231,9 +231,16 @@ func (p *Plane[I, O]) Barrier(epoch uint64) ([]map[string][]byte, error) {
 	for _, l := range p.lanes {
 		l.in <- message[I]{marker: true, epoch: epoch}
 	}
-	out := make([]map[string][]byte, len(p.lanes))
+	// Every lane got a marker, so every lane will ack: drain them all before
+	// evaluating any of them. Returning on the first bad ack would strand the
+	// later lanes' acks in their buffered channels, and the stale acks would
+	// surface as epoch mismatches on every subsequent barrier.
+	acks := make([]barrierAck, len(p.lanes))
 	for i, l := range p.lanes {
-		a := <-l.ack
+		acks[i] = <-l.ack
+	}
+	out := make([]map[string][]byte, len(p.lanes))
+	for i, a := range acks {
 		if a.err != nil {
 			return nil, fmt.Errorf("shard %d: snapshot: %w", i, a.err)
 		}

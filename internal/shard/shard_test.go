@@ -172,6 +172,55 @@ func TestBarrierSnapshotRestore(t *testing.T) {
 	}
 }
 
+// failOnceWorker wraps countWorker with a Snapshot that fails on the first
+// attempt of a chosen shard.
+type failOnceWorker struct {
+	Worker[string, string]
+	fail *bool
+}
+
+func (w *failOnceWorker) Snapshot() (map[string][]byte, error) {
+	if *w.fail {
+		*w.fail = false
+		return nil, errors.New("injected snapshot failure")
+	}
+	return w.Worker.Snapshot()
+}
+
+// TestBarrierRetryAfterSnapshotError: a failed barrier must leave the plane
+// reusable. The first Barrier fails because shard 0's snapshot errors; the
+// acks the healthy shards produced for that epoch must not linger and poison
+// the retry with epoch mismatches.
+func TestBarrierRetryAfterSnapshotError(t *testing.T) {
+	fail := true
+	p := New(Config{Shards: 4, Queue: 8}, func(s string) string { return s },
+		func(shard int) Worker[string, string] {
+			w := newCountWorker(shard)
+			if shard == 0 {
+				return &failOnceWorker{Worker: w, fail: &fail}
+			}
+			return w
+		})
+	p.Start()
+	defer p.Close()
+
+	if _, err := p.Barrier(1); err == nil {
+		t.Fatal("Barrier with a failing snapshot: err = nil, want injected error")
+	}
+	blobs, err := p.Barrier(2)
+	if err != nil {
+		t.Fatalf("Barrier retry after snapshot error: %v", err)
+	}
+	if len(blobs) != 4 {
+		t.Fatalf("Barrier retry returned %d shard snapshots, want 4", len(blobs))
+	}
+	// The plane must still process and drain records after the failed epoch.
+	p.Submit("a")
+	if _, err := p.Next(); err != nil {
+		t.Fatalf("Next after barrier retry: %v", err)
+	}
+}
+
 // TestBarrierRequiresDrainedPlane: a barrier while outputs are pending is
 // not a consistent cut and must be refused.
 func TestBarrierRequiresDrainedPlane(t *testing.T) {

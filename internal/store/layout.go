@@ -64,6 +64,7 @@ func (t *TripleTable) scan(fn func(part []EncodedTriple) []ID) []ID {
 	results := make([][]ID, len(t.partitions))
 	done := make(chan int, len(t.partitions))
 	for i := range t.partitions {
+		//lint:ignore goroleak bounded fan-out joined below: each goroutine sends exactly once into the cap-len(partitions) buffered done channel, and the loop after this one receives them all
 		go func(i int) {
 			results[i] = fn(t.partitions[i])
 			done <- i

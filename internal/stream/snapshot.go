@@ -183,7 +183,7 @@ func NewWindowOp[I, A any](
 }
 
 func (op *WindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[WindowAggregate[A]])) {
-	var ready []*windowState[A]
+	ready := make([]*windowState[A], 0, len(op.open))
 	for k, ws := range op.open {
 		if all || !ws.win.End.After(upTo) {
 			ready = append(ready, ws)
@@ -367,7 +367,7 @@ func (op *SessionWindowOp[I, A]) emitSession(s *session[A], emit func(Event[Wind
 }
 
 func (op *SessionWindowOp[I, A]) fire(upTo time.Time, all bool, emit func(Event[WindowAggregate[A]])) {
-	var ready []*session[A]
+	ready := make([]*session[A], 0, len(op.open))
 	for k, s := range op.open {
 		if all || !s.win.End.Add(op.gap).After(upTo) {
 			ready = append(ready, s)

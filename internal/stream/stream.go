@@ -34,6 +34,7 @@ func E[T any](key string, t time.Time, v T) Event[T] {
 // FromSlice returns a stream replaying the given events in order.
 func FromSlice[T any](events []Event[T]) <-chan Event[T] {
 	out := make(chan Event[T])
+	//lint:ignore goroleak finite replay source: the goroutine exits once the slice is drained, and every consumer (Collect, the pipeline operators) drains to close
 	go func() {
 		defer close(out)
 		for _, e := range events {

@@ -340,7 +340,7 @@ func (g *Generator) Flush() []CriticalPoint {
 	if g.m != nil {
 		defer func() { g.m.sync(g.stats) }()
 	}
-	var out []CriticalPoint
+	out := make([]CriticalPoint, 0, len(g.states))
 	for _, st := range g.states {
 		if st.hasLast {
 			out = append(out, CriticalPoint{Report: st.last, Type: TrajectoryEnd})
