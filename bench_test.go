@@ -308,11 +308,11 @@ func BenchmarkCheckpointOverhead(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				p, err := core.NewPipeline(core.Config{})
+				p, err := core.New(core.WithConfig(core.Config{}))
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := p.Ingest(reports); err != nil {
+				if err := p.Ingest(context.Background(), reports); err != nil {
 					b.Fatal(err)
 				}
 				var rc *core.RecoveryConfig
@@ -351,7 +351,7 @@ func BenchmarkBrokerRoundTrip(b *testing.B) {
 	consumed := 0
 	for i := 0; i < b.N; i++ {
 		r := reports[i%len(reports)]
-		if _, err := broker.Produce("bench", r.ID, payload, r.Time); err != nil {
+		if _, err := broker.Produce(context.Background(), "bench", r.ID, payload, r.Time); err != nil {
 			b.Fatal(err)
 		}
 		if i%64 == 63 {

@@ -41,11 +41,13 @@ import (
 	"datacron/internal/checkpoint"
 	"datacron/internal/checkpoint/faultinject"
 	"datacron/internal/core"
+	"datacron/internal/flow"
 	"datacron/internal/gen"
 	"datacron/internal/geo"
 	"datacron/internal/linkdisc"
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
+	"datacron/internal/msg"
 	"datacron/internal/ontology"
 	"datacron/internal/rdf"
 	"datacron/internal/store"
@@ -61,6 +63,9 @@ type options struct {
 	export           string
 
 	shards int
+
+	queueCap       int
+	overloadPolicy string
 
 	adminAddr string
 	logLevel  string
@@ -80,6 +85,8 @@ func main() {
 	flag.IntVar(&o.flights, "flights", 12, "flight count (aviation)")
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
 	flag.IntVar(&o.shards, "shards", 1, "parallel shard workers for the real-time layer (output is byte-identical for any count)")
+	flag.IntVar(&o.queueCap, "queue-cap", 0, "bound the raw topic's per-partition uncommitted backlog (0 = unbounded) and arm the backpressure plane")
+	flag.StringVar(&o.overloadPolicy, "overload-policy", "block", "what a full raw partition does to producers: block, drop-newest or drop-oldest")
 	flag.BoolVar(&o.verbose, "v", false, "print dashboard event notes")
 	flag.BoolVar(&o.metrics, "metrics", false, "print the pipeline's metric registry after the run")
 	flag.StringVar(&o.export, "export", "", "write the RDF-ized stream to this N-Triples file")
@@ -174,6 +181,13 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if o.shards > 1 {
 		coreOpts = append(coreOpts, core.WithShards(o.shards))
 	}
+	if o.queueCap > 0 {
+		policy, err := msg.ParseOverloadPolicy(o.overloadPolicy)
+		if err != nil {
+			return fmt.Errorf("bad -overload-policy: %w", err)
+		}
+		coreOpts = append(coreOpts, core.WithFlow(flow.Config{QueueCap: o.queueCap, Policy: policy}))
+	}
 	log, err := logger(o)
 	if err != nil {
 		return err
@@ -194,8 +208,28 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if o.adminAddr != "" {
 		fmt.Fprintf(out, "admin server listening on %s\n", pipeline.Admin().Addr())
 	}
-	if err := pipeline.Ingest(reports); err != nil {
-		return err
+	// With a bounded raw topic the producer must run concurrently with the
+	// consuming run loop: a Block policy waits for commits to free backlog,
+	// and commits only happen once the run is polling. Unbounded runs keep
+	// the simple sequential shape.
+	ingestErr := make(chan error, 1)
+	if o.queueCap > 0 {
+		//lint:ignore goroleak bounded by the report slice and joined through ingestErr; Ingest aborts on the run ctx when producing blocks
+		go func() {
+			err := pipeline.Ingest(ctx, reports)
+			if err != nil {
+				// Ingest closes the raw topic on its normal paths; close it on
+				// the error path too so the run loop terminates instead of
+				// polling forever.
+				_ = pipeline.Broker.CloseTopic(core.TopicRaw)
+			}
+			ingestErr <- err
+		}()
+	} else {
+		if err := pipeline.Ingest(ctx, reports); err != nil {
+			return err
+		}
+		ingestErr <- nil
 	}
 	var rc *core.RecoveryConfig
 	if o.ckptDir != "" {
@@ -243,7 +277,18 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		fmt.Fprintf(out, "survived %d injected crashes (%d checkpoints captured)\n",
 			rc.Injector.Kills(), rc.Checkpointer.Captures())
 	}
+	if ierr := <-ingestErr; ierr != nil && !errors.Is(ierr, context.Canceled) {
+		return ierr
+	}
 	fmt.Fprintf(out, "real-time layer (%s): %s\n", time.Since(start).Round(time.Millisecond), sum)
+	if o.queueCap > 0 {
+		st := pipeline.Stats()
+		if raw, ok := st.Broker.Topic(core.TopicRaw); ok {
+			fmt.Fprintf(out, "flow: policy=%s cap=%d admitted=%d shed=%d rejected=%d evicted=%d\n",
+				o.overloadPolicy, o.queueCap, st.Flow.Shedder.Admitted,
+				st.Flow.Shedder.Shed(), raw.Rejected, raw.Evicted)
+		}
+	}
 
 	if o.export != "" {
 		f, err := os.Create(o.export)

@@ -22,7 +22,7 @@ func main() {
 	region := geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 
 	// 1. A pipeline with default (maritime) settings.
-	pipeline, err := core.NewPipeline(core.Config{Domain: mobility.Maritime})
+	pipeline, err := core.New(core.WithDomain(mobility.Maritime))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func main() {
 	fmt.Printf("generated %d AIS reports from %d vessels\n", len(reports), len(sim.Registry()))
 
 	// 3. Stream them through the real-time layer.
-	if err := pipeline.Ingest(reports); err != nil {
+	if err := pipeline.Ingest(context.Background(), reports); err != nil {
 		log.Fatal(err)
 	}
 	summary, err := pipeline.RunRealTime(context.Background())

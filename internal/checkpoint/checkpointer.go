@@ -158,6 +158,9 @@ func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
 	if err := c.store.Save(cp.Generation, data); err != nil {
 		return 0, fmt.Errorf("checkpoint: save generation %d: %w", cp.Generation, err)
 	}
+	if err := pinReplayFloors(b, cp.Sources); err != nil {
+		return 0, fmt.Errorf("checkpoint: pin replay floor: %w", err)
+	}
 	c.nextGen = cp.Generation + 1
 	c.captures++
 	c.prune()
@@ -167,6 +170,38 @@ func (c *Checkpointer) Capture(b *msg.Broker) (uint64, error) {
 	c.log.Debug("checkpoint captured",
 		"generation", cp.Generation, "bytes", len(data), "operators", len(cp.Operators))
 	return cp.Generation, nil
+}
+
+// pinReplayFloors pins each source topic's replay floor at the checkpointed
+// committed offsets — the exact positions a post-crash replay restarts from,
+// which the DropOldestUncommitted overload policy must never shed at or
+// below. When several groups consume a topic the lowest offset wins; a
+// partition missing from a group's map means that group replays it from 0.
+func pinReplayFloors(b *msg.Broker, srcs []SourceOffsets) error {
+	byTopic := make(map[string][]map[int]int64, len(srcs))
+	for _, s := range srcs {
+		byTopic[s.Topic] = append(byTopic[s.Topic], s.Offsets)
+	}
+	for topic, maps := range byTopic {
+		n, err := b.Partitions(topic)
+		if err != nil {
+			return err
+		}
+		floor := make(map[int]int64, n)
+		for p := 0; p < n; p++ {
+			low := maps[0][p]
+			for _, m := range maps[1:] {
+				if m[p] < low {
+					low = m[p]
+				}
+			}
+			floor[p] = low
+		}
+		if err := b.PinReplayFloor(topic, floor); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // prune removes generations beyond the retention limit, oldest first.
@@ -228,12 +263,26 @@ func (c *Checkpointer) Restore(b *msg.Broker) (*Checkpoint, error) {
 	cp, err := c.Latest()
 	if err != nil {
 		if errors.Is(err, ErrNoCheckpoint) {
+			// Cold start: replay restarts from offset zero, so nothing may be
+			// shed until the first checkpoint raises the floor.
+			for _, s := range c.sources {
+				if perr := b.PinReplayFloor(s.topic, nil); perr != nil {
+					//lint:ignore hotalloc cold error exit of a once-per-recovery loop, not a per-record path
+					return nil, fmt.Errorf("checkpoint: pin replay floor: %w", perr)
+				}
+			}
 			return nil, nil
 		}
 		return nil, err
 	}
+	restored := make([]SourceOffsets, 0, len(c.sources))
 	for _, s := range c.sources {
-		b.RestoreOffsets(s.group, s.topic, cp.Source(s.group, s.topic))
+		offs := cp.Source(s.group, s.topic)
+		b.RestoreOffsets(s.group, s.topic, offs)
+		restored = append(restored, SourceOffsets{Group: s.group, Topic: s.topic, Offsets: offs})
+	}
+	if err := pinReplayFloors(b, restored); err != nil {
+		return nil, fmt.Errorf("checkpoint: pin replay floor: %w", err)
 	}
 	for _, topic := range c.outputs {
 		n, err := b.Partitions(topic)

@@ -32,7 +32,7 @@ func produceN(t *testing.T, b *msg.Broker, topic string, n int, t0 time.Time) {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("k%d", i%4)
-		if _, err := b.Produce(topic, key, []byte{byte(i)}, t0.Add(time.Duration(i)*time.Second)); err != nil {
+		if _, err := b.Produce(context.Background(), topic, key, []byte{byte(i)}, t0.Add(time.Duration(i)*time.Second)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,7 +120,7 @@ func msgHash(key string, parts int) int {
 		if err := b.CreateTopic("probe", parts); err != nil {
 			return msg.Record{}, err
 		}
-		return b.Produce("probe", key, nil, time.Unix(0, 0))
+		return b.Produce(context.Background(), "probe", key, nil, time.Unix(0, 0))
 	}()
 	if err != nil {
 		panic(err)

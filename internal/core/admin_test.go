@@ -52,7 +52,7 @@ func TestAdminServesPipeline(t *testing.T) {
 		Region: gen.AegeanRegion,
 		Counts: map[gen.VesselClass]int{gen.Cargo: 2},
 	})
-	if err := p.Ingest(sim.Run(30 * time.Minute)); err != nil {
+	if err := p.Ingest(context.Background(), sim.Run(30*time.Minute)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.RunRealTime(context.Background()); err != nil {

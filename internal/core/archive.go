@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -83,8 +84,10 @@ func (p *Pipeline) MinePatterns(cfg analytics.MineConfig, k int) ([]analytics.Fr
 
 // ReplayTopic republishes an archived topic's records into another broker,
 // supporting the paper's "reprocess the archive through the real-time
-// layer" workflows (e.g. re-running synopses with new thresholds).
-func ReplayTopic(from *msg.Broker, topic string, to *msg.Broker) (int64, error) {
+// layer" workflows (e.g. re-running synopses with new thresholds). The
+// context cancels the replay when the destination topic is bounded and
+// producing blocks on backpressure.
+func ReplayTopic(ctx context.Context, from *msg.Broker, topic string, to *msg.Broker) (int64, error) {
 	recs, err := from.Drain(topic)
 	if err != nil {
 		return 0, err
@@ -94,7 +97,7 @@ func ReplayTopic(from *msg.Broker, topic string, to *msg.Broker) (int64, error) 
 	}
 	var n int64
 	for _, rec := range recs {
-		if _, err := to.Produce(topic, rec.Key, rec.Value, rec.Time); err != nil {
+		if _, err := to.Produce(ctx, topic, rec.Key, rec.Value, rec.Time); err != nil {
 			return n, err
 		}
 		n++

@@ -17,7 +17,7 @@ import (
 
 func TestExportAndLoadArchive(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	sum, err := p.RunRealTime(context.Background())
@@ -83,7 +83,7 @@ func TestLoadArchiveBadInput(t *testing.T) {
 
 func TestMinePatternsFromArchive(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.RunRealTime(context.Background()); err != nil {
@@ -105,11 +105,11 @@ func TestMinePatternsFromArchive(t *testing.T) {
 
 func TestReplayTopic(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	fresh := msg.NewBroker()
-	n, err := ReplayTopic(p.Broker, TopicRaw, fresh)
+	n, err := ReplayTopic(context.Background(), p.Broker, TopicRaw, fresh)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,16 +14,16 @@ import (
 )
 
 func TestPipelineAviationEndToEnd(t *testing.T) {
-	p, err := NewPipeline(Config{
+	p, err := New(WithConfig(Config{
 		Domain:         mobility.Aviation,
 		SampleInterval: 8 * time.Second,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	sim := gen.NewFlightSim(gen.FlightSimConfig{Seed: 55, NumFlights: 5})
 	_, reports := sim.Run()
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	sum, err := p.RunRealTime(context.Background())

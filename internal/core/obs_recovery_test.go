@@ -19,7 +19,7 @@ func TestInstrumentedRecoveryByteIdentical(t *testing.T) {
 	// Strip the default registry and tracer: the baseline observes nothing.
 	base.obs = nil
 	base.tracer = nil
-	if err := base.Ingest(reports); err != nil {
+	if err := base.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	baseSum, err := base.RunRealTime(context.Background())
@@ -31,7 +31,7 @@ func TestInstrumentedRecoveryByteIdentical(t *testing.T) {
 	if faulty.Obs() == nil || faulty.Tracer() == nil {
 		t.Fatal("test premise broken: maritimePipeline must be instrumented by default")
 	}
-	if err := faulty.Ingest(reports2); err != nil {
+	if err := faulty.Ingest(context.Background(), reports2); err != nil {
 		t.Fatal(err)
 	}
 	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
@@ -59,7 +59,7 @@ func TestInstrumentedRecoveryByteIdentical(t *testing.T) {
 // since the last restart — never the double-counted pre-crash run.
 func TestRecoveryResetsMetrics(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)

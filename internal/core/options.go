@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"datacron/internal/admin"
+	"datacron/internal/flow"
 	"datacron/internal/gen"
 	"datacron/internal/health"
 	"datacron/internal/linkdisc"
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
+	"datacron/internal/msg"
 	"datacron/internal/obs"
 	"datacron/internal/synopses"
 )
@@ -34,11 +36,12 @@ type options struct {
 	adminSet  bool
 	health    health.Config
 	wdTick    time.Duration
+	flow      flow.Config
 }
 
 // WithConfig applies a legacy Config wholesale. Later options override the
-// fields they touch. This is the bridge for callers migrating from
-// NewPipeline.
+// fields they touch. This is the bridge for callers still holding a filled
+// Config from the pre-options construction path.
 func WithConfig(cfg Config) Option {
 	return func(o *options) { o.cfg = cfg }
 }
@@ -166,6 +169,17 @@ func WithWatchdogInterval(d time.Duration) Option {
 	return func(o *options) { o.wdTick = d }
 }
 
+// WithFlow arms the backpressure and admission-control plane: the raw topic
+// is bounded at cfg.QueueCap records of uncommitted backlog per partition
+// under cfg.Policy, a priority-aware shedder drops low-value records at the
+// configured watermarks, and (with WithAdmin) an overload health checker
+// reports the new Overloaded state while records are being shed, rejected
+// or blocked. The zero Config (QueueCap 0) leaves the plane off — the
+// pipeline behaves exactly as without the option.
+func WithFlow(cfg flow.Config) Option {
+	return func(o *options) { o.flow = cfg }
+}
+
 // New builds a pipeline from options: broker topics, dashboard, profiler,
 // optional forecaster, and — unless WithObs(nil) disables it — a metrics
 // registry instrumenting every stage. With WithAdmin it also starts the
@@ -196,11 +210,25 @@ func New(opts ...Option) (*Pipeline, error) {
 		p.tracer = obs.NewTracer(reg, 64)
 		p.Broker.Instrument(reg)
 	}
+	if o.flow.Enabled() {
+		p.flowCfg = o.flow.WithDefaults(p.cfg.Partitions)
+		if err := p.Broker.LimitTopic(TopicRaw, msg.TopicLimit{
+			Capacity: p.flowCfg.QueueCap,
+			Policy:   p.flowCfg.Policy,
+		}); err != nil {
+			return nil, fmt.Errorf("core: limit raw topic: %w", err)
+		}
+		p.shedder = flow.NewShedder(p.flowCfg.ShedLow, p.flowCfg.ShedHigh,
+			p.flowCfg.CoverageWindow, reg)
+	}
 	if o.adminSet {
 		if reg == nil {
 			return nil, fmt.Errorf("core: WithAdmin requires metrics; do not combine with WithObs(nil)")
 		}
 		p.watchdog = health.NewWatchdog(reg, o.health)
+		if o.flow.Enabled() {
+			p.watchdog.Register(health.NewOverloadChecker(1))
+		}
 		if p.cfg.Shards > 1 {
 			// One verdict per shard worker: a stalled shard surfaces in
 			// /healthz as "shard.<i>" instead of hiding inside aggregate
@@ -226,14 +254,4 @@ func New(opts ...Option) (*Pipeline, error) {
 		go p.watchdog.Run(ctx, o.wdTick)
 	}
 	return p, nil
-}
-
-// NewPipeline creates the broker topics and components from a legacy
-// Config.
-//
-// Deprecated: use New with functional options, e.g.
-// New(WithDomain(d), WithLink(cfg, statics)). NewPipeline remains for
-// existing callers and behaves exactly like New(WithConfig(cfg)).
-func NewPipeline(cfg Config) (*Pipeline, error) {
-	return New(WithConfig(cfg))
 }

@@ -59,7 +59,7 @@ func TestWithObsNilDisablesInstrumentation(t *testing.T) {
 	if p.Obs() != nil || p.Tracer() != nil {
 		t.Fatal("WithObs(nil) must disable the registry and tracer")
 	}
-	if err := p.Ingest(smallFleet(t)); err != nil {
+	if err := p.Ingest(context.Background(), smallFleet(t)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.RunRealTime(context.Background()); err != nil {
@@ -89,13 +89,13 @@ func TestSharedRegistryAcrossPipelines(t *testing.T) {
 	}
 }
 
-func TestDeprecatedNewPipelineShim(t *testing.T) {
-	p, err := NewPipeline(Config{Domain: mobility.Maritime})
+func TestWithConfigBridge(t *testing.T) {
+	p, err := New(WithConfig(Config{Domain: mobility.Maritime}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Obs() == nil {
-		t.Fatal("the Config shim must behave like New(WithConfig(cfg)) including default instrumentation")
+		t.Fatal("WithConfig must behave like the option path, including default instrumentation")
 	}
 }
 

@@ -11,6 +11,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -18,6 +19,7 @@ import (
 
 	"datacron/internal/admin"
 	"datacron/internal/cer"
+	"datacron/internal/flow"
 	"datacron/internal/gen"
 	"datacron/internal/health"
 	"datacron/internal/linkdisc"
@@ -31,6 +33,12 @@ import (
 	"datacron/internal/synopses"
 	"datacron/internal/va"
 )
+
+// ErrBackpressure is returned by Ingest when backpressure blocking on the
+// bounded raw topic outlived the caller's context: the deadline passed or
+// the context was cancelled while Produce was waiting for the backlog to
+// drain. It wraps the context error, so errors.Is matches both.
+var ErrBackpressure = errors.New("core: ingest blocked on backpressure")
 
 // Topic names of the Kafka-substitute broker.
 const (
@@ -127,6 +135,12 @@ type Pipeline struct {
 
 	forecaster *cer.Forecaster
 
+	// Backpressure plane, active only with WithFlow: the raw topic is
+	// bounded per flowCfg and shedder drops low-value records before they
+	// are produced. shedder is driven only by the Ingest goroutine.
+	flowCfg flow.Config
+	shedder *flow.Shedder
+
 	obs     *obs.Registry // nil when built with WithObs(nil)
 	clock   obs.Clock
 	tracer  *obs.Tracer
@@ -145,6 +159,7 @@ type Pipeline struct {
 	lastLink linkdisc.Stats
 	lastCons msg.ConsumerStats
 	lastSum  Summary
+	lastFlow FlowStats
 	// Shard view of the current (or last) run, set at run start: the
 	// per-worker metric registries (nil when the run is serial) and the
 	// plane's live per-shard progress.
@@ -204,13 +219,54 @@ func (p *Pipeline) Shutdown(ctx context.Context) error {
 // (preserving per-mover order), then closes the raw topic so the real-time
 // layer terminates when it has drained the log. Use for batch experiments;
 // live deployments would keep the topic open.
-func (p *Pipeline) Ingest(reports []mobility.Report) error {
+//
+// With WithFlow, Ingest is the admission boundary: the shedder drops
+// low-value records under queue-depth pressure (counted, not errors), a
+// DropNewest topic limit turns produce rejections into counted drops, and a
+// Block limit makes Produce wait — cancellably — for the backlog to drain.
+// When that wait outlives ctx, Ingest returns an error wrapping both
+// ErrBackpressure and the context error.
+func (p *Pipeline) Ingest(ctx context.Context, reports []mobility.Report) error {
+	var st FlowStats
+	defer func() {
+		if p.shedder != nil {
+			st.Shedder = p.shedder.Stats()
+		}
+		p.mu.Lock()
+		p.lastFlow = st
+		p.mu.Unlock()
+	}()
 	for _, r := range reports {
-		if _, err := p.Broker.Produce(TopicRaw, r.ID, r.Marshal(), r.Time); err != nil {
+		if p.shedder != nil {
+			depth, err := p.Broker.Backlog(TopicRaw)
+			if err != nil {
+				return err
+			}
+			if err := p.shedder.Admit(r.ID, r.Time, int(depth)); err != nil {
+				continue // shed by priority: bookkept in the shedder, not an error
+			}
+		}
+		_, err := p.Broker.Produce(ctx, TopicRaw, r.ID, r.Marshal(), r.Time)
+		switch {
+		case err == nil:
+		case errors.Is(err, msg.ErrTopicFull):
+			st.RejectedFull++ // drop-newest overload: counted, keep going
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return fmt.Errorf("%w: %w", ErrBackpressure, err)
+		default:
 			return err
 		}
 	}
 	return p.Broker.CloseTopic(TopicRaw)
+}
+
+// IngestBackground is Ingest with context.Background().
+//
+// Deprecated: use Ingest with a real context so backpressure blocking on a
+// bounded raw topic stays cancellable. This shim will be removed one
+// release after the context-first API landed.
+func (p *Pipeline) IngestBackground(reports []mobility.Report) error {
+	return p.Ingest(context.Background(), reports)
 }
 
 // RunRealTime consumes the raw topic through the full real-time layer until
@@ -221,9 +277,9 @@ func (p *Pipeline) RunRealTime(ctx context.Context) (Summary, error) {
 }
 
 // publishTriples sends triples to the triples topic in N-Triples lines.
-func (p *Pipeline) publishTriples(triples []rdf.Triple, ts time.Time) error {
+func (p *Pipeline) publishTriples(ctx context.Context, triples []rdf.Triple, ts time.Time) error {
 	for _, t := range triples {
-		if _, err := p.Broker.Produce(TopicTriples, t.S.Key(), []byte(t.String()), ts); err != nil {
+		if _, err := p.Broker.Produce(ctx, TopicTriples, t.S.Key(), []byte(t.String()), ts); err != nil {
 			return err
 		}
 	}

@@ -58,7 +58,7 @@ func shardedMaritimePipeline(t *testing.T, withCER bool, shards int) (*Pipeline,
 		cfg.TrainSymbols = src.Generate(50_000)
 	}
 	cfg.Shards = shards
-	p, err := NewPipeline(cfg)
+	p, err := New(WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func criticalAlphabet() []string {
 
 func TestPipelineEndToEnd(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	sum, err := p.RunRealTime(context.Background())
@@ -122,7 +122,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 
 func TestPipelineKnowledgeGraph(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.RunRealTime(context.Background()); err != nil {
@@ -167,15 +167,15 @@ func TestPipelineKnowledgeGraph(t *testing.T) {
 
 func TestPipelineWeatherEnrichment(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	p2, err := NewPipeline(Config{
+	p2, err := New(WithConfig(Config{
 		Domain:  mobility.Maritime,
 		Weather: gen.NewWeatherField(7, gen.DefaultStart),
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = p // plain pipeline already covered elsewhere
-	if err := p2.Ingest(reports[:2000]); err != nil {
+	if err := p2.Ingest(context.Background(), reports[:2000]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p2.RunRealTime(context.Background()); err != nil {
@@ -203,7 +203,7 @@ func TestPipelineWeatherEnrichment(t *testing.T) {
 
 func TestPipelineWithCER(t *testing.T) {
 	p, reports := maritimePipeline(t, true)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	sum, err := p.RunRealTime(context.Background())
@@ -217,7 +217,7 @@ func TestPipelineWithCER(t *testing.T) {
 
 func TestPipelineLinksFlow(t *testing.T) {
 	p, reports := maritimePipeline(t, false)
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	sum, err := p.RunRealTime(context.Background())
@@ -237,12 +237,12 @@ func TestPipelineLinksFlow(t *testing.T) {
 }
 
 func TestPipelineConfigValidation(t *testing.T) {
-	if _, err := NewPipeline(Config{Pattern: "((", Alphabet: []string{"a"}}); err == nil {
+	if _, err := New(WithConfig(Config{Pattern: "((", Alphabet: []string{"a"}})); err == nil {
 		t.Error("bad pattern should fail")
 	}
-	if _, err := NewPipeline(Config{
+	if _, err := New(WithConfig(Config{
 		Pattern: "a", Alphabet: []string{"a"}, Theta: -3,
-	}); err == nil {
+	})); err == nil {
 		t.Error("bad theta should fail")
 	}
 }
@@ -324,7 +324,7 @@ func TestPipelineLiveStreaming(t *testing.T) {
 	}()
 	go func() {
 		for _, r := range reports {
-			if _, err := p.Broker.Produce(TopicRaw, r.ID, r.Marshal(), r.Time); err != nil {
+			if _, err := p.Broker.Produce(context.Background(), TopicRaw, r.ID, r.Marshal(), r.Time); err != nil {
 				t.Errorf("produce: %v", err)
 				return
 			}
@@ -352,7 +352,7 @@ func TestPipelineLiveStreaming(t *testing.T) {
 func TestPipelineDeterministicSummary(t *testing.T) {
 	run := func() Summary {
 		p, reports := maritimePipeline(t, false)
-		if err := p.Ingest(reports); err != nil {
+		if err := p.Ingest(context.Background(), reports); err != nil {
 			t.Fatal(err)
 		}
 		sum, err := p.RunRealTime(context.Background())

@@ -180,7 +180,14 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	}
 	var plane *shard.Plane[msg.Record, workerOut]
 	if shards > 1 {
-		plane = shard.New(shard.Config{Shards: shards, Queue: 2 * pollBatch},
+		// The queue size doubles as the per-shard submit-credit pool: large
+		// enough by default for a whole poll batch in flight, overridable by
+		// WithFlow for tests that want to exercise credit backpressure.
+		queue := 2 * pollBatch
+		if p.flowCfg.ShardQueue > 0 {
+			queue = p.flowCfg.ShardQueue
+		}
+		plane = shard.New(shard.Config{Shards: shards, Queue: queue, Metrics: p.obs},
 			func(rec msg.Record) string { return rec.Key },
 			func(i int) shard.Worker[msg.Record, workerOut] { return workers[i] })
 		defer plane.Close()
@@ -331,7 +338,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		sum.CriticalPoints++
 		p.Dashboard.AddCritical(cp)
 		// Publish the synopsis record.
-		if _, err := p.Broker.Produce(TopicSynopses, cp.ID, cp.Marshal(), cp.Time); err != nil {
+		if _, err := p.Broker.Produce(ctx, TopicSynopses, cp.ID, cp.Marshal(), cp.Time); err != nil {
 			return err
 		}
 		// RDF-ify.
@@ -348,7 +355,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			)
 		}
 		sum.Triples += int64(len(triples))
-		if err := p.publishTriples(triples, cp.Time); err != nil {
+		if err := p.publishTriples(ctx, triples, cp.Time); err != nil {
 			return err
 		}
 		// Link discovery on the critical point.
@@ -357,12 +364,12 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				sum.Links++
 				p.Dashboard.AddLink(l)
 				t := l.Triple()
-				if _, err := p.Broker.Produce(TopicLinks, l.Source, []byte(t.String()), l.Time); err != nil {
+				if _, err := p.Broker.Produce(ctx, TopicLinks, l.Source, []byte(t.String()), l.Time); err != nil {
 					return err
 				}
 				sum.Triples++
 				linkTriple[0] = t
-				if err := p.publishTriples(linkTriple, l.Time); err != nil {
+				if err := p.publishTriples(ctx, linkTriple, l.Time); err != nil {
 					return err
 				}
 			}
@@ -378,7 +385,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				sum.Forecasts++
 				note := fmt.Sprintf("%s: completion expected in %d-%d events (p=%.2f)", cp.ID, fc.Start, fc.End, fc.Prob)
 				p.Dashboard.AddEventNote(note)
-				if _, err := p.Broker.Produce(TopicEvents, cp.ID, []byte(note), cp.Time); err != nil {
+				if _, err := p.Broker.Produce(ctx, TopicEvents, cp.ID, []byte(note), cp.Time); err != nil {
 					return err
 				}
 			}
@@ -508,7 +515,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		// the identical code path minus the goroutine hop.
 		if plane != nil {
 			for _, rec := range recs {
-				if err := plane.Submit(rec); err != nil {
+				if err := plane.Submit(ctx, rec); err != nil {
 					procSpan.End()
 					return sum, err
 				}

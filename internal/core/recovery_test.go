@@ -96,7 +96,7 @@ func runUntilDone(t *testing.T, p *Pipeline, rc *RecoveryConfig, maxRestarts int
 // summary to an uninterrupted run of the same input.
 func TestRecoveryByteIdenticalOutput(t *testing.T) {
 	base, reports := maritimePipeline(t, true)
-	if err := base.Ingest(reports); err != nil {
+	if err := base.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	baseSum, err := base.RunRealTime(context.Background())
@@ -108,7 +108,7 @@ func TestRecoveryByteIdenticalOutput(t *testing.T) {
 	if len(reports2) != len(reports) {
 		t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
 	}
-	if err := faulty.Ingest(reports2); err != nil {
+	if err := faulty.Ingest(context.Background(), reports2); err != nil {
 		t.Fatal(err)
 	}
 	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
@@ -141,7 +141,7 @@ func TestRecoveryByteIdenticalOutput(t *testing.T) {
 // generation and still reproduce byte-identical output.
 func TestRecoveryCorruptedCheckpointFallsBack(t *testing.T) {
 	base, reports := maritimePipeline(t, false)
-	if err := base.Ingest(reports); err != nil {
+	if err := base.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	baseSum, err := base.RunRealTime(context.Background())
@@ -150,7 +150,7 @@ func TestRecoveryCorruptedCheckpointFallsBack(t *testing.T) {
 	}
 
 	faulty, reports2 := maritimePipeline(t, false)
-	if err := faulty.Ingest(reports2); err != nil {
+	if err := faulty.Ingest(context.Background(), reports2); err != nil {
 		t.Fatal(err)
 	}
 	store, err := checkpoint.NewDirStore(t.TempDir())

@@ -15,7 +15,7 @@ import (
 // publish byte-identical output topics and an identical summary.
 func TestShardedByteIdenticalOutput(t *testing.T) {
 	base, reports := shardedMaritimePipeline(t, true, 1)
-	if err := base.Ingest(reports); err != nil {
+	if err := base.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	baseSum, err := base.RunRealTime(context.Background())
@@ -28,7 +28,7 @@ func TestShardedByteIdenticalOutput(t *testing.T) {
 		if len(reports2) != len(reports) {
 			t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
 		}
-		if err := p.Ingest(reports2); err != nil {
+		if err := p.Ingest(context.Background(), reports2); err != nil {
 			t.Fatal(err)
 		}
 		sum, err := p.RunRealTime(context.Background())
@@ -73,7 +73,7 @@ func TestShardedByteIdenticalOutput(t *testing.T) {
 // reproduce, byte for byte, the output of an uninterrupted serial run.
 func TestShardedRecoveryByteIdenticalOutput(t *testing.T) {
 	base, reports := shardedMaritimePipeline(t, true, 1)
-	if err := base.Ingest(reports); err != nil {
+	if err := base.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	baseSum, err := base.RunRealTime(context.Background())
@@ -85,7 +85,7 @@ func TestShardedRecoveryByteIdenticalOutput(t *testing.T) {
 	if len(reports2) != len(reports) {
 		t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
 	}
-	if err := faulty.Ingest(reports2); err != nil {
+	if err := faulty.Ingest(context.Background(), reports2); err != nil {
 		t.Fatal(err)
 	}
 	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
@@ -118,7 +118,7 @@ func TestShardedRecoveryByteIdenticalOutput(t *testing.T) {
 // loudly instead of misrouting per-trajectory state.
 func TestShardedCheckpointShardCountPinned(t *testing.T) {
 	p2, reports := shardedMaritimePipeline(t, false, 2)
-	if err := p2.Ingest(reports); err != nil {
+	if err := p2.Ingest(context.Background(), reports); err != nil {
 		t.Fatal(err)
 	}
 	store := checkpoint.NewMemStore()
@@ -139,7 +139,7 @@ func TestShardedCheckpointShardCountPinned(t *testing.T) {
 	}
 
 	p4, reports4 := shardedMaritimePipeline(t, false, 4)
-	if err := p4.Ingest(reports4); err != nil {
+	if err := p4.Ingest(context.Background(), reports4); err != nil {
 		t.Fatal(err)
 	}
 	cpr4, err := checkpoint.NewCheckpointer(store, 3)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"datacron/internal/flow"
 	"datacron/internal/linkdisc"
 	"datacron/internal/msg"
 	"datacron/internal/obs"
@@ -11,6 +12,14 @@ import (
 	"datacron/internal/shard"
 	"datacron/internal/synopses"
 )
+
+// FlowStats summarises the backpressure plane's last Ingest: the shedder's
+// admission counters plus produces rejected by a drop-newest topic limit.
+// The zero value means the plane was off or nothing was ever ingested.
+type FlowStats struct {
+	Shedder      flow.Stats `json:"shedder"`
+	RejectedFull int64      `json:"rejected_full"` // produces rejected with msg.ErrTopicFull
+}
 
 // PipelineStats is one composed, race-free snapshot of the pipeline: the
 // live metric registry, broker topic depths, and the component stats of
@@ -24,6 +33,9 @@ type PipelineStats struct {
 	Links    linkdisc.Stats
 	Consumer msg.ConsumerStats
 	Summary  Summary
+	// Flow is the backpressure plane's view of the most recent Ingest
+	// (zero when WithFlow is not armed).
+	Flow FlowStats
 	// Shards holds one row per shard worker of a sharded run (nil for
 	// serial runs): live progress, queue depth and per-shard synopses
 	// counters.
@@ -54,6 +66,7 @@ func (p *Pipeline) Stats() PipelineStats {
 	s.Links = p.lastLink
 	s.Consumer = p.lastCons
 	s.Summary = p.lastSum
+	s.Flow = p.lastFlow
 	regs, stats := p.shardRegs, p.shardStats
 	p.mu.Unlock()
 	if stats != nil {
@@ -108,6 +121,7 @@ type StatzPayload struct {
 	Links    linkdisc.Stats      `json:"links"`
 	Consumer msg.ConsumerStats   `json:"consumer"`
 	Summary  Summary             `json:"summary"`
+	Flow     FlowStats           `json:"flow"`
 	Shards   []ShardStats        `json:"shards,omitempty"`
 }
 
@@ -120,6 +134,7 @@ func (s PipelineStats) Statz() StatzPayload {
 		Links:    s.Links,
 		Consumer: s.Consumer,
 		Summary:  s.Summary,
+		Flow:     s.Flow,
 		Shards:   s.Shards,
 	}
 }
@@ -144,8 +159,14 @@ func (s PipelineStats) WriteText(w io.Writer) error {
 		return err
 	}
 	for _, t := range s.Broker.Topics {
-		if _, err := fmt.Fprintf(w, "topic   %-42s parts=%d records=%d bytes=%d\n",
-			t.Name, t.Partitions, t.Records, t.Bytes); err != nil {
+		if _, err := fmt.Fprintf(w, "topic   %-42s parts=%d records=%d bytes=%d backlog=%d evicted=%d rejected=%d\n",
+			t.Name, t.Partitions, t.Records, t.Bytes, t.Backlog, t.Evicted, t.Rejected); err != nil {
+			return err
+		}
+	}
+	if st := s.Flow; st.Shedder.Admitted > 0 || st.Shedder.Shed() > 0 || st.RejectedFull > 0 {
+		if _, err := fmt.Fprintf(w, "# flow\nflow    admitted=%d shed_bulk=%d shed_standard=%d rejected_full=%d level=%d\n",
+			st.Shedder.Admitted, st.Shedder.ShedBulk, st.Shedder.ShedStandard, st.RejectedFull, st.Shedder.Level); err != nil {
 			return err
 		}
 	}

@@ -67,7 +67,7 @@ func runCheckpointed(cfg core.Config, reports []mobility.Report, rc *core.Recove
 	if err != nil {
 		return nil, core.Summary{}, 0, err
 	}
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		return nil, core.Summary{}, 0, err
 	}
 	restarts := 0

@@ -46,6 +46,11 @@ type Row struct {
 	EntitiesPerSec   float64 `json:"entitiesPerSecond"`
 	CompressionRatio float64 `json:"compressionRatio"`
 	Checkpoints      int64   `json:"checkpoints"`
+
+	// Overload-sweep fields, set only by the overload experiment.
+	P99Seconds    float64 `json:"p99Seconds,omitempty"`
+	ShedRecords   int64   `json:"shedRecords,omitempty"`
+	MaxQueueDepth int64   `json:"maxQueueDepth,omitempty"`
 }
 
 // MetricsRow snapshots the shared registry into one Row and resets it so

@@ -82,7 +82,7 @@ func enrichRun(n, records int, wait time.Duration) (time.Duration, error) {
 			end = records
 		}
 		for i := off; i < end; i++ {
-			if err := plane.Submit(i); err != nil {
+			if err := plane.Submit(context.Background(), i); err != nil {
 				return 0, err
 			}
 		}
@@ -120,7 +120,7 @@ func RunShardScaling(w io.Writer, scale Scale) (*ShardScalingResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := p.Ingest(reports); err != nil {
+		if err := p.Ingest(context.Background(), reports); err != nil {
 			return nil, err
 		}
 		start := time.Now()

@@ -215,7 +215,7 @@ func RunDashboard(w io.Writer, scale Scale) (*core.Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Ingest(reports); err != nil {
+	if err := p.Ingest(context.Background(), reports); err != nil {
 		return nil, err
 	}
 	sum, err := p.RunRealTime(context.Background())

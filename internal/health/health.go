@@ -29,6 +29,12 @@ const (
 	// Degraded means the component is serving but impaired (e.g. a broker
 	// queue at saturation); it costs readiness but not liveness.
 	Degraded
+	// Overloaded means the component is intentionally degrading service to
+	// survive input pressure: the admission-control plane is shedding,
+	// rejecting or blocking records. Like Degraded it costs readiness but
+	// not liveness — the controlled response is the system working as
+	// designed, not a fault.
+	Overloaded
 	// Unhealthy means the component is stuck or broken; it costs both
 	// readiness and liveness.
 	Unhealthy
@@ -45,6 +51,8 @@ func (s *Status) UnmarshalText(text []byte) error {
 		*s = Healthy
 	case "degraded":
 		*s = Degraded
+	case "overloaded":
+		*s = Overloaded
 	case "unhealthy":
 		*s = Unhealthy
 	default:
@@ -60,6 +68,8 @@ func (s Status) String() string {
 		return "healthy"
 	case Degraded:
 		return "degraded"
+	case Overloaded:
+		return "overloaded"
 	case Unhealthy:
 		return "unhealthy"
 	default:

@@ -74,6 +74,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
 		atomicsafetyAnalyzer,
+		boundedchanAnalyzer,
 		determinismAnalyzer,
 		errdropAnalyzer,
 		goroleakAnalyzer,

@@ -328,6 +328,30 @@ func baselineCount(b *Baseline) int {
 	return n
 }
 
+func TestBoundedChan(t *testing.T) {
+	runFixture(t, "boundedchan", "boundedchan", "datacron/internal/msg/lintfixture")
+}
+
+func TestBoundedChanSuppression(t *testing.T) {
+	// Run (with directive filtering) must drop the finding covered by the
+	// fixture's //lint:ignore boundedchan directive; the undocumented
+	// channel capacity and the two growing-state appends survive.
+	p := loadFixture(t, "boundedchan", "datacron/internal/msg/lintfixture")
+	diags := Run([]*Package{p}, []*Analyzer{Lookup("boundedchan")})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (one suppressed): %v", len(diags), diags)
+	}
+}
+
+func TestBoundedChanOutOfScope(t *testing.T) {
+	// The same fixture outside the backpressure plane must produce nothing:
+	// packages off the ingest path may size buffers however they like.
+	p := loadFixture(t, "boundedchan", "datacron/internal/admin/lintfixture")
+	if diags := Lookup("boundedchan").Run(p); len(diags) != 0 {
+		t.Fatalf("boundedchan fired outside the bounded-queue scope: %v", diags)
+	}
+}
+
 func TestShardDeterminism(t *testing.T) {
 	runFixture(t, "sharddeterminism", "sharddeterminism", "datacron/internal/synopses/lintfixture")
 }

@@ -1,0 +1,70 @@
+// Package fixture exercises the boundedchan analyzer. Loaded under a
+// backpressure-plane import path (internal/msg/...), its queues must carry
+// auditable bounds; loaded outside that scope it must stay silent.
+package fixture
+
+// queue is long-lived state: its buffer must not grow without a bound.
+type queue struct {
+	buf  []int
+	done chan struct{}
+}
+
+const depth = 64
+
+// NewQueue makes bounded channels: unbuffered and constant capacities are
+// auditable at the make site.
+func NewQueue() *queue {
+	q := &queue{done: make(chan struct{})}
+	_ = make(chan int, depth)
+	_ = make(chan int, 8)
+	return q
+}
+
+// Open's capacity is a runtime value: unauditable without a directive.
+func Open(n int) chan int {
+	return make(chan int, n) // want "not a compile-time constant"
+}
+
+// OpenDocumented carries the justification inline; the suppression test
+// checks the directive filters this finding while the others survive.
+func OpenDocumented(n int) chan int {
+	//lint:ignore boundedchan capacity validated against the config ceiling at construction
+	return make(chan int, n) // want "not a compile-time constant"
+}
+
+// Push grows pointer-reachable state with no visible bound.
+func (q *queue) Push(v int) {
+	q.buf = append(q.buf, v) // want "no visible bound"
+}
+
+// Remove uses the slice-delete idiom: the buffer shrinks, not grows.
+func (q *queue) Remove(i int) {
+	q.buf = append(q.buf[:i], q.buf[i+1:]...)
+}
+
+// Collect accumulates into a local slice that dies with the call: clean.
+func Collect(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// stats is a value-typed aggregate built per call: clean.
+type stats struct{ rows []int }
+
+func Snapshot(vs []int) stats {
+	var s stats
+	for _, v := range vs {
+		s.rows = append(s.rows, v)
+	}
+	return s
+}
+
+// registry is package-level state: growth is shared and unbounded.
+var registry []int
+
+func Register(v int) {
+	registry = append(registry, v) // want "no visible bound"
+}

@@ -41,32 +41,87 @@ type topic struct {
 // topicMetrics caches the per-topic metric handles so the produce hot path
 // never resolves names.
 type topicMetrics struct {
-	produced *obs.Counter
-	bytes    *obs.Counter
-	depth    *obs.Gauge
+	clock        obs.Clock
+	produced     *obs.Counter
+	bytes        *obs.Counter
+	depth        *obs.Gauge
+	evicted      *obs.Counter   // records shed by DropOldestUncommitted
+	rejected     *obs.Counter   // produces rejected at capacity
+	blocked      *obs.Counter   // produces that had to wait under Block
+	blockSeconds *obs.Histogram // time spent blocked, per blocking produce
 }
 
 func newTopicMetrics(reg *obs.Registry, name string) *topicMetrics {
 	return &topicMetrics{
-		produced: reg.Counter("msg.produced." + name),
-		bytes:    reg.Counter("msg.bytes." + name),
-		depth:    reg.Gauge("msg.depth." + name),
+		clock:        reg.Clock(),
+		produced:     reg.Counter("msg.produced." + name),
+		bytes:        reg.Counter("msg.bytes." + name),
+		depth:        reg.Gauge("msg.depth." + name),
+		evicted:      reg.Counter("msg.evicted." + name),
+		rejected:     reg.Counter("msg.rejected." + name),
+		blocked:      reg.Counter("msg.blocked." + name),
+		blockSeconds: reg.Histogram("msg.block.seconds"),
 	}
 }
 
-// partition is an append-only log with a broadcast condition for blocking
-// fetches.
+// partition is an offset-addressed log with a broadcast condition for
+// blocking fetches and blocking (backpressured) produces. Records are kept
+// sorted by offset; the DropOldestUncommitted policy may shed records from
+// the middle of the retained window, so the log is sparse where records were
+// shed and readers address it by offset, never by slice index.
 type partition struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	records []Record
+	next    int64 // next offset to assign
 	closed  bool
+
+	// Admission control (zero values: unbounded, the seed behaviour).
+	cap         int            // max uncommitted retained records; 0 = unbounded
+	policy      OverloadPolicy // what Produce does at capacity
+	floor       int64          // lowest offset some consumer group has not committed
+	replayFloor int64          // lowest offset a checkpoint replay may re-read
+	pinned      bool           // replayFloor has been pinned
+	evicted     int64          // records shed by DropOldestUncommitted
+	rejected    int64          // produces rejected at capacity
 }
 
 func newPartition() *partition {
 	p := &partition{}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// idx returns the index of the first retained record with Offset >= offset.
+// Callers hold p.mu.
+func (p *partition) idx(offset int64) int {
+	return sort.Search(len(p.records), func(i int) bool {
+		return p.records[i].Offset >= offset
+	})
+}
+
+// backlog counts retained records not yet committed by every consumer group.
+// Callers hold p.mu.
+func (p *partition) backlog() int {
+	return len(p.records) - p.idx(p.floor)
+}
+
+// shedOldest removes the oldest retained record that is both uncommitted and
+// above the pinned replay floor. ok is false when nothing is sheddable —
+// every retained record is committed or replay-protected. Callers hold p.mu.
+func (p *partition) shedOldest() (Record, bool) {
+	bound := p.floor
+	if p.pinned && p.replayFloor > bound {
+		bound = p.replayFloor
+	}
+	i := p.idx(bound)
+	if i >= len(p.records) {
+		return Record{}, false
+	}
+	rec := p.records[i]
+	p.records = append(p.records[:i], p.records[i+1:]...)
+	p.evicted++
+	return rec, true
 }
 
 // NewBroker returns an empty broker.
@@ -233,17 +288,25 @@ func (b *Broker) topic(name string) (*topic, error) {
 // Produce appends a record to the topic, choosing the partition by key hash
 // (or partition 0 for an empty key on a single-partition topic). It returns
 // the record as stored, with partition and offset filled in.
-func (b *Broker) Produce(topicName, key string, value []byte, ts time.Time) (Record, error) {
+//
+// On a topic limited with LimitTopic, Produce applies the topic's overload
+// policy when the partition's uncommitted backlog is at capacity: Block
+// waits until the backlog drains (returning ctx.Err() if the context is
+// cancelled or its deadline passes first), DropNewest returns ErrTopicFull,
+// and DropOldestUncommitted sheds the oldest uncommitted record to make
+// room. On unbounded topics the context is not consulted.
+func (b *Broker) Produce(ctx context.Context, topicName, key string, value []byte, ts time.Time) (Record, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return Record{}, err
 	}
 	pIdx := HashKey(key, len(t.parts))
-	return b.produceTo(t, pIdx, key, value, ts)
+	return b.produceTo(ctx, t, pIdx, key, value, ts)
 }
 
-// ProduceTo appends a record to an explicit partition.
-func (b *Broker) ProduceTo(topicName string, partitionIdx int, key string, value []byte, ts time.Time) (Record, error) {
+// ProduceTo appends a record to an explicit partition, with the same
+// overload behaviour as Produce.
+func (b *Broker) ProduceTo(ctx context.Context, topicName string, partitionIdx int, key string, value []byte, ts time.Time) (Record, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return Record{}, err
@@ -251,24 +314,100 @@ func (b *Broker) ProduceTo(topicName string, partitionIdx int, key string, value
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return Record{}, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
 	}
-	return b.produceTo(t, partitionIdx, key, value, ts)
+	return b.produceTo(ctx, t, partitionIdx, key, value, ts)
 }
 
-func (b *Broker) produceTo(t *topic, pIdx int, key string, value []byte, ts time.Time) (Record, error) {
+// ProduceBackground is Produce with context.Background().
+//
+// Deprecated: use Produce with a real context so backpressure blocking on
+// limited topics stays cancellable. This shim will be removed one release
+// after the context-first API landed.
+func (b *Broker) ProduceBackground(topicName, key string, value []byte, ts time.Time) (Record, error) {
+	return b.Produce(context.Background(), topicName, key, value, ts)
+}
+
+func (b *Broker) produceTo(ctx context.Context, t *topic, pIdx int, key string, value []byte, ts time.Time) (Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := t.parts[pIdx]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var (
+		blocked    bool
+		blockStart time.Time
+		stop       func() bool
+	)
+	for p.cap > 0 && p.backlog() >= p.cap && !p.closed {
+		switch p.policy {
+		case DropNewest:
+			p.rejected++
+			if t.m != nil {
+				t.m.rejected.Inc()
+			}
+			//lint:ignore hotalloc overload rejection path: allocates only when the record is dropped, never on admitted records
+			return Record{}, fmt.Errorf("%w: %s/%d backlog at capacity %d (drop-newest)",
+				ErrTopicFull, t.name, pIdx, p.cap)
+		case DropOldestUncommitted:
+			if _, ok := p.shedOldest(); ok {
+				if t.m != nil {
+					t.m.evicted.Inc()
+					t.m.depth.Add(-1)
+				}
+				continue
+			}
+			// Every retained record is committed or replay-protected:
+			// nothing may be shed, so the incoming record is the one lost.
+			p.rejected++
+			if t.m != nil {
+				t.m.rejected.Inc()
+			}
+			//lint:ignore hotalloc overload rejection path: allocates only when the record is dropped, never on admitted records
+			return Record{}, fmt.Errorf("%w: %s/%d backlog at capacity %d and nothing sheddable above the replay floor",
+				ErrTopicFull, t.name, pIdx, p.cap)
+		default: // Block
+			if err := ctx.Err(); err != nil {
+				if stop != nil {
+					stop()
+				}
+				p.noteBlocked(t.m, blocked, blockStart)
+				//lint:ignore hotalloc cancelled-while-blocked exit path: allocates once per abandoned produce, not per record
+				return Record{}, fmt.Errorf("msg: produce %s/%d blocked at capacity %d: %w",
+					t.name, pIdx, p.cap, err)
+			}
+			if !blocked {
+				blocked = true
+				if t.m != nil {
+					blockStart = t.m.clock.Now()
+				}
+				// Wake the cond wait when the context is cancelled, exactly
+				// like Fetch's blocking path.
+				stop = context.AfterFunc(ctx, func() {
+					p.mu.Lock()
+					p.cond.Broadcast()
+					p.mu.Unlock()
+				})
+			}
+			p.cond.Wait()
+		}
+	}
+	if stop != nil {
+		stop()
+	}
+	p.noteBlocked(t.m, blocked, blockStart)
 	if p.closed {
 		return Record{}, ErrClosed
 	}
 	rec := Record{
 		Topic:     t.name,
 		Partition: pIdx,
-		Offset:    int64(len(p.records)),
+		Offset:    p.next,
 		Key:       key,
 		Value:     value,
 		Time:      ts,
 	}
+	p.next++
+	//lint:ignore boundedchan bounded by the admission loop above when a TopicLimit is set; unbounded topics are the documented zero-value behaviour
 	p.records = append(p.records, rec)
 	p.cond.Broadcast()
 	if t.m != nil {
@@ -279,10 +418,66 @@ func (b *Broker) produceTo(t *topic, pIdx int, key string, value []byte, ts time
 	return rec, nil
 }
 
-// Fetch returns up to max records from the partition starting at offset.
-// When no records are available it blocks until some are produced, the
-// partition is closed (returns io-style empty slice with ErrClosed), or the
-// context is cancelled.
+// noteBlocked records one completed blocking episode. Callers hold p.mu.
+func (p *partition) noteBlocked(m *topicMetrics, blocked bool, start time.Time) {
+	if !blocked || m == nil {
+		return
+	}
+	m.blocked.Inc()
+	m.blockSeconds.ObserveDuration(m.clock.Now().Sub(start))
+}
+
+// noteCommit recomputes a partition's commit floor — the minimum committed
+// offset across every consumer group of the topic — and wakes producers
+// blocked on backpressure, whose backlog may just have shrunk. Called by
+// Consumer.Commit and RestoreOffsets (the floor moves backwards on a
+// recovery rewind, growing the backlog again).
+func (b *Broker) noteCommit(topicName string, part int) {
+	b.mu.RLock()
+	t, ok := b.topics[topicName]
+	groups := make([]*group, 0, len(b.groups))
+	for _, g := range b.groups {
+		if g.topicName == topicName {
+			groups = append(groups, g)
+		}
+	}
+	b.mu.RUnlock()
+	if !ok || part < 0 || part >= len(t.parts) {
+		return
+	}
+	floor := int64(-1)
+	for _, g := range groups {
+		off := g.committedOffset(part)
+		if floor < 0 || off < floor {
+			floor = off
+		}
+	}
+	if floor < 0 {
+		return
+	}
+	p := t.parts[part]
+	p.mu.Lock()
+	if floor != p.floor {
+		p.floor = floor
+		// On pinned (checkpointed) topics the replay floor is a high-water
+		// mark over every commit floor ever reached: a recovery rewind lowers
+		// p.floor, and the records between the restored offsets and the old
+		// floor — already consumed once, about to be re-read — must stay
+		// protected from eviction while the replay catches back up.
+		if p.pinned && floor > p.replayFloor {
+			p.replayFloor = floor
+		}
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Fetch returns up to max records from the partition at offsets at or past
+// offset. When no such records are available it blocks until some are
+// produced, the partition is closed (returns io-style empty slice with
+// ErrClosed), or the context is cancelled. On topics shedding under
+// DropOldestUncommitted the log may be sparse: the first returned record's
+// offset can be greater than the requested one.
 func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
@@ -309,7 +504,7 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, 
 	if offset < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrOffsetOutRange, offset)
 	}
-	for int64(len(p.records)) <= offset {
+	for p.idx(offset) >= len(p.records) {
 		if p.closed {
 			return nil, ErrClosed
 		}
@@ -318,17 +513,18 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, 
 		}
 		p.cond.Wait()
 	}
-	end := offset + int64(max)
-	if end > int64(len(p.records)) {
-		end = int64(len(p.records))
+	i := p.idx(offset)
+	j := i + max
+	if j > len(p.records) {
+		j = len(p.records)
 	}
-	out := make([]Record, end-offset)
-	copy(out, p.records[offset:end])
+	out := make([]Record, j-i)
+	copy(out, p.records[i:j])
 	return out, nil
 }
 
-// PeekTime returns the event time of the record at offset without consuming
-// it. ok is false when the offset is at or past the end of the partition.
+// PeekTime returns the event time of the first retained record at or past
+// offset without consuming it. ok is false when no such record exists.
 // Consumers use it to merge their assigned partitions in event-time order.
 func (b *Broker) PeekTime(topicName string, partitionIdx int, offset int64) (time.Time, bool, error) {
 	t, err := b.topic(topicName)
@@ -344,10 +540,11 @@ func (b *Broker) PeekTime(topicName string, partitionIdx int, offset int64) (tim
 	p := t.parts[partitionIdx]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if offset >= int64(len(p.records)) {
+	i := p.idx(offset)
+	if i >= len(p.records) {
 		return time.Time{}, false, nil
 	}
-	return p.records[offset].Time, true, nil
+	return p.records[i].Time, true, nil
 }
 
 // Truncate discards the tail of a partition: records at offsets >= end are
@@ -369,11 +566,13 @@ func (b *Broker) Truncate(topicName string, partitionIdx int, end int64) error {
 	p := t.parts[partitionIdx]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if end < int64(len(p.records)) {
+	if end < p.next {
+		i := p.idx(end)
 		if t.m != nil {
-			t.m.depth.Add(float64(end - int64(len(p.records))))
+			t.m.depth.Add(float64(i - len(p.records)))
 		}
-		p.records = p.records[:end]
+		p.records = p.records[:i]
+		p.next = end
 	}
 	return nil
 }
@@ -390,12 +589,13 @@ func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
 	p := t.parts[partitionIdx]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return int64(len(p.records)), nil
+	return p.next, nil
 }
 
 // CloseTopic marks a topic's partitions closed: pending and future fetches
-// past the end return ErrClosed, signalling end-of-stream to consumers.
-// Already-buffered records remain fetchable.
+// past the end return ErrClosed, signalling end-of-stream to consumers, and
+// producers blocked on backpressure give up with ErrClosed. Already-buffered
+// records remain fetchable.
 func (b *Broker) CloseTopic(topicName string) error {
 	t, err := b.topic(topicName)
 	if err != nil {

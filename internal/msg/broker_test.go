@@ -23,10 +23,10 @@ func TestCreateTopicAndProduce(t *testing.T) {
 	if err := b.EnsureTopic("ais", 4); err != nil {
 		t.Errorf("EnsureTopic on existing: %v", err)
 	}
-	if _, err := b.Produce("nope", "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
+	if _, err := b.Produce(context.Background(), "nope", "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
 		t.Errorf("produce to unknown topic: %v", err)
 	}
-	rec, err := b.Produce("ais", "vessel-1", []byte("hello"), base)
+	rec, err := b.Produce(context.Background(), "ais", "vessel-1", []byte("hello"), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestKeyAffinity(t *testing.T) {
 	}
 	// All records with the same key go to the same partition, in order.
 	for i := 0; i < 20; i++ {
-		if _, err := b.Produce("t", "vessel-42", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
+		if _, err := b.Produce(context.Background(), "t", "vessel-42", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,7 +95,7 @@ func TestFetchBlocksUntilProduce(t *testing.T) {
 		t.Fatal("fetch returned before produce")
 	default:
 	}
-	if _, err := b.Produce("t", "k", []byte("x"), base); err != nil {
+	if _, err := b.Produce(context.Background(), "t", "k", []byte("x"), base); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -136,7 +136,7 @@ func TestCloseTopicEndsFetch(t *testing.T) {
 	if err := b.CreateTopic("t", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Produce("t", "k", []byte("x"), base); err != nil {
+	if _, err := b.Produce(context.Background(), "t", "k", []byte("x"), base); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.CloseTopic("t"); err != nil {
@@ -152,7 +152,7 @@ func TestCloseTopicEndsFetch(t *testing.T) {
 		t.Errorf("fetch past end of closed topic: %v", err)
 	}
 	// Producing to a closed topic fails.
-	if _, err := b.Produce("t", "k", []byte("y"), base); !errors.Is(err, ErrClosed) {
+	if _, err := b.Produce(context.Background(), "t", "k", []byte("y"), base); !errors.Is(err, ErrClosed) {
 		t.Errorf("produce to closed topic: %v", err)
 	}
 }
@@ -183,7 +183,7 @@ func TestConcurrentProducersTotalCount(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
 				key := fmt.Sprintf("key-%d", (p*each+i)%17)
-				if _, err := b.Produce("t", key, []byte("v"), base); err != nil {
+				if _, err := b.Produce(context.Background(), "t", key, []byte("v"), base); err != nil {
 					t.Errorf("produce: %v", err)
 					return
 				}
@@ -206,7 +206,7 @@ func TestConsumerGroupSinglePartitionOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := b.Produce("t", "k", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
+		if _, err := b.Produce(context.Background(), "t", "k", []byte{byte(i)}, base.Add(time.Duration(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -299,7 +299,7 @@ func TestConsumerGroupsIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := b.Produce("t", "k", []byte{byte(i)}, base); err != nil {
+		if _, err := b.Produce(context.Background(), "t", "k", []byte{byte(i)}, base); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -333,7 +333,7 @@ func TestCommittedOffsetsSurviveReconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := b.Produce("t", "k", []byte{byte(i)}, base); err != nil {
+		if _, err := b.Produce(context.Background(), "t", "k", []byte{byte(i)}, base); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -366,7 +366,7 @@ func TestConsumerLag(t *testing.T) {
 	c, _ := b.NewConsumer("g", "t", "m")
 	defer c.Close()
 	for i := 0; i < 6; i++ {
-		if _, err := b.Produce("t", fmt.Sprintf("k%d", i), nil, base); err != nil {
+		if _, err := b.Produce(context.Background(), "t", fmt.Sprintf("k%d", i), nil, base); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -395,7 +395,7 @@ func TestDrainMergesByTime(t *testing.T) {
 	// Produce with interleaved timestamps across partitions.
 	for i := 0; i < 30; i++ {
 		key := fmt.Sprintf("k%d", i%5)
-		if _, err := b.Produce("t", key, []byte{byte(i)}, base.Add(time.Duration(i)*time.Second)); err != nil {
+		if _, err := b.Produce(context.Background(), "t", key, []byte{byte(i)}, base.Add(time.Duration(i)*time.Second)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -420,7 +420,7 @@ func TestParallelConsumersPartitionDisjoint(t *testing.T) {
 	}
 	const total = 400
 	for i := 0; i < total; i++ {
-		if _, err := b.Produce("t", fmt.Sprintf("key-%d", i), []byte{1}, base); err != nil {
+		if _, err := b.Produce(context.Background(), "t", fmt.Sprintf("key-%d", i), []byte{1}, base); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -470,19 +470,19 @@ func TestTopicsProduceToAndClose(t *testing.T) {
 		t.Errorf("topics = %v", got)
 	}
 	// Explicit-partition produce.
-	rec, err := b.ProduceTo("beta", 1, "k", []byte("x"), base)
+	rec, err := b.ProduceTo(context.Background(), "beta", 1, "k", []byte("x"), base)
 	if err != nil || rec.Partition != 1 {
 		t.Errorf("ProduceTo: %+v, %v", rec, err)
 	}
-	if _, err := b.ProduceTo("beta", 9, "k", nil, base); !errors.Is(err, ErrBadPartition) {
+	if _, err := b.ProduceTo(context.Background(), "beta", 9, "k", nil, base); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("bad partition: %v", err)
 	}
-	if _, err := b.ProduceTo("nope", 0, "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
+	if _, err := b.ProduceTo(context.Background(), "nope", 0, "k", nil, base); !errors.Is(err, ErrUnknownTopic) {
 		t.Errorf("unknown topic: %v", err)
 	}
 	// Broker-wide close: producing and creating fail afterwards.
 	b.Close()
-	if _, err := b.Produce("alpha", "k", nil, base); !errors.Is(err, ErrClosed) {
+	if _, err := b.Produce(context.Background(), "alpha", "k", nil, base); !errors.Is(err, ErrClosed) {
 		t.Errorf("produce after close: %v", err)
 	}
 	if err := b.CreateTopic("gamma", 1); !errors.Is(err, ErrClosed) {
@@ -502,7 +502,7 @@ func TestBrokerVolumeAccounting(t *testing.T) {
 	}
 	payload := []byte("0123456789")
 	for i := 0; i < 7; i++ {
-		if _, err := b.Produce("t", fmt.Sprintf("k%d", i), payload, base); err != nil {
+		if _, err := b.Produce(context.Background(), "t", fmt.Sprintf("k%d", i), payload, base); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -572,7 +572,7 @@ func TestPartitionsAndOffsetsUnderConcurrentProducers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
 				key := fmt.Sprintf("key-%d", (p*each+i)%23)
-				if _, err := b.Produce("t", key, []byte("v"), base.Add(time.Duration(i))); err != nil {
+				if _, err := b.Produce(context.Background(), "t", key, []byte("v"), base.Add(time.Duration(i))); err != nil {
 					t.Errorf("produce: %v", err)
 					return
 				}

@@ -49,6 +49,7 @@ func (g *group) join(member string) int {
 			return g.gen
 		}
 	}
+	//lint:ignore boundedchan bounded by the number of consumers the pipeline constructs; membership is not per-record state
 	g.members = append(g.members, member)
 	sort.Strings(g.members)
 	g.gen++
@@ -136,10 +137,17 @@ func (b *Broker) CommittedOffsets(groupID, topicName string) map[int]int64 {
 func (b *Broker) RestoreOffsets(groupID, topicName string, offsets map[int]int64) {
 	g := b.group(groupID, topicName)
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.committed = make(map[int]int64, len(offsets))
 	for p, off := range offsets {
 		g.committed[p] = off
+	}
+	g.mu.Unlock()
+	// The rewind moves the commit floor backwards, growing the uncommitted
+	// backlog admission control is measured against.
+	if n, err := b.Partitions(topicName); err == nil {
+		for p := 0; p < n; p++ {
+			b.noteCommit(topicName, p)
+		}
 	}
 }
 
@@ -327,9 +335,11 @@ func (c *Consumer) earliestReady() (part int, ok bool, err error) {
 }
 
 // Commit records that every record of rec's partition up to and including
-// rec has been processed.
+// rec has been processed. On a limited topic this may shrink the partition's
+// uncommitted backlog and wake producers blocked on backpressure.
 func (c *Consumer) Commit(rec Record) {
 	c.grp.commit(rec.Partition, rec.Offset+1)
+	c.broker.noteCommit(c.topicName, rec.Partition)
 }
 
 // SeekTo moves the consumer's fetch position of an assigned partition to
@@ -402,7 +412,12 @@ func (b *Broker) Drain(topicName string) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		if end == 0 {
+		// Check retained records, not just the end offset: on a limited topic
+		// shedding can leave end > 0 with nothing retained, and a blocking
+		// fetch against an open, empty partition would never return.
+		if _, has, err := b.PeekTime(topicName, p, 0); err != nil {
+			return nil, err
+		} else if end == 0 || !has {
 			continue
 		}
 		recs, err := b.Fetch(context.Background(), topicName, p, 0, int(end))

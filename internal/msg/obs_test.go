@@ -35,7 +35,7 @@ func TestInstrumentConcurrentCreateTopic(t *testing.T) {
 	ts := time.Unix(100, 0).UTC()
 	for i := 0; i < 16; i++ {
 		name := fmt.Sprintf("t%d", i)
-		if _, err := b.Produce(name, "k", []byte("x"), ts); err != nil {
+		if _, err := b.Produce(context.Background(), name, "k", []byte("x"), ts); err != nil {
 			t.Fatalf("Produce %s: %v", name, err)
 		}
 	}
@@ -60,11 +60,11 @@ func TestBrokerInstrumentation(t *testing.T) {
 
 	ts := time.Unix(100, 0).UTC()
 	for i := 0; i < 5; i++ {
-		if _, err := b.Produce("pre", "k", []byte("0123456789"), ts); err != nil {
+		if _, err := b.Produce(context.Background(), "pre", "k", []byte("0123456789"), ts); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := b.Produce("post", "k", []byte("abc"), ts); err != nil {
+	if _, err := b.Produce(context.Background(), "post", "k", []byte("abc"), ts); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +107,7 @@ func TestConsumerInstrumentation(t *testing.T) {
 	}
 	ts := time.Unix(100, 0).UTC()
 	for i := 0; i < 4; i++ {
-		if _, err := b.Produce("raw", "k", []byte{byte(i)}, ts.Add(time.Duration(i)*time.Second)); err != nil {
+		if _, err := b.Produce(context.Background(), "raw", "k", []byte{byte(i)}, ts.Add(time.Duration(i)*time.Second)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -148,7 +148,7 @@ func TestConsumerInstrumentation(t *testing.T) {
 	if err := b2.CreateTopic("raw", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b2.Produce("raw", "k", []byte("x"), ts); err != nil {
+	if _, err := b2.Produce(context.Background(), "raw", "k", []byte("x"), ts); err != nil {
 		t.Fatal(err)
 	}
 	c2, err := b2.NewConsumer("g", "raw", "m0")

@@ -16,7 +16,7 @@ func offsetsTestBroker(t *testing.T, parts, n int) *Broker {
 	}
 	t0 := time.Unix(1000, 0).UTC()
 	for i := 0; i < n; i++ {
-		if _, err := b.Produce("t", fmt.Sprintf("k%d", i%8), []byte{byte(i)}, t0.Add(time.Duration(i)*time.Second)); err != nil {
+		if _, err := b.Produce(context.Background(), "t", fmt.Sprintf("k%d", i%8), []byte{byte(i)}, t0.Add(time.Duration(i)*time.Second)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -262,7 +262,7 @@ func TestPollMergesByEventTime(t *testing.T) {
 		sec  int
 	}{{2, 0}, {0, 1}, {1, 2}, {0, 3}, {2, 4}, {1, 5}}
 	for i, pt := range times {
-		if _, err := b.ProduceTo("t", pt.part, "k", []byte{byte(i)}, t0.Add(time.Duration(pt.sec)*time.Second)); err != nil {
+		if _, err := b.ProduceTo(context.Background(), "t", pt.part, "k", []byte{byte(i)}, t0.Add(time.Duration(pt.sec)*time.Second)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -325,7 +325,7 @@ func TestTruncateAndPeekTime(t *testing.T) {
 		t.Fatalf("after truncate: end=%d err=%v", end, err)
 	}
 	// The next produce reuses offset 3.
-	rec, err := b.Produce("t", "k0", []byte("new"), time.Unix(9999, 0).UTC())
+	rec, err := b.Produce(context.Background(), "t", "k0", []byte("new"), time.Unix(9999, 0).UTC())
 	if err != nil || rec.Offset != 3 {
 		t.Fatalf("produce after truncate: offset=%d err=%v", rec.Offset, err)
 	}

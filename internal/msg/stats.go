@@ -8,6 +8,10 @@ type TopicStats struct {
 	Partitions int
 	Records    int64 // records currently retained, summed over partitions
 	Bytes      int64 // summed value sizes of retained records
+	Backlog    int64 // retained records not yet committed by every group
+	Capacity   int   // per-partition backlog capacity; 0 = unbounded
+	Evicted    int64 // records shed by DropOldestUncommitted since creation
+	Rejected   int64 // produces rejected at capacity since creation
 }
 
 // BrokerStats is a race-free, value-type snapshot of the broker, topics
@@ -35,6 +39,10 @@ func (b *Broker) Stats() BrokerStats {
 			for _, r := range p.records {
 				ts.Bytes += int64(len(r.Value))
 			}
+			ts.Backlog += int64(p.backlog())
+			ts.Capacity = p.cap
+			ts.Evicted += p.evicted
+			ts.Rejected += p.rejected
 			p.mu.Unlock()
 		}
 		s.Topics = append(s.Topics, ts)

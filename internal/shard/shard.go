@@ -22,11 +22,14 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"datacron/internal/obs"
 )
 
 // Worker is one shard's operator chain. Process is called only from the
@@ -65,6 +68,7 @@ type Stats struct {
 	Shard     int   // shard index
 	Processed int64 // records processed on the worker goroutine
 	Queue     int   // inputs currently waiting in the shard's queue
+	Credits   int   // submit credits currently available for this shard
 }
 
 // ErrNotStarted is returned by Submit/Next/Barrier before Start.
@@ -90,11 +94,18 @@ type barrierAck struct {
 }
 
 type lane[I, O any] struct {
-	w         Worker[I, O]
-	in        chan message[I]
-	out       chan O
-	ack       chan barrierAck
+	w   Worker[I, O]
+	in  chan message[I]
+	out chan O
+	ack chan barrierAck
+	// credits implements per-lane flow control: Submit takes one credit per
+	// record (blocking, context-aware, when the lane is saturated) and Next
+	// returns it when the record's output is drained. The pool starts at the
+	// lane's queue capacity, so a slow shard exerts backpressure on the
+	// coordinator instead of growing an unbounded queue.
+	credits   chan struct{}
 	processed atomic.Int64
+	waits     atomic.Int64 // Submits that had to wait for a credit
 }
 
 // Plane coordinates N shard workers. It is operated by a single coordinator
@@ -103,19 +114,28 @@ type lane[I, O any] struct {
 // drain every submitted record with Next before submitting more than Queue
 // records per shard — in practice, submit one poll batch, drain it, repeat.
 type Plane[I, O any] struct {
-	key     func(I) string
-	lanes   []*lane[I, O]
-	wg      sync.WaitGroup
-	fifo    []int // shard index per undrained submit, in submit order
-	head    int   // next fifo entry to drain
-	started bool
-	closed  bool
+	key         func(I) string
+	lanes       []*lane[I, O]
+	wg          sync.WaitGroup
+	fifo        []int // shard index per undrained submit, in submit order
+	head        int   // next fifo entry to drain
+	started     bool
+	closed      bool
+	creditWaits *obs.Counter // nil-safe; counts Submits that waited
 }
 
 // Config sizes a Plane.
 type Config struct {
 	Shards int // number of workers; values < 1 are treated as 1
-	Queue  int // per-shard input/output channel capacity (default 512)
+	// Queue is the per-shard input/output channel capacity (default 512).
+	// It is also the size of each shard's submit-credit pool: at most Queue
+	// records per shard may be in flight (queued or processing, output not
+	// yet drained) before Submit blocks.
+	Queue int
+	// Metrics optionally observes the credit protocol: per-shard
+	// flow.credits gauges and a flow.credit.waits counter for Submits that
+	// had to wait on a saturated shard. Nil disables observation.
+	Metrics *obs.Registry
 }
 
 // New builds a plane with cfg.Shards workers constructed by build(shard).
@@ -128,14 +148,25 @@ func New[I, O any](cfg Config, key func(I) string, build func(shard int) Worker[
 	if cfg.Queue < 1 {
 		cfg.Queue = 512
 	}
-	p := &Plane[I, O]{key: key}
+	p := &Plane[I, O]{
+		key:         key,
+		creditWaits: cfg.Metrics.Counter("flow.credit.waits"),
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		p.lanes = append(p.lanes, &lane[I, O]{
-			w:   build(i),
-			in:  make(chan message[I], cfg.Queue),
-			out: make(chan O, cfg.Queue),
-			ack: make(chan barrierAck, 1),
-		})
+		// Lane buffers share one auditable bound: Config.Queue, clamped at
+		// construction, is also the size of the credit pool that gates Submit.
+		l := &lane[I, O]{
+			w:       build(i),
+			in:      make(chan message[I], cfg.Queue), //lint:ignore boundedchan capacity is Config.Queue, clamped in New and matched by the credit pool
+			out:     make(chan O, cfg.Queue),          //lint:ignore boundedchan capacity is Config.Queue, clamped in New and matched by the credit pool
+			ack:     make(chan barrierAck, 1),
+			credits: make(chan struct{}, cfg.Queue), //lint:ignore boundedchan the credit pool itself: filled to Config.Queue below, never grown
+		}
+		for c := 0; c < cfg.Queue; c++ {
+			l.credits <- struct{}{}
+		}
+		//lint:ignore boundedchan construction-time growth bounded by Config.Shards
+		p.lanes = append(p.lanes, l)
 	}
 	return p
 }
@@ -173,9 +204,13 @@ func (p *Plane[I, O]) run(l *lane[I, O]) {
 	}
 }
 
-// Submit routes one input to its shard's queue. Outputs must be drained in
+// Submit routes one input to its shard's queue, first acquiring one of the
+// shard's submit credits. When the shard is saturated — Queue records in
+// flight with outputs not yet drained — Submit blocks until Next returns a
+// credit or ctx is cancelled, so a slow shard exerts backpressure on the
+// coordinator instead of growing its queue. Outputs must be drained in
 // submit order with Next.
-func (p *Plane[I, O]) Submit(in I) error {
+func (p *Plane[I, O]) Submit(ctx context.Context, in I) error {
 	if !p.started {
 		return ErrNotStarted
 	}
@@ -183,7 +218,23 @@ func (p *Plane[I, O]) Submit(in I) error {
 		return ErrClosed
 	}
 	i := Route(p.key(in), len(p.lanes))
-	p.lanes[i].in <- message[I]{item: in}
+	l := p.lanes[i]
+	select {
+	case <-l.credits:
+	default:
+		// Saturated: wait for a credit or give up with the context. The
+		// coordinator drains its own outputs, so this only blocks while the
+		// worker goroutine itself is behind.
+		l.waits.Add(1)
+		p.creditWaits.Inc()
+		select {
+		case <-l.credits:
+		case <-ctx.Done():
+			return fmt.Errorf("shard: submit to shard %d blocked on credits: %w", i, ctx.Err())
+		}
+	}
+	l.in <- message[I]{item: in}
+	//lint:ignore boundedchan bounded by the credit protocol: at most Shards x Queue submissions are in flight before Next drains one
 	p.fifo = append(p.fifo, i)
 	return nil
 }
@@ -206,7 +257,10 @@ func (p *Plane[I, O]) Next() (O, error) {
 		p.fifo = p.fifo[:0]
 		p.head = 0
 	}
-	return <-p.lanes[i].out, nil
+	out := <-p.lanes[i].out
+	// The record left the plane: return its submit credit.
+	p.lanes[i].credits <- struct{}{}
+	return out, nil
 }
 
 // Pending returns the number of submitted records not yet drained by Next.
@@ -287,7 +341,7 @@ func (p *Plane[I, O]) Close() {
 func (p *Plane[I, O]) Stats() []Stats {
 	out := make([]Stats, len(p.lanes))
 	for i, l := range p.lanes {
-		out[i] = Stats{Shard: i, Processed: l.processed.Load(), Queue: len(l.in)}
+		out[i] = Stats{Shard: i, Processed: l.processed.Load(), Queue: len(l.in), Credits: len(l.credits)}
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -68,7 +69,7 @@ func runPlane(t *testing.T, shards int, in []string) []string {
 			batch = 64
 		}
 		for j := 0; j < batch; j++ {
-			if err := p.Submit(in[i+j]); err != nil {
+			if err := p.Submit(context.Background(), in[i+j]); err != nil {
 				t.Fatalf("Submit: %v", err)
 			}
 		}
@@ -131,7 +132,7 @@ func TestBarrierSnapshotRestore(t *testing.T) {
 	var firstHalf []string
 	for i := 0; i < 500; i += 50 {
 		for j := 0; j < 50; j++ {
-			p.Submit(in[i+j])
+			p.Submit(context.Background(), in[i+j])
 		}
 		for j := 0; j < 50; j++ {
 			o, _ := p.Next()
@@ -158,7 +159,7 @@ func TestBarrierSnapshotRestore(t *testing.T) {
 	got := firstHalf
 	for i := 500; i < 1000; i += 50 {
 		for j := 0; j < 50; j++ {
-			p2.Submit(in[i+j])
+			p2.Submit(context.Background(), in[i+j])
 		}
 		for j := 0; j < 50; j++ {
 			o, _ := p2.Next()
@@ -215,7 +216,7 @@ func TestBarrierRetryAfterSnapshotError(t *testing.T) {
 		t.Fatalf("Barrier retry returned %d shard snapshots, want 4", len(blobs))
 	}
 	// The plane must still process and drain records after the failed epoch.
-	p.Submit("a")
+	p.Submit(context.Background(), "a")
 	if _, err := p.Next(); err != nil {
 		t.Fatalf("Next after barrier retry: %v", err)
 	}
@@ -227,7 +228,7 @@ func TestBarrierRequiresDrainedPlane(t *testing.T) {
 	p := New(Config{Shards: 2, Queue: 8}, func(s string) string { return s }, newCountWorker)
 	p.Start()
 	defer p.Close()
-	p.Submit("a")
+	p.Submit(context.Background(), "a")
 	if _, err := p.Barrier(1); !errors.Is(err, ErrPending) {
 		t.Fatalf("Barrier with pending output: err = %v, want ErrPending", err)
 	}
@@ -241,7 +242,7 @@ func TestBarrierRequiresDrainedPlane(t *testing.T) {
 
 func TestLifecycleErrors(t *testing.T) {
 	p := New(Config{Shards: 2}, func(s string) string { return s }, newCountWorker)
-	if err := p.Submit("a"); !errors.Is(err, ErrNotStarted) {
+	if err := p.Submit(context.Background(), "a"); !errors.Is(err, ErrNotStarted) {
 		t.Fatalf("Submit before Start: %v", err)
 	}
 	if _, err := p.Barrier(1); !errors.Is(err, ErrNotStarted) {
@@ -250,7 +251,7 @@ func TestLifecycleErrors(t *testing.T) {
 	p.Start()
 	p.Close()
 	p.Close() // idempotent
-	if err := p.Submit("a"); !errors.Is(err, ErrClosed) {
+	if err := p.Submit(context.Background(), "a"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close: %v", err)
 	}
 }
@@ -261,7 +262,7 @@ func TestCloseWithUndrainedOutputs(t *testing.T) {
 	p := New(Config{Shards: 2, Queue: 4}, func(s string) string { return s }, newCountWorker)
 	p.Start()
 	for i := 0; i < 8; i++ {
-		p.Submit(fmt.Sprintf("k%d", i))
+		p.Submit(context.Background(), fmt.Sprintf("k%d", i))
 	}
 	done := make(chan struct{})
 	go func() { p.Close(); close(done) }()
@@ -299,7 +300,7 @@ func TestStatsConcurrent(t *testing.T) {
 	in := inputs(2000)
 	for i := 0; i < len(in); i += 32 {
 		for j := i; j < i+32 && j < len(in); j++ {
-			p.Submit(in[j])
+			p.Submit(context.Background(), in[j])
 		}
 		for j := i; j < i+32 && j < len(in); j++ {
 			p.Next()
