@@ -12,7 +12,7 @@ vet:
 # lint is the project gate beyond go vet: gofmt drift, vet, and the
 # project-specific analyzers in cmd/datacronlint (atomicsafety, boundedchan,
 # determinism, errdrop, goroleak, hotalloc, httpserver, lockblock, locksafety,
-# obsclock, sharddeterminism, snapshotpair). The suite runs against the committed
+# obsclock, sharddeterminism, snapshotpair, spanend). The suite runs against the committed
 # baseline: findings recorded in lint.baseline.json are reported but only NEW
 # findings fail the build (the binary is built first because `go run`
 # flattens the baseline-only exit code 3 into 1).

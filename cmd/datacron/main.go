@@ -22,6 +22,8 @@
 //
 //	datacron [-domain maritime|aviation] [-duration 2h] [-vessels 16] [-flights 12] [-seed 1] [-shards N] [-v] [-metrics]
 //	         [-admin ADDR] [-log-level debug|info|warn|error] [-log-format text|json]
+//	         [-slo-lag 5s] [-slo-stage predict] [-slo-window 1m] [-slo-quantile 0.99]
+//	         [-trace-sample N] [-trace-jsonl FILE]
 //	         [-checkpoint-dir DIR] [-checkpoint-interval 1s] [-checkpoint-every N]
 //	         [-fault-seed S -fault-kill N]
 package main
@@ -48,6 +50,8 @@ import (
 	"datacron/internal/lowlevel"
 	"datacron/internal/mobility"
 	"datacron/internal/msg"
+	"datacron/internal/obs/export"
+	"datacron/internal/obs/slo"
 	"datacron/internal/ontology"
 	"datacron/internal/rdf"
 	"datacron/internal/store"
@@ -71,6 +75,13 @@ type options struct {
 	logLevel  string
 	logFormat string
 
+	sloLag      time.Duration
+	sloStage    string
+	sloWindow   time.Duration
+	sloQuantile float64
+	traceSample int
+	traceJSONL  string
+
 	ckptDir              string
 	ckptInterval         time.Duration
 	ckptEvery            int
@@ -93,6 +104,12 @@ func main() {
 	flag.StringVar(&o.adminAddr, "admin", "", "serve /metrics, /statz, /healthz, /readyz, /traces and pprof on this address (empty disables)")
 	flag.StringVar(&o.logLevel, "log-level", "", "structured log level: debug, info, warn or error (empty disables logging)")
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.DurationVar(&o.sloLag, "slo-lag", 0, "arm a freshness SLO: the stage's lag quantile must stay under this per window (0 disables)")
+	flag.StringVar(&o.sloStage, "slo-stage", "predict", "pipeline stage the freshness SLO watches: ingest, queue, decode, process, predict or emit")
+	flag.DurationVar(&o.sloWindow, "slo-window", time.Minute, "freshness SLO evaluation window")
+	flag.Float64Var(&o.sloQuantile, "slo-quantile", 0.99, "freshness SLO lag quantile in (0,1]")
+	flag.IntVar(&o.traceSample, "trace-sample", 256, "trace one record in every N admitted (0 disables record span trees)")
+	flag.StringVar(&o.traceJSONL, "trace-jsonl", "", "write the flight-recorder spans to this file as JSON lines after the run")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "enable checkpointing, storing checkpoints in this directory")
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", time.Second, "wall-clock checkpoint trigger (0 disables)")
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "checkpoint after this many records (0 disables)")
@@ -197,6 +214,17 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 	if o.adminAddr != "" {
 		coreOpts = append(coreOpts, core.WithAdmin(o.adminAddr))
+	}
+	if o.traceSample != 256 {
+		coreOpts = append(coreOpts, core.WithTraceSampling(o.traceSample))
+	}
+	if o.sloLag > 0 {
+		coreOpts = append(coreOpts, core.WithSLO(slo.Objective{
+			Family:    "lag." + o.sloStage + ".seconds",
+			Quantile:  o.sloQuantile,
+			Threshold: o.sloLag,
+			Window:    o.sloWindow,
+		}))
 	}
 	pipeline, err := core.New(coreOpts...)
 	if err != nil {
@@ -346,6 +374,20 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		}
 	}
 
+	if o.sloLag > 0 {
+		for _, st := range pipeline.Stats().SLO {
+			fmt.Fprintf(out, "slo %s: p%.0f(%s)=%.3fs threshold=%.0fs windows=%d violated=%d burn=%.0f%%\n",
+				st.Name, st.Quantile*100, st.Family, st.Current, st.ThresholdSeconds,
+				st.Windows, st.Violations, st.BudgetBurn*100)
+		}
+	}
+	if o.traceJSONL != "" {
+		if err := writeTraceJSONL(o.traceJSONL, pipeline); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote flight-recorder spans to %s\n", o.traceJSONL)
+	}
+
 	snap := pipeline.Dashboard.Snapshot(time.Now())
 	fmt.Fprintf(out, "dashboard: %d movers, %d critical points, %d links, %d predictions, %d event notes\n",
 		len(snap.Positions), len(snap.Criticals), len(snap.Links), len(snap.Predictions), len(snap.Events))
@@ -355,6 +397,24 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeTraceJSONL dumps the tracer's flight-recorder ring — completion
+// order, oldest first — as one JSON object per line.
+func writeTraceJSONL(path string, pipeline *core.Pipeline) error {
+	t := pipeline.Tracer()
+	if t == nil {
+		return fmt.Errorf("-trace-jsonl needs instrumentation enabled")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := export.WriteSpansJSONL(f, t.Recent())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // shutdown is the graceful interrupt path: capture a final checkpoint when

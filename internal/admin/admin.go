@@ -22,6 +22,7 @@ import (
 	"datacron/internal/health"
 	"datacron/internal/obs"
 	"datacron/internal/obs/export"
+	"datacron/internal/obs/slo"
 )
 
 // Config wires the server to the observability plane. Registry is the only
@@ -45,6 +46,9 @@ type Config struct {
 	// Statz overrides the /statz payload; nil serves the registry snapshot
 	// in its JSON form.
 	Statz func() any
+	// SLO backs /slo with the freshness objectives' standing; nil serves an
+	// empty objective list.
+	SLO func() []slo.Status
 	// Metrics configures the Prometheus renderer; nil uses DefaultMapping
 	// with per-second rates enabled.
 	Metrics *export.Options
@@ -55,9 +59,10 @@ type Config struct {
 // Server is the admin HTTP server. Create with New, then Start; Addr
 // reports the bound address (useful with ":0"), Shutdown drains it.
 type Server struct {
-	cfg Config
-	srv *http.Server
-	log *slog.Logger
+	cfg     Config
+	srv     *http.Server
+	log     *slog.Logger
+	runtime *obs.RuntimeSampler // refreshed on every metric read; nil without a registry
 
 	mu sync.Mutex
 	ln net.Listener
@@ -65,7 +70,14 @@ type Server struct {
 
 // New builds the server and its routes without binding the listener.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, log: obs.Component(cfg.Logger, "admin")}
+	s := &Server{
+		cfg: cfg,
+		log: obs.Component(cfg.Logger, "admin"),
+		// Runtime self-metrics (goroutines, heap, GC pauses) live in the
+		// admin plane: they are sampled on scrape, so an unscrapped
+		// pipeline pays nothing for them.
+		runtime: obs.NewRuntimeSampler(cfg.Registry),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -73,6 +85,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -149,14 +162,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /statz         metrics snapshot as JSON
   /healthz       liveness probe (component report as JSON)
   /readyz        readiness probe (component report as JSON)
-  /traces        recent trace spans as JSON
+  /traces        recent trace spans as JSON (?span_tree=1 nests by parent)
+  /slo           freshness objectives' standing as JSON
   /debug/pprof/  Go profiler index
 `))
 }
 
 // snapshot reads the metric state through the configured override, falling
-// back to the registry.
+// back to the registry. Runtime self-metrics are refreshed first so every
+// scrape sees current goroutine/heap/GC readings.
 func (s *Server) snapshot() obs.Snapshot {
+	s.runtime.Sample()
 	if s.cfg.Snapshot != nil {
 		return s.cfg.Snapshot()
 	}
@@ -211,28 +227,43 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.probe(w, s.cfg.Watchdog.Ready())
 }
 
-// spanJSON is the wire form of one trace span.
-type spanJSON struct {
-	ID              int64     `json:"id"`
-	Name            string    `json:"name"`
-	Start           time.Time `json:"start"`
-	DurationSeconds float64   `json:"durationSeconds"`
-}
-
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+// handleTraces serves the flight-recorder ring. The default view is the
+// flat span list in completion order, oldest first — the Tracer.Recent
+// ordering contract, stable across ring wraparound — with parent IDs and
+// attrs included. With ?span_tree=1 the same spans are nested by parent
+// linkage instead: each root (a "record" span, or any span whose parent
+// fell off the ring) carries its surviving descendants.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	recent := s.cfg.Tracer.Recent()
-	spans := make([]spanJSON, 0, len(recent))
-	for _, r := range recent {
-		spans = append(spans, spanJSON{
-			ID:              r.ID,
-			Name:            r.Name,
-			Start:           r.Start,
-			DurationSeconds: r.Duration.Seconds(),
-		})
+	if r.URL.Query().Get("span_tree") == "1" {
+		trees := export.SpanTrees(recent)
+		if trees == nil {
+			trees = []*export.SpanJSON{}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			SpanTrees []*export.SpanJSON `json:"spanTrees"`
+		}{trees})
+		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Spans []spanJSON `json:"spans"`
-	}{spans})
+		Spans []export.SpanJSON `json:"spans"`
+	}{export.JSONSpans(recent)})
+}
+
+// handleSLO serves the freshness objectives' standing. Without a
+// configured SLO source the objective list is empty but the shape is the
+// same, so dashboards can always scrape it.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	var objectives []slo.Status
+	if s.cfg.SLO != nil {
+		objectives = s.cfg.SLO()
+	}
+	if objectives == nil {
+		objectives = []slo.Status{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Objectives []slo.Status `json:"objectives"`
+	}{objectives})
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload any) {

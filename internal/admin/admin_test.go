@@ -12,6 +12,7 @@ import (
 	"datacron/internal/health"
 	"datacron/internal/obs"
 	"datacron/internal/obs/export"
+	"datacron/internal/obs/slo"
 )
 
 var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -168,6 +169,150 @@ func TestTracesEndpoint(t *testing.T) {
 	}
 	if len(out.Spans) != 1 || out.Spans[0].Name != "poll" || out.Spans[0].ID == 0 || out.Spans[0].DurationSeconds != 0.25 {
 		t.Fatalf("spans = %+v", out.Spans)
+	}
+}
+
+// TestTracesSpanTreeEndpoint drives a sampled record tree through the ring
+// and reads it back both flat (parent links and attrs on every span) and
+// nested (?span_tree=1 reconstructs the hierarchy, children in completion
+// order).
+func TestTracesSpanTreeEndpoint(t *testing.T) {
+	clk, _, tr, _, base := start(t)
+	root := tr.StartSpan("record", obs.Attr{Key: "mover", Value: "m1"})
+	clk.Advance(time.Millisecond)
+	decode := root.Child("decode", obs.Attr{Key: "shard", Value: "0"})
+	clk.Advance(2 * time.Millisecond)
+	decode.End()
+	root.Child("emit").End()
+	root.End()
+
+	// Flat view: completion order, parent IDs and attrs on the wire.
+	code, body, _ := get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	var flat struct {
+		Spans []export.SpanJSON `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &flat); err != nil {
+		t.Fatalf("traces body: %v\n%s", err, body)
+	}
+	if len(flat.Spans) != 3 || flat.Spans[2].Name != "record" {
+		t.Fatalf("flat spans = %+v", flat.Spans)
+	}
+	if flat.Spans[0].Parent != flat.Spans[2].ID || flat.Spans[0].Attrs["shard"] != "0" {
+		t.Fatalf("flat decode span lost parent or attrs: %+v", flat.Spans[0])
+	}
+
+	// Nested view: one root with both children under it.
+	code, body, _ = get(t, base+"/traces?span_tree=1")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?span_tree=1 = %d", code)
+	}
+	var nested struct {
+		SpanTrees []*export.SpanJSON `json:"spanTrees"`
+	}
+	if err := json.Unmarshal([]byte(body), &nested); err != nil {
+		t.Fatalf("span_tree body: %v\n%s", err, body)
+	}
+	if len(nested.SpanTrees) != 1 {
+		t.Fatalf("got %d roots, want 1:\n%s", len(nested.SpanTrees), body)
+	}
+	tree := nested.SpanTrees[0]
+	if tree.Name != "record" || tree.Attrs["mover"] != "m1" || len(tree.Children) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if tree.Children[0].Name != "decode" || tree.Children[1].Name != "emit" {
+		t.Fatalf("children out of completion order: %s, %s",
+			tree.Children[0].Name, tree.Children[1].Name)
+	}
+	if tree.Children[0].DurationSeconds != 0.002 {
+		t.Errorf("decode duration = %v, want 0.002", tree.Children[0].DurationSeconds)
+	}
+}
+
+// TestTracesWraparoundOldestFirst pins the endpoint's ordering contract:
+// after the ring wraps, /traces still serves completion order, oldest span
+// first.
+func TestTracesWraparoundOldestFirst(t *testing.T) {
+	_, _, tr, _, base := start(t) // ring size 16
+	for i := 0; i < 25; i++ {
+		tr.Start("s").End()
+	}
+	_, body, _ := get(t, base+"/traces")
+	var out struct {
+		Spans []export.SpanJSON `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) != 16 {
+		t.Fatalf("served %d spans, want the full 16-span ring", len(out.Spans))
+	}
+	for i, sp := range out.Spans {
+		if want := int64(10 + i); sp.ID != want {
+			t.Fatalf("spans[%d].ID = %d, want %d (oldest-first across wraparound)", i, sp.ID, want)
+		}
+	}
+}
+
+// TestSLOEndpoint checks both shapes of /slo: an empty objectives array
+// when no tracker is wired, and the full standing when one is.
+func TestSLOEndpoint(t *testing.T) {
+	_, _, _, _, base := start(t) // no SLO source configured
+	code, body, hdr := get(t, base+"/slo")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("/slo without source = %d, content type %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"objectives": []`) {
+		t.Fatalf("/slo without source must serve an empty array:\n%s", body)
+	}
+
+	reg := obs.NewRegistry(obs.NewManualClock(epoch))
+	srv := New(Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		SLO: func() []slo.Status {
+			return []slo.Status{{
+				Name: "predict-freshness", Family: "lag.predict.seconds",
+				Quantile: 0.99, ThresholdSeconds: 5, WindowSeconds: 60,
+				Current: 7.25, Violated: true, Windows: 4, Violations: 1,
+				Streak: 1, BudgetBurn: 0.25,
+			}}
+		},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	_, body, _ = get(t, "http://"+srv.Addr()+"/slo")
+	var doc struct {
+		Objectives []slo.Status `json:"objectives"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/slo body: %v\n%s", err, body)
+	}
+	if len(doc.Objectives) != 1 {
+		t.Fatalf("objectives = %+v", doc.Objectives)
+	}
+	st := doc.Objectives[0]
+	if st.Name != "predict-freshness" || !st.Violated || st.BudgetBurn != 0.25 || st.Current != 7.25 {
+		t.Fatalf("objective round-trip lost fields: %+v", st)
+	}
+}
+
+// TestMetricsIncludeRuntime checks the scrape-sampled process self-metrics
+// ride the same exposition as the pipeline metrics.
+func TestMetricsIncludeRuntime(t *testing.T) {
+	_, _, _, _, base := start(t)
+	_, body, _ := get(t, base+"/metrics")
+	for _, want := range []string{
+		"runtime_goroutines",
+		"runtime_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"datacron/internal/mobility"
 	"datacron/internal/msg"
 	"datacron/internal/obs"
+	"datacron/internal/obs/slo"
 	"datacron/internal/synopses"
 )
 
@@ -37,6 +38,9 @@ type options struct {
 	health    health.Config
 	wdTick    time.Duration
 	flow      flow.Config
+	sample    int
+	sampleSet bool
+	slos      []slo.Objective
 }
 
 // WithConfig applies a legacy Config wholesale. Later options override the
@@ -169,6 +173,31 @@ func WithWatchdogInterval(d time.Duration) Option {
 	return func(o *options) { o.wdTick = d }
 }
 
+// WithTraceSampling sets the record-trace sampling period: one record in
+// every n admitted to processing gets a full span tree (ingest through
+// emit) in the tracer's flight-recorder ring. The default is 256; 0
+// disables record tracing (stage spans like poll/process/checkpoint are
+// unaffected). Sampling is head-based and deterministic — the decision
+// depends only on the record's position in the processed sequence, so a
+// crash-recovery replay samples the same records.
+func WithTraceSampling(n int) Option {
+	return func(o *options) {
+		o.sample = n
+		o.sampleSet = true
+	}
+}
+
+// WithSLO arms the freshness SLO tracker over the given objectives (e.g.
+// "p99 of lag.predict.seconds ≤ 5s per 1m window"). The tracker publishes
+// slo.<name>.* metrics and its standing on /slo and /statz; with WithAdmin
+// it also registers a health checker — a violated window degrades the
+// "slo" component, and Burn consecutive violated windows escalate it to
+// Overloaded, costing readiness. Requires metrics (not WithObs(nil)).
+func WithSLO(objectives ...slo.Objective) Option {
+	//lint:ignore boundedchan construction-time option accumulation, bounded by the caller's objective list
+	return func(o *options) { o.slos = append(o.slos, objectives...) }
+}
+
 // WithFlow arms the backpressure and admission-control plane: the raw topic
 // is bounded at cfg.QueueCap records of uncommitted backlog per partition
 // under cfg.Policy, a priority-aware shedder drops low-value records at the
@@ -207,8 +236,22 @@ func New(opts ...Option) (*Pipeline, error) {
 	p.rootLog = o.logger
 	p.Broker.SetLogger(o.logger)
 	if reg != nil {
-		p.tracer = obs.NewTracer(reg, 64)
+		// The ring holds 512 spans: a sampled record emits up to ~8 spans,
+		// so even interleaved with the per-batch poll/process spans a few
+		// dozen complete record trees stay reconstructable from /traces.
+		p.tracer = obs.NewTracer(reg, 512)
 		p.Broker.Instrument(reg)
+		sample := 256
+		if o.sampleSet {
+			sample = o.sample
+		}
+		p.sampler = obs.NewSampler(sample)
+	}
+	if len(o.slos) > 0 {
+		if reg == nil {
+			return nil, fmt.Errorf("core: WithSLO requires metrics; do not combine with WithObs(nil)")
+		}
+		p.slos = slo.NewTracker(reg, o.slos...)
 	}
 	if o.flow.Enabled() {
 		p.flowCfg = o.flow.WithDefaults(p.cfg.Partitions)
@@ -226,8 +269,14 @@ func New(opts ...Option) (*Pipeline, error) {
 			return nil, fmt.Errorf("core: WithAdmin requires metrics; do not combine with WithObs(nil)")
 		}
 		p.watchdog = health.NewWatchdog(reg, o.health)
+		// Checkers read the merged view (main registry plus shard worker
+		// registries) so shard-local lag families feed the SLO tracker.
+		p.watchdog.SetSnapshotFunc(p.MergedSnapshot)
 		if o.flow.Enabled() {
 			p.watchdog.Register(health.NewOverloadChecker(1))
+		}
+		if p.slos != nil {
+			p.watchdog.Register(slo.NewChecker(p.slos))
 		}
 		if p.cfg.Shards > 1 {
 			// One verdict per shard worker: a stalled shard surfaces in
@@ -244,6 +293,7 @@ func New(opts ...Option) (*Pipeline, error) {
 			Tracer:   p.tracer,
 			Watchdog: p.watchdog,
 			Statz:    func() any { return p.Stats().Statz() },
+			SLO:      p.slos.Status,
 			Logger:   o.logger,
 		})
 		if err := p.admin.Start(); err != nil {

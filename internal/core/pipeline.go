@@ -27,6 +27,7 @@ import (
 	"datacron/internal/mobility"
 	"datacron/internal/msg"
 	"datacron/internal/obs"
+	"datacron/internal/obs/slo"
 	"datacron/internal/rdf"
 	"datacron/internal/shard"
 	"datacron/internal/store"
@@ -144,6 +145,8 @@ type Pipeline struct {
 	obs     *obs.Registry // nil when built with WithObs(nil)
 	clock   obs.Clock
 	tracer  *obs.Tracer
+	sampler *obs.Sampler // head-based record-trace sampler (nil = no sampling)
+	slos    *slo.Tracker // freshness SLO tracker (nil without WithSLO)
 	log     *slog.Logger // component "core"
 	rootLog *slog.Logger // as passed to WithLogger; handed to sub-components
 
@@ -236,6 +239,11 @@ func (p *Pipeline) Ingest(ctx context.Context, reports []mobility.Report) error 
 		p.lastFlow = st
 		p.mu.Unlock()
 	}()
+	// Freshness at the ingest boundary: how stale each report already is
+	// when it is produced to the raw topic. The per-priority breakdown
+	// (lag.ingest.<class>.*) is observed inside the shedder, which knows
+	// the classification.
+	lagIngest := obs.NewLagStage(p.obs, "ingest")
 	for _, r := range reports {
 		if p.shedder != nil {
 			depth, err := p.Broker.Backlog(TopicRaw)
@@ -249,6 +257,7 @@ func (p *Pipeline) Ingest(ctx context.Context, reports []mobility.Report) error 
 		_, err := p.Broker.Produce(ctx, TopicRaw, r.ID, r.Marshal(), r.Time)
 		switch {
 		case err == nil:
+			lagIngest.Observe(p.clock.Now(), r.Time)
 		case errors.Is(err, msg.ErrTopicFull):
 			st.RejectedFull++ // drop-newest overload: counted, keep going
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

@@ -19,14 +19,15 @@ import (
 
 var region = geo.Rect{MinLon: 22, MinLat: 36, MaxLon: 28, MaxLat: 41}
 
-func maritimePipeline(t *testing.T, withCER bool) (*Pipeline, []mobility.Report) {
+func maritimePipeline(t *testing.T, withCER bool, extra ...Option) (*Pipeline, []mobility.Report) {
 	t.Helper()
-	return shardedMaritimePipeline(t, withCER, 1)
+	return shardedMaritimePipeline(t, withCER, 1, extra...)
 }
 
 // shardedMaritimePipeline is maritimePipeline with an explicit shard
-// count; the shard determinism tests compare runs across counts.
-func shardedMaritimePipeline(t *testing.T, withCER bool, shards int) (*Pipeline, []mobility.Report) {
+// count; the shard determinism tests compare runs across counts. Extra
+// options are appended after the config.
+func shardedMaritimePipeline(t *testing.T, withCER bool, shards int, extra ...Option) (*Pipeline, []mobility.Report) {
 	t.Helper()
 	areas := gen.Areas(5, gen.ProtectedArea, 40, region, 3_000, 25_000)
 	ports := gen.Ports(6, 30, region)
@@ -58,7 +59,7 @@ func shardedMaritimePipeline(t *testing.T, withCER bool, shards int) (*Pipeline,
 		cfg.TrainSymbols = src.Generate(50_000)
 	}
 	cfg.Shards = shards
-	p, err := New(WithConfig(cfg))
+	p, err := New(append([]Option{WithConfig(cfg)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

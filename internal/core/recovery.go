@@ -178,7 +178,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		shardRegs[i] = reg
 		workers[i] = p.newShardWorker(i, reg)
 	}
-	var plane *shard.Plane[msg.Record, workerOut]
+	var plane *shard.Plane[workerIn, workerOut]
 	if shards > 1 {
 		// The queue size doubles as the per-shard submit-credit pool: large
 		// enough by default for a whole poll batch in flight, overridable by
@@ -188,8 +188,8 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 			queue = p.flowCfg.ShardQueue
 		}
 		plane = shard.New(shard.Config{Shards: shards, Queue: queue, Metrics: p.obs},
-			func(rec msg.Record) string { return rec.Key },
-			func(i int) shard.Worker[msg.Record, workerOut] { return workers[i] })
+			func(in workerIn) string { return in.rec.Key },
+			func(i int) shard.Worker[workerIn, workerOut] { return workers[i] })
 		defer plane.Close()
 		p.setShardView(shardRegs, plane.Stats)
 	} else {
@@ -213,6 +213,12 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		mPredictions = p.obs.Counter("core.predictions")
 		mAreaEvents  = p.obs.Counter("core.area_events")
 		mWatermark   = p.obs.Gauge("core.watermark.unixsec")
+		// Freshness accounting (processing time − record event time) for
+		// the serial-merge stages; the per-trajectory stages observe their
+		// own lag in the shard workers' registries (lag.decode.*).
+		lagProcess = obs.NewLagStage(p.obs, "process")
+		lagPredict = obs.NewLagStage(p.obs, "predict")
+		lagEmit    = obs.NewLagStage(p.obs, "emit")
 	)
 	var maxEventTime time.Time
 
@@ -259,8 +265,12 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		// checkpoint: reset it (before restoring, so the restore itself is
 		// the new run's first observation) and post-recovery readings cover
 		// exactly the replayed span instead of double-counting the pre-crash
-		// run.
+		// run. The trace sampler rewinds with it: its decisions depend only
+		// on the record ordinal, so the replayed poll sequence reproduces
+		// the original run's sampling — and, since spans never touch the
+		// data path, replay output stays byte-identical either way.
 		p.obs.Reset()
+		p.sampler.Reset()
 		cp, err := cpr.Restore(p.Broker)
 		if err != nil {
 			return sum, err
@@ -334,7 +344,13 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	// One-element scratch buffer reused for every discovered link's triple,
 	// so the per-link publish does not allocate a fresh slice each time.
 	linkTriple := make([]rdf.Triple, 1)
-	processCritical := func(cp synopses.CriticalPoint) error {
+	processCritical := func(cp synopses.CriticalPoint, root obs.Span) error {
+		// Freshness at the serving edge: how old the critical point's event
+		// time is at the moment its derivatives are published downstream —
+		// the end-to-end number an operator's SLO is written against.
+		lagEmit.Observe(p.clock.Now(), cp.Time)
+		emitSpan := root.Child("emit")
+		defer emitSpan.End()
 		sum.CriticalPoints++
 		p.Dashboard.AddCritical(cp)
 		// Publish the synopsis record.
@@ -376,6 +392,8 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		}
 		// Complex event forecasting on the critical-point type stream.
 		if p.forecaster != nil {
+			cerSpan := root.Child("cer")
+			defer cerSpan.End()
 			detected, fc, ok := p.forecaster.Process(string(cp.Type))
 			if detected {
 				sum.Detections++
@@ -395,13 +413,18 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	}
 
 	// apply is the serial merge stage: it folds one record's shard-local
-	// result into the cross-entity operators in global submit order.
+	// result into the cross-entity operators in global submit order. It
+	// always ends the record's trace root — success, corrupt record or
+	// error — so sampled span trees never leak open spans.
 	apply := func(rec msg.Record, out workerOut) error {
+		defer out.root.End()
 		if !out.ok {
 			return nil // corrupt record: dropped by the cleaning stage
 		}
 		sum.RawIn++
 		mRecords.Inc()
+		now := p.clock.Now()
+		lagProcess.Observe(now, out.rep.Time)
 		if out.rep.Time.After(maxEventTime) {
 			maxEventTime = out.rep.Time
 			mWatermark.Set(float64(maxEventTime.Unix()))
@@ -415,10 +438,14 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 				sum.Predictions++
 				mPredictions.Inc()
 				p.Dashboard.SetPrediction(out.rep.ID, out.pred)
+				// Prediction freshness is the headline SLO family: the lag
+				// between a mover's event time and the moment its future
+				// locations became available to serve.
+				lagPredict.Observe(now, out.rep.Time)
 			}
 		}
 		for _, cp := range out.cps {
-			if err := processCritical(cp); err != nil {
+			if err := processCritical(cp, out.root); err != nil {
 				return err
 			}
 		}
@@ -512,10 +539,13 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		// Fan the whole batch out to the shard workers (per-trajectory
 		// stages run in parallel), then drain and apply results in submit
 		// order on this goroutine. With one shard the worker runs inline —
-		// the identical code path minus the goroutine hop.
+		// the identical code path minus the goroutine hop. Sampling is
+		// decided here, in batch order, on both paths: the decision stream
+		// is identical whatever the shard count, and — because it depends
+		// only on the record ordinal — identical again under replay.
 		if plane != nil {
 			for _, rec := range recs {
-				if err := plane.Submit(ctx, rec); err != nil {
+				if err := plane.Submit(ctx, p.newWorkerIn(rec, true)); err != nil {
 					procSpan.End()
 					return sum, err
 				}
@@ -538,7 +568,7 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 					return sum, err
 				}
 			} else {
-				out = workers[0].Process(rec)
+				out = workers[0].Process(p.newWorkerIn(rec, false))
 			}
 			if err := apply(rec, out); err != nil {
 				procSpan.End()
@@ -570,7 +600,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		ends = workers[0].Flush()
 	}
 	for _, cp := range ends {
-		if err := processCritical(cp); err != nil {
+		// Flush-time critical points have no originating record in flight,
+		// so they carry no trace root.
+		if err := processCritical(cp, obs.Span{}); err != nil {
 			return sum, err
 		}
 	}

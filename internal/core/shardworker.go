@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"datacron/internal/flp"
@@ -19,9 +20,22 @@ import (
 // single-shard checkpoint format identical to pre-shard pipelines.
 var shardOps = []string{"synopses", "area", "flp"}
 
+// workerIn is one record on its way to a shard worker, together with its
+// trace context: root is the sampled record's span tree root (the zero
+// Span for the unsampled majority — every child it spawns no-ops), submit
+// is the in-flight queue-wait span the worker closes when it picks the
+// record up (zero on the serial path, which has no queue).
+type workerIn struct {
+	rec    msg.Record
+	root   obs.Span
+	submit obs.Span
+}
+
 // workerOut is one record's shard-local result, applied by the coordinator
 // in submit order. Every submitted record yields exactly one workerOut, so
 // the merged stream is position-for-position identical to a serial run.
+// root carries the record's span tree root back to the coordinator, which
+// parents the serial-stage spans (cer, emit) to it and ends it.
 type workerOut struct {
 	ok         bool            // unmarshal succeeded
 	rep        mobility.Report // decoded report
@@ -29,6 +43,29 @@ type workerOut struct {
 	areaEvents int64           // low-level events detected at this report
 	pred       []geo.Point     // future locations, nil when not predicted
 	cps        []synopses.CriticalPoint
+	root       obs.Span
+}
+
+// newWorkerIn wraps one polled record for a shard worker and decides trace
+// sampling. A sampled record gets a root "record" span annotated with its
+// mover and partition, an already-closed "ingest" child covering the broker
+// dwell (event time → coordinator pickup), and — when the record is headed
+// for a plane queue — an open "submit" child the worker closes on pickup.
+// The unsampled majority carries the zero Span, so every downstream stage
+// span no-ops.
+func (p *Pipeline) newWorkerIn(rec msg.Record, queued bool) workerIn {
+	in := workerIn{rec: rec}
+	if !p.sampler.Admit() {
+		return in
+	}
+	in.root = p.tracer.StartSpan("record",
+		obs.Attr{Key: "mover", Value: rec.Key},
+		obs.Attr{Key: "partition", Value: strconv.Itoa(rec.Partition)})
+	in.root.ChildAt("ingest", rec.Time).End()
+	if queued {
+		in.submit = in.root.Child("submit")
+	}
+	return in
 }
 
 // shardWorker is one shard's operator chain: exactly the per-trajectory
@@ -39,12 +76,15 @@ type workerOut struct {
 // broker output) stay on the coordinator.
 type shardWorker struct {
 	shard      int
+	shardAttr  obs.Attr // "shard"=<i>, stamped on this worker's stage spans
 	sg         *synopses.Generator
 	areaMon    *lowlevel.AreaMonitor
 	predictors map[string]flp.Predictor
 	sample     time.Duration
 	steps      int
 	mRecords   *obs.Counter // "shard.<i>.records" in the pipeline registry
+	clock      obs.Clock
+	lagDecode  obs.LagStage // "lag.decode.*" in the worker's own registry
 }
 
 func (p *Pipeline) newShardWorker(shard int, reg *obs.Registry) *shardWorker {
@@ -52,25 +92,35 @@ func (p *Pipeline) newShardWorker(shard int, reg *obs.Registry) *shardWorker {
 	sg.Instrument(reg)
 	return &shardWorker{
 		shard:      shard,
+		shardAttr:  obs.Attr{Key: "shard", Value: fmt.Sprintf("%d", shard)},
 		sg:         sg,
 		areaMon:    lowlevel.NewAreaMonitor(p.cfg.Regions, 64),
 		predictors: map[string]flp.Predictor{},
 		sample:     p.cfg.SampleInterval,
 		steps:      p.cfg.PredictSteps,
 		mRecords:   p.obs.Counter(fmt.Sprintf("shard.%d.records", shard)),
+		clock:      reg.Clock(),
+		lagDecode:  obs.NewLagStage(reg, "decode"),
 	}
 }
 
 // Process runs the shard-local stages for one raw record.
-func (w *shardWorker) Process(rec msg.Record) workerOut {
+func (w *shardWorker) Process(in workerIn) workerOut {
+	in.submit.End() // queue wait, coordinator submit → worker pickup
 	w.mRecords.Inc()
-	r, err := mobility.UnmarshalReport(rec.Value)
+	decodeSpan := in.root.Child("decode", w.shardAttr)
+	r, err := mobility.UnmarshalReport(in.rec.Value)
+	decodeSpan.End()
 	if err != nil {
-		return workerOut{} // corrupt record: dropped by the cleaning stage
+		// Corrupt record: dropped by the cleaning stage. The trace root
+		// still travels back so the coordinator ends it.
+		return workerOut{root: in.root}
 	}
-	out := workerOut{ok: true, rep: r, valid: r.Valid()}
+	w.lagDecode.Observe(w.clock.Now(), r.Time)
+	out := workerOut{ok: true, rep: r, valid: r.Valid(), root: in.root}
 	if out.valid {
 		out.areaEvents = int64(len(w.areaMon.Update(r)))
+		flpSpan := in.root.Child("flp", w.shardAttr)
 		pred, ok := w.predictors[r.ID]
 		if !ok {
 			pred = flp.NewRMFStar(w.sample)
@@ -78,8 +128,11 @@ func (w *shardWorker) Process(rec msg.Record) workerOut {
 		}
 		pred.Observe(r)
 		out.pred = pred.Predict(w.steps)
+		flpSpan.End()
 	}
+	synSpan := in.root.Child("synopses", w.shardAttr)
 	out.cps = w.sg.Process(r)
+	synSpan.End()
 	return out
 }
 

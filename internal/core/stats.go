@@ -9,6 +9,7 @@ import (
 	"datacron/internal/msg"
 	"datacron/internal/obs"
 	"datacron/internal/obs/export"
+	"datacron/internal/obs/slo"
 	"datacron/internal/shard"
 	"datacron/internal/synopses"
 )
@@ -40,6 +41,8 @@ type PipelineStats struct {
 	// serial runs): live progress, queue depth and per-shard synopses
 	// counters.
 	Shards []ShardStats
+	// SLO is each freshness objective's standing (nil without WithSLO).
+	SLO []slo.Status
 }
 
 // ShardStats is one worker's live view in a sharded run: plane progress
@@ -60,6 +63,7 @@ func (p *Pipeline) Stats() PipelineStats {
 	s := PipelineStats{
 		Metrics: p.MergedSnapshot(),
 		Broker:  p.Broker.Stats(),
+		SLO:     p.slos.Status(),
 	}
 	p.mu.Lock()
 	s.Synopses = p.lastSyn
@@ -123,6 +127,7 @@ type StatzPayload struct {
 	Summary  Summary             `json:"summary"`
 	Flow     FlowStats           `json:"flow"`
 	Shards   []ShardStats        `json:"shards,omitempty"`
+	SLO      []slo.Status        `json:"slo,omitempty"`
 }
 
 // Statz converts the stats to the /statz wire form.
@@ -136,6 +141,7 @@ func (s PipelineStats) Statz() StatzPayload {
 		Summary:  s.Summary,
 		Flow:     s.Flow,
 		Shards:   s.Shards,
+		SLO:      s.SLO,
 	}
 }
 

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"datacron/internal/core"
+	"datacron/internal/geo"
+	"datacron/internal/mobility"
+	"datacron/internal/obs"
+)
+
+// lagStages are the per-stage freshness families the latency experiment
+// reports, in pipeline order: admission, broker dwell, shard-worker decode,
+// coordinator apply, future-location prediction, critical-point emission.
+var lagStages = []string{"ingest", "queue", "decode", "process", "predict", "emit"}
+
+// LatencyRow is one (load, shards, stage) point of the freshness sweep.
+type LatencyRow struct {
+	Load   int    // offered load as a multiple of the service budget
+	Shards int    // shard workers the pipeline ran with
+	Stage  string // lag family, e.g. "decode" for lag.decode.seconds
+	Count  int64  // observations in the (merged) histogram
+	P50    time.Duration
+	P99    time.Duration
+	Max    time.Duration // freshness watermark: lag.<stage>.max_seconds
+	Wall   time.Duration // real time of the whole run this row came from
+}
+
+// LatencyResult is the event-time latency-attribution experiment: per-stage
+// lag quantiles at three offered-load levels, serial vs. sharded.
+type LatencyResult struct {
+	Step      time.Duration // virtual time consumed per clock read
+	BaseGap   time.Duration // inter-record event-time gap at load 1x
+	Records   int           // records per run
+	Rows      []LatencyRow
+	Identical bool // every sharded run's output byte-identical to serial
+}
+
+// BenchRows converts the sweep into benchrunner's JSON rows, one per
+// (load, shards, stage), so BENCH_latency.json records where event-time
+// latency accumulates as load grows.
+func (r *LatencyResult) BenchRows() []Row {
+	rows := make([]Row, 0, len(r.Rows))
+	for _, l := range r.Rows {
+		rows = append(rows, Row{
+			Name:        fmt.Sprintf("latency/load=%dx/shards=%d/%s", l.Load, l.Shards, l.Stage),
+			WallSeconds: l.Wall.Seconds(),
+			Records:     l.Count,
+			P50Seconds:  l.P50.Seconds(),
+			P99Seconds:  l.P99.Seconds(),
+			MaxSeconds:  l.Max.Seconds(),
+		})
+	}
+	return rows
+}
+
+// steppingClock is a virtual time source for deterministic freshness
+// measurement: every Now() advances time by one fixed step, so "processing
+// time" is the number of clock reads the pipeline has spent. Offered load is
+// then expressed purely in event time — records whose event-time gap is
+// large relative to the per-record clock budget arrive fresh, records packed
+// tighter than the pipeline's clock consumption fall ever further behind,
+// exactly like a consumer lagging a real stream. Safe for concurrent use
+// (shard workers share it); the pipeline's output does not depend on read
+// interleaving, only the lag readings do.
+type steppingClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *steppingClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// latencyWorkload builds a deterministic fleet for the freshness sweep:
+// movers on slowly turning tracks whose speed toggles every 16 reports, so
+// the synopses stage keeps emitting speed-change and turn critical points
+// (feeding the emit/predict lag families). Reports interleave movers
+// round-robin with a uniform event-time gap — the offered load.
+func latencyWorkload(n, movers int, gap time.Duration) []mobility.Report {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	type track struct {
+		pos     geo.Point
+		heading float64
+	}
+	tracks := make([]track, movers)
+	for m := range tracks {
+		tracks[m] = track{
+			pos:     geo.Pt(24+0.05*float64(m%8), 38+0.05*float64(m/8)),
+			heading: float64((m * 37) % 360),
+		}
+	}
+	perMover := gap * time.Duration(movers) // event-time interval between one mover's reports
+	reports := make([]mobility.Report, 0, n)
+	for i := 0; i < n; i++ {
+		m := i % movers
+		tr := &tracks[m]
+		speed := 8.0
+		if (i/movers/16)%2 == 1 {
+			speed = 18.0
+		}
+		// Integrate the track so distance/time agrees with the reported
+		// speed at every load level — otherwise the synopses noise filter
+		// would drop tightly packed reports as teleportation.
+		distM := speed * mobility.KnotsToMS * perMover.Seconds()
+		rad := tr.heading * math.Pi / 180
+		tr.pos.Lat += distM * math.Cos(rad) / 111_320
+		tr.pos.Lon += distM * math.Sin(rad) / (111_320 * math.Cos(tr.pos.Lat*math.Pi/180))
+		tr.heading = math.Mod(tr.heading+3, 360)
+		reports = append(reports, mobility.Report{
+			ID: fmt.Sprintf("lat-%02d", m), Time: base.Add(time.Duration(i) * gap),
+			Pos: tr.pos, SpeedKn: speed, Heading: tr.heading, Source: "synthetic",
+		})
+	}
+	return reports
+}
+
+// latencyPoint runs one (load, shards) pipeline over the workload on a
+// stepping clock and returns the pipeline (for output comparison), the
+// merged metric snapshot (shard lag families summed, watermarks maxed) and
+// the real wall time.
+func latencyPoint(reports []mobility.Report, shards int, step time.Duration) (*core.Pipeline, obs.Snapshot, time.Duration, error) {
+	clock := &steppingClock{now: reports[0].Time, step: step}
+	p, err := core.New(
+		core.WithDomain(mobility.Maritime),
+		core.WithObs(obs.NewRegistry(clock)),
+		core.WithShards(shards),
+		// Sample FLP well under the per-mover report interval so the
+		// predict lag family fills at every load level.
+		core.WithFLP(4, 100*time.Millisecond),
+	)
+	if err != nil {
+		return nil, obs.Snapshot{}, 0, err
+	}
+	if err := p.Ingest(context.Background(), reports); err != nil {
+		return nil, obs.Snapshot{}, 0, err
+	}
+	start := time.Now()
+	if _, err := p.RunRealTime(context.Background()); err != nil {
+		return nil, obs.Snapshot{}, 0, err
+	}
+	return p, p.MergedSnapshot(), time.Since(start), nil
+}
+
+// stageRows extracts one row per lag stage from a merged snapshot.
+func stageRows(snap obs.Snapshot, load, shards int, wall time.Duration) []LatencyRow {
+	rows := make([]LatencyRow, 0, len(lagStages))
+	for _, st := range lagStages {
+		row := LatencyRow{Load: load, Shards: shards, Stage: st, Wall: wall}
+		if h, ok := snap.Histogram("lag." + st + ".seconds"); ok && h.Count > 0 {
+			row.Count = h.Count
+			row.P50 = time.Duration(h.Quantile(0.5) * float64(time.Second))
+			row.P99 = time.Duration(h.Quantile(0.99) * float64(time.Second))
+		}
+		if g, ok := snap.Gauge("lag." + st + ".max_seconds"); ok {
+			row.Max = time.Duration(g * float64(time.Second))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunLatency attributes end-to-end event-time latency to pipeline stages
+// under rising load. Each run replays the same fleet on a stepping clock —
+// virtual processing time advances one step per clock read — with the
+// inter-record event-time gap divided by the load factor: at 1x the gap
+// exceeds the pipeline's per-record clock budget and every stage reads
+// fresh, at 16x records arrive faster than virtual time passes and the lag
+// histograms show where the backlog accumulates. Every load level runs
+// serial and with 4 shards; sharded output must stay byte-identical and its
+// lag families arrive merged across shard registries (counts summed,
+// freshness watermarks maxed).
+func RunLatency(w io.Writer, scale Scale) (*LatencyResult, error) {
+	const (
+		movers  = 32
+		step    = time.Millisecond
+		baseGap = 64 * step
+	)
+	n := 12_000
+	if scale == Full {
+		n = 48_000
+	}
+	res := &LatencyResult{Step: step, BaseGap: baseGap, Records: n, Identical: true}
+	for _, load := range []int{1, 4, 16} {
+		reports := latencyWorkload(n, movers, baseGap/time.Duration(load))
+		serial, snap1, wall1, err := latencyPoint(reports, 1, step)
+		if err != nil {
+			return nil, err
+		}
+		sharded, snap4, wall4, err := latencyPoint(reports, 4, step)
+		if err != nil {
+			return nil, err
+		}
+		same, err := identicalOutputs(serial.Broker, sharded.Broker)
+		if err != nil {
+			return nil, err
+		}
+		if !same {
+			res.Identical = false
+			return res, fmt.Errorf("experiments: load=%dx sharded output diverged from serial", load)
+		}
+		// The merged view must carry the shard-local lag families: the
+		// decode stage runs on shard workers, so its merged count has to
+		// match the serial run record for record.
+		c1, _ := snap1.Histogram("lag.decode.seconds")
+		c4, _ := snap4.Histogram("lag.decode.seconds")
+		if c1.Count != c4.Count {
+			return res, fmt.Errorf("experiments: load=%dx merged lag.decode count %d != serial %d",
+				load, c4.Count, c1.Count)
+		}
+		if _, ok := snap4.Histogram("shard.0.lag.decode.seconds"); !ok {
+			return res, fmt.Errorf("experiments: load=%dx merged snapshot missing per-shard lag family", load)
+		}
+		res.Rows = append(res.Rows, stageRows(snap1, load, 1, wall1)...)
+		res.Rows = append(res.Rows, stageRows(snap4, load, 4, wall4)...)
+	}
+
+	fmt.Fprintf(w, "Freshness sweep — %d records, %d movers, step=%s, gap=%s/load, scale=%s\n",
+		res.Records, movers, step, baseGap, scale)
+	fmt.Fprintf(w, "%6s %7s %8s %8s %10s %10s %10s\n",
+		"load", "shards", "stage", "count", "p50", "p99", "max")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%5dx %7d %8s %8d %10s %10s %10s\n",
+			r.Load, r.Shards, r.Stage, r.Count,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.Max.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "the median is the signal (the stream head pays the batch-ingest clock debt, which dominates p99 at low load): at 1x every stage reads fresh at p50, at 16x virtual time outruns the stream and each successive stage inherits the accumulated lag — sharded output stayed byte-identical with lag families merged across shard registries\n")
+	return res, nil
+}

@@ -51,6 +51,11 @@ type Row struct {
 	P99Seconds    float64 `json:"p99Seconds,omitempty"`
 	ShedRecords   int64   `json:"shedRecords,omitempty"`
 	MaxQueueDepth int64   `json:"maxQueueDepth,omitempty"`
+
+	// Latency-sweep fields, set only by the latency experiment (which also
+	// reuses P99Seconds for the stage's tail lag).
+	P50Seconds float64 `json:"p50Seconds,omitempty"`
+	MaxSeconds float64 `json:"maxSeconds,omitempty"`
 }
 
 // MetricsRow snapshots the shared registry into one Row and resets it so

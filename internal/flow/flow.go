@@ -135,6 +135,11 @@ type Shedder struct {
 	shedBulk *obs.Counter
 	shedStd  *obs.Counter
 	level    *obs.Gauge
+	// Per-priority freshness accounting at the admission boundary: how
+	// stale each class of record already is when it is allowed in. Indexed
+	// by Priority; clock comes from the registry so simulated time works.
+	clock obs.Clock
+	lag   [3]obs.LagStage
 }
 
 // NewShedder builds a shedder with low/high backlog watermarks and the
@@ -155,6 +160,12 @@ func NewShedder(low, high int, coverage time.Duration, reg *obs.Registry) *Shedd
 		shedBulk: reg.Counter("flow.shed.bulk"),
 		shedStd:  reg.Counter("flow.shed.standard"),
 		level:    reg.Gauge("flow.level"),
+		clock:    reg.Clock(),
+		lag: [3]obs.LagStage{
+			Bulk:     obs.NewLagStage(reg, "ingest.bulk"),
+			Standard: obs.NewLagStage(reg, "ingest.standard"),
+			Critical: obs.NewLagStage(reg, "ingest.critical"),
+		},
 	}
 }
 
@@ -207,6 +218,12 @@ func (s *Shedder) Admit(id string, t time.Time, depth int) error {
 	}
 	s.stats.Admitted++
 	s.admitted.Inc()
+	// Freshness at admission, per priority class ("lag.ingest.<class>.*"):
+	// only admitted records are observed — a shed record never enters the
+	// pipeline, so it has no freshness budget to account for.
+	if pri >= 0 && int(pri) < len(s.lag) {
+		s.lag[pri].Observe(s.clock.Now(), t)
+	}
 	return nil
 }
 

@@ -55,13 +55,14 @@ func (c Config) withDefaults() Config {
 type Watchdog struct {
 	reg *obs.Registry
 
-	mu       sync.Mutex
-	checkers []Checker
-	cp       *checkpointChecker
-	prev     obs.Snapshot
-	havePrev bool
-	results  []Result
-	ticks    int64
+	mu         sync.Mutex
+	checkers   []Checker
+	cp         *checkpointChecker
+	snapshotFn func() obs.Snapshot
+	prev       obs.Snapshot
+	havePrev   bool
+	results    []Result
+	ticks      int64
 }
 
 // NewWatchdog builds a watchdog over reg with the built-in checkers
@@ -94,6 +95,20 @@ func (w *Watchdog) Register(c Checker) {
 	w.checkers = append(w.checkers, c)
 }
 
+// SetSnapshotFunc overrides how Tick reads the metric state. The core
+// pipeline points it at its merged view (main registry plus per-shard
+// worker registries), so checkers — notably the SLO freshness tracker —
+// see shard-local lag families that never appear in the main registry.
+// Nil restores the default (the constructor registry).
+func (w *Watchdog) SetSnapshotFunc(fn func() obs.Snapshot) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.snapshotFn = fn
+}
+
 // SetCheckpointInterval arms the checkpoint-age rule: captures older than
 // interval times the configured slack mark the checkpoint component
 // unhealthy. A non-positive interval disarms it.
@@ -114,7 +129,15 @@ func (w *Watchdog) Tick() {
 	if w == nil {
 		return
 	}
-	cur := w.reg.Snapshot()
+	w.mu.Lock()
+	snap := w.snapshotFn
+	w.mu.Unlock()
+	var cur obs.Snapshot
+	if snap != nil {
+		cur = snap()
+	} else {
+		cur = w.reg.Snapshot()
+	}
 	w.mu.Lock()
 	prev := w.prev
 	if !w.havePrev {

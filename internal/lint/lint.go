@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 		obsclockAnalyzer,
 		sharddeterminismAnalyzer,
 		snapshotpairAnalyzer,
+		spanendAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

@@ -176,6 +176,19 @@ func TestObsClockOutOfScope(t *testing.T) {
 	}
 }
 
+func TestSpanEnd(t *testing.T) {
+	runFixture(t, "spanend", "spanend", "datacron/internal/core/lintfixture")
+}
+
+func TestSpanEndOutOfScope(t *testing.T) {
+	// The same fixture outside the instrumented scope must produce nothing:
+	// experiments and CLIs may drop spans freely (they never have a tracer).
+	p := loadFixture(t, "spanend", "datacron/internal/experiments/lintfixture")
+	if diags := Lookup("spanend").Run(p); len(diags) != 0 {
+		t.Fatalf("spanend fired outside the instrumented scope: %v", diags)
+	}
+}
+
 func TestLockSafety(t *testing.T) {
 	runFixture(t, "locksafety", "locksafety", "datacron/internal/lintfixture/locksafety")
 }

@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var spanendAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc: "flags obs spans (Tracer.Start*/Span.Child*) held in a local variable " +
+		"that can reach a return or the end of the function without End() or a " +
+		"deferred End() in instrumented packages; an unended span never reaches " +
+		"the flight-recorder ring, so the trace silently loses the stage",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(p *Package) []Diagnostic {
+	if !inInstrumentedScope(p) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					diags = append(diags, checkSpanPaths(p, n.Body)...)
+				}
+			case *ast.FuncLit:
+				diags = append(diags, checkSpanPaths(p, n.Body)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isObsSpanType reports whether t is the obs package's Span type.
+func isObsSpanType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// spanCreatingCall reports whether call constructs a live span: a method of
+// the obs package (Tracer.Start, Tracer.StartSpan, Span.Child, Span.ChildAt,
+// …) whose single result is obs.Span. A zero obs.Span composite literal is
+// not a creation — it no-ops every method, so losing it loses nothing.
+func spanCreatingCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isObsSpanType(sig.Results().At(0).Type())
+}
+
+// spanEndCall returns the tracked receiver object when call is sp.End() on a
+// plain identifier.
+func spanEndCall(p *Package, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// liveSpan records where a tracked span was started.
+type liveSpan struct {
+	pos  token.Pos
+	name string
+}
+
+// spanPathState is the abstract state threaded through one function body:
+// span variables started but not yet ended, and those with a deferred End.
+type spanPathState struct {
+	live     map[types.Object]liveSpan
+	deferred map[types.Object]bool
+}
+
+func newSpanPathState() *spanPathState {
+	return &spanPathState{live: make(map[types.Object]liveSpan), deferred: make(map[types.Object]bool)}
+}
+
+func (s *spanPathState) clone() *spanPathState {
+	c := newSpanPathState()
+	for k, v := range s.live {
+		c.live[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// absorb unions another continuing path's state into s, keeping the earliest
+// start position for spans live on both paths.
+func (s *spanPathState) absorb(o *spanPathState) {
+	for k, v := range o.live {
+		if cur, ok := s.live[k]; !ok || v.pos < cur.pos {
+			s.live[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+// spanWalker walks one function body, tracking span variables the way
+// lockWalker tracks mutexes. It is conservative about escapes: a span used
+// as anything other than a method-call receiver (argument, return value,
+// field store, closure capture) leaves the tracked set, since End may happen
+// elsewhere.
+type spanWalker struct {
+	p     *Package
+	diags []Diagnostic
+}
+
+func checkSpanPaths(p *Package, body *ast.BlockStmt) []Diagnostic {
+	w := &spanWalker{p: p}
+	st := newSpanPathState()
+	if terminated := w.walkSpanStmts(body.List, st); !terminated {
+		w.reportLive(body.Rbrace, "the end of the function", st)
+	}
+	return w.diags
+}
+
+func (w *spanWalker) reportLive(pos token.Pos, where string, st *spanPathState) {
+	for obj, sp := range st.live {
+		if !st.deferred[obj] {
+			w.diags = append(w.diags, w.p.diag("spanend", pos,
+				"span %q (started at line %d) can reach %s without End() or a deferred End(); the span never completes and drops out of the trace",
+				sp.name, w.p.position(sp.pos).Line, where))
+		}
+	}
+}
+
+func (w *spanWalker) walkSpanStmts(stmts []ast.Stmt, st *spanPathState) bool {
+	for _, s := range stmts {
+		if w.walkSpanStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *spanWalker) walkSpanStmt(stmt ast.Stmt, st *spanPathState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			break
+		}
+		if obj := spanEndCall(w.p, call); obj != nil {
+			if _, tracked := st.live[obj]; tracked {
+				w.escapeScan(call.Args, st) // End's args may still use other spans
+				delete(st.live, obj)
+				return false
+			}
+		}
+		if spanCreatingCall(w.p, call) {
+			w.diags = append(w.diags, w.p.diag("spanend", call.Pos(),
+				"span-creating call's result is discarded; the span can never be ended and drops out of the trace"))
+			w.escapeScan(call.Args, st)
+			return false
+		}
+		if isPanicCall(call) {
+			return true
+		}
+		w.escapeScan(s.X, st)
+	case *ast.AssignStmt:
+		// Scan the RHSs for escaping uses first, then track fresh spans
+		// assigned to plain locals.
+		for _, rhs := range s.Rhs {
+			w.escapeScan(rhs, st)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !spanCreatingCall(w.p, call) {
+					continue
+				}
+				id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue // stored in a field/index: escapes
+				}
+				if id.Name == "_" {
+					w.diags = append(w.diags, w.p.diag("spanend", call.Pos(),
+						"span-creating call's result is discarded; the span can never be ended and drops out of the trace"))
+					continue
+				}
+				obj := w.p.Info.Defs[id]
+				if obj == nil {
+					obj = w.p.Info.Uses[id]
+				}
+				if obj != nil {
+					st.live[obj] = liveSpan{pos: call.Pos(), name: id.Name}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.escapeScan(v, st)
+				}
+				if len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, v := range vs.Values {
+					call, ok := ast.Unparen(v).(*ast.CallExpr)
+					if !ok || !spanCreatingCall(w.p, call) {
+						continue
+					}
+					if obj := w.p.Info.Defs[vs.Names[i]]; obj != nil {
+						st.live[obj] = liveSpan{pos: call.Pos(), name: vs.Names[i].Name}
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		for _, obj := range deferredSpanEnds(w.p, s.Call) {
+			st.deferred[obj] = true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.escapeScan(r, st)
+		}
+		w.reportLive(s.Pos(), "this return", st)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treat as a
+		// terminated path rather than model label targets.
+		return true
+	case *ast.BlockStmt:
+		return w.walkSpanStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkSpanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkSpanStmt(s.Init, st)
+		}
+		w.escapeScan(s.Cond, st)
+		bodySt := st.clone()
+		bodyTerm := w.walkSpanStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkSpanStmt(s.Else, elseSt)
+		}
+		if bodyTerm && elseTerm {
+			return true
+		}
+		st.live = make(map[types.Object]liveSpan)
+		if !bodyTerm {
+			st.absorb(bodySt)
+		}
+		if !elseTerm {
+			st.absorb(elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkSpanStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.escapeScan(s.Cond, st)
+		}
+		bodySt := st.clone()
+		w.walkSpanStmts(s.Body.List, bodySt)
+		st.absorb(bodySt) // the loop may run zero or more times
+	case *ast.RangeStmt:
+		w.escapeScan(s.X, st)
+		bodySt := st.clone()
+		w.walkSpanStmts(s.Body.List, bodySt)
+		st.absorb(bodySt)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			w.escapeScan(s.Tag, st)
+		}
+		return w.walkSpanCases(s.Init, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return w.walkSpanCases(s.Init, s.Body, st)
+	case *ast.SelectStmt:
+		return w.walkSpanCases(nil, s.Body, st)
+	case *ast.GoStmt:
+		// Runs elsewhere; captures count as escapes, its own spans are
+		// analyzed through its FuncLit.
+		w.escapeScan(s.Call, st)
+	}
+	return false
+}
+
+// walkSpanCases interprets switch/select clause bodies on forked states and
+// unions the continuing ones.
+func (w *spanWalker) walkSpanCases(init ast.Stmt, body *ast.BlockStmt, st *spanPathState) bool {
+	if init != nil {
+		w.walkSpanStmt(init, st)
+	}
+	hasDefault := false
+	var continuing []*spanPathState
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		default:
+			continue
+		}
+		caseSt := st.clone()
+		if !w.walkSpanStmts(stmts, caseSt) {
+			continuing = append(continuing, caseSt)
+		}
+	}
+	if hasDefault && len(continuing) == 0 && len(body.List) > 0 {
+		return true
+	}
+	if !hasDefault {
+		continuing = append(continuing, st.clone())
+	}
+	st.live = make(map[types.Object]liveSpan)
+	for _, c := range continuing {
+		st.absorb(c)
+	}
+	return false
+}
+
+// escapeScan untracks every span variable used as anything other than the
+// receiver of a method call: passed as an argument, returned, stored into a
+// field, captured by a closure. End may legitimately happen wherever the
+// value went, so the walker stops claiming to know its fate.
+func (w *spanWalker) escapeScan(node any, st *spanPathState) {
+	if len(st.live) == 0 {
+		return
+	}
+	// Selector bases (sp.Child(...), sp.End(), sp.ID) are the benign uses:
+	// method calls and field reads keep the span in this function's hands.
+	benign := make(map[*ast.Ident]bool)
+	mark := func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if sel, ok := x.(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					benign[id] = true
+				}
+			}
+			return true
+		})
+	}
+	scan := func(n ast.Node) {
+		mark(n)
+		ast.Inspect(n, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok || benign[id] {
+				return true
+			}
+			obj := w.p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := st.live[obj]; tracked {
+				delete(st.live, obj)
+			}
+			return true
+		})
+	}
+	switch n := node.(type) {
+	case nil:
+	case ast.Node:
+		scan(n)
+	case []ast.Expr:
+		for _, e := range n {
+			scan(e)
+		}
+	}
+}
+
+// deferredSpanEnds returns the span objects a deferred call ends: either a
+// direct defer sp.End(), or End calls inside a deferred closure.
+func deferredSpanEnds(p *Package, call *ast.CallExpr) []types.Object {
+	if obj := spanEndCall(p, call); obj != nil {
+		return []types.Object{obj}
+	}
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var objs []types.Object
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if obj := spanEndCall(p, c); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}

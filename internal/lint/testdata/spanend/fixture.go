@@ -1,0 +1,116 @@
+// Package fixture exercises the spanend analyzer against the real obs span
+// API: spans must reach End() (directly or deferred) on every path, or
+// visibly escape to an owner who ends them elsewhere.
+package fixture
+
+import (
+	"errors"
+
+	"datacron/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// endedOnEveryPath is clean: the happy path and the error path both End.
+func endedOnEveryPath(t *obs.Tracer, fail bool) error {
+	sp := t.Start("work")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// deferredEnd is clean: defer covers every path.
+func deferredEnd(t *obs.Tracer) error {
+	sp := t.Start("work")
+	defer sp.End()
+	if sp.ID() != 0 {
+		return errBoom
+	}
+	return nil
+}
+
+// deferredClosureEnd is clean: the End lives inside a deferred closure.
+func deferredClosureEnd(t *obs.Tracer) {
+	sp := t.Start("work")
+	defer func() {
+		sp.End()
+	}()
+}
+
+func leakOnErrorPath(t *obs.Tracer, fail bool) error {
+	sp := t.Start("work")
+	if fail {
+		return errBoom // want "can reach this return without End"
+	}
+	sp.End()
+	return nil
+}
+
+func leakAtFunctionEnd(t *obs.Tracer) {
+	sp := t.Start("work")
+	_ = sp.ID() // a method call is benign: the span stays tracked
+} // want "can reach the end of the function without End"
+
+func discarded(t *obs.Tracer) {
+	t.Start("work") // want "result is discarded"
+}
+
+func discardedBlank(t *obs.Tracer) {
+	_ = t.Start("work") // want "result is discarded"
+}
+
+func childLeaks(t *obs.Tracer, root obs.Span) {
+	child := root.Child("stage")
+	if child.ID() == 0 {
+		return // want "can reach this return without End"
+	}
+	child.End()
+}
+
+// chainedEnd is clean: the span is created and ended in one expression.
+func chainedEnd(root obs.Span) {
+	root.Child("stage").End()
+}
+
+// escapesAsReturn is clean: the caller owns the span's lifecycle.
+func escapesAsReturn(t *obs.Tracer) obs.Span {
+	sp := t.Start("work")
+	return sp
+}
+
+// escapesAsArg is clean: holdSpan may end it.
+func escapesAsArg(t *obs.Tracer) {
+	sp := t.Start("work")
+	holdSpan(sp)
+}
+
+// escapesIntoStruct is clean: the span outlives the function by design.
+func escapesIntoStruct(t *obs.Tracer, box *spanBox) {
+	sp := t.Start("work")
+	box.sp = sp
+}
+
+// switchLeak ends the span in one case but not the other.
+func switchLeak(t *obs.Tracer, mode int) {
+	sp := t.Start("work")
+	switch mode {
+	case 0:
+		sp.End()
+	default:
+	}
+} // want "can reach the end of the function without End"
+
+// loopClean creates and ends a span per iteration.
+func loopClean(t *obs.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		sp := t.Start("iteration")
+		sp.End()
+	}
+}
+
+type spanBox struct{ sp obs.Span }
+
+func holdSpan(obs.Span) {}

@@ -172,11 +172,12 @@ type Consumer struct {
 // resolves names. Lag is a gauge keyed by group/topic: the latest reading
 // wins, which is what a rebalancing group wants.
 type consumerMetrics struct {
-	clock   obs.Clock
-	polls   *obs.Counter
-	records *obs.Counter
-	latency *obs.Histogram
-	lag     *obs.Gauge
+	clock    obs.Clock
+	polls    *obs.Counter
+	records  *obs.Counter
+	latency  *obs.Histogram
+	lag      *obs.Gauge
+	queueLag obs.LagStage
 }
 
 func newConsumerMetrics(reg *obs.Registry, groupID, topicName string) *consumerMetrics {
@@ -186,6 +187,10 @@ func newConsumerMetrics(reg *obs.Registry, groupID, topicName string) *consumerM
 		records: reg.Counter("msg.poll.records"),
 		latency: reg.Histogram("msg.poll.seconds"),
 		lag:     reg.Gauge("msg.lag." + groupKey(groupID, topicName)),
+		// Event-time dwell at the moment of delivery: how stale each record
+		// already is when the consumer picks it up ("lag.queue.*") —
+		// upstream staleness plus broker residency, before any processing.
+		queueLag: obs.NewLagStage(reg, "queue"),
 	}
 }
 
@@ -268,6 +273,10 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 	if n := int64(len(recs)); n > 0 {
 		c.polled += n
 		c.m.records.Add(n)
+		now := c.m.clock.Now()
+		for i := range recs {
+			c.m.queueLag.Observe(now, recs[i].Time)
+		}
 	}
 	if lag, lerr := c.Lag(); lerr == nil {
 		c.m.lag.Set(float64(lag))

@@ -1,0 +1,90 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// SpanJSON is the wire form of one completed span: flat (parent-linked by
+// ID) for the JSONL export and the default /traces listing, optionally
+// nested for the /traces?span_tree=1 view.
+type SpanJSON struct {
+	ID              int64             `json:"id"`
+	Parent          int64             `json:"parent,omitempty"`
+	Name            string            `json:"name"`
+	Start           time.Time         `json:"start"`
+	DurationSeconds float64           `json:"durationSeconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	Children        []*SpanJSON       `json:"children,omitempty"`
+}
+
+// JSONSpan converts one span record (without children).
+func JSONSpan(r obs.SpanRecord) SpanJSON {
+	s := SpanJSON{
+		ID:              r.ID,
+		Parent:          r.Parent,
+		Name:            r.Name,
+		Start:           r.Start,
+		DurationSeconds: r.Duration.Seconds(),
+	}
+	if len(r.Attrs) > 0 {
+		s.Attrs = make(map[string]string, len(r.Attrs))
+		for _, a := range r.Attrs {
+			s.Attrs[a.Key] = a.Value
+		}
+	}
+	return s
+}
+
+// JSONSpans converts a span slice, preserving order (Tracer.Recent hands
+// them over oldest first — the contract holds across ring wraparound).
+func JSONSpans(recs []obs.SpanRecord) []SpanJSON {
+	out := make([]SpanJSON, len(recs))
+	for i, r := range recs {
+		out[i] = JSONSpan(r)
+	}
+	return out
+}
+
+// SpanTrees reassembles the flat, completion-ordered span slice into
+// trees: each span is attached to its parent when the parent is present,
+// and becomes a root otherwise (true roots have Parent 0; orphans whose
+// parent was evicted from the ring — or has not completed yet — surface
+// as roots rather than vanishing). Children keep completion order, and
+// roots appear oldest first.
+func SpanTrees(recs []obs.SpanRecord) []*SpanJSON {
+	nodes := make([]*SpanJSON, len(recs))
+	byID := make(map[int64]*SpanJSON, len(recs))
+	for i, r := range recs {
+		n := new(SpanJSON)
+		*n = JSONSpan(r)
+		nodes[i] = n
+		byID[r.ID] = n
+	}
+	var roots []*SpanJSON
+	for i, r := range recs {
+		if p, ok := byID[r.Parent]; ok && r.Parent != 0 {
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// WriteSpansJSONL writes one JSON object per line per span, in the given
+// (oldest-first) order — the flight-recorder dump format for offline
+// analysis: `jq 'select(.name=="record")'` and friends work line by line
+// without loading the whole trace.
+func WriteSpansJSONL(w io.Writer, recs []obs.SpanRecord) error {
+	enc := json.NewEncoder(w) // Encode appends the newline: one span per line
+	for _, r := range recs {
+		if err := enc.Encode(JSONSpan(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

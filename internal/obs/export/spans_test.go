@@ -1,0 +1,101 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"datacron/internal/obs"
+)
+
+// spanFixture is one completed record tree plus an orphan whose parent fell
+// off the ring, in completion order (children before parents).
+func spanFixture() []obs.SpanRecord {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return []obs.SpanRecord{
+		{ID: 9, Parent: 3, Name: "orphaned-child", Start: start, Duration: time.Millisecond},
+		{ID: 11, Parent: 10, Name: "decode", Start: start, Duration: 2 * time.Millisecond,
+			Attrs: []obs.Attr{{Key: "shard", Value: "1"}}},
+		{ID: 12, Parent: 10, Name: "emit", Start: start, Duration: time.Millisecond},
+		{ID: 10, Parent: 0, Name: "record", Start: start, Duration: 5 * time.Millisecond,
+			Attrs: []obs.Attr{{Key: "mover", Value: "m7"}, {Key: "partition", Value: "2"}}},
+	}
+}
+
+func TestSpanTreesNestByParent(t *testing.T) {
+	trees := SpanTrees(spanFixture())
+	if len(trees) != 2 {
+		t.Fatalf("got %d roots, want 2 (the record tree and the orphan)", len(trees))
+	}
+	// Roots keep completion order: the orphan completed first.
+	if trees[0].Name != "orphaned-child" || trees[0].Parent != 3 {
+		t.Fatalf("trees[0] = %+v, want the orphan promoted to root (its parent evicted)", trees[0])
+	}
+	rec := trees[1]
+	if rec.Name != "record" || len(rec.Children) != 2 {
+		t.Fatalf("record tree = %+v, want 2 children", rec)
+	}
+	if rec.Children[0].Name != "decode" || rec.Children[1].Name != "emit" {
+		t.Errorf("children order = %s,%s, want completion order decode,emit",
+			rec.Children[0].Name, rec.Children[1].Name)
+	}
+	if rec.Attrs["mover"] != "m7" || rec.Children[0].Attrs["shard"] != "1" {
+		t.Errorf("attrs lost in tree form: root=%v child=%v", rec.Attrs, rec.Children[0].Attrs)
+	}
+	if rec.DurationSeconds != 0.005 {
+		t.Errorf("root duration = %v, want 0.005", rec.DurationSeconds)
+	}
+}
+
+func TestJSONSpansCarryParentAndAttrs(t *testing.T) {
+	spans := JSONSpans(spanFixture())
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	data, err := json.Marshal(spans[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"parent":10`, `"name":"decode"`, `"shard":"1"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("decode span JSON %s missing %s", data, want)
+		}
+	}
+	// The flat form must not nest.
+	if strings.Contains(string(data), "children") {
+		t.Errorf("flat span JSON unexpectedly nests: %s", data)
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, spanFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for i, line := range lines {
+		var span SpanJSON
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+	}
+	// Oldest first, same order as the input ring dump.
+	var first SpanJSON
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != 9 {
+		t.Errorf("first line ID = %d, want 9 (completion order preserved)", first.ID)
+	}
+}
+
+func TestSpanTreesEmpty(t *testing.T) {
+	if trees := SpanTrees(nil); len(trees) != 0 {
+		t.Errorf("SpanTrees(nil) = %v, want empty", trees)
+	}
+}

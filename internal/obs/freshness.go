@@ -1,0 +1,48 @@
+package obs
+
+import "time"
+
+// Freshness accounting: every instrumented stage records how stale a
+// record is — processing time minus the record's event time — into a
+// per-stage lag histogram ("lag.<stage>.seconds") and raises the stage's
+// freshness watermark gauge ("lag.<stage>.max_seconds", see Gauge.Max and
+// the Merge watermark rule). The pair answers the time-critical question
+// the wall-clock stage timings cannot: how old was the position report by
+// the time this stage acted on it, and which stage ate the budget.
+
+// EventLag returns now − event in seconds, clamped at zero: a record
+// processed at or before its own event time (simulated clocks, skewed
+// sources) counts as perfectly fresh rather than negatively lagged, which
+// would corrupt histogram sums and quantiles.
+func EventLag(now, event time.Time) float64 {
+	lag := now.Sub(event).Seconds()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// LagStage bundles the two freshness handles of one stage. The zero value
+// and handles from a nil Registry are valid no-ops.
+type LagStage struct {
+	hist *Histogram
+	mark *Gauge
+}
+
+// NewLagStage resolves the "lag.<stage>.seconds" histogram and the
+// "lag.<stage>.max_seconds" watermark gauge for the named stage. Resolve
+// once at instrumentation time; Observe is lock-free.
+func NewLagStage(reg *Registry, stage string) LagStage {
+	return LagStage{
+		hist: reg.Histogram("lag." + stage + ".seconds"),
+		mark: reg.Gauge("lag." + stage + ".max_seconds"),
+	}
+}
+
+// Observe records one event-time lag observation (clamped at zero) and
+// raises the stage watermark.
+func (l LagStage) Observe(now, event time.Time) {
+	lag := EventLag(now, event)
+	l.hist.Observe(lag)
+	l.mark.Max(lag)
+}

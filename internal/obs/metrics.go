@@ -65,6 +65,25 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// Max raises the gauge to v if v exceeds the current reading — a
+// monotone high-water mark within one reset window. Freshness watermarks
+// ("lag.<stage>.max_seconds") use it: concurrent observers race only
+// upward, so the gauge converges on the true maximum.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge reading.
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -114,6 +133,25 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// observeN records the same value n times in one bucket update — the bulk
+// path for re-binning external histograms (runtime GC pauses), where per-
+// observation loops would scale with the process's GC history.
+func (h *Histogram) observeN(v float64, n int64) {
+	if h == nil || n <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {

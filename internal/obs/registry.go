@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -209,7 +210,10 @@ func (s Snapshot) Rate(name string) float64 {
 
 // Merge combines two snapshots — e.g. from partitioned workers: counters
 // and histograms are summed; for gauges, o's reading wins where both exist
-// (instantaneous values cannot be meaningfully added). Histograms with
+// (instantaneous values cannot be meaningfully added), except watermark
+// gauges — names ending in ".max_seconds" — which merge by maximum, so a
+// freshness watermark over merged shards is the worst lag across all of
+// them rather than whichever shard was merged last. Histograms with
 // mismatched bucket bounds keep the receiver's data. At/Elapsed take the
 // larger of the two windows.
 func (s Snapshot) Merge(o Snapshot) Snapshot {
@@ -242,6 +246,10 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		gs[g.Name] = g.Value
 	}
 	for _, g := range o.Gauges {
+		if prev, ok := gs[g.Name]; ok && isWatermarkGauge(g.Name) {
+			gs[g.Name] = math.Max(prev, g.Value)
+			continue
+		}
 		gs[g.Name] = g.Value
 	}
 	names = names[:0]
@@ -276,6 +284,10 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	return out
 }
+
+// isWatermarkGauge reports whether a gauge is a monotone high-water mark
+// (a freshness watermark), which merges by maximum rather than last-wins.
+func isWatermarkGauge(name string) bool { return strings.HasSuffix(name, ".max_seconds") }
 
 // Prefixed returns a copy of the snapshot with every metric name prefixed,
 // e.g. "synopses.critical" → "shard.2.synopses.critical". The shard plane

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// RuntimeSampler publishes Go runtime self-metrics into a Registry under
+// the "runtime.*" prefix:
+//
+//	runtime.goroutines        gauge      live goroutine count
+//	runtime.heap_alloc_bytes  gauge      bytes in live + dead heap objects
+//	runtime.heap_sys_bytes    gauge      bytes of heap memory held from the OS
+//	runtime.gc_pause.seconds  histogram  stop-the-world GC pause durations
+//
+// Sample is meant to be called on each metrics scrape (the admin server
+// does this), keeping the readings fresh without a background goroutine.
+// The values come from the runtime, not the injected Clock — they are
+// inherently wall-bound and sit outside the deterministic replay path.
+// A nil *RuntimeSampler (from a nil Registry) is a valid no-op.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	prev    []uint64 // cumulative /gc/pauses counts at the previous Sample
+
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcPause    *Histogram
+}
+
+// The /memory/classes/heap/* components that together make up the heap
+// memory held from the OS (objects + unused spans + free + released).
+const (
+	smpGoroutines = iota
+	smpHeapObjects
+	smpHeapUnused
+	smpHeapFree
+	smpHeapReleased
+	smpGCPauses
+)
+
+// NewRuntimeSampler returns a sampler publishing into reg, or nil (a
+// no-op) when reg is nil.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeSampler{
+		samples: []metrics.Sample{
+			smpGoroutines:   {Name: "/sched/goroutines:goroutines"},
+			smpHeapObjects:  {Name: "/memory/classes/heap/objects:bytes"},
+			smpHeapUnused:   {Name: "/memory/classes/heap/unused:bytes"},
+			smpHeapFree:     {Name: "/memory/classes/heap/free:bytes"},
+			smpHeapReleased: {Name: "/memory/classes/heap/released:bytes"},
+			smpGCPauses:     {Name: "/gc/pauses:seconds"},
+		},
+		goroutines: reg.Gauge("runtime.goroutines"),
+		heapAlloc:  reg.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:    reg.Gauge("runtime.heap_sys_bytes"),
+		gcPause:    reg.Histogram("runtime.gc_pause.seconds"),
+	}
+}
+
+// Sample reads the runtime metrics once and updates the registry. Safe for
+// concurrent use (scrapes may overlap).
+func (r *RuntimeSampler) Sample() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	metrics.Read(r.samples)
+	r.goroutines.Set(uintValue(r.samples[smpGoroutines]))
+	alloc := uintValue(r.samples[smpHeapObjects])
+	r.heapAlloc.Set(alloc)
+	r.heapSys.Set(alloc +
+		uintValue(r.samples[smpHeapUnused]) +
+		uintValue(r.samples[smpHeapFree]) +
+		uintValue(r.samples[smpHeapReleased]))
+	if r.samples[smpGCPauses].Value.Kind() == metrics.KindFloat64Histogram {
+		r.observePauses(r.samples[smpGCPauses].Value.Float64Histogram())
+	}
+}
+
+func uintValue(s metrics.Sample) float64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s.Value.Uint64())
+}
+
+// observePauses re-bins the runtime's cumulative pause histogram into the
+// registry histogram: each bucket's count delta since the previous Sample
+// is observed at the bucket midpoint (the finite edge when a bound is
+// infinite). The runtime histogram only ever grows, so deltas are >= 0.
+func (r *RuntimeSampler) observePauses(h *metrics.Float64Histogram) {
+	if len(r.prev) != len(h.Counts) {
+		r.prev = make([]uint64, len(h.Counts))
+	}
+	for i, c := range h.Counts {
+		d := int64(c - r.prev[i])
+		r.prev[i] = c
+		if d <= 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		r.gcPause.observeN(mid, d)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+// Sampler is a deterministic head-based record sampler: of every Every
+// admissions it admits exactly one (the first), counting from zero. The
+// decision depends only on the admission ordinal — never on time or
+// randomness — so a crash-recovery replay that re-admits the same record
+// sequence reproduces the same sampling decisions. It is driven from the
+// pipeline's single-threaded run loop and is NOT safe for concurrent use;
+// a nil *Sampler never admits.
+type Sampler struct {
+	every int
+	n     int64
+}
+
+// NewSampler returns a sampler admitting one in every n admissions.
+// n <= 0 disables sampling (nil is returned; all methods are nil-safe).
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		return nil
+	}
+	return &Sampler{every: n}
+}
+
+// Admit consumes one admission ordinal and reports whether it is sampled.
+func (s *Sampler) Admit() bool {
+	if s == nil {
+		return false
+	}
+	hit := s.n%int64(s.every) == 0
+	s.n++
+	return hit
+}
+
+// Seen returns the number of admissions consumed since creation or Reset.
+func (s *Sampler) Seen() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Reset rewinds the ordinal to zero. Crash recovery calls it next to
+// Registry.Reset so the replayed record sequence sees the same decisions
+// as the original run.
+func (s *Sampler) Reset() {
+	if s == nil {
+		return
+	}
+	s.n = 0
+}

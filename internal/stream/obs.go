@@ -22,6 +22,8 @@ type opMetrics struct {
 	open      *obs.Gauge
 	disorder  *obs.Gauge // seconds the current event trails the stream front
 	watermark *obs.Gauge // current watermark as unix seconds
+	clock     obs.Clock
+	lag       obs.LagStage // event-time freshness at this operator
 	log       *slog.Logger
 }
 
@@ -43,7 +45,12 @@ func newWindowMetrics(reg *obs.Registry, name string) *opMetrics {
 		open:      reg.Gauge("stream." + name + ".open_windows"),
 		disorder:  reg.Gauge("stream." + name + ".disorder.seconds"),
 		watermark: reg.Gauge("stream." + name + ".watermark.unixsec"),
-		log:       obs.NopLogger(),
+		clock:     reg.Clock(),
+		// Freshness at the operator ("lag.stream.<name>.*"): processing
+		// time minus event time for each fed event, with the max as the
+		// operator's freshness watermark.
+		lag: obs.NewLagStage(reg, "stream."+name),
+		log: obs.NopLogger(),
 	}
 }
 
@@ -64,6 +71,11 @@ func (m *opMetrics) setWatermark(t time.Time) {
 		return
 	}
 	m.watermark.Set(float64(t.Unix()))
+}
+
+// observeFreshness records one event's lag at this operator.
+func (m *opMetrics) observeFreshness(event time.Time) {
+	m.lag.Observe(m.clock.Now(), event)
 }
 
 // setLogger attaches a component logger to instrumented operators; a nil

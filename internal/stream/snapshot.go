@@ -211,6 +211,7 @@ func (op *WindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregate[A]]))
 	if op.m != nil {
 		op.m.in.Inc()
 		emit = countEmit(op.m.out, emit)
+		op.m.observeFreshness(e.Time)
 		defer func() {
 			op.m.open.Set(float64(len(op.open)))
 			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())
@@ -391,6 +392,7 @@ func (op *SessionWindowOp[I, A]) Feed(e Event[I], emit func(Event[WindowAggregat
 	if op.m != nil {
 		op.m.in.Inc()
 		emit = countEmit(op.m.out, emit)
+		op.m.observeFreshness(e.Time)
 		defer func() {
 			op.m.open.Set(float64(len(op.open)))
 			op.m.disorder.Set(op.wm.maxTime.Sub(e.Time).Seconds())

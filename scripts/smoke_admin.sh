@@ -1,10 +1,12 @@
 #!/bin/sh
 # smoke_admin.sh — admin-plane smoke test, run by `make smoke`.
 #
-# Starts datacron with -admin on an ephemeral port, waits for the server
-# address to appear on stdout, curls /metrics and /healthz asserting the
-# Prometheus exposition is non-empty, then stops the run with SIGTERM and
-# expects a graceful zero exit.
+# Starts datacron with -admin on an ephemeral port (freshness SLO armed,
+# every record traced), waits for the server address to appear on stdout,
+# curls /metrics, /healthz, /slo and /traces asserting the Prometheus
+# exposition carries runtime self-metrics, the SLO standing decodes and a
+# parent-linked span tree is reconstructable, then stops the run with
+# SIGTERM and expects a graceful zero exit.
 set -eu
 
 tmp=$(mktemp -d)
@@ -12,7 +14,8 @@ pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/datacron" ./cmd/datacron
-"$tmp/datacron" -duration 12h -vessels 16 -admin 127.0.0.1:0 >"$tmp/out.log" 2>&1 &
+"$tmp/datacron" -duration 12h -vessels 16 -admin 127.0.0.1:0 \
+    -slo-lag 5s -slo-stage predict -trace-sample 1 >"$tmp/out.log" 2>&1 &
 pid=$!
 
 addr=""
@@ -42,10 +45,39 @@ echo "$metrics" | grep -q '^# TYPE ' || {
     echo "$metrics" | head -5 >&2
     exit 1
 }
+echo "$metrics" | grep -q 'runtime_goroutines' || {
+    echo "smoke_admin: /metrics is missing the runtime self-metrics" >&2
+    exit 1
+}
 curl -fsS "http://$addr/healthz" >/dev/null || {
     echo "smoke_admin: /healthz probe failed" >&2
     exit 1
 }
+
+slo=$(curl -fsS "http://$addr/slo")
+echo "$slo" | grep -q '"family": "lag.predict.seconds"' || {
+    echo "smoke_admin: /slo is missing the armed freshness objective:" >&2
+    echo "$slo" >&2
+    exit 1
+}
+
+# Every record is traced (-trace-sample 1), so a complete parent-linked
+# record tree appears in the flight recorder almost immediately; poll a few
+# times in case the first curl beats the first completed record.
+tree_ok=""
+for _ in $(seq 1 50); do
+    traces=$(curl -fsS "http://$addr/traces?span_tree=1" || true)
+    if echo "$traces" | grep -q '"spanTrees"' && echo "$traces" | grep -q '"children"'; then
+        tree_ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$tree_ok" ]; then
+    echo "smoke_admin: /traces?span_tree=1 never showed a nested span tree:" >&2
+    echo "$traces" | head -20 >&2
+    exit 1
+fi
 
 # SIGTERM must end the run gracefully (exit 0, interrupt message). When the
 # short run already finished on its own the signal has nobody to stop —
