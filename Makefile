@@ -50,8 +50,12 @@ race:
 shardrace:
 	$(GO) test -race ./internal/shard/...
 
+# bench runs the go benchmarks plus the wire-codec experiment, refreshing
+# the committed BENCH_codec.json (encode/decode ns/op and allocs/op, JSON vs
+# binary end-to-end records/s at 1 and 4 shards).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) run ./cmd/benchrunner -exp codec -scale small -json BENCH_codec.json
 
 # smoke exercises the real binaries end to end on small workloads: a short
 # datacron run with the metric dump enabled, one benchrunner experiment
@@ -62,6 +66,7 @@ smoke:
 	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -metrics
 	$(GO) run ./cmd/datacron -duration 30m -vessels 8 -shards 4
 	$(GO) run ./cmd/benchrunner -exp dashboard -scale small -metrics
+	$(GO) run ./cmd/benchrunner -exp codec -scale small
 	./scripts/smoke_admin.sh
 
 # ci is the full gate: compile everything, run go vet, run the static

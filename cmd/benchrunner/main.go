@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|shard|overload|latency|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full] [-metrics] [-json FILE]
+//	benchrunner [-exp all|table1|synopses|synopses-thresholds|rdfgen|linkdisc|store|checkpoint|shard|codec|overload|latency|fig5a|fig5b|fig6|fig7|fig8|drift|mining|fig10|fig11|fig12|dashboard] [-scale small|full] [-metrics] [-json FILE]
 package main
 
 import (
@@ -46,7 +46,7 @@ func wrap[T any](fn func(io.Writer, experiments.Scale) (T, error)) func(io.Write
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, shard, overload, latency, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, synopses, synopses-thresholds, rdfgen, linkdisc, store, checkpoint, shard, codec, overload, latency, fig5a, fig5b, fig6, fig7, fig8, drift, mining, fig10, fig11, fig12, dashboard)")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
 	metrics := flag.Bool("metrics", false, "attach a shared metric registry and print one metric row per experiment")
 	jsonPath := flag.String("json", "", "also write machine-readable per-experiment results to this file")
@@ -74,6 +74,15 @@ func main() {
 		// shard-count scaling curve, not one aggregate metric window.
 		{"shard", func(w io.Writer, s experiments.Scale) error {
 			res, err := experiments.RunShardScaling(w, s)
+			if res != nil {
+				rep.Rows = append(rep.Rows, res.BenchRows()...)
+			}
+			return err
+		}},
+		// codec reports its own rows too: micro encode/decode costs plus the
+		// JSON-vs-binary end-to-end sweep.
+		{"codec", func(w io.Writer, s experiments.Scale) error {
+			res, err := experiments.RunCodec(w, s)
 			if res != nil {
 				rep.Rows = append(rep.Rows, res.BenchRows()...)
 			}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"datacron/internal/checkpoint"
+	"datacron/internal/checkpoint/faultinject"
+	"datacron/internal/mobility"
+)
+
+// ingestMixedFormats produces the report stream straight onto the raw topic
+// with alternating wire formats — legacy JSON for every third record, the
+// binary/v1 codec for the rest — emulating a replay log written across the
+// codec migration. Keys and event times match what Pipeline.Ingest assigns,
+// so the partition layout is identical to a normal ingest.
+func ingestMixedFormats(t *testing.T, p *Pipeline, reports []mobility.Report) {
+	t.Helper()
+	ctx := context.Background()
+	for i, r := range reports {
+		var value []byte
+		if i%3 == 0 {
+			value = r.Marshal() // legacy JSON era
+		} else {
+			value = r.AppendBinary(make([]byte, 0, r.BinarySize()))
+		}
+		if _, err := p.Broker.Produce(ctx, TopicRaw, r.ID, value, r.Time); err != nil {
+			t.Fatalf("produce record %d: %v", i, err)
+		}
+	}
+	if err := p.Broker.CloseTopic(TopicRaw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedFormatByteIdenticalOutput pins wire-format independence: the same
+// report stream replayed as all-binary (the Ingest default) and as a mixed
+// JSON/binary log must publish byte-identical output topics — the sniffing
+// decoder makes the on-the-wire encoding invisible downstream.
+func TestMixedFormatByteIdenticalOutput(t *testing.T) {
+	base, reports := shardedMaritimePipeline(t, true, 1)
+	if err := base.Ingest(context.Background(), reports); err != nil {
+		t.Fatal(err)
+	}
+	baseSum, err := base.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mixed, reports2 := shardedMaritimePipeline(t, true, 1)
+	if len(reports2) != len(reports) {
+		t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
+	}
+	ingestMixedFormats(t, mixed, reports2)
+	sum, err := mixed.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sum) != fmt.Sprint(baseSum) {
+		t.Errorf("summaries differ:\nbinary %v\nmixed  %v", baseSum, sum)
+	}
+	requireIdenticalTopics(t, base.Broker, mixed.Broker)
+}
+
+// TestMixedFormatCrashRecoveryByteIdentical is the codec migration's
+// fault-tolerance guarantee: a 4-shard pipeline replaying a mixed
+// JSON/binary raw log, killed repeatedly mid-stream and recovered from
+// barrier-coordinated checkpoints, must reproduce byte for byte the output
+// of an uninterrupted single-shard run over the same mixed log.
+func TestMixedFormatCrashRecoveryByteIdentical(t *testing.T) {
+	base, reports := shardedMaritimePipeline(t, true, 1)
+	ingestMixedFormats(t, base, reports)
+	baseSum, err := base.RunRealTime(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, reports2 := shardedMaritimePipeline(t, true, 4)
+	if len(reports2) != len(reports) {
+		t.Fatalf("simulation not deterministic: %d vs %d reports", len(reports2), len(reports))
+	}
+	ingestMixedFormats(t, faulty, reports2)
+	cpr, err := checkpoint.NewCheckpointer(checkpoint.NewMemStore(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:     42,
+		KillMin:  900,
+		KillMax:  1500,
+		DropProb: 0.01,
+	})
+	rc := &RecoveryConfig{Checkpointer: cpr, EveryRecords: 300, Injector: inj}
+
+	sum, restarts := runUntilDone(t, faulty, rc, 100)
+	if inj.Kills() < 2 {
+		t.Fatalf("only %d crashes injected; the test proved nothing", inj.Kills())
+	}
+	t.Logf("mixed-format 4-shard pipeline recovered from %d crashes (%d restarts, %d checkpoints)",
+		inj.Kills(), restarts, cpr.Captures())
+
+	if fmt.Sprint(sum) != fmt.Sprint(baseSum) {
+		t.Errorf("summaries differ:\nserial  %v\nsharded %v", baseSum, sum)
+	}
+	requireIdenticalTopics(t, base.Broker, faulty.Broker)
+}

@@ -101,15 +101,25 @@ func (ps predictorsSnapshotter) Snapshot() ([]byte, error) {
 	for _, id := range ids {
 		snapper, ok := ps.preds[id].(checkpoint.Snapshotter)
 		if !ok {
-			return nil, fmt.Errorf("core: predictor %s (%s) is not snapshottable", id, ps.preds[id].Name())
+			return nil, notSnapshottableErr(id, ps.preds[id].Name())
 		}
 		blob, err := snapper.Snapshot()
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot predictor %s: %w", id, err)
+			return nil, predictorErr("snapshot", id, err)
 		}
 		out[id] = blob
 	}
 	return json.Marshal(out)
+}
+
+// Cold-path error constructors for the predictor snapshot/restore loops,
+// kept out of the loop bodies so hotalloc sees them allocation-free.
+func notSnapshottableErr(id, name string) error {
+	return fmt.Errorf("core: predictor %s (%s) is not snapshottable", id, name)
+}
+
+func predictorErr(verb, id string, err error) error {
+	return fmt.Errorf("core: %s predictor %s: %w", verb, id, err)
 }
 
 func (ps predictorsSnapshotter) Restore(data []byte) error {
@@ -123,7 +133,7 @@ func (ps predictorsSnapshotter) Restore(data []byte) error {
 	for id, blob := range blobs {
 		pred := flp.NewRMFStar(ps.sample)
 		if err := pred.Restore(blob); err != nil {
-			return fmt.Errorf("core: restore predictor %s: %w", id, err)
+			return predictorErr("restore", id, err)
 		}
 		ps.preds[id] = pred
 	}
@@ -472,8 +482,9 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 	// wall clock directly: a run driven by an obs.ManualClock checkpoints at
 	// deterministic points, so replay stays byte-identical.
 	var (
-		recsSinceCp int
-		lastCp      = p.clock.Now()
+		recsSinceCp   int
+		lastCp        = p.clock.Now()
+		submitScratch []workerIn // reused batch fan-out buffer (sharded runs)
 	)
 	maybeCheckpoint := func() error {
 		if cpr == nil || rc == nil {
@@ -543,12 +554,23 @@ func (p *Pipeline) RunWithRecovery(ctx context.Context, rc *RecoveryConfig) (Sum
 		// decided here, in batch order, on both paths: the decision stream
 		// is identical whatever the shard count, and — because it depends
 		// only on the record ordinal — identical again under replay.
+		//
+		// The batch goes to the plane through SubmitBatch — one credit
+		// acquisition pass per lane instead of one select per record — via a
+		// reused workerIn scratch, so the steady-state fan-out allocates
+		// nothing per record. The poll batch is half the plane's queue depth,
+		// inside SubmitBatch's per-lane bound.
 		if plane != nil {
-			for _, rec := range recs {
-				if err := plane.Submit(ctx, p.newWorkerIn(rec, true)); err != nil {
-					procSpan.End()
-					return sum, err
-				}
+			if cap(submitScratch) < len(recs) {
+				submitScratch = make([]workerIn, len(recs))
+			}
+			ins := submitScratch[:len(recs)]
+			for i, rec := range recs {
+				ins[i] = p.newWorkerIn(rec, true)
+			}
+			if err := plane.SubmitBatch(ctx, ins); err != nil {
+				procSpan.End()
+				return sum, err
 			}
 		}
 		for _, rec := range recs {

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"datacron/internal/core"
+	"datacron/internal/mobility"
+)
+
+// CodecMicroRow is one wire-codec micro-benchmark point: ns/op and
+// allocs/op for encoding or decoding a single report.
+type CodecMicroRow struct {
+	Name        string // e.g. "encode/binary"
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerRec float64 // mean encoded size
+}
+
+// CodecE2ERow is one end-to-end point: the full real-time layer replaying
+// one seeded raw log encoded entirely in one wire format.
+type CodecE2ERow struct {
+	Codec     string // "json" or "binary"
+	Shards    int
+	Records   int64
+	Wall      time.Duration
+	PerSecond float64
+	Speedup   float64 // vs the json row at the same shard count
+	Identical bool    // output byte-identical to the json/shards=1 run
+}
+
+// CodecResult is the wire-codec experiment: micro encode/decode costs plus
+// the end-to-end JSON-vs-binary replay sweep.
+type CodecResult struct {
+	Micro []CodecMicroRow
+	E2E   []CodecE2ERow
+}
+
+// BenchRows converts the experiment into benchrunner's JSON rows — one per
+// micro benchmark and one per (codec, shard count) end-to-end run.
+func (r *CodecResult) BenchRows() []Row {
+	rows := make([]Row, 0, len(r.Micro)+len(r.E2E))
+	for _, m := range r.Micro {
+		allocs := m.AllocsPerOp
+		rows = append(rows, Row{
+			Name:        "codec/" + m.Name,
+			NsPerOp:     m.NsPerOp,
+			AllocsPerOp: &allocs,
+			BytesPerRec: m.BytesPerRec,
+		})
+	}
+	for _, e := range r.E2E {
+		rows = append(rows, Row{
+			Name:          fmt.Sprintf("codec/e2e/%s/shards=%d", e.Codec, e.Shards),
+			WallSeconds:   e.Wall.Seconds(),
+			Records:       e.Records,
+			RecordsPerSec: e.PerSecond,
+		})
+	}
+	return rows
+}
+
+// codecMicro runs the four single-report benchmarks over a seeded report
+// sample: JSON and binary, encode and decode. Decode targets are reused
+// across iterations, matching the shard worker's scratch-report pattern.
+func codecMicro(reports []mobility.Report) []CodecMicroRow {
+	sample := reports
+	if len(sample) > 1024 {
+		sample = sample[:1024]
+	}
+	jsonEnc := make([][]byte, len(sample))
+	binEnc := make([][]byte, len(sample))
+	var jsonBytes, binBytes int
+	for i, r := range sample {
+		jsonEnc[i] = r.Marshal()
+		binEnc[i] = r.AppendBinary(nil)
+		jsonBytes += len(jsonEnc[i])
+		binBytes += len(binEnc[i])
+	}
+
+	row := func(name string, bytesPerRec float64, fn func(b *testing.B)) CodecMicroRow {
+		res := testing.Benchmark(fn)
+		return CodecMicroRow{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerRec: bytesPerRec,
+		}
+	}
+	return []CodecMicroRow{
+		row("encode/json", float64(jsonBytes)/float64(len(sample)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sample[i%len(sample)].Marshal()
+			}
+		}),
+		row("encode/binary", float64(binBytes)/float64(len(sample)), func(b *testing.B) {
+			buf := make([]byte, 0, 256)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = sample[i%len(sample)].AppendBinary(buf[:0])
+			}
+			_ = buf
+		}),
+		row("decode/json", float64(jsonBytes)/float64(len(sample)), func(b *testing.B) {
+			dec := mobility.NewDecoder()
+			var r mobility.Report
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := dec.Decode(jsonEnc[i%len(jsonEnc)], &r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		row("decode/binary", float64(binBytes)/float64(len(sample)), func(b *testing.B) {
+			dec := mobility.NewDecoder()
+			var r mobility.Report
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := dec.Decode(binEnc[i%len(binEnc)], &r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+}
+
+// codecRun replays one raw log through the full real-time layer. With
+// binary=true the reports go through Pipeline.Ingest (the batched binary
+// path); otherwise the raw topic is fed legacy JSON records directly, the
+// pre-codec wire format, so the run measures the JSON decode path end to
+// end. Returns the pipeline (for output comparison), the RunRealTime wall
+// time and the record count.
+func codecRun(cfg core.Config, reports []mobility.Report, shards int, binary bool) (*core.Pipeline, time.Duration, int64, error) {
+	opts := append(pipelineOpts(cfg), core.WithShards(shards))
+	p, err := core.New(opts...)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ctx := context.Background()
+	if binary {
+		if err := p.Ingest(ctx, reports); err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		for _, r := range reports {
+			if _, err := p.Broker.Produce(ctx, core.TopicRaw, r.ID, r.Marshal(), r.Time); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		if err := p.Broker.CloseTopic(core.TopicRaw); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	start := time.Now()
+	sum, err := p.RunRealTime(ctx)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return p, time.Since(start), sum.RawIn, nil
+}
+
+// RunCodec measures the versioned binary wire codec against the legacy JSON
+// encoding, two ways. The micro benchmarks time a single report's encode
+// and decode in isolation — the binary decode must be allocation-free at
+// steady state. The end-to-end sweep replays one seeded workload through
+// the full real-time layer at 1 and 4 shards with the raw topic encoded
+// entirely in each format, checking every run's output is byte-identical:
+// the wire format must be invisible downstream.
+func RunCodec(w io.Writer, scale Scale) (*CodecResult, error) {
+	cfg, reports := checkpointWorkload(scale)
+	res := &CodecResult{Micro: codecMicro(reports)}
+
+	var baseline *core.Pipeline // json/shards=1: the comparison root
+	wallByShards := map[int]time.Duration{}
+	for _, codec := range []string{"json", "binary"} {
+		for _, shards := range []int{1, 4} {
+			p, wall, n, err := codecRun(cfg, reports, shards, codec == "binary")
+			if err != nil {
+				return nil, err
+			}
+			row := CodecE2ERow{
+				Codec: codec, Shards: shards,
+				Records: n, Wall: wall,
+				PerSecond: float64(n) / wall.Seconds(),
+				Speedup:   1, Identical: true,
+			}
+			if codec == "json" {
+				wallByShards[shards] = wall
+				if shards == 1 {
+					baseline = p
+				}
+			}
+			if baseline != p {
+				row.Speedup = wallByShards[shards].Seconds() / wall.Seconds()
+				row.Identical, err = identicalOutputs(baseline.Broker, p.Broker)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res.E2E = append(res.E2E, row)
+		}
+	}
+
+	fmt.Fprintf(w, "Wire codec — %d raw reports, scale=%s\n", len(reports), scale)
+	fmt.Fprintf(w, "%-16s %10s %10s %12s\n", "micro", "ns/op", "allocs/op", "bytes/rec")
+	for _, m := range res.Micro {
+		fmt.Fprintf(w, "%-16s %10.0f %10d %12.1f\n", m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerRec)
+	}
+	var jsonDec, binDec float64
+	for _, m := range res.Micro {
+		switch m.Name {
+		case "decode/json":
+			jsonDec = m.NsPerOp
+		case "decode/binary":
+			binDec = m.NsPerOp
+		}
+	}
+	if binDec > 0 {
+		fmt.Fprintf(w, "binary decode is %.1fx faster than JSON per record\n", jsonDec/binDec)
+	}
+	fmt.Fprintf(w, "%-8s %7s %10s %12s %12s %9s %10s\n",
+		"codec", "shards", "records", "wall", "records/s", "speedup", "identical")
+	for _, e := range res.E2E {
+		fmt.Fprintf(w, "%-8s %7d %10d %12s %12.0f %8.2fx %10t\n",
+			e.Codec, e.Shards, e.Records, e.Wall.Round(time.Millisecond), e.PerSecond, e.Speedup, e.Identical)
+	}
+
+	for _, m := range res.Micro {
+		if m.Name == "decode/binary" && m.AllocsPerOp != 0 {
+			return res, fmt.Errorf("experiments: binary decode allocates %d/op, want 0", m.AllocsPerOp)
+		}
+	}
+	for _, e := range res.E2E {
+		if !e.Identical {
+			return res, fmt.Errorf("experiments: %s/shards=%d output diverged from json/shards=1", e.Codec, e.Shards)
+		}
+	}
+	return res, nil
+}

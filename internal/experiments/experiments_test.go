@@ -363,6 +363,43 @@ func TestVAExperiments(t *testing.T) {
 	}
 }
 
+func TestCodecShape(t *testing.T) {
+	res, err := RunCodec(io.Discard, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micro := map[string]CodecMicroRow{}
+	for _, m := range res.Micro {
+		micro[m.Name] = m
+	}
+	// The binary codec's headline: allocation-free steady state and at least
+	// the issue's 2x decode advantage over JSON (in practice far more).
+	if m := micro["decode/binary"]; m.AllocsPerOp != 0 {
+		t.Errorf("binary decode allocates %d/op, want 0", m.AllocsPerOp)
+	}
+	if m := micro["encode/binary"]; m.AllocsPerOp != 0 {
+		t.Errorf("binary encode allocates %d/op, want 0", m.AllocsPerOp)
+	}
+	if jd, bd := micro["decode/json"].NsPerOp, micro["decode/binary"].NsPerOp; bd <= 0 || jd/bd < 2 {
+		t.Errorf("binary decode %.0fns vs JSON %.0fns: want >= 2x faster", bd, jd)
+	}
+	// Binary records must also be smaller on the wire.
+	if jb, bb := micro["encode/json"].BytesPerRec, micro["encode/binary"].BytesPerRec; bb >= jb {
+		t.Errorf("binary record %.1fB not smaller than JSON %.1fB", bb, jb)
+	}
+	if len(res.E2E) != 4 {
+		t.Fatalf("e2e rows = %d, want 4", len(res.E2E))
+	}
+	for _, e := range res.E2E {
+		if !e.Identical {
+			t.Errorf("%s/shards=%d diverged from json/shards=1", e.Codec, e.Shards)
+		}
+		if e.PerSecond <= 0 {
+			t.Errorf("%s/shards=%d: non-positive throughput", e.Codec, e.Shards)
+		}
+	}
+}
+
 func TestShardScalingShape(t *testing.T) {
 	res, err := RunShardScaling(io.Discard, Small)
 	if err != nil {

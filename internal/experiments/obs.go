@@ -56,6 +56,13 @@ type Row struct {
 	// reuses P99Seconds for the stage's tail lag).
 	P50Seconds float64 `json:"p50Seconds,omitempty"`
 	MaxSeconds float64 `json:"maxSeconds,omitempty"`
+
+	// Codec micro-benchmark fields, set only by the codec experiment.
+	// AllocsPerOp is a pointer so an explicit zero — the binary codec's
+	// steady state — survives omitempty.
+	NsPerOp     float64 `json:"nsPerOp,omitempty"`
+	AllocsPerOp *int64  `json:"allocsPerOp,omitempty"`
+	BytesPerRec float64 `json:"bytesPerRecord,omitempty"`
 }
 
 // MetricsRow snapshots the shared registry into one Row and resets it so

@@ -9,8 +9,8 @@
 package geo
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // EarthRadius is the mean Earth radius in metres (WGS84 authalic sphere).
@@ -31,8 +31,19 @@ func (p Point) Valid() bool {
 		!math.IsNaN(p.Lon) && !math.IsNaN(p.Lat)
 }
 
+// String formats the point as "(lon, lat)" with six decimal places. It
+// builds the string with strconv.AppendFloat on a stack-sized scratch buffer
+// rather than fmt.Sprintf: String is reachable from hot-path logging and
+// trace attributes, where Sprintf's reflection costs two extra allocations
+// per call.
 func (p Point) String() string {
-	return fmt.Sprintf("(%.6f, %.6f)", p.Lon, p.Lat)
+	buf := make([]byte, 0, 48)
+	buf = append(buf, '(')
+	buf = strconv.AppendFloat(buf, p.Lon, 'f', 6, 64)
+	buf = append(buf, ',', ' ')
+	buf = strconv.AppendFloat(buf, p.Lat, 'f', 6, 64)
+	buf = append(buf, ')')
+	return string(buf)
 }
 
 // Radians converts degrees to radians.

@@ -25,6 +25,18 @@ var hotPathRootNames = []string{
 	"Process", "Run", "Feed", "Submit", "Poll", "Next", "Emit", "Drain", "Observe", "Push",
 }
 
+// HotPathExtraRoots names per-record and per-batch entry points that the
+// prefix rule misses: the wire codec (encoded/decoded once per record on
+// the ingest and shard-worker paths), the broker's batch produce, and the
+// pipeline's batch ingest. Keys are module-relative package prefixes,
+// matched like HotPathScope; values are exact function or method names.
+var HotPathExtraRoots = map[string][]string{
+	"internal/mobility": {"AppendBinary", "UnmarshalReportBinary", "UnmarshalReportInto", "Decode"},
+	"internal/msg":      {"ProduceBatch"},
+	"internal/shard":    {"SubmitBatch"},
+	"internal/core":     {"Ingest"},
+}
+
 var hotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
 	Doc: "flags allocation-inducing constructs inside loops of functions " +
@@ -38,18 +50,17 @@ var hotallocAnalyzer = &Analyzer{
 func runHotAlloc(m *Module) []Diagnostic {
 	g := m.Graph()
 
-	// Roots: processing entry points of the hot-path packages.
+	// Roots: processing entry points of the hot-path packages, by name
+	// prefix, plus the explicitly listed codec/batch entry points.
 	var roots []*types.Func
 	for _, n := range g.All() {
-		if !inHotPathScope(n.Pkg) {
+		name := n.Obj.Name()
+		if inHotPathScope(n.Pkg) && hasRootPrefix(name) {
+			roots = append(roots, n.Obj)
 			continue
 		}
-		name := n.Obj.Name()
-		for _, prefix := range hotPathRootNames {
-			if strings.HasPrefix(name, prefix) {
-				roots = append(roots, n.Obj)
-				break
-			}
+		if isExtraRoot(n.Pkg, name) {
+			roots = append(roots, n.Obj)
 		}
 	}
 	reachable := g.Reachable(roots, true)
@@ -68,6 +79,31 @@ func inHotPathScope(p *Package) bool {
 	for _, prefix := range HotPathScope {
 		if p.RelPath == prefix || strings.HasPrefix(p.RelPath, prefix+"/") {
 			return true
+		}
+	}
+	return false
+}
+
+func hasRootPrefix(name string) bool {
+	for _, prefix := range hotPathRootNames {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isExtraRoot reports whether name is one of the explicitly rooted entry
+// points for p's package subtree.
+func isExtraRoot(p *Package, name string) bool {
+	for prefix, names := range HotPathExtraRoots {
+		if p.RelPath != prefix && !strings.HasPrefix(p.RelPath, prefix+"/") {
+			continue
+		}
+		for _, n := range names {
+			if n == name {
+				return true
+			}
 		}
 	}
 	return false

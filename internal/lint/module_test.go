@@ -24,6 +24,22 @@ func TestHotAlloc(t *testing.T) {
 	runFixture(t, "hotalloc", "hotalloc", "datacron/internal/stream/lintfixture")
 }
 
+func TestHotAllocExtraRoots(t *testing.T) {
+	// Loaded under internal/mobility, the fixture's AppendBinary/Decode
+	// functions are explicit roots from HotPathExtraRoots despite matching
+	// no root name prefix.
+	runFixture(t, "hotalloc", "hotallocroots", "datacron/internal/mobility/lintfixture")
+}
+
+func TestHotAllocExtraRootsOutOfScope(t *testing.T) {
+	// The same fixture under a package with no extra roots has no
+	// reachability roots at all, so nothing is reported.
+	p := loadFixture(t, "hotallocroots", "datacron/internal/va/lintfixture")
+	if diags := runAnalyzer(Lookup("hotalloc"), p); len(diags) != 0 {
+		t.Fatalf("hotalloc fired outside the extra-root packages: %v", diags)
+	}
+}
+
 func TestHotAllocOutOfScope(t *testing.T) {
 	// The same fixture outside the stream/shard/core scope has no hot-path
 	// roots, so nothing is reachable and nothing is reported: per-record

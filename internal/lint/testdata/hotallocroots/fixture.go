@@ -1,0 +1,44 @@
+// Package fixture exercises the hotalloc extra-roots mechanism. Loaded
+// under a package listed in HotPathExtraRoots (internal/mobility/...), its
+// AppendBinary/Decode entry points are reachability roots even though they
+// match no root name prefix; loaded outside every rooted package it must
+// stay silent.
+package fixture
+
+import "fmt"
+
+// Item stands in for one wire-codec payload.
+type Item struct{ ID string }
+
+// AppendBinary is an explicit extra root: the codec encode entry point.
+func AppendBinary(dst []byte, items []Item) []byte {
+	for _, it := range items {
+		dst = append(dst, fmt.Sprintf("%s", it.ID)...) // want "fmt.Sprintf allocates"
+	}
+	return dst
+}
+
+// Decode is an explicit extra root reaching decodeOne through a call edge;
+// decodeOne is not a root by name but its loop is still hot.
+func Decode(items []Item) {
+	decodeOne(items)
+}
+
+func decodeOne(items []Item) {
+	var out []string
+	for _, it := range items {
+		out = append(out, it.ID) // want "append grows"
+	}
+	_ = out
+}
+
+// Unlisted has the same shape but is neither prefix- nor extra-rooted, and
+// nothing reachable calls it, so it must stay silent: extra roots match
+// exact names, not everything in the package.
+func Unlisted(items []Item) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, fmt.Sprint(it.ID))
+	}
+	return out
+}

@@ -78,8 +78,10 @@ func (r Report) Valid() bool {
 	return true
 }
 
-// Marshal encodes the report as the JSON wire format used on the broker,
-// mirroring the paper's "stream of messages in JSON" sources.
+// Marshal encodes the report as the legacy JSON wire format, mirroring the
+// paper's "stream of messages in JSON" sources. The broker hot path now
+// carries the binary codec (see codec.go); Marshal remains for external
+// interchange and for exercising the legacy decode path.
 func (r Report) Marshal() []byte {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -89,9 +91,18 @@ func (r Report) Marshal() []byte {
 	return b
 }
 
-// UnmarshalReport decodes the JSON wire format.
+// UnmarshalReport decodes a wire payload of either format: binary (sniffed
+// by the magic byte) or legacy JSON. Hot paths should prefer the in-place
+// decoders (UnmarshalReportBinary, Decoder.Decode), which avoid per-record
+// allocations.
 func UnmarshalReport(b []byte) (Report, error) {
 	var r Report
+	if IsBinaryReport(b) {
+		if err := UnmarshalReportBinary(b, &r); err != nil {
+			return Report{}, err
+		}
+		return r, nil
+	}
 	if err := json.Unmarshal(b, &r); err != nil {
 		return Report{}, fmt.Errorf("mobility: decoding report: %w", err)
 	}

@@ -333,70 +333,21 @@ func (b *Broker) produceTo(ctx context.Context, t *topic, pIdx int, key string, 
 	p := t.parts[pIdx]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var (
-		blocked    bool
-		blockStart time.Time
-		stop       func() bool
-	)
-	for p.cap > 0 && p.backlog() >= p.cap && !p.closed {
-		switch p.policy {
-		case DropNewest:
-			p.rejected++
-			if t.m != nil {
-				t.m.rejected.Inc()
-			}
-			//lint:ignore hotalloc overload rejection path: allocates only when the record is dropped, never on admitted records
-			return Record{}, fmt.Errorf("%w: %s/%d backlog at capacity %d (drop-newest)",
-				ErrTopicFull, t.name, pIdx, p.cap)
-		case DropOldestUncommitted:
-			if _, ok := p.shedOldest(); ok {
-				if t.m != nil {
-					t.m.evicted.Inc()
-					t.m.depth.Add(-1)
-				}
-				continue
-			}
-			// Every retained record is committed or replay-protected:
-			// nothing may be shed, so the incoming record is the one lost.
-			p.rejected++
-			if t.m != nil {
-				t.m.rejected.Inc()
-			}
-			//lint:ignore hotalloc overload rejection path: allocates only when the record is dropped, never on admitted records
-			return Record{}, fmt.Errorf("%w: %s/%d backlog at capacity %d and nothing sheddable above the replay floor",
-				ErrTopicFull, t.name, pIdx, p.cap)
-		default: // Block
-			if err := ctx.Err(); err != nil {
-				if stop != nil {
-					stop()
-				}
-				p.noteBlocked(t.m, blocked, blockStart)
-				//lint:ignore hotalloc cancelled-while-blocked exit path: allocates once per abandoned produce, not per record
-				return Record{}, fmt.Errorf("msg: produce %s/%d blocked at capacity %d: %w",
-					t.name, pIdx, p.cap, err)
-			}
-			if !blocked {
-				blocked = true
-				if t.m != nil {
-					blockStart = t.m.clock.Now()
-				}
-				// Wake the cond wait when the context is cancelled, exactly
-				// like Fetch's blocking path.
-				stop = context.AfterFunc(ctx, func() {
-					p.mu.Lock()
-					p.cond.Broadcast()
-					p.mu.Unlock()
-				})
-			}
-			p.cond.Wait()
+	var st produceState
+	defer st.stopWatching()
+	verdict, err := p.admit(ctx, t, &st)
+	if err != nil || verdict != admitOK {
+		st.flush(p, t)
+		switch {
+		case errors.Is(err, ErrClosed):
+			return Record{}, ErrClosed
+		case err != nil:
+			return Record{}, blockedCancelErr(t.name, pIdx, p.cap, err)
+		case verdict == admitDropNewest:
+			return Record{}, dropNewestErr(t.name, pIdx, p.cap)
+		default: // admitNothingSheddable
+			return Record{}, nothingSheddableErr(t.name, pIdx, p.cap)
 		}
-	}
-	if stop != nil {
-		stop()
-	}
-	p.noteBlocked(t.m, blocked, blockStart)
-	if p.closed {
-		return Record{}, ErrClosed
 	}
 	rec := Record{
 		Topic:     t.name,
@@ -409,13 +360,250 @@ func (b *Broker) produceTo(ctx context.Context, t *topic, pIdx int, key string, 
 	p.next++
 	//lint:ignore boundedchan bounded by the admission loop above when a TopicLimit is set; unbounded topics are the documented zero-value behaviour
 	p.records = append(p.records, rec)
-	p.cond.Broadcast()
-	if t.m != nil {
-		t.m.produced.Inc()
-		t.m.bytes.Add(int64(len(value)))
-		t.m.depth.Add(1)
-	}
+	st.appended++
+	st.valueBytes += int64(len(value))
+	st.pending = true
+	st.flush(p, t)
 	return rec, nil
+}
+
+// RejectedOffset marks a batch record that was refused admission: after
+// ProduceBatch returns, records the overload policy dropped carry this
+// offset instead of an assigned one.
+const RejectedOffset int64 = -1
+
+// ProduceBatch appends a batch of records to the topic, routing each by key
+// hash exactly like Produce, with one lock acquisition and one metrics flush
+// per touched partition instead of one per record. Each record's Key, Value
+// and Time must be set by the caller; Topic, Partition and Offset are
+// assigned in place.
+//
+// Admission is still per record: on a topic limited with LimitTopic, each
+// record runs the topic's overload policy individually, so a batch straddling
+// the capacity boundary is admitted exactly as the same records produced one
+// by one would be. Records refused under the drop policies are marked
+// RejectedOffset and counted — they are not errors, and the rest of the
+// batch proceeds. The returned count is the number admitted. A non-nil error
+// (topic closed, or context cancelled while blocked under the Block policy)
+// aborts the remaining records of the batch; records already admitted stand,
+// identifiable by their non-negative offsets.
+//
+// Relative order within a partition follows the batch order, and partitioning
+// follows HashKey, so a stream produced through ProduceBatch is
+// record-for-record identical to the same stream produced through Produce.
+func (b *Broker) ProduceBatch(ctx context.Context, topicName string, recs []Record) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nParts := len(t.parts)
+	for i := range recs {
+		recs[i].Topic = t.name
+		recs[i].Partition = HashKey(recs[i].Key, nParts)
+		recs[i].Offset = RejectedOffset
+	}
+	admitted := 0
+	for pIdx := 0; pIdx < nParts; pIdx++ {
+		n, err := b.produceBatchTo(ctx, t, pIdx, recs)
+		admitted += n
+		if err != nil {
+			return admitted, err
+		}
+	}
+	return admitted, nil
+}
+
+// produceBatchTo appends every batch record routed to partition pIdx under a
+// single lock acquisition, running per-record admission. Records the overload
+// policy refuses keep RejectedOffset; a closed partition or a context
+// cancellation while blocked aborts the partition's remaining records.
+func (b *Broker) produceBatchTo(ctx context.Context, t *topic, pIdx int, recs []Record) (int, error) {
+	mine := 0
+	for i := range recs {
+		if recs[i].Partition == pIdx {
+			mine++
+		}
+	}
+	if mine == 0 {
+		return 0, nil
+	}
+	p := t.parts[pIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st produceState
+	defer st.stopWatching()
+	admitted := 0
+	var admitErr error
+	for i := range recs {
+		if recs[i].Partition != pIdx {
+			continue
+		}
+		verdict, err := p.admit(ctx, t, &st)
+		if err != nil {
+			admitErr = err
+			break
+		}
+		if verdict != admitOK {
+			continue // refused: the record keeps RejectedOffset
+		}
+		recs[i].Offset = p.next
+		p.next++
+		//lint:ignore boundedchan bounded by the admission loop above when a TopicLimit is set; unbounded topics are the documented zero-value behaviour
+		p.records = append(p.records, recs[i])
+		st.appended++
+		st.valueBytes += int64(len(recs[i].Value))
+		st.pending = true
+		admitted++
+	}
+	st.flush(p, t)
+	switch {
+	case admitErr == nil:
+		return admitted, nil
+	case errors.Is(admitErr, ErrClosed):
+		return admitted, ErrClosed
+	default:
+		return admitted, blockedCancelErr(t.name, pIdx, p.cap, admitErr)
+	}
+}
+
+// produceState tracks one locked produce pass over a partition: the blocking
+// episode, whether appended records still need a consumer wakeup, and the
+// metric deltas deferred so a whole batch flushes them once.
+type produceState struct {
+	appended   int
+	evictedN   int
+	rejectedN  int
+	valueBytes int64
+	pending    bool // records appended since the last Broadcast
+	blocked    bool
+	blockStart time.Time
+	stop       func() bool // context watcher from the blocking path
+}
+
+func (st *produceState) stopWatching() {
+	if st.stop != nil {
+		st.stop()
+		st.stop = nil
+	}
+}
+
+// flush publishes the pass's consumer wakeup and metric deltas. Callers hold
+// p.mu. It is idempotent: the deltas reset to zero once published.
+func (st *produceState) flush(p *partition, t *topic) {
+	if st.pending {
+		p.cond.Broadcast()
+		st.pending = false
+	}
+	p.noteBlocked(t.m, st.blocked, st.blockStart)
+	st.blocked = false
+	if t.m == nil {
+		st.appended, st.evictedN, st.rejectedN, st.valueBytes = 0, 0, 0, 0
+		return
+	}
+	if st.appended > 0 {
+		t.m.produced.Add(int64(st.appended))
+		t.m.bytes.Add(st.valueBytes)
+	}
+	if d := st.appended - st.evictedN; d != 0 {
+		t.m.depth.Add(float64(d))
+	}
+	if st.evictedN > 0 {
+		t.m.evicted.Add(int64(st.evictedN))
+	}
+	if st.rejectedN > 0 {
+		t.m.rejected.Add(int64(st.rejectedN))
+	}
+	st.appended, st.evictedN, st.rejectedN, st.valueBytes = 0, 0, 0, 0
+}
+
+// Admission verdicts returned by partition.admit.
+const (
+	admitOK               = iota
+	admitDropNewest       // at capacity under DropNewest: record refused
+	admitNothingSheddable // at capacity with nothing evictable above the floors
+)
+
+// admit runs the overload-admission loop for one incoming record. Callers
+// hold p.mu. A non-nil error means the partition closed or the context was
+// cancelled while blocked; refusals under the drop policies are verdicts,
+// not errors, so a batch caller can skip the one record and continue.
+func (p *partition) admit(ctx context.Context, t *topic, st *produceState) (int, error) {
+	for p.cap > 0 && p.backlog() >= p.cap && !p.closed {
+		switch p.policy {
+		case DropNewest:
+			p.rejected++
+			st.rejectedN++
+			return admitDropNewest, nil
+		case DropOldestUncommitted:
+			if _, ok := p.shedOldest(); ok {
+				st.evictedN++
+				continue
+			}
+			// Every retained record is committed or replay-protected:
+			// nothing may be shed, so the incoming record is the one lost.
+			p.rejected++
+			st.rejectedN++
+			return admitNothingSheddable, nil
+		default: // Block
+			if err := ctx.Err(); err != nil {
+				return admitOK, err
+			}
+			if !st.blocked {
+				st.blocked = true
+				if t.m != nil {
+					st.blockStart = t.m.clock.Now()
+				}
+				// Wake the cond wait when the context is cancelled, exactly
+				// like Fetch's blocking path.
+				st.stop = context.AfterFunc(ctx, p.wakeWaiters)
+			}
+			// Records this batch already appended must become visible to
+			// consumers before we wait on them: without the wakeup a consumer
+			// blocked in Fetch would never drain the backlog, deadlocking the
+			// produce against its own batch.
+			if st.pending {
+				p.cond.Broadcast()
+				st.pending = false
+			}
+			p.cond.Wait()
+		}
+	}
+	if p.closed {
+		return admitOK, ErrClosed
+	}
+	return admitOK, nil
+}
+
+// Cold-path error constructors, kept out of the admission loop so the hot
+// path never touches fmt.
+func dropNewestErr(topicName string, pIdx, capacity int) error {
+	return fmt.Errorf("%w: %s/%d backlog at capacity %d (drop-newest)",
+		ErrTopicFull, topicName, pIdx, capacity)
+}
+
+func nothingSheddableErr(topicName string, pIdx, capacity int) error {
+	return fmt.Errorf("%w: %s/%d backlog at capacity %d and nothing sheddable above the replay floor",
+		ErrTopicFull, topicName, pIdx, capacity)
+}
+
+func blockedCancelErr(topicName string, pIdx, capacity int, err error) error {
+	return fmt.Errorf("msg: produce %s/%d blocked at capacity %d: %w",
+		topicName, pIdx, capacity, err)
+}
+
+// wakeWaiters broadcasts to the partition's cond under its lock. Registered
+// as a context-cancellation callback by admit's blocking path, it runs on
+// the AfterFunc goroutine — never synchronously under a caller-held p.mu.
+func (p *partition) wakeWaiters() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // noteBlocked records one completed blocking episode. Callers hold p.mu.

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func runPlaneBatched(t *testing.T, shards int, in []string) []string {
+	t.Helper()
+	p := New(Config{Shards: shards, Queue: 64}, func(s string) string { return s }, newCountWorker)
+	p.Start()
+	defer p.Close()
+	var out []string
+	for i := 0; i < len(in); {
+		batch := len(in) - i
+		if batch > 64 {
+			batch = 64
+		}
+		if err := p.SubmitBatch(context.Background(), in[i:i+batch]); err != nil {
+			t.Fatalf("SubmitBatch: %v", err)
+		}
+		for j := 0; j < batch; j++ {
+			o, err := p.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			out = append(out, o)
+		}
+		i += batch
+	}
+	return out
+}
+
+// TestSubmitBatchMatchesSubmit pins the batch plane to the merge contract:
+// the same stream through SubmitBatch produces exactly the per-record
+// Submit output, at every shard count.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	in := inputs(4096)
+	want := runPlane(t, 1, in)
+	for _, shards := range []int{1, 2, 4, 8} {
+		got := runPlaneBatched(t, shards, in)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d outputs, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: output %d = %q, want %q", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSubmitBatchCancelRollsBack: when credit acquisition is cancelled
+// mid-batch, no record is submitted and every acquired credit is returned,
+// so the plane stays usable for the next batch.
+func TestSubmitBatchCancelRollsBack(t *testing.T) {
+	p := New(Config{Shards: 1, Queue: 4}, func(s string) string { return s }, newCountWorker)
+	p.Start()
+	defer p.Close()
+
+	first := []string{"a", "a", "a"}
+	if err := p.SubmitBatch(context.Background(), first); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	// 1 of 4 credits left; a 3-record batch must block, then fail on cancel.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := p.SubmitBatch(ctx, []string{"a", "a", "a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked batch: %v, want deadline exceeded", err)
+	}
+	if got := p.Pending(); got != 3 {
+		t.Fatalf("Pending after cancelled batch = %d, want 3 (first batch only)", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	// All credits must be back: a full-queue batch succeeds immediately.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := p.SubmitBatch(ctx2, []string{"a", "a", "a", "a"}); err != nil {
+		t.Fatalf("post-rollback batch: %v (credits leaked?)", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+}
+
+// echoWorker returns its input unchanged and allocates nothing per record.
+type echoWorker struct{}
+
+func (echoWorker) Process(in string) string             { return in }
+func (echoWorker) Snapshot() (map[string][]byte, error) { return map[string][]byte{}, nil }
+func (echoWorker) Restore(ops map[string][]byte) error  { return nil }
+func newEchoWorker(int) Worker[string, string]          { return echoWorker{} }
+
+// TestSubmitBatchAllocs pins the amortization contract: a steady-state
+// batch submit + drain cycle performs no per-record heap allocations — the
+// route/need scratch and the fifo are reused across batches.
+func TestSubmitBatchAllocs(t *testing.T) {
+	p := New(Config{Shards: 4, Queue: 64}, func(s string) string { return s }, newEchoWorker)
+	p.Start()
+	defer p.Close()
+	batch := inputs(64)
+	drain := func() {
+		if err := p.SubmitBatch(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		for range batch {
+			if _, err := p.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain() // warm the scratch slices and the fifo
+	allocs := testing.AllocsPerRun(100, drain)
+	if allocs > 1 {
+		t.Fatalf("SubmitBatch cycle allocates %.1f per %d-record batch, want O(1)", allocs, len(batch))
+	}
+}
